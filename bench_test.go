@@ -1,0 +1,222 @@
+package mmdr_test
+
+import (
+	"io"
+	"testing"
+
+	"mmdr"
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/experiments"
+)
+
+// Each BenchmarkFig* regenerates one of the paper's figures at small scale;
+// mmdrbench runs them at medium/paper scale. The benchmark time is the
+// wall-clock cost of the whole experiment (data generation, reduction,
+// index construction and the query workload).
+func benchFigure(b *testing.B, name string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.Run(name, experiments.Config{Scale: experiments.Small, Seed: 1})
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s: empty table", name)
+		}
+		tb.Fprint(io.Discard)
+	}
+}
+
+// Figure 7a: precision vs ellipticity (MMDR / LDR / GDR).
+func BenchmarkFig7a(b *testing.B) { benchFigure(b, "fig7a") }
+
+// Figure 7b: precision vs number of correlated clusters.
+func BenchmarkFig7b(b *testing.B) { benchFigure(b, "fig7b") }
+
+// Figure 8a: precision vs retained dimensionality (synthetic).
+func BenchmarkFig8a(b *testing.B) { benchFigure(b, "fig8a") }
+
+// Figure 8b: precision vs retained dimensionality (color histograms).
+func BenchmarkFig8b(b *testing.B) { benchFigure(b, "fig8b") }
+
+// Figure 9a: page I/O per query vs dimensionality (synthetic).
+func BenchmarkFig9a(b *testing.B) { benchFigure(b, "fig9a") }
+
+// Figure 9b: page I/O per query vs dimensionality (color histograms).
+func BenchmarkFig9b(b *testing.B) { benchFigure(b, "fig9b") }
+
+// Figure 10a: CPU cost per query vs dimensionality (synthetic).
+func BenchmarkFig10a(b *testing.B) { benchFigure(b, "fig10a") }
+
+// Figure 10b: CPU cost per query vs dimensionality (color histograms).
+func BenchmarkFig10b(b *testing.B) { benchFigure(b, "fig10b") }
+
+// Figure 11a: MMDR total response time vs data size (plain vs scalable).
+func BenchmarkFig11a(b *testing.B) { benchFigure(b, "fig11a") }
+
+// Figure 11b: MMDR total response time vs dimensionality.
+func BenchmarkFig11b(b *testing.B) { benchFigure(b, "fig11b") }
+
+// Ablations for the design choices DESIGN.md calls out.
+func BenchmarkAblationLookupTable(b *testing.B)    { benchFigure(b, "ablation-lookup") }
+func BenchmarkAblationNormalizedMaha(b *testing.B) { benchFigure(b, "ablation-normalized") }
+func BenchmarkAblationMultiLevel(b *testing.B)     { benchFigure(b, "ablation-multilevel") }
+
+// benchData builds a reusable workload for the micro-benchmarks.
+func benchData(b *testing.B, n, dim int) ([]float64, int) {
+	b.Helper()
+	cfg := datagen.CorrelatedConfig{
+		N: n, Dim: dim, NumClusters: 6, SDim: 3,
+		VarRatio: 25, ScaleDecay: 0.8, Seed: 9,
+	}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	return ds.Data, ds.Dim
+}
+
+// BenchmarkReduceMMDR measures the full MMDR pipeline on 4k x 32-d data.
+func BenchmarkReduceMMDR(b *testing.B) {
+	data, dim := benchData(b, 4000, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mmdr.Reduce(data, dim, mmdr.WithSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReduceScalable measures the streamed variant on the same data.
+func BenchmarkReduceScalable(b *testing.B) {
+	data, dim := benchData(b, 4000, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mmdr.Reduce(data, dim,
+			mmdr.WithMethod(mmdr.MethodMMDRScalable),
+			mmdr.WithSeed(int64(i)), mmdr.WithStreamFraction(0.1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures extended-iDistance construction.
+func BenchmarkIndexBuild(b *testing.B) {
+	data, dim := benchData(b, 4000, 32)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.NewIndex(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNN10 measures a 10-NN query through the full stack.
+func BenchmarkKNN10(b *testing.B) {
+	data, dim := benchData(b, 8000, 32)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.FromData(dim, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := datagen.SampleQueries(ds, 128, 0.002, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.KNN(queries.Point(i%queries.N), 10)
+	}
+}
+
+// BenchmarkInsert measures dynamic insertion.
+func BenchmarkInsert(b *testing.B) {
+	data, dim := benchData(b, 4000, 32)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := model.Point(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p[0] += 1e-9
+		if _, err := idx.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTreePageSize sweeps the B+-tree page size (ablation: page-size
+// sensitivity of the index).
+func BenchmarkBTreePageSize(b *testing.B) {
+	data, dim := benchData(b, 8000, 32)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ps := range []int{2048, 8192, 32768} {
+		b.Run(byteSizeName(ps), func(b *testing.B) {
+			idx, err := model.NewIndex(mmdr.WithPageSize(ps))
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := model.Point(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.KNN(q, 10)
+			}
+		})
+	}
+}
+
+func byteSizeName(n int) string {
+	switch {
+	case n >= 1024:
+		return itoa(n/1024) + "KiB"
+	default:
+		return itoa(n) + "B"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Extension experiments (features the paper describes but does not
+// evaluate; see EXPERIMENTS.md).
+func BenchmarkExtInsertion(b *testing.B) { benchFigure(b, "ext-insertion") }
+func BenchmarkExtApprox(b *testing.B)    { benchFigure(b, "ext-approx") }
+
+// Reduction-benefit comparison: iMMDR vs raw full-dimensional iDistance.
+func BenchmarkExtRaw(b *testing.B) { benchFigure(b, "ext-raw") }

@@ -1,0 +1,95 @@
+// Command mmdrbench regenerates the tables and figures of the paper's
+// evaluation section (ICDE 2003, §6).
+//
+// Usage:
+//
+//	mmdrbench -list
+//	mmdrbench -experiment fig7a [-scale small|medium|paper] [-seed N]
+//	mmdrbench -experiment all -scale medium
+//
+// Scales trade fidelity for runtime: "paper" approaches the published
+// dataset sizes (100k-1M points) and can take a long time on one core;
+// "medium" (default) preserves every qualitative shape; "small" is for
+// smoke runs. See EXPERIMENTS.md for paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mmdr/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run contains the CLI logic; separated from main so tests can exercise it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmdrbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp     = fs.String("experiment", "", "experiment to run (see -list), or \"all\"")
+		scale   = fs.String("scale", "medium", "dataset scale: small, medium or paper")
+		seed    = fs.Int64("seed", 1, "random seed")
+		k       = fs.Int("k", 10, "KNN size")
+		queries = fs.Int("queries", 0, "number of queries (0 = scale default)")
+		list    = fs.Bool("list", false, "list available experiments")
+		format  = fs.String("format", "table", "output format: table or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Fprintf(stdout, "  %s\n", n)
+		}
+		return 0
+	}
+	if *exp == "" {
+		fs.Usage()
+		return 2
+	}
+
+	cfg := experiments.Config{
+		Scale:      experiments.Scale(*scale),
+		Seed:       *seed,
+		K:          *k,
+		NumQueries: *queries,
+	}
+	switch cfg.Scale {
+	case experiments.Small, experiments.Medium, experiments.Paper:
+	default:
+		fmt.Fprintf(stderr, "mmdrbench: unknown scale %q\n", *scale)
+		return 2
+	}
+
+	names := []string{*exp}
+	if strings.EqualFold(*exp, "all") {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tb, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
+			return 1
+		}
+		if *format == "csv" {
+			if err := tb.WriteCSV(stdout); err != nil {
+				fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
+				return 1
+			}
+		} else {
+			tb.Fprint(stdout)
+		}
+		fmt.Fprintf(stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

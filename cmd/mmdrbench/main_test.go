@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fig7a", "fig11b", "ablation-lookup", "ext-raw"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunExperimentTableAndCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "ablation-normalized", "-scale", "small"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "normalized") {
+		t.Fatalf("table output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-experiment", "ablation-normalized", "-scale", "small", "-format", "csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "variant,") {
+		t.Fatalf("csv output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("missing -experiment should exit 2, got %d", code)
+	}
+	if code := run([]string{"-experiment", "nope"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown experiment should exit 1, got %d", code)
+	}
+	if code := run([]string{"-experiment", "fig7a", "-scale", "galactic"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown scale should exit 2, got %d", code)
+	}
+	if code := run([]string{"-bogusflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}

@@ -1,0 +1,291 @@
+// Command mmdrtool is the end-user CLI of the mmdr library: generate
+// datasets, fit reduction models, inspect them, and run KNN queries.
+//
+// Subcommands:
+//
+//	mmdrtool gen -out data.bin -n 10000 -dim 64 -clusters 10 [-kind synthetic|histogram|uniform]
+//	mmdrtool reduce -in data.bin -out model.mmdr [-method mmdr|mmdr-scalable|ldr|gdr]
+//	mmdrtool inspect -model model.mmdr
+//	mmdrtool inspect -defaults
+//	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17]
+//	mmdrtool eval -model model.mmdr -queries 100 -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mmdr"
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "reduce":
+		err = cmdReduce(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "knn":
+		err = cmdKNN(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mmdrtool: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmdrtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mmdrtool <gen|reduce|inspect|knn> [flags]
+
+  gen      generate a dataset file (binary format)
+  reduce   fit a dimensionality-reduction model over a dataset
+  inspect  describe a model file, or print the paper's Table 1 defaults
+  knn      run a K-nearest-neighbor query against a model
+  eval     measure a model's KNN precision against exact search
+
+run "mmdrtool <subcommand> -h" for flags`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "", "output dataset path (required)")
+		n        = fs.Int("n", 10000, "number of points")
+		dim      = fs.Int("dim", 64, "dimensionality")
+		clusters = fs.Int("clusters", 10, "number of correlated clusters")
+		sdim     = fs.Int("sdim", 4, "intrinsic dimensionality per cluster")
+		ratio    = fs.Float64("ratio", 32, "variance ratio (ellipticity control)")
+		kind     = fs.String("kind", "synthetic", "synthetic, histogram or uniform")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	var ds *dataset.Dataset
+	switch *kind {
+	case "synthetic":
+		cfg := datagen.CorrelatedConfig{
+			N: *n, Dim: *dim, NumClusters: *clusters, SDim: *sdim,
+			VarRatio: *ratio, ScaleDecay: 0.75, Seed: *seed,
+		}
+		var err error
+		ds, _, err = cfg.Generate()
+		if err != nil {
+			return err
+		}
+		datagen.Normalize(ds)
+	case "histogram":
+		ds = datagen.ColorHistogram(*n, *dim, *clusters, 0.15, *seed)
+		datagen.Normalize(ds)
+	case "uniform":
+		ds = datagen.Uniform(*n, *dim, *seed)
+	default:
+		return fmt.Errorf("gen: unknown kind %q", *kind)
+	}
+	if err := ds.SaveBinary(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d points x %d dims to %s\n", ds.N, ds.Dim, *out)
+	return nil
+}
+
+func parseMethod(s string) (mmdr.Method, error) {
+	switch strings.ToLower(s) {
+	case "mmdr":
+		return mmdr.MethodMMDR, nil
+	case "mmdr-scalable", "scalable":
+		return mmdr.MethodMMDRScalable, nil
+	case "ldr":
+		return mmdr.MethodLDR, nil
+	case "gdr":
+		return mmdr.MethodGDR, nil
+	}
+	return 0, fmt.Errorf("unknown method %q (mmdr, mmdr-scalable, ldr, gdr)", s)
+}
+
+func cmdReduce(args []string) error {
+	fs := flag.NewFlagSet("reduce", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "", "input dataset path (required)")
+		out    = fs.String("out", "", "output model path (required)")
+		method = fs.String("method", "mmdr", "mmdr, mmdr-scalable, ldr or gdr")
+		seed   = fs.Int64("seed", 1, "random seed")
+		maxDim = fs.Int("maxdim", 0, "cap on retained dimensionality (0 = default 20)")
+		forced = fs.Int("forcedim", 0, "force this retained dimensionality (0 = adaptive)")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("reduce: -in and -out are required")
+	}
+	ds, err := dataset.LoadBinary(*in)
+	if err != nil {
+		return err
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		return err
+	}
+	opts := []mmdr.Option{mmdr.WithMethod(m), mmdr.WithSeed(*seed)}
+	if *maxDim > 0 {
+		opts = append(opts, mmdr.WithMaxDim(*maxDim))
+	}
+	if *forced > 0 {
+		opts = append(opts, mmdr.WithForcedDim(*forced))
+	}
+	start := time.Now()
+	model, err := mmdr.ReduceDataset(ds, opts...)
+	if err != nil {
+		return err
+	}
+	if err := model.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("%s reduced %d points x %d dims in %v: %d subspaces (avg dim %.1f), %d outliers\n",
+		model.Method(), model.N(), model.Dim(), time.Since(start).Round(time.Millisecond),
+		len(model.Subspaces()), model.AvgDim(), len(model.Outliers()))
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "", "model path")
+		defaults  = fs.Bool("defaults", false, "print the paper's Table 1 defaults")
+	)
+	fs.Parse(args)
+	if *defaults {
+		p := core.DefaultParams()
+		fmt.Printf("Table 1 defaults:\n")
+		fmt.Printf("  beta (ProjDist threshold)   %.3f\n", p.Beta)
+		fmt.Printf("  MaxMPE                      %.3f\n", p.MaxMPE)
+		fmt.Printf("  MaxEC                       %d\n", p.MaxEC)
+		fmt.Printf("  MaxDim                      %d\n", p.MaxDim)
+		fmt.Printf("  epsilon (stream fraction)   %.3f\n", p.Epsilon)
+		fmt.Printf("  xi (outlier fraction)       %.3f\n", p.Xi)
+		fmt.Printf("  k (lookup-table IDs)        %d\n", p.LookupK)
+		return nil
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("inspect: -model or -defaults required")
+	}
+	model, err := mmdr.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("method: %s\npoints: %d\ndims:   %d\navg retained dim: %.2f\noutliers: %d\n",
+		model.Method(), model.N(), model.Dim(), model.AvgDim(), len(model.Outliers()))
+	fmt.Println("subspaces:")
+	for _, s := range model.Subspaces() {
+		fmt.Printf("  #%d: %d points, d_r=%d, MPE=%.4f, radius=%.3f\n",
+			s.ID, s.Points, s.Dim, s.MPE, s.MaxRadius)
+	}
+	return model.Validate()
+}
+
+func cmdKNN(args []string) error {
+	fs := flag.NewFlagSet("knn", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "", "model path (required)")
+		k         = fs.Int("k", 10, "number of neighbors")
+		queryStr  = fs.String("query", "", "comma-separated query vector")
+		row       = fs.Int("row", -1, "use dataset row as the query")
+	)
+	fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("knn: -model is required")
+	}
+	model, err := mmdr.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	var q []float64
+	switch {
+	case *queryStr != "":
+		for _, s := range strings.Split(*queryStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("knn: parsing query: %w", err)
+			}
+			q = append(q, v)
+		}
+		if len(q) != model.Dim() {
+			return fmt.Errorf("knn: query has %d dims, model expects %d", len(q), model.Dim())
+		}
+	case *row >= 0:
+		if *row >= model.N() {
+			return fmt.Errorf("knn: row %d out of range [0,%d)", *row, model.N())
+		}
+		q = model.Point(*row)
+	default:
+		return fmt.Errorf("knn: provide -query or -row")
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res := idx.KNN(q, *k)
+	elapsed := time.Since(start)
+	fmt.Printf("%d-NN in %v:\n", *k, elapsed.Round(time.Microsecond))
+	for i, n := range res {
+		fmt.Printf("  %2d. row %-8d dist %.6f\n", i+1, n.ID, n.Dist)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "", "model path (required)")
+		k         = fs.Int("k", 10, "number of neighbors")
+		nq        = fs.Int("queries", 100, "number of sampled queries")
+		seed      = fs.Int64("seed", 1, "query sampling seed")
+	)
+	fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("eval: -model is required")
+	}
+	model, err := mmdr.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	if *nq <= 0 || *nq > model.N() {
+		return fmt.Errorf("eval: -queries must be in 1..%d", model.N())
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	queries := make([]float64, 0, *nq*model.Dim())
+	for i := 0; i < *nq; i++ {
+		queries = append(queries, model.Point(rng.Intn(model.N()))...)
+	}
+	start := time.Now()
+	p, err := model.EvaluatePrecision(queries, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mean %d-NN precision over %d queries: %.3f (%v)\n",
+		*k, *nq, p, time.Since(start).Round(time.Millisecond))
+	return nil
+}

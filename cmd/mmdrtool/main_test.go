@@ -1,0 +1,150 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mmdr/internal/dataset"
+)
+
+func TestGenReduceInspectKNNPipeline(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "ds.bin")
+	model := filepath.Join(dir, "m.mmdr")
+
+	if err := cmdGen([]string{"-out", data, "-n", "800", "-dim", "16", "-clusters", "3", "-sdim", "2", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 800 || ds.Dim != 16 {
+		t.Fatalf("generated %dx%d", ds.N, ds.Dim)
+	}
+	if err := cmdReduce([]string{"-in", data, "-out", model, "-method", "mmdr", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect([]string{"-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect([]string{"-defaults"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKNN([]string{"-model", model, "-row", "5", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"histogram", "uniform"} {
+		out := filepath.Join(dir, kind+".bin")
+		if err := cmdGen([]string{"-out", out, "-n", "100", "-dim", "8", "-kind", kind}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if err := cmdGen([]string{"-out", filepath.Join(dir, "x.bin"), "-kind", "nope"}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if err := cmdGen(nil); err == nil {
+		t.Fatal("expected error for missing -out")
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	if err := cmdReduce(nil); err == nil {
+		t.Fatal("expected error for missing flags")
+	}
+	if err := cmdReduce([]string{"-in", "/does/not/exist", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("expected error for missing input")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.bin")
+	if err := cmdGen([]string{"-out", data, "-n", "200", "-dim", "8", "-clusters", "2", "-sdim", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReduce([]string{"-in", data, "-out", filepath.Join(dir, "m"), "-method", "bogus"}); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]string{
+		"mmdr": "MMDR", "MMDR": "MMDR", "ldr": "LDR", "gdr": "GDR",
+		"scalable": "MMDR-scalable", "mmdr-scalable": "MMDR-scalable",
+	}
+	for in, want := range cases {
+		m, err := parseMethod(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if m.String() != want {
+			t.Fatalf("%q -> %v, want %s", in, m, want)
+		}
+	}
+	if _, err := parseMethod("xyz"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	if err := cmdKNN(nil); err == nil {
+		t.Fatal("expected error for missing -model")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.bin")
+	model := filepath.Join(dir, "m.mmdr")
+	if err := cmdGen([]string{"-out", data, "-n", "300", "-dim", "8", "-clusters", "2", "-sdim", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReduce([]string{"-in", data, "-out", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKNN([]string{"-model", model}); err == nil {
+		t.Fatal("expected error when neither -query nor -row given")
+	}
+	if err := cmdKNN([]string{"-model", model, "-row", "99999"}); err == nil {
+		t.Fatal("expected error for out-of-range row")
+	}
+	if err := cmdKNN([]string{"-model", model, "-query", "1,2"}); err == nil {
+		t.Fatal("expected error for wrong query dimensionality")
+	}
+	if err := cmdKNN([]string{"-model", model, "-query", "a,b,c,d,e,f,g,h"}); err == nil {
+		t.Fatal("expected error for non-numeric query")
+	}
+	// A correct explicit query works.
+	if err := cmdKNN([]string{"-model", model, "-query", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := cmdInspect(nil); err == nil {
+		t.Fatal("expected error without -model or -defaults")
+	}
+	if err := cmdInspect([]string{"-model", "/does/not/exist"}); err == nil {
+		t.Fatal("expected error for missing model")
+	}
+}
+
+func TestEval(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.bin")
+	model := filepath.Join(dir, "m.mmdr")
+	if err := cmdGen([]string{"-out", data, "-n", "500", "-dim", "12", "-clusters", "2", "-sdim", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReduce([]string{"-in", data, "-out", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-model", model, "-queries", "20", "-k", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval(nil); err == nil {
+		t.Fatal("expected error for missing -model")
+	}
+	if err := cmdEval([]string{"-model", model, "-queries", "0"}); err == nil {
+		t.Fatal("expected error for zero queries")
+	}
+}

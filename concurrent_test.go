@@ -1,0 +1,91 @@
+package mmdr_test
+
+import (
+	"sync"
+	"testing"
+
+	"mmdr"
+)
+
+// TestConcurrentIndex hammers a wrapped index with parallel readers and
+// writers; run with -race to validate the locking discipline.
+func TestConcurrentIndex(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 209)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := mmdr.Concurrent(raw)
+	if idx.Name() == "" {
+		t.Fatal("name")
+	}
+
+	// Insert grows the model's backing data, so points used by concurrent
+	// goroutines are materialized up front (see the ConcurrentIndex doc).
+	points := make([][]float64, 700)
+	for i := range points {
+		points[i] = model.Point(i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Readers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := points[(g*37+i)%len(points)]
+				if res := idx.KNN(q, 5); len(res) == 0 {
+					errs <- errEmpty
+					return
+				}
+				if _, err := idx.Range(q, 0.05); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := append([]float64(nil), points[(g+i)%500]...)
+				p[0] += 1e-5 * float64(i+1)
+				if _, err := idx.Insert(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Deleter.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 600; i < 640; i++ {
+			if _, err := idx.Delete(i); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errEmpty = &emptyError{}
+
+type emptyError struct{}
+
+func (*emptyError) Error() string { return "empty KNN result" }

@@ -1,0 +1,81 @@
+// Streaming: Scalable MMDR (paper §4.3) on a dataset notionally larger than
+// the memory buffer. The data is consumed one stream of ε·N points at a
+// time; only per-stream ellipsoid centroids stay resident, and a final
+// Generate Ellipsoid pass over that Ellipsoid Array merges them — so the
+// whole dataset is read exactly once, the property behind Figure 11a.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mmdr"
+	"mmdr/internal/datagen"
+	"mmdr/internal/iostat"
+)
+
+func main() {
+	const (
+		n   = 60000
+		dim = 48
+	)
+	cfg := datagen.CorrelatedConfig{
+		N: n, Dim: dim, NumClusters: 8, SDim: 3,
+		VarRatio: 25, ScaleDecay: 0.85, Seed: 31,
+	}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	datagen.Normalize(ds)
+
+	fmt.Printf("dataset: %d points x %d dims (%.1f MB)\n",
+		n, dim, float64(n*dim*8)/(1<<20))
+
+	// In-memory MMDR for reference.
+	start := time.Now()
+	plain, err := mmdr.ReduceDataset(ds, mmdr.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plainTime := time.Since(start)
+
+	// Scalable MMDR: ε = 0.02 → streams of 1,200 points; the counter
+	// records the simulated disk traffic.
+	var ctr mmdr.CostCounter
+	start = time.Now()
+	streamed, err := mmdr.ReduceDataset(ds,
+		mmdr.WithMethod(mmdr.MethodMMDRScalable),
+		mmdr.WithSeed(1),
+		mmdr.WithStreamFraction(0.02),
+		mmdr.WithCostCounter(&ctr),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamTime := time.Since(start)
+
+	fmt.Printf("\n%-16s %-10s %-12s %-10s %-10s\n", "variant", "time", "subspaces", "avg dim", "outliers")
+	report := func(name string, m *mmdr.Model, d time.Duration) {
+		fmt.Printf("%-16s %-10v %-12d %-10.1f %-10d\n",
+			name, d.Round(time.Millisecond), len(m.Subspaces()), m.AvgDim(), len(m.Outliers()))
+	}
+	report("in-memory", plain, plainTime)
+	report("scalable", streamed, streamTime)
+
+	scanPages := iostat.PagesForPoints(n, dim)
+	fmt.Printf("\nscalable variant read %d pages — ~one sequential scan (%d pages of data; per-stream rounding adds a few)\n",
+		ctr.PageIO(), scanPages)
+
+	// The streamed model answers queries like the in-memory one.
+	idx, err := streamed.NewIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := idx.KNN(streamed.Point(99), 5)
+	fmt.Println("\n5-NN of point 99 under the streamed model:")
+	for rank, nb := range res {
+		fmt.Printf("  %d. row %-6d dist %.5f\n", rank+1, nb.ID, nb.Dist)
+	}
+}

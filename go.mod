@@ -1,0 +1,3 @@
+module mmdr
+
+go 1.22

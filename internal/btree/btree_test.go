@@ -1,0 +1,403 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mmdr/internal/iostat"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0, nil)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty should report !ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty should report !ok")
+	}
+	visited := false
+	tr.RangeAsc(0, 100, func(float64, uint32) bool { visited = true; return true })
+	if visited {
+		t.Fatal("RangeAsc on empty visited something")
+	}
+}
+
+func TestInsertAndRange(t *testing.T) {
+	tr := New(64, nil) // tiny pages force splits
+	keys := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for i, k := range keys {
+		tr.Insert(k, uint32(i))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	tr.RangeAsc(2.5, 7.5, func(k float64, _ uint32) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []float64{3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New(64, nil)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), uint32(i))
+	}
+	count := 0
+	tr.RangeAsc(0, 99, func(float64, uint32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(64, nil)
+	// Insert many duplicates so they straddle node splits.
+	for i := 0; i < 50; i++ {
+		tr.Insert(7, uint32(i))
+	}
+	for i := 0; i < 20; i++ {
+		tr.Insert(3, uint32(100+i))
+		tr.Insert(11, uint32(200+i))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c := tr.Count(7, 7); c != 50 {
+		t.Fatalf("Count(7,7) = %d, want 50", c)
+	}
+	if c := tr.Count(3, 11); c != 90 {
+		t.Fatalf("Count(3,11) = %d, want 90", c)
+	}
+	rids := map[uint32]bool{}
+	tr.RangeAsc(7, 7, func(_ float64, rid uint32) bool {
+		rids[rid] = true
+		return true
+	})
+	if len(rids) != 50 {
+		t.Fatalf("duplicate rids lost: %d of 50", len(rids))
+	}
+}
+
+func TestMinMaxHeightGrowth(t *testing.T) {
+	tr := New(64, nil)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i%97)*1.5, uint32(i))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height %d; tiny pages should force growth", tr.Height())
+	}
+	min, ok := tr.Min()
+	if !ok || min != 0 {
+		t.Fatalf("Min = %v %v", min, ok)
+	}
+	max, ok := tr.Max()
+	if !ok || max != 96*1.5 {
+		t.Fatalf("Max = %v %v", max, ok)
+	}
+	if tr.LeafPages() < 2 {
+		t.Fatalf("LeafPages = %d", tr.LeafPages())
+	}
+}
+
+func TestIOCounting(t *testing.T) {
+	var ctr iostat.Counter
+	tr := New(256, &ctr)
+	for i := 0; i < 500; i++ {
+		tr.Insert(float64(i), uint32(i))
+	}
+	if ctr.PageReads == 0 || ctr.PageWrites == 0 || ctr.KeyCompares == 0 {
+		t.Fatalf("insert did not count IO: %+v", ctr)
+	}
+	before := ctr.PageReads
+	tr.RangeAsc(100, 110, func(float64, uint32) bool { return true })
+	if ctr.PageReads <= before {
+		t.Fatal("range scan did not count page reads")
+	}
+	// A narrow range must read far fewer pages than a full scan.
+	ctr.Reset()
+	tr.RangeAsc(100, 101, func(float64, uint32) bool { return true })
+	narrow := ctr.PageReads
+	ctr.Reset()
+	tr.RangeAsc(0, 499, func(float64, uint32) bool { return true })
+	full := ctr.PageReads
+	if narrow >= full {
+		t.Fatalf("narrow scan %d pages >= full scan %d", narrow, full)
+	}
+}
+
+// Property-based test: against a sorted-slice model, random inserts then a
+// random range query must agree exactly (as multisets, in order).
+func TestRangeMatchesModelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(64, nil)
+		n := 1 + r.Intn(300)
+		model := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			k := float64(r.Intn(50)) // duplicates likely
+			tr.Insert(k, uint32(i))
+			model = append(model, k)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		sort.Float64s(model)
+		lo := float64(r.Intn(60) - 5)
+		hi := lo + float64(r.Intn(30))
+		var want []float64
+		for _, k := range model {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		var got []float64
+		tr.RangeAsc(lo, hi, func(k float64, _ uint32) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderFromPageSize(t *testing.T) {
+	if o := New(8192, nil).Order(); o != 512 {
+		t.Fatalf("8K page order = %d, want 512", o)
+	}
+	if o := New(1, nil).Order(); o != 4 {
+		t.Fatalf("minimum order = %d, want 4", o)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	tr := New(0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1e6, uint32(i))
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	tr := New(0, nil)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(rng.Float64()*1e6, uint32(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 9e5
+		tr.RangeAsc(lo, lo+1e4, func(float64, uint32) bool { return true })
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(64, nil)
+	for i := 0; i < 200; i++ {
+		tr.Insert(float64(i%50), uint32(i))
+	}
+	if tr.Delete(999, 0) {
+		t.Fatal("deleting absent key should report false")
+	}
+	if !tr.Delete(7, 7) {
+		t.Fatal("delete of present entry failed")
+	}
+	if tr.Len() != 199 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// The other duplicates of key 7 survive.
+	want := map[uint32]bool{57: true, 107: true, 157: true}
+	tr.RangeAsc(7, 7, func(_ float64, rid uint32) bool {
+		if rid == 7 {
+			t.Fatal("deleted rid still present")
+		}
+		delete(want, rid)
+		return true
+	})
+	if len(want) != 0 {
+		t.Fatalf("missing duplicates after delete: %v", want)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong rid on an existing key: not removed.
+	if tr.Delete(7, 7) {
+		t.Fatal("rid 7 was already deleted")
+	}
+	if New(64, nil).Delete(1, 1) {
+		t.Fatal("delete on empty tree")
+	}
+}
+
+func TestDeleteAllThenReinsert(t *testing.T) {
+	tr := New(64, nil)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), uint32(i))
+	}
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(float64(i), uint32(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	tr.Insert(5, 5)
+	if c := tr.Count(0, 10); c != 1 {
+		t.Fatalf("Count = %d after reinsert", c)
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	entries := make([]Entry, 5000)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(rng.Intn(1000)), RID: uint32(i)}
+	}
+	bulk := New(256, nil)
+	bulk.BulkLoad(append([]Entry(nil), entries...), 0.9)
+	if err := bulk.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != len(entries) {
+		t.Fatalf("Len = %d", bulk.Len())
+	}
+	ins := New(256, nil)
+	for _, e := range entries {
+		ins.Insert(e.Key, e.RID)
+	}
+	// Identical multisets over any range.
+	for _, r := range [][2]float64{{0, 1000}, {100, 200}, {999, 999}, {-5, -1}} {
+		var a, b []float64
+		bulk.RangeAsc(r[0], r[1], func(k float64, _ uint32) bool { a = append(a, k); return true })
+		ins.RangeAsc(r[0], r[1], func(k float64, _ uint32) bool { b = append(b, k); return true })
+		if len(a) != len(b) {
+			t.Fatalf("range %v: %d vs %d entries", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("range %v: key order differs at %d", r, i)
+			}
+		}
+	}
+	// Bulk loading packs denser: fewer or equal leaf pages.
+	if bulk.LeafPages() > ins.LeafPages() {
+		t.Fatalf("bulk %d leaves > insert-built %d", bulk.LeafPages(), ins.LeafPages())
+	}
+}
+
+func TestBulkLoadEdgeCases(t *testing.T) {
+	tr := New(64, nil)
+	tr.BulkLoad(nil, 0)
+	if tr.Len() != 0 {
+		t.Fatal("empty bulk load")
+	}
+	tr.BulkLoad([]Entry{{Key: 5, RID: 1}}, 0.5)
+	if tr.Len() != 1 {
+		t.Fatal("single-entry bulk load")
+	}
+	if k, ok := tr.Min(); !ok || k != 5 {
+		t.Fatal("min after bulk load")
+	}
+	// Unsorted input gets sorted.
+	tr.BulkLoad([]Entry{{Key: 3, RID: 0}, {Key: 1, RID: 1}, {Key: 2, RID: 2}}, 1)
+	var got []float64
+	tr.RangeAsc(0, 10, func(k float64, _ uint32) bool { got = append(got, k); return true })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("unsorted bulk load gave %v", got)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bulk-loaded trees behave identically to insert-built trees.
+func TestBulkLoadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(500)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Key: float64(r.Intn(60)), RID: uint32(i)}
+		}
+		tr := New(64, nil)
+		tr.BulkLoad(entries, 0.5+r.Float64()/2)
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		lo := float64(r.Intn(70) - 5)
+		hi := lo + float64(r.Intn(40))
+		want := 0
+		for _, e := range entries {
+			if e.Key >= lo && e.Key <= hi {
+				want++
+			}
+		}
+		return tr.Count(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(76))
+	entries := make([]Entry, 100000)
+	for i := range entries {
+		entries[i] = Entry{Key: rng.Float64() * 1e6, RID: uint32(i)}
+	}
+	b.Run("bulk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := New(0, nil)
+			tr.BulkLoad(append([]Entry(nil), entries...), 0.9)
+		}
+	})
+	b.Run("insert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := New(0, nil)
+			for _, e := range entries {
+				tr.Insert(e.Key, e.RID)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package btree
+
+import "sort"
+
+// Entry is one (key, rid) pair for bulk loading.
+type Entry struct {
+	Key float64
+	RID uint32
+}
+
+// BulkLoad builds the tree bottom-up from entries, replacing any existing
+// contents. Entries are sorted in place if not already ordered. Bottom-up
+// construction packs leaves to the fill factor (0 < fill <= 1, default
+// 0.9), producing a shallower, denser tree than repeated insertion — the
+// standard way real systems build an index over an existing dataset, and
+// what iDistance construction uses.
+func (t *Tree) BulkLoad(entries []Entry, fill float64) {
+	if fill <= 0 || fill > 1 {
+		fill = 0.9
+	}
+	if !sort.SliceIsSorted(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key }) {
+		sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
+	}
+	t.root = &node{leaf: true}
+	t.height = 1
+	t.size = len(entries)
+	if len(entries) == 0 {
+		return
+	}
+
+	perLeaf := int(float64(t.order) * fill)
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+
+	// Build the leaf level.
+	var leaves []*node
+	for lo := 0; lo < len(entries); lo += perLeaf {
+		hi := lo + perLeaf
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		leaf := &node{
+			leaf: true,
+			keys: make([]float64, 0, hi-lo),
+			rids: make([]uint32, 0, hi-lo),
+		}
+		for _, e := range entries[lo:hi] {
+			leaf.keys = append(leaf.keys, e.Key)
+			leaf.rids = append(leaf.rids, e.RID)
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = leaf
+		}
+		leaves = append(leaves, leaf)
+		t.touchLeaf(false)
+	}
+
+	// Build internal levels until a single root remains.
+	level := leaves
+	perNode := int(float64(t.order) * fill)
+	if perNode < 2 {
+		perNode = 2
+	}
+	for len(level) > 1 {
+		var parents []*node
+		for lo := 0; lo < len(level); lo += perNode {
+			hi := lo + perNode
+			if hi > len(level) {
+				hi = len(level)
+			}
+			// Guard: a parent needs at least 2 children; fold a lone
+			// remainder child into the previous parent.
+			if hi-lo == 1 && len(parents) > 0 {
+				p := parents[len(parents)-1]
+				p.keys = append(p.keys, firstKey(level[lo]))
+				p.children = append(p.children, level[lo])
+				continue
+			}
+			parent := &node{}
+			parent.children = append(parent.children, level[lo])
+			for _, child := range level[lo+1 : hi] {
+				parent.keys = append(parent.keys, firstKey(child))
+				parent.children = append(parent.children, child)
+			}
+			parents = append(parents, parent)
+		}
+		level = parents
+		t.height++
+	}
+	t.root = level[0]
+}
+
+// firstKey returns the smallest key reachable from n.
+func firstKey(n *node) float64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"mmdr/internal/datagen"
+	"mmdr/internal/query"
+	"mmdr/internal/reduction"
+)
+
+// TestFigure5Scenario reproduces the paper's Figure 5 argument as an
+// executable test: a large elongated cluster plus two smaller dense
+// clusters whose subspaces cross it. LDR's Euclidean clustering must use a
+// radius large enough to capture the big cluster, which merges the small
+// ones into it and loses their subspaces; MMDR's Mahalanobis clustering
+// separates all three and yields strictly better query precision.
+func TestFigure5Scenario(t *testing.T) {
+	dim := 8
+	big := datagen.ClusterSpec{
+		Size: 3000, SDim: 1, SRDim: 0, VarianceR: 60, VarianceE: 1,
+		Center: make([]float64, dim),
+	}
+	c1 := make([]float64, dim)
+	c1[0], c1[1] = 15, 2
+	small1 := datagen.ClusterSpec{
+		Size: 700, SDim: 1, SRDim: 1, VarianceR: 8, VarianceE: 0.15, Center: c1,
+	}
+	c2 := make([]float64, dim)
+	c2[0], c2[1] = -12, -3
+	small2 := datagen.ClusterSpec{
+		Size: 700, SDim: 1, SRDim: 2, VarianceR: 8, VarianceE: 0.15, Center: c2,
+	}
+	ds, _, err := datagen.Correlated(dim, []datagen.ClusterSpec{big, small1, small2}, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	queries := datagen.SampleQueries(ds, 40, 0, 62)
+
+	mmdrRed, err := New(Params{Seed: 1, MaxEC: 6}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldrRed, err := (&reduction.LDR{Seed: 1, MaxClusters: 6, MaxDim: 4}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mp := query.ReductionPrecision(ds, mmdrRed, queries, 10)
+	lp := query.ReductionPrecision(ds, ldrRed, queries, 10)
+	if mp <= lp {
+		t.Fatalf("Figure 5 scenario: MMDR precision %v should beat LDR %v", mp, lp)
+	}
+	if mp < 0.6 {
+		t.Fatalf("MMDR precision %v unexpectedly low on the Figure 5 layout", mp)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/stats"
+)
+
+// mergeSampleCap bounds how many member points a cross-fit test examines;
+// the residual-energy fraction is a mean, so a sample suffices.
+const mergeSampleCap = 48
+
+// mergeEllipsoids coalesces GE output fragments that describe the same
+// underlying ellipsoid. Elliptical k-means always produces MaxEC non-empty
+// partitions, so a single coherent cluster that needed a high subspace
+// dimensionality gets shattered into many small pieces on the way up the
+// recursion (the same reason the paper's Scalable MMDR runs a merge pass
+// over its Ellipsoid Array). Two ellipsoids merge when each one's members
+// are represented by the other's subspace within the MaxMPE energy budget.
+func mergeEllipsoids(ds *dataset.Dataset, ellipsoids []ellipsoid, p Params, gscale float64) ([]ellipsoid, error) {
+	if len(ellipsoids) < 2 {
+		return ellipsoids, nil
+	}
+	// Largest first: fragments get absorbed into the dominant piece.
+	sort.Slice(ellipsoids, func(a, b int) bool {
+		return len(ellipsoids[a].members) > len(ellipsoids[b].members)
+	})
+	live := make([]bool, len(ellipsoids))
+	for i := range live {
+		live[i] = true
+	}
+	for i := 0; i < len(ellipsoids); i++ {
+		if !live[i] {
+			continue
+		}
+		for j := i + 1; j < len(ellipsoids); j++ {
+			if !live[j] {
+				continue
+			}
+			if !fitsIn(ds, ellipsoids[j], ellipsoids[i], p, gscale) ||
+				!fitsIn(ds, ellipsoids[i], ellipsoids[j], p, gscale) {
+				continue
+			}
+			merged, err := refitEllipsoid(ds,
+				append(append([]int(nil), ellipsoids[i].members...), ellipsoids[j].members...), p, gscale)
+			if err != nil {
+				return nil, err
+			}
+			ellipsoids[i] = merged
+			live[j] = false
+			// The absorbed shape changed; re-test earlier candidates
+			// against the new, larger ellipsoid.
+			j = i
+		}
+	}
+	out := ellipsoids[:0]
+	for i, e := range ellipsoids {
+		if live[i] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// fitsIn reports whether a's members are represented by b's subspace (at
+// b's accepted dimensionality) within the MaxMPE residual-energy fraction.
+// Residuals are measured against b's affine subspace, so both orientation
+// and centroid offsets count.
+// The test dimensionality is capped at MaxDim: Dimensionality Optimization
+// never retains more, so "fits at full dimension" (trivially true) must not
+// trigger merges.
+func fitsIn(ds *dataset.Dataset, a, b ellipsoid, p Params, gscale float64) bool {
+	members := a.members
+	stride := 1
+	if len(members) > mergeSampleCap {
+		stride = len(members) / mergeSampleCap
+	}
+	sdim := b.sdim
+	if sdim > p.MaxDim {
+		sdim = p.MaxDim
+	}
+	if sdim > ds.Dim {
+		sdim = ds.Dim
+	}
+	var resid float64
+	n := 0
+	for i := 0; i < len(members); i += stride {
+		resid += b.pca.ResidualSq(ds.Point(members[i]), sdim)
+		n++
+	}
+	if n == 0 {
+		return true
+	}
+	rms := sqrtNonNeg(resid / float64(n))
+	return rms <= p.MaxMPE*gscale
+}
+
+// refitEllipsoid rebuilds an ellipsoid over the merged member set: new
+// local PCA and the smallest doubling of SDim whose subspace meets MaxMPE.
+func refitEllipsoid(ds *dataset.Dataset, members []int, p Params, gscale float64) (ellipsoid, error) {
+	memberData := ds.Subset(members)
+	pca, err := stats.ComputePCA(memberData.Data, ds.Dim)
+	if err != nil {
+		return ellipsoid{}, err
+	}
+	sdim := p.SDim
+	if sdim > ds.Dim {
+		sdim = ds.Dim
+	}
+	return ellipsoid{
+		members: members,
+		sdim:    pickAcceptedDim(pca, memberData, sdim, p, gscale),
+		pca:     pca,
+	}, nil
+}

@@ -1,0 +1,472 @@
+// Package core implements the paper's contribution: the Multi-level
+// Mahalanobis-based Dimensionality Reduction (MMDR) algorithm (Figure 4)
+// and its scalable, stream-based variant (§4.3).
+//
+// MMDR runs in two phases:
+//
+//  1. Generate Ellipsoid (GE): recursively project the data onto a low
+//     s_dim-dimensional PCA subspace, cluster the projections with
+//     elliptical k-means (Mahalanobis distance), and for every discovered
+//     semi-ellipsoid check — via the Mean Projection Error (MPE) — whether
+//     its local s_dim-dimensional subspace represents it faithfully. Those
+//     that fail are re-clustered at doubled subspace dimensionality.
+//  2. Dimensionality Optimization (DO): for each accepted ellipsoid, shrink
+//     the retained dimensionality d_r one dimension at a time while the MPE
+//     increase stays below a threshold, then classify members whose
+//     projection distance exceeds β as outliers.
+//
+// The output is a reduction.Result: a set of reduced subspaces, each in its
+// own axis system, plus the outlier set kept in the original space.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/ellipkmeans"
+	"mmdr/internal/iostat"
+	"mmdr/internal/reduction"
+	"mmdr/internal/stats"
+)
+
+// Params carries the MMDR knobs; zero fields take the paper's Table 1
+// defaults (see DefaultParams).
+type Params struct {
+	// SDim is the initial subspace dimensionality for Generate Ellipsoid.
+	// The paper's walkthrough starts at 1-2; default 2.
+	SDim int
+	// Beta is the ProjDist_r threshold β: members whose projection distance
+	// exceeds it become outliers. Table 1 default 0.1.
+	Beta float64
+	// MaxMPE is the maximum mean projection error for a semi-ellipsoid to
+	// be accepted at the current s_dim. Table 1 default 0.05.
+	MaxMPE float64
+	// MaxEC is the number of clusters per elliptical k-means invocation.
+	// Table 1 default 10.
+	MaxEC int
+	// MaxDim caps the retained dimensionality. Table 1 default 20.
+	MaxDim int
+	// MPEDelta is the Dimensionality Optimization stop threshold: d_r keeps
+	// decreasing while dropping one more dimension costs less than this
+	// fraction of the cluster's own variance. Measured cluster-relative —
+	// unlike the discovery gates — so small clusters keep their intrinsic
+	// dimensionality (see DESIGN.md). Default 0.02.
+	MPEDelta float64
+	// MinClusterSize routes tiny semi-ellipsoids straight to the outlier
+	// set (a cluster of a handful of points has no meaningful shape).
+	// Default 10.
+	MinClusterSize int
+	// LookupK and ActivityThreshold enable the §4.2 distance-computation
+	// optimizations inside elliptical k-means. Table 1: k = 3; the paper's
+	// scalability experiments use 10 iterations for inactivity.
+	LookupK           int
+	ActivityThreshold int
+	// ForcedDim, when positive, forces every subspace to that retained
+	// dimensionality — used by the dimensionality-sweep experiments
+	// (Figures 8-10). Dimensionality Optimization is skipped.
+	ForcedDim int
+	// Epsilon is the data-stream fraction ε for Scalable MMDR. Table 1
+	// default 0.005.
+	Epsilon float64
+	// Xi caps the β-based outlier evictions at Xi·N (Table 1: outlier
+	// percentage ξ = 0.005). Points beyond the cap stay in their subspace
+	// with their (larger) projection error. Structural outliers — groups
+	// too small to form an ellipsoid — are not subject to the cap.
+	Xi float64
+	// RawMahalanobis switches elliptical k-means from the normalized
+	// Mahalanobis distance (the paper's default, Definition 3.2) to the raw
+	// quadratic form. Kept as an ablation knob: with the raw distance,
+	// large clusters swallow small ones.
+	RawMahalanobis bool
+	// Seed makes runs reproducible.
+	Seed int64
+	// RidgeScale regularizes degenerate covariances (default 1e-6).
+	RidgeScale float64
+	// Counter, when non-nil, accumulates distance-op and simulated-I/O
+	// costs across the run.
+	Counter *iostat.Counter
+}
+
+// DefaultParams returns the paper's Table 1 defaults.
+func DefaultParams() Params {
+	return Params{
+		SDim:              2,
+		Beta:              0.1,
+		MaxMPE:            0.05,
+		MaxEC:             10,
+		MaxDim:            20,
+		MPEDelta:          0.02,
+		MinClusterSize:    10,
+		LookupK:           3,
+		ActivityThreshold: 10,
+		Epsilon:           0.005,
+		Xi:                0.005,
+		RidgeScale:        1e-6,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	def := DefaultParams()
+	if p.SDim <= 0 {
+		p.SDim = def.SDim
+	}
+	if p.Beta <= 0 {
+		p.Beta = def.Beta
+	}
+	if p.MaxMPE <= 0 {
+		p.MaxMPE = def.MaxMPE
+	}
+	if p.MaxEC <= 0 {
+		p.MaxEC = def.MaxEC
+	}
+	if p.MaxDim <= 0 {
+		p.MaxDim = def.MaxDim
+	}
+	if p.MPEDelta <= 0 {
+		p.MPEDelta = def.MPEDelta
+	}
+	if p.MinClusterSize <= 0 {
+		p.MinClusterSize = def.MinClusterSize
+	}
+	if p.LookupK <= 0 {
+		p.LookupK = def.LookupK
+	}
+	if p.ActivityThreshold <= 0 {
+		p.ActivityThreshold = def.ActivityThreshold
+	}
+	if p.Epsilon <= 0 {
+		p.Epsilon = def.Epsilon
+	}
+	if p.Xi <= 0 {
+		p.Xi = def.Xi
+	}
+	if p.RidgeScale <= 0 {
+		p.RidgeScale = def.RidgeScale
+	}
+	return p
+}
+
+// MMDR is the reducer; it implements reduction.Reducer.
+type MMDR struct {
+	Params Params
+}
+
+// New returns an MMDR reducer with the given parameters (zero-value fields
+// take Table 1 defaults).
+func New(params Params) *MMDR { return &MMDR{Params: params} }
+
+// Name implements reduction.Reducer.
+func (m *MMDR) Name() string { return "MMDR" }
+
+// ellipsoid is a semi-ellipsoid accepted by Generate Ellipsoid: a member
+// set whose local sdim-dimensional subspace represents it within MaxMPE.
+type ellipsoid struct {
+	members []int // indices into the source dataset
+	sdim    int   // subspace dimensionality at acceptance
+	pca     *stats.PCA
+}
+
+// Reduce implements reduction.Reducer: the full MMDR pipeline.
+func (m *MMDR) Reduce(ds *dataset.Dataset) (*reduction.Result, error) {
+	p := m.Params.withDefaults()
+	if ds.N == 0 {
+		return nil, fmt.Errorf("mmdr: empty dataset")
+	}
+	all := make([]int, ds.N)
+	for i := range all {
+		all[i] = i
+	}
+	gscale := globalScale(ds)
+	var outliers []int
+	ellipsoids, err := generateEllipsoid(ds, all, p.SDim, p, &outliers, true, gscale)
+	if err != nil {
+		return nil, err
+	}
+	// The GE recursion fragments coherent ellipsoids (k-means always
+	// returns MaxEC non-empty partitions); coalesce fragments that fit each
+	// other's subspaces before optimizing dimensionality.
+	ellipsoids, err = mergeEllipsoids(ds, ellipsoids, p, gscale)
+	if err != nil {
+		return nil, err
+	}
+	return dimensionalityOptimization(ds, ellipsoids, outliers, p, gscale)
+}
+
+// generateEllipsoid is the GE recursion of Figure 4. indices is the current
+// point subset; sdim the subspace dimensionality for this level; top marks
+// the initial invocation. Accepted ellipsoids are returned; degenerate
+// groups go to outliers.
+//
+// Two refinements over the paper's pseudo-code keep the recursion from
+// shattering coherent clusters (see DESIGN.md):
+//
+//   - A subset already representable at sdim (residual-energy fraction
+//     within MaxMPE) is accepted whole, without further clustering — the
+//     paper's "single cluster whose s_dim was too small" case.
+//   - Below the top level the clustering is a binary refinement (k = 2)
+//     rather than MaxEC-way: the recursion's job there is to separate the
+//     few clusters that overlapped at the coarser projection, and k-means
+//     always returns k non-empty partitions even for one coherent cluster.
+func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, outliers *[]int, top bool, gscale float64) ([]ellipsoid, error) {
+	d := ds.Dim
+	if sdim > d {
+		sdim = d
+	}
+	if len(indices) < p.MinClusterSize {
+		*outliers = append(*outliers, indices...)
+		return nil, nil
+	}
+
+	// Line 1: multi-level projection of this subset onto its top-sdim PCA
+	// subspace.
+	sub := ds.Subset(indices)
+	pca, err := stats.ComputePCA(sub.Data, d)
+	if err != nil {
+		return nil, err
+	}
+
+	// Accept-whole check: this subset is a single acceptable ellipsoid.
+	// MPE is measured as the RMS distance to the subspace relative to the
+	// dataset's global RMS scale — the scale-invariant form of the paper's
+	// absolute MaxMPE on [0,1]-normalized data (see DESIGN.md).
+	if pca.TailRMS(sdim) <= p.MaxMPE*gscale || sdim >= d {
+		return []ellipsoid{{members: append([]int(nil), indices...), sdim: sdim, pca: pca}}, nil
+	}
+
+	proj := dataset.New(sub.N, sdim)
+	for i := 0; i < sub.N; i++ {
+		pca.ProjectInto(sub.Point(i), proj.Point(i))
+	}
+
+	// Line 2: elliptical k-means in the sdim-dimensional subspace.
+	k := 2
+	if top {
+		k = p.MaxEC
+	}
+	if max := sub.N / p.MinClusterSize; k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	ek, err := ellipkmeans.Run(proj, ellipkmeans.Options{
+		K:                 k,
+		Seed:              p.Seed + int64(sdim)*101,
+		Normalized:        !p.RawMahalanobis,
+		UseLookupTable:    true,
+		LookupK:           p.LookupK,
+		ActivityThreshold: p.ActivityThreshold,
+		RidgeScale:        p.RidgeScale,
+		Counter:           p.Counter,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Lines 3-11: handle each semi-ellipsoid.
+	var out []ellipsoid
+	for c := 0; c < ek.K; c++ {
+		local := ek.Members(c)
+		if len(local) == 0 {
+			continue
+		}
+		// Line 5: restore the semi-ellipsoid's data in the original space.
+		members := make([]int, len(local))
+		for i, li := range local {
+			members[i] = indices[li]
+		}
+		if len(members) < p.MinClusterSize {
+			*outliers = append(*outliers, members...)
+			continue
+		}
+		// Degenerate split (everything in one partition): re-enter at the
+		// doubled dimensionality rather than looping at this level.
+		if len(members) == len(indices) {
+			if 2*sdim > d {
+				out = append(out, ellipsoid{members: members, sdim: sdim, pca: pca})
+				continue
+			}
+			children, err := generateEllipsoid(ds, members, 2*sdim, p, outliers, false, gscale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, children...)
+			continue
+		}
+		// Line 6: local projections of this semi-ellipsoid.
+		memberData := ds.Subset(members)
+		localPCA, err := stats.ComputePCA(memberData.Data, d)
+		if err != nil {
+			return nil, err
+		}
+		// Line 7: MPE of the local sdim-dimensional subspace, measured as
+		// the residual-energy fraction so the gate is scale-invariant (see
+		// DESIGN.md — the paper's absolute 0.05 presupposes unit-scale
+		// data).
+		mpe := localPCA.TailRMS(sdim)
+
+		// Line 8-9 (with the corrected guard, see DESIGN.md): recurse at
+		// doubled subspace dimensionality while the subspace loses too much
+		// information and doubling stays within the original
+		// dimensionality.
+		if mpe > p.MaxMPE*gscale && 2*sdim <= d {
+			children, err := generateEllipsoid(ds, members, 2*sdim, p, outliers, false, gscale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, children...)
+			continue
+		}
+		// Line 11: accept.
+		out = append(out, ellipsoid{members: members, sdim: sdim, pca: localPCA})
+	}
+	return out, nil
+}
+
+// dimensionalityOptimization is the DO phase of Figure 4 (lines 12-24):
+// per-ellipsoid optimal dimensionality search followed by β-based outlier
+// separation.
+func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, outliers []int, p Params, gscale float64) (*reduction.Result, error) {
+	res := &reduction.Result{Dim: ds.Dim}
+
+	// Lines 18-24: per ellipsoid, pick d_r and flag members whose
+	// ProjDist_r exceeds β as eviction candidates. The total eviction is
+	// capped at ξ·N (Table 1's outlier percentage): only the worst
+	// residuals actually leave their subspace.
+	type candidate struct {
+		ell      int
+		member   int // index into the source dataset
+		residual float64
+	}
+	drs := make([]int, len(ellipsoids))
+	var cands []candidate
+	for ei, e := range ellipsoids {
+		drs[ei] = chooseDr(e, ds.Dim, p, gscale)
+		for _, mIdx := range e.members {
+			if r := e.pca.Residual(ds.Point(mIdx), drs[ei]); r > p.Beta {
+				cands = append(cands, candidate{ell: ei, member: mIdx, residual: r})
+			}
+		}
+	}
+	maxEvict := int(p.Xi * float64(ds.N))
+	evicted := make(map[int]bool, maxEvict)
+	if len(cands) > maxEvict {
+		sort.Slice(cands, func(a, b int) bool { return cands[a].residual > cands[b].residual })
+		cands = cands[:maxEvict]
+	}
+	for _, c := range cands {
+		evicted[c.member] = true
+		outliers = append(outliers, c.member)
+	}
+
+	id := 0
+	for ei, e := range ellipsoids {
+		kept := make([]int, 0, len(e.members))
+		for _, mIdx := range e.members {
+			if !evicted[mIdx] {
+				kept = append(kept, mIdx)
+			}
+		}
+		if len(kept) < p.MinClusterSize {
+			outliers = append(outliers, kept...)
+			continue
+		}
+		sub, err := buildSubspace(id, ds, e.pca, drs[ei], kept, p.RidgeScale)
+		if err != nil {
+			return nil, err
+		}
+		res.Subspaces = append(res.Subspaces, sub)
+		id++
+	}
+	res.Outliers = outliers
+	return res, nil
+}
+
+// chooseDr implements lines 13-17 of Figure 4 with one deliberate change
+// (see DESIGN.md): the search starts from min(MaxDim, d) rather than
+// min(MaxDim, s_dim), and the decrement criterion is the *cluster-relative*
+// residual-energy increase. The acceptance level s_dim is measured against
+// the global data scale, which under-states the dimensionality of small
+// clusters; starting from MaxDim and letting the cluster's own spectrum
+// decide preserves every cluster's intrinsic axes regardless of its size.
+// ForcedDim overrides the search for sweep experiments.
+func chooseDr(e ellipsoid, dim int, p Params, gscale float64) int {
+	_ = gscale
+	if p.ForcedDim > 0 {
+		if p.ForcedDim > dim {
+			return dim
+		}
+		return p.ForcedDim
+	}
+	dr := p.MaxDim
+	if dr > dim {
+		dr = dim
+	}
+	if dr < 1 {
+		dr = 1
+	}
+	mpe := e.pca.ResidualEnergyFraction(dr)
+	for dr > 1 {
+		next := e.pca.ResidualEnergyFraction(dr - 1)
+		if next-mpe >= p.MPEDelta {
+			break
+		}
+		dr--
+		mpe = next
+	}
+	return dr
+}
+
+// buildSubspace assembles the reduction.Subspace for an optimized
+// ellipsoid, including the auxiliary shape information (covariance inverse,
+// Mahalanobis radius) the extended iDistance keeps for dynamic insertion.
+func buildSubspace(id int, ds *dataset.Dataset, pca *stats.PCA, dr int, members []int, ridgeScale float64) (*reduction.Subspace, error) {
+	sub := &reduction.Subspace{
+		ID:       id,
+		Centroid: pca.Mean,
+		Basis:    pca.Components.LeadingCols(dr),
+		Dr:       dr,
+		Members:  append([]int(nil), members...),
+		Coords:   make([]float64, len(members)*dr),
+	}
+	var mpeSum, maxR2 float64
+	memberData := ds.Subset(members)
+	for k := range members {
+		pt := memberData.Point(k)
+		dst := sub.Coords[k*dr : (k+1)*dr]
+		sub.ProjectInto(pt, dst)
+		var n2 float64
+		for _, c := range dst {
+			n2 += c * c
+		}
+		if n2 > maxR2 {
+			maxR2 = n2
+		}
+		mpeSum += sub.Residual(pt)
+	}
+	sub.MaxRadius = sqrtNonNeg(maxR2)
+	sub.MPE = mpeSum / float64(len(members))
+
+	g, err := ellipkmeans.NewGaussian(memberData.Data, ds.Dim, ridgeScale)
+	if err != nil {
+		return nil, err
+	}
+	sub.CovInv = g.CovInv
+	sub.LogDet = g.LogDet
+	sub.MahaRadius = g.MahaRadius(memberData.Data)
+	return sub, nil
+}
+
+// globalScale returns the dataset's RMS distance to its global mean — the
+// scale reference for every MPE gate.
+func globalScale(ds *dataset.Dataset) float64 {
+	cov, _, err := stats.Covariance(ds.Data, ds.Dim)
+	if err != nil {
+		return 1
+	}
+	if t := cov.Trace(); t > 0 {
+		return sqrtNonNeg(t)
+	}
+	return 1
+}

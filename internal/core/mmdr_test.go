@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/iostat"
+)
+
+// correlated builds a normalized Appendix-A dataset.
+func correlated(t *testing.T, n, dim, clusters, sdim int, ratio float64, seed int64) (*dataset.Dataset, []int) {
+	t.Helper()
+	cfg := datagen.CorrelatedConfig{N: n, Dim: dim, NumClusters: clusters, SDim: sdim, VarRatio: ratio, Seed: seed}
+	ds, labels, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	return ds, labels
+}
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.Beta != 0.1 || p.MaxMPE != 0.05 || p.MaxEC != 10 || p.MaxDim != 20 ||
+		p.Epsilon != 0.005 || p.LookupK != 3 {
+		t.Fatalf("defaults diverge from Table 1: %+v", p)
+	}
+}
+
+func TestReduceEmptyDataset(t *testing.T) {
+	if _, err := New(Params{}).Reduce(dataset.New(0, 4)); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := (&Scalable{}).Reduce(dataset.New(0, 4)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReduceRecoversPlantedSubspaces(t *testing.T) {
+	ds, _ := correlated(t, 1200, 16, 3, 2, 25, 61)
+	m := New(Params{Seed: 1, MaxEC: 6})
+	if m.Name() != "MMDR" {
+		t.Fatal("name")
+	}
+	res, err := m.Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(ds.N); err != nil {
+		t.Fatal(err)
+	}
+	st := res.Summarize()
+	if st.NumSubspaces == 0 {
+		t.Fatal("no subspaces discovered")
+	}
+	// Planted clusters are 2-d: the member-weighted retained dim must stay
+	// small and the majority of points must land in subspaces.
+	if st.AvgDim > 8 {
+		t.Fatalf("avg retained dim %v too high for 2-d planted clusters", st.AvgDim)
+	}
+	if st.NumOutliers > ds.N/3 {
+		t.Fatalf("too many outliers: %d / %d", st.NumOutliers, ds.N)
+	}
+	// Subspaces must represent their members well.
+	for _, s := range res.Subspaces {
+		if s.MPE > 0.1 {
+			t.Fatalf("subspace %d MPE %v too high", s.ID, s.MPE)
+		}
+		if s.MaxRadius <= 0 {
+			t.Fatalf("subspace %d has non-positive radius", s.ID)
+		}
+		if s.CovInv == nil || s.MahaRadius <= 0 {
+			t.Fatalf("subspace %d missing auxiliary shape info", s.ID)
+		}
+	}
+}
+
+func TestReduceForcedDim(t *testing.T) {
+	ds, _ := correlated(t, 600, 12, 2, 2, 20, 62)
+	res, err := New(Params{Seed: 2, ForcedDim: 4, MaxEC: 4}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Subspaces {
+		if s.Dr != 4 {
+			t.Fatalf("ForcedDim violated: Dr = %d", s.Dr)
+		}
+	}
+}
+
+func TestReduceOutlierSeparation(t *testing.T) {
+	// Correlated cluster plus uniform noise: the noise must be classified
+	// as outliers by the β threshold.
+	cfg := datagen.CorrelatedConfig{N: 800, Dim: 10, NumClusters: 2, SDim: 2, VarRatio: 30, Seed: 63}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := datagen.Uniform(80, 10, 64)
+	for i := 0; i < noise.N; i++ {
+		p := noise.Point(i)
+		for j := range p {
+			p[j] = p[j]*60 - 30 // spread noise across the data range
+		}
+		ds.Append(p)
+	}
+	datagen.Normalize(ds)
+	// Xi is set high enough that every injected noise point can be
+	// evicted (the default ξ = 0.005 caps evictions at 0.5% of N).
+	res, err := New(Params{Seed: 3, MaxEC: 5, Xi: 0.25}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(ds.N); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outliers) == 0 {
+		t.Fatal("expected some outliers from injected noise")
+	}
+	// Members kept in subspaces must satisfy the β bound (the eviction cap
+	// was not hit, so every candidate left).
+	for _, s := range res.Subspaces {
+		for _, mIdx := range s.Members {
+			if r := s.Residual(ds.Point(mIdx)); r > 0.1+1e-9 {
+				t.Fatalf("member residual %v exceeds beta", r)
+			}
+		}
+	}
+
+	// With the Table 1 default ξ, β-based evictions are capped near 0.5%
+	// of N (structural outliers from tiny clusters may add a few more).
+	resDefault, err := New(Params{Seed: 3, MaxEC: 5}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resDefault.Outliers) > ds.N/10 {
+		t.Fatalf("default xi left %d outliers of %d — cap not applied", len(resDefault.Outliers), ds.N)
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	ds, _ := correlated(t, 400, 10, 2, 2, 20, 65)
+	a, err := New(Params{Seed: 4}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Params{Seed: 4}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Subspaces) != len(b.Subspaces) || len(a.Outliers) != len(b.Outliers) {
+		t.Fatal("nondeterministic structure")
+	}
+	for i := range a.Subspaces {
+		if a.Subspaces[i].Dr != b.Subspaces[i].Dr ||
+			len(a.Subspaces[i].Members) != len(b.Subspaces[i].Members) {
+			t.Fatal("nondeterministic subspaces")
+		}
+	}
+}
+
+// The multi-level recursion must engage on data where low subspace
+// dimensionality is insufficient: clusters that only separate in higher
+// dimensions get accepted at sdim > initial SDim.
+func TestMultiLevelRecursionEngages(t *testing.T) {
+	// Clusters with 6 remained dims: a 2-d subspace cannot reach MaxMPE.
+	ds, _ := correlated(t, 900, 24, 3, 6, 25, 66)
+	res, err := New(Params{Seed: 5, SDim: 2, MaxEC: 5}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDr := 0
+	for _, s := range res.Subspaces {
+		if s.Dr > maxDr {
+			maxDr = s.Dr
+		}
+	}
+	if maxDr < 3 {
+		t.Fatalf("recursion never raised dimensionality: max Dr = %d", maxDr)
+	}
+}
+
+func TestScalableMatchesInMemoryQuality(t *testing.T) {
+	ds, _ := correlated(t, 1500, 12, 3, 2, 25, 67)
+	plain, err := New(Params{Seed: 6, MaxEC: 5}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scalable{Params: Params{Seed: 6, MaxEC: 5, Epsilon: 0.2}}
+	if sc.Name() != "MMDR-scalable" {
+		t.Fatal("name")
+	}
+	streamed, err := sc.Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamed.Validate(ds.N); err != nil {
+		t.Fatal(err)
+	}
+	ps, ss := plain.Summarize(), streamed.Summarize()
+	// Streamed must keep comparable coverage (within 20% outlier gap) and
+	// similar dimensionality.
+	pOut := float64(ps.NumOutliers) / float64(ds.N)
+	sOut := float64(ss.NumOutliers) / float64(ds.N)
+	if sOut > pOut+0.2 {
+		t.Fatalf("scalable outlier rate %v much worse than plain %v", sOut, pOut)
+	}
+	if math.Abs(ss.AvgDim-ps.AvgDim) > 6 {
+		t.Fatalf("avg dims diverge: %v vs %v", ss.AvgDim, ps.AvgDim)
+	}
+}
+
+func TestScalableCountsSingleScan(t *testing.T) {
+	ds, _ := correlated(t, 2000, 10, 2, 2, 20, 68)
+	var ctr iostat.Counter
+	sc := &Scalable{Params: Params{Seed: 7, Epsilon: 0.25, Counter: &ctr}}
+	if _, err := sc.Reduce(ds); err != nil {
+		t.Fatal(err)
+	}
+	want := iostat.PagesForPoints(ds.N, ds.Dim)
+	if ctr.PageReads != want {
+		t.Fatalf("scalable MMDR read %d pages, want exactly one scan = %d", ctr.PageReads, want)
+	}
+}
+
+func TestChooseDrRespectsBounds(t *testing.T) {
+	ds, _ := correlated(t, 500, 30, 1, 2, 25, 69)
+	res, err := New(Params{Seed: 8, MaxDim: 5, MaxEC: 3}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Subspaces {
+		if s.Dr < 1 || s.Dr > 5 {
+			t.Fatalf("Dr = %d outside [1, MaxDim=5]", s.Dr)
+		}
+	}
+}
+
+// Property: across random workload configurations, Reduce always produces
+// a structurally valid result with bounded dimensionalities.
+func TestReduceAlwaysValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := datagen.CorrelatedConfig{
+			N:           200 + r.Intn(500),
+			Dim:         4 + r.Intn(20),
+			NumClusters: 1 + r.Intn(4),
+			SDim:        1 + r.Intn(3),
+			VarRatio:    4 + r.Float64()*30,
+			ScaleDecay:  0.6 + r.Float64()*0.4,
+			Seed:        seed,
+		}
+		if cfg.SDim > cfg.Dim {
+			cfg.SDim = cfg.Dim
+		}
+		ds, _, err := cfg.Generate()
+		if err != nil {
+			return false
+		}
+		datagen.Normalize(ds)
+		res, err := New(Params{Seed: seed, MaxDim: 8}).Reduce(ds)
+		if err != nil {
+			return false
+		}
+		if err := res.Validate(ds.N); err != nil {
+			return false
+		}
+		for _, s := range res.Subspaces {
+			if s.Dr < 1 || s.Dr > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/iostat"
+	"mmdr/internal/reduction"
+	"mmdr/internal/stats"
+)
+
+func sqrtNonNeg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Scalable is the stream-based MMDR of §4.3 for datasets larger than the
+// memory buffer: the data is processed one stream of ε·N points at a time,
+// Generate Ellipsoid runs per stream, and only the per-stream ellipsoid
+// centroids (the Ellipsoid Array) stay in memory. A final Generate
+// Ellipsoid pass over the Ellipsoid Array merges small ellipsoids into
+// full-size ones, after which Dimensionality Optimization runs on the
+// merged member sets.
+//
+// Each point is read from "disk" exactly once, so the simulated page I/O is
+// a single sequential scan regardless of the buffer size — the property
+// Figure 11a demonstrates.
+type Scalable struct {
+	Params Params
+}
+
+// Name implements reduction.Reducer.
+func (s *Scalable) Name() string { return "MMDR-scalable" }
+
+// Reduce implements reduction.Reducer.
+func (s *Scalable) Reduce(ds *dataset.Dataset) (*reduction.Result, error) {
+	p := s.Params.withDefaults()
+	if ds.N == 0 {
+		return nil, fmt.Errorf("mmdr: empty dataset")
+	}
+	gscale := globalScale(ds)
+	streamSize := int(p.Epsilon * float64(ds.N))
+	if streamSize < 4*p.MinClusterSize {
+		streamSize = 4 * p.MinClusterSize
+	}
+	if streamSize > ds.N {
+		streamSize = ds.N
+	}
+
+	// Phase 1: per-stream Generate Ellipsoid; collect centroids and member
+	// lists. Only centroids conceptually stay in memory — member lists
+	// stand in for the disk-resident cluster assignment a real system
+	// would write alongside the stream.
+	type streamEllipsoid struct {
+		centroid []float64
+		members  []int
+	}
+	var arr []streamEllipsoid
+	var outliers []int
+	for lo := 0; lo < ds.N; lo += streamSize {
+		hi := lo + streamSize
+		if hi > ds.N {
+			hi = ds.N
+		}
+		if p.Counter != nil {
+			p.Counter.PageReads += iostat.PagesForPoints(hi-lo, ds.Dim)
+		}
+		indices := make([]int, hi-lo)
+		for i := range indices {
+			indices[i] = lo + i
+		}
+		ellips, err := generateEllipsoid(ds, indices, p.SDim, p, &outliers, true, gscale)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ellips {
+			arr = append(arr, streamEllipsoid{centroid: e.pca.Mean, members: e.members})
+		}
+	}
+	if len(arr) == 0 {
+		// Nothing clustered: everything is an outlier.
+		return &reduction.Result{Dim: ds.Dim, Outliers: outliers}, nil
+	}
+
+	// Phase 2: Generate Ellipsoid over the Ellipsoid Array to merge small
+	// ellipsoids into big ones.
+	cents := dataset.New(len(arr), ds.Dim)
+	for i, se := range arr {
+		copy(cents.Point(i), se.centroid)
+	}
+	groups, err := s.mergeCentroids(cents, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: union the member lists per merged group and run
+	// Dimensionality Optimization on the full member sets.
+	var ellipsoids []ellipsoid
+	for _, g := range groups {
+		var members []int
+		for _, ei := range g {
+			members = append(members, arr[ei].members...)
+		}
+		if len(members) < p.MinClusterSize {
+			outliers = append(outliers, members...)
+			continue
+		}
+		memberData := ds.Subset(members)
+		pca, err := stats.ComputePCA(memberData.Data, memberData.Dim)
+		if err != nil {
+			return nil, err
+		}
+		sdim := p.SDim
+		if sdim > ds.Dim {
+			sdim = ds.Dim
+		}
+		ellipsoids = append(ellipsoids, ellipsoid{members: members, sdim: pickAcceptedDim(pca, memberData, sdim, p, gscale), pca: pca})
+	}
+	return dimensionalityOptimization(ds, ellipsoids, outliers, p, gscale)
+}
+
+// mergeCentroids clusters the ellipsoid-array centroids. With few
+// centroids, plain Generate Ellipsoid at SDim suffices; groups are returned
+// as centroid-index lists.
+func (s *Scalable) mergeCentroids(cents *dataset.Dataset, p Params) ([][]int, error) {
+	if cents.N == 1 {
+		return [][]int{{0}}, nil
+	}
+	mp := p
+	// Centroid sets are tiny; every centroid matters, so do not shunt them
+	// into the outlier bin.
+	mp.MinClusterSize = 1
+	indices := make([]int, cents.N)
+	for i := range indices {
+		indices[i] = i
+	}
+	var centOutliers []int
+	ellips, err := generateEllipsoid(cents, indices, mp.SDim, mp, &centOutliers, true, globalScale(cents))
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][]int, 0, len(ellips)+len(centOutliers))
+	for _, e := range ellips {
+		groups = append(groups, e.members)
+	}
+	// A centroid the merge pass could not place still owns its stream
+	// ellipsoid: keep it as its own group.
+	for _, o := range centOutliers {
+		groups = append(groups, []int{o})
+	}
+	return groups, nil
+}
+
+// pickAcceptedDim finds the smallest power-of-two multiple of SDim whose
+// subspace meets MaxMPE for the merged ellipsoid, mirroring the acceptance
+// level the in-memory GE recursion would have reached.
+func pickAcceptedDim(pca *stats.PCA, memberData *dataset.Dataset, sdim int, p Params, gscale float64) int {
+	d := memberData.Dim
+	for s := sdim; ; s *= 2 {
+		if s >= d {
+			return d
+		}
+		if pca.TailRMS(s) <= p.MaxMPE*gscale {
+			return s
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/stats"
+)
+
+func TestCorrelatedShapeAndDeterminism(t *testing.T) {
+	specs := []ClusterSpec{
+		{Size: 50, SDim: 2, SRDim: 0, VarianceR: 10, VarianceE: 1, LB: 0, Rotate: true},
+		{Size: 30, SDim: 3, SRDim: 2, VarianceR: 8, VarianceE: 0.5, LB: 5, Rotate: false},
+	}
+	ds, labels, err := Correlated(6, specs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 80 || ds.Dim != 6 || len(labels) != 80 {
+		t.Fatalf("shape %dx%d labels %d", ds.N, ds.Dim, len(labels))
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	if counts[0] != 50 || counts[1] != 30 {
+		t.Fatalf("label counts %v", counts)
+	}
+	ds2, _, err := Correlated(6, specs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Data {
+		if ds.Data[i] != ds2.Data[i] {
+			t.Fatal("same seed must reproduce identical data")
+		}
+	}
+	ds3, _, _ := Correlated(6, specs, 43)
+	same := true
+	for i := range ds.Data {
+		if ds.Data[i] != ds3.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestCorrelatedValidation(t *testing.T) {
+	if _, _, err := Correlated(0, nil, 1); err == nil {
+		t.Fatal("expected error for dim 0")
+	}
+	if _, _, err := Correlated(4, []ClusterSpec{{Size: 1, SDim: 5}}, 1); err == nil {
+		t.Fatal("expected error for sdim > dim")
+	}
+	if _, _, err := Correlated(4, []ClusterSpec{{Size: 1, SDim: 2, SRDim: 3}}, 1); err == nil {
+		t.Fatal("expected error for remained range overflow")
+	}
+}
+
+// The generated clusters must actually be low-dimensional: PCA on one
+// cluster's points should put nearly all variance in the first SDim
+// components, even after rotation.
+func TestCorrelatedClustersAreLowDimensional(t *testing.T) {
+	specs := []ClusterSpec{{Size: 400, SDim: 3, SRDim: 1, VarianceR: 20, VarianceE: 0.4, LB: 0, Rotate: true}}
+	dim := 10
+	ds, _, err := Correlated(dim, specs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stats.ComputePCA(ds.Data, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lead, rest float64
+	for i, v := range p.Variances {
+		if i < 3 {
+			lead += v
+		} else {
+			rest += v
+		}
+	}
+	if lead < 50*rest {
+		t.Fatalf("energy not concentrated: lead=%v rest=%v (variances %v)", lead, rest, p.Variances)
+	}
+}
+
+func TestEllipticity(t *testing.T) {
+	c := ClusterSpec{VarianceR: 10, VarianceE: 1}
+	if e := c.Ellipticity(); math.Abs(e-9) > 1e-12 {
+		t.Fatalf("Ellipticity = %v, want 9", e)
+	}
+	if !math.IsInf(ClusterSpec{VarianceR: 1}.Ellipticity(), 1) {
+		t.Fatal("zero VarianceE should give +Inf ellipticity")
+	}
+}
+
+func TestCorrelatedConfig(t *testing.T) {
+	cfg := CorrelatedConfig{N: 101, Dim: 16, NumClusters: 4, SDim: 3, VarRatio: 12, Seed: 9}
+	ds, labels, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 101 || ds.Dim != 16 {
+		t.Fatalf("shape %dx%d", ds.N, ds.Dim)
+	}
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("cluster count %d", len(counts))
+	}
+	// Remainder goes to the last cluster: 25+25+25+26.
+	if counts[3] != 26 {
+		t.Fatalf("last cluster size %d, want 26", counts[3])
+	}
+	if _, _, err := (CorrelatedConfig{N: 2, NumClusters: 5, Dim: 4, SDim: 1}).Generate(); err == nil {
+		t.Fatal("expected error when N < clusters")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ds := Uniform(100, 5, 3)
+	if ds.N != 100 || ds.Dim != 5 {
+		t.Fatalf("shape %dx%d", ds.N, ds.Dim)
+	}
+	for _, v := range ds.Data {
+		if v < 0 || v >= 1 {
+			t.Fatalf("value %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestColorHistogramProperties(t *testing.T) {
+	ds := ColorHistogram(500, 64, 8, 0.1, 17)
+	if ds.N != 500 || ds.Dim != 64 {
+		t.Fatalf("shape %dx%d", ds.N, ds.Dim)
+	}
+	// Histograms are normalized and skewed: most attributes zero.
+	for i := 0; i < ds.N; i++ {
+		var sum float64
+		for _, v := range ds.Point(i) {
+			if v < 0 {
+				t.Fatal("negative histogram bin")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("histogram %d sums to %v", i, sum)
+		}
+	}
+	if s := Sparsity(ds); s < 0.6 {
+		t.Fatalf("sparsity %v, want > 0.6 (paper: many attributes are 0)", s)
+	}
+}
+
+func TestColorHistogramAllOutliers(t *testing.T) {
+	ds := ColorHistogram(50, 32, 0, 0, 5)
+	if ds.N != 50 {
+		t.Fatal("shape")
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	ds := Uniform(50, 4, 1)
+	q := SampleQueries(ds, 10, 0.01, 2)
+	if q.N != 10 || q.Dim != 4 {
+		t.Fatalf("shape %dx%d", q.N, q.Dim)
+	}
+	// With tiny sigma each query must be near some data point.
+	for i := 0; i < q.N; i++ {
+		best := math.Inf(1)
+		for j := 0; j < ds.N; j++ {
+			var d float64
+			for k := 0; k < 4; k++ {
+				diff := q.Point(i)[k] - ds.Point(j)[k]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > 0.01 {
+			t.Fatalf("query %d too far from data: %v", i, best)
+		}
+	}
+}
+
+func TestSparsityEmpty(t *testing.T) {
+	ds := Uniform(0, 3, 1)
+	if Sparsity(ds) != 0 {
+		t.Fatal("empty sparsity should be 0")
+	}
+}
+
+func TestZipfClusterSkew(t *testing.T) {
+	spec := ClusterSpec{Size: 2000, SDim: 2, SRDim: 0, VarianceR: 10, VarianceE: 1, Zipf: true}
+	ds, _, err := Correlated(4, []ClusterSpec{spec}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipfian coordinates pile up near the low end of the range: the
+	// median of dimension 0 sits well below the range midpoint.
+	vals := make([]float64, ds.N)
+	for i := 0; i < ds.N; i++ {
+		vals[i] = ds.Point(i)[0]
+	}
+	sortFloats(vals)
+	median := vals[ds.N/2]
+	lo, hi := vals[0], vals[ds.N-1]
+	mid := (lo + hi) / 2
+	if median >= mid {
+		t.Fatalf("Zipf cluster not skewed: median %v >= midpoint %v", median, mid)
+	}
+
+	// The uniform variant is roughly symmetric.
+	spec.Zipf = false
+	ds2, _, err := Correlated(4, []ClusterSpec{spec}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds2.N; i++ {
+		vals[i] = ds2.Point(i)[0]
+	}
+	sortFloats(vals)
+	m2 := vals[ds2.N/2]
+	lo2, hi2 := vals[0], vals[ds2.N-1]
+	if math.Abs(m2-(lo2+hi2)/2) > (hi2-lo2)*0.15 {
+		t.Fatalf("uniform cluster unexpectedly skewed: median %v range [%v,%v]", m2, lo2, hi2)
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ds := dataset.New(3, 2)
+	copy(ds.Data, []float64{-2, 5, 0, 5, 2, 5})
+	Normalize(ds)
+	// Dimension 0 spans [-2,2] -> [0,1]; dimension 1 is constant -> 0.
+	if ds.Point(0)[0] != 0 || ds.Point(1)[0] != 0.5 || ds.Point(2)[0] != 1 {
+		t.Fatalf("normalized dim 0: %v %v %v", ds.Point(0)[0], ds.Point(1)[0], ds.Point(2)[0])
+	}
+	for i := 0; i < 3; i++ {
+		if ds.Point(i)[1] != 0 {
+			t.Fatalf("constant dim should map to 0, got %v", ds.Point(i)[1])
+		}
+	}
+	// Empty dataset is a no-op.
+	Normalize(dataset.New(0, 2))
+}

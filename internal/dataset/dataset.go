@@ -1,0 +1,204 @@
+// Package dataset provides the in-memory point-set container shared by the
+// whole MMDR pipeline, plus binary and CSV persistence so datasets can be
+// generated once and reused across experiments.
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// Dataset is a flat, row-major collection of N points of dimension Dim.
+// Row i occupies Data[i*Dim : (i+1)*Dim].
+type Dataset struct {
+	N    int
+	Dim  int
+	Data []float64
+}
+
+// New allocates a zeroed dataset of n points with dimension dim.
+func New(n, dim int) *Dataset {
+	if n < 0 || dim <= 0 {
+		panic(fmt.Sprintf("dataset: invalid shape n=%d dim=%d", n, dim))
+	}
+	return &Dataset{N: n, Dim: dim, Data: make([]float64, n*dim)}
+}
+
+// FromData wraps data (not copied) as a dataset.
+func FromData(dim int, data []float64) (*Dataset, error) {
+	if dim <= 0 || len(data)%dim != 0 {
+		return nil, fmt.Errorf("dataset: data length %d not divisible by dim %d", len(data), dim)
+	}
+	return &Dataset{N: len(data) / dim, Dim: dim, Data: data}, nil
+}
+
+// Point returns a view (not copy) of point i.
+func (d *Dataset) Point(i int) []float64 { return d.Data[i*d.Dim : (i+1)*d.Dim] }
+
+// Subset returns a new dataset containing the points at the given indices
+// (copied).
+func (d *Dataset) Subset(indices []int) *Dataset {
+	out := New(len(indices), d.Dim)
+	for k, idx := range indices {
+		copy(out.Data[k*d.Dim:(k+1)*d.Dim], d.Point(idx))
+	}
+	return out
+}
+
+// Slice returns a view dataset of rows [lo, hi).
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	if lo < 0 || hi > d.N || lo > hi {
+		panic(fmt.Sprintf("dataset: Slice [%d,%d) of %d", lo, hi, d.N))
+	}
+	return &Dataset{N: hi - lo, Dim: d.Dim, Data: d.Data[lo*d.Dim : hi*d.Dim]}
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	out := New(d.N, d.Dim)
+	copy(out.Data, d.Data)
+	return out
+}
+
+// Append adds a point (copied); it must have length Dim.
+func (d *Dataset) Append(p []float64) {
+	if len(p) != d.Dim {
+		panic(fmt.Sprintf("dataset: Append dim %d != %d", len(p), d.Dim))
+	}
+	d.Data = append(d.Data, p...)
+	d.N++
+}
+
+const binaryMagic = uint32(0x4d4d4452) // "MMDR"
+
+// WriteBinary serializes the dataset in a compact little-endian format:
+// magic, N, Dim (uint32 each) followed by N*Dim float64 values.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{binaryMagic, uint32(d.N), uint32(d.Dim)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, v := range d.Data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic, n, dim uint32
+	for _, p := range []*uint32{&magic, &n, &dim} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("dataset: reading header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("dataset: bad magic, not an MMDR dataset file")
+	}
+	if dim == 0 || n > 1<<31 || dim > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible header n=%d dim=%d", n, dim)
+	}
+	// Allocate incrementally (bounded chunks) rather than trusting the
+	// header's count: a corrupt or hostile header must fail at read time,
+	// not by exhausting memory up front.
+	total := int(n) * int(dim)
+	const chunk = 1 << 16
+	data := make([]float64, 0, min(total, chunk))
+	buf := make([]byte, 8)
+	for i := 0; i < total; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: reading values: %w", err)
+		}
+		data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+	}
+	return &Dataset{N: int(n), Dim: int(dim), Data: data}, nil
+}
+
+// SaveBinary writes the dataset to path.
+func (d *Dataset) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a dataset from path.
+func LoadBinary(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteCSV emits the dataset as CSV, one point per row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, d.Dim)
+	for i := 0; i < d.N; i++ {
+		row := d.Point(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV of float rows into a dataset. All rows must have the
+// same width.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var data []float64
+	dim := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if dim == 0 {
+			dim = len(rec)
+		} else if len(rec) != dim {
+			return nil, fmt.Errorf("dataset: ragged CSV row width %d != %d", len(rec), dim)
+		}
+		for _, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: parsing %q: %w", s, err)
+			}
+			data = append(data, v)
+		}
+	}
+	if dim == 0 {
+		return nil, errors.New("dataset: empty CSV")
+	}
+	return FromData(dim, data)
+}

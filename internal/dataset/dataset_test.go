@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randDataset(n, dim int, rng *rand.Rand) *Dataset {
+	d := New(n, dim)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64() * 100
+	}
+	return d
+}
+
+func TestNewPointSubsetSlice(t *testing.T) {
+	d := New(3, 2)
+	copy(d.Data, []float64{1, 2, 3, 4, 5, 6})
+	if p := d.Point(1); p[0] != 3 || p[1] != 4 {
+		t.Fatalf("Point(1) = %v", p)
+	}
+	s := d.Subset([]int{2, 0})
+	if s.N != 2 || s.Point(0)[0] != 5 || s.Point(1)[1] != 2 {
+		t.Fatalf("Subset = %v", s.Data)
+	}
+	sl := d.Slice(1, 3)
+	if sl.N != 2 || sl.Point(0)[0] != 3 {
+		t.Fatalf("Slice = %v", sl.Data)
+	}
+	// Slice is a view: mutating it mutates the parent.
+	sl.Point(0)[0] = 99
+	if d.Point(1)[0] != 99 {
+		t.Fatal("Slice must be a view")
+	}
+	// Subset is a copy.
+	s.Point(0)[0] = -1
+	if d.Point(2)[0] == -1 {
+		t.Fatal("Subset must copy")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := New(2, 2)
+	d.Data[0] = 7
+	c := d.Clone()
+	c.Data[0] = 8
+	if d.Data[0] != 7 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	d := New(0, 3)
+	d.Append([]float64{1, 2, 3})
+	d.Append([]float64{4, 5, 6})
+	if d.N != 2 || d.Point(1)[2] != 6 {
+		t.Fatalf("Append result %v", d.Data)
+	}
+}
+
+func TestFromDataValidation(t *testing.T) {
+	if _, err := FromData(2, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for ragged data")
+	}
+	if _, err := FromData(0, nil); err == nil {
+		t.Fatal("expected error for dim 0")
+	}
+	d, err := FromData(2, []float64{1, 2, 3, 4})
+	if err != nil || d.N != 2 {
+		t.Fatalf("FromData: %v %v", d, err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := randDataset(50, 7, rng)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != d.N || got.Dim != d.Dim {
+		t.Fatalf("shape %dx%d, want %dx%d", got.N, got.Dim, d.N, d.Dim)
+	}
+	for i := range d.Data {
+		if got.Data[i] != d.Data[i] {
+			t.Fatalf("data mismatch at %d", i)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 0, 0, 0, 0, 1, 0, 0, 0})); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := randDataset(5, 3, rng)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-9]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSaveLoadBinaryFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := randDataset(10, 4, rng)
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := d.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 10 || got.Dim != 4 {
+		t.Fatalf("loaded shape %dx%d", got.N, got.Dim)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	d := randDataset(20, 3, rng)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Data {
+		if got.Data[i] != d.Data[i] {
+			t.Fatalf("CSV round trip mismatch at %d: %v vs %v", i, got.Data[i], d.Data[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty CSV")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("expected error for ragged CSV")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,abc\n")); err == nil {
+		t.Fatal("expected error for non-numeric CSV")
+	}
+}
+
+// Property: binary round trip is the identity for arbitrary shapes.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randDataset(r.Intn(40), 1+r.Intn(10), r)
+		var buf bytes.Buffer
+		if err := d.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N != d.N || got.Dim != d.Dim {
+			return false
+		}
+		for i := range d.Data {
+			if got.Data[i] != d.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

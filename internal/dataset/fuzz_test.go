@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary ensures the binary decoder never panics or over-allocates
+// on malformed input — it must either round-trip valid data or return an
+// error.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and several corruptions of it.
+	d := New(3, 2)
+	copy(d.Data, []float64{1, 2, 3, 4, 5, 6})
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:4])
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x44, 0x4d, 0x4d, 0xff, 0xff, 0xff, 0x7f, 0x01, 0, 0, 0})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[5] ^= 0xff // mangle N
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ds.Dim <= 0 || len(ds.Data) != ds.N*ds.Dim {
+			t.Fatalf("decoder produced inconsistent dataset %dx%d len %d", ds.N, ds.Dim, len(ds.Data))
+		}
+		// Valid decodes must re-encode.
+		var out bytes.Buffer
+		if err := ds.WriteBinary(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadCSV ensures the CSV reader is total: error or consistent dataset.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("")
+	f.Add("a,b\n")
+	f.Add("1\n2\n3\n")
+	f.Add("1,2\n3\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		ds, err := ReadCSV(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		if ds.Dim <= 0 || len(ds.Data) != ds.N*ds.Dim {
+			t.Fatalf("inconsistent dataset %dx%d len %d", ds.N, ds.Dim, len(ds.Data))
+		}
+	})
+}

@@ -1,0 +1,355 @@
+package ellipkmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/iostat"
+	"mmdr/internal/kmeans"
+)
+
+// Options configures the elliptical k-means run.
+type Options struct {
+	K        int   // number of clusters (MaxEC in the paper)
+	MaxOuter int   // outer (covariance re-estimation) iterations; default 15
+	MaxInner int   // inner (assignment) iterations per outer pass; default 25
+	Seed     int64 // initialization randomness
+
+	// Normalized selects the Normalized Mahalanobis Distance (paper
+	// Definition 3.2). The raw quadratic form lets large clusters swallow
+	// small ones; normalized is the paper's default.
+	Normalized bool
+
+	// UseLookupTable enables the §4.2 optimization: per point, cache the k
+	// closest centroid IDs and only re-evaluate those on later iterations.
+	UseLookupTable bool
+	LookupK        int // IDs kept per point; paper default 3
+
+	// ActivityThreshold freezes a point after this many consecutive
+	// iterations without a membership change (paper default 10). Zero
+	// disables the optimization.
+	ActivityThreshold int
+
+	// RidgeScale regularizes degenerate covariance matrices; default 1e-6.
+	RidgeScale float64
+
+	// Restarts runs the whole nested loop from several initializations and
+	// keeps the model with the lowest total cost (sum of the configured
+	// distance over all points). Elliptical k-means inherits k-means'
+	// sensitivity to initialization; restarts are the standard remedy.
+	// Default 3.
+	Restarts int
+
+	// Counter, when non-nil, accumulates distance-computation counts.
+	Counter *iostat.Counter
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxOuter <= 0 {
+		out.MaxOuter = 15
+	}
+	if out.MaxInner <= 0 {
+		out.MaxInner = 25
+	}
+	if out.LookupK <= 0 {
+		out.LookupK = 3
+	}
+	if out.RidgeScale <= 0 {
+		out.RidgeScale = 1e-6
+	}
+	if out.Restarts <= 0 {
+		out.Restarts = 3
+	}
+	return out
+}
+
+// Result holds an elliptical k-means clustering.
+type Result struct {
+	K          int
+	Clusters   []*Gaussian
+	Assign     []int
+	Sizes      []int
+	OuterIters int
+	InnerIters int // total inner iterations across all outer passes
+}
+
+// Members returns the indices of points in cluster c.
+func (r *Result) Members(c int) []int {
+	out := make([]int, 0, r.Sizes[c])
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// lookupEntry is one row of the §4.2 lookup table.
+type lookupEntry struct {
+	ids      []int // k closest centroid IDs from the last full evaluation
+	activity int   // consecutive iterations without membership change
+}
+
+// Run performs elliptical k-means on ds.
+//
+// Structure (paper §2, describing Sung–Poggio): the inner loop is k-means
+// under Mahalanobis distance with covariances held fixed; the outer loop
+// re-computes each cluster's covariance matrix; both stop when membership
+// stabilizes. Options.Restarts initializations are tried and the
+// lowest-cost model is returned.
+func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if o.K <= 0 {
+		return nil, fmt.Errorf("ellipkmeans: K must be positive, got %d", o.K)
+	}
+	if ds.N == 0 {
+		return nil, fmt.Errorf("ellipkmeans: empty dataset")
+	}
+	var best *Result
+	bestCost := math.Inf(1)
+	var firstErr error
+	for r := 0; r < o.Restarts; r++ {
+		ro := o
+		ro.Seed = o.Seed + int64(r)*7919
+		res, err := runOnce(ds, ro)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cost := totalCost(ds, res, o.Normalized)
+		if cost < bestCost {
+			best, bestCost = res, cost
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// totalCost sums the configured distance from each point to its assigned
+// cluster: the model-selection criterion across restarts.
+func totalCost(ds *dataset.Dataset, res *Result, normalized bool) float64 {
+	var sum float64
+	for i := 0; i < ds.N; i++ {
+		g := res.Clusters[res.Assign[i]]
+		if normalized {
+			sum += g.NormMahaDist(ds.Point(i))
+		} else {
+			sum += g.MahaDist(ds.Point(i))
+		}
+	}
+	return sum
+}
+
+// runOnce executes one full nested-loop clustering from a single
+// initialization.
+func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
+	k := o.K
+	if k > ds.N {
+		k = ds.N
+	}
+
+	// Initialize membership with Euclidean k-means: cheap and gives
+	// non-degenerate covariance estimates.
+	init, err := kmeans.Run(ds, kmeans.Options{K: k, Seed: o.Seed, MaxIters: 10})
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, ds.N)
+	copy(assign, init.Assign)
+	k = init.K
+
+	res := &Result{K: k, Assign: assign, Sizes: make([]int, k)}
+	rng := rand.New(rand.NewSource(o.Seed + 1))
+
+	var table []lookupEntry
+	if o.UseLookupTable {
+		table = make([]lookupEntry, ds.N)
+	}
+
+	dist := func(g *Gaussian, p []float64) float64 {
+		if o.Counter != nil {
+			o.Counter.DistanceOps++
+		}
+		if o.Normalized {
+			return g.NormMahaDist(p)
+		}
+		return g.MahaDist(p)
+	}
+
+	for outer := 0; outer < o.MaxOuter; outer++ {
+		res.OuterIters = outer + 1
+		// Outer step: (re)fit Gaussians to current memberships.
+		clusters, err := fitClusters(ds, assign, k, o.RidgeScale, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Clusters = clusters
+		// Covariances changed: cached closest-ID lists are stale.
+		if o.UseLookupTable {
+			for i := range table {
+				table[i].ids = nil
+			}
+		}
+
+		outerChanged := 0
+		for inner := 0; inner < o.MaxInner; inner++ {
+			res.InnerIters++
+			changed := 0
+			for i := 0; i < ds.N; i++ {
+				if o.UseLookupTable && o.ActivityThreshold > 0 &&
+					table[i].activity > o.ActivityThreshold {
+					// Inactive point: skip all distance work (§4.2).
+					continue
+				}
+				p := ds.Point(i)
+				var best int
+				if o.UseLookupTable && table[i].ids != nil {
+					best = argminOver(table[i].ids, clusters, p, dist)
+				} else {
+					var ids []int
+					best, ids = argminAll(clusters, p, dist, o.LookupK)
+					if o.UseLookupTable {
+						table[i].ids = ids
+					}
+				}
+				if best != assign[i] {
+					assign[i] = best
+					changed++
+					if o.UseLookupTable {
+						// Membership changed: refresh the entry fully next
+						// round and reset its activity.
+						table[i].ids = nil
+						table[i].activity = 0
+					}
+				} else if o.UseLookupTable {
+					table[i].activity++
+				}
+			}
+			outerChanged += changed
+			// Update centroids (means only) after each inner iteration.
+			updateMeans(ds, assign, clusters, rng)
+			if changed == 0 {
+				break
+			}
+		}
+		if outerChanged == 0 && outer > 0 {
+			break
+		}
+	}
+
+	for i := range res.Sizes {
+		res.Sizes[i] = 0
+	}
+	for _, a := range assign {
+		res.Sizes[a]++
+	}
+	// Final refit so the returned Gaussians match the final memberships.
+	clusters, err := fitClusters(ds, assign, k, o.RidgeScale, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Clusters = clusters
+	return res, nil
+}
+
+// argminAll evaluates all clusters and returns the best index plus the
+// lookupK closest IDs (sorted by distance).
+func argminAll(clusters []*Gaussian, p []float64, dist func(*Gaussian, []float64) float64, lookupK int) (int, []int) {
+	type cd struct {
+		id int
+		d  float64
+	}
+	all := make([]cd, len(clusters))
+	for c, g := range clusters {
+		all[c] = cd{c, dist(g, p)}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	n := lookupK
+	if n > len(all) {
+		n = len(all)
+	}
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = all[i].id
+	}
+	return all[0].id, ids
+}
+
+// argminOver evaluates only the cached candidate IDs.
+func argminOver(ids []int, clusters []*Gaussian, p []float64, dist func(*Gaussian, []float64) float64) int {
+	best, bestD := ids[0], math.Inf(1)
+	for _, id := range ids {
+		if d := dist(clusters[id], p); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// fitClusters fits one Gaussian per cluster; empty clusters are reseeded at
+// a random point with an identity-scaled covariance.
+func fitClusters(ds *dataset.Dataset, assign []int, k int, ridgeScale float64, rng *rand.Rand) ([]*Gaussian, error) {
+	buckets := make([][]float64, k)
+	for i := 0; i < ds.N; i++ {
+		c := assign[i]
+		buckets[c] = append(buckets[c], ds.Point(i)...)
+	}
+	clusters := make([]*Gaussian, k)
+	for c := range clusters {
+		if len(buckets[c]) == 0 {
+			// Reseed: singleton Gaussian at a random point.
+			p := ds.Point(rng.Intn(ds.N))
+			single := make([]float64, len(p))
+			copy(single, p)
+			g, err := NewGaussian(single, ds.Dim, ridgeScale)
+			if err != nil {
+				return nil, err
+			}
+			clusters[c] = g
+			continue
+		}
+		g, err := NewGaussian(buckets[c], ds.Dim, ridgeScale)
+		if err != nil {
+			return nil, err
+		}
+		clusters[c] = g
+	}
+	return clusters, nil
+}
+
+// updateMeans recomputes cluster means in place (covariances stay fixed
+// during the inner loop, per the nested-loop structure).
+func updateMeans(ds *dataset.Dataset, assign []int, clusters []*Gaussian, rng *rand.Rand) {
+	k := len(clusters)
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make([]float64, ds.Dim)
+	}
+	for i := 0; i < ds.N; i++ {
+		c := assign[i]
+		counts[c]++
+		p := ds.Point(i)
+		for j, v := range p {
+			sums[c][j] += v
+		}
+	}
+	for c := range clusters {
+		if counts[c] == 0 {
+			copy(clusters[c].Mean, ds.Point(rng.Intn(ds.N)))
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := range sums[c] {
+			clusters[c].Mean[j] = sums[c][j] * inv
+		}
+	}
+}

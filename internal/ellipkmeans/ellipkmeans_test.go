@@ -1,0 +1,316 @@
+package ellipkmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/iostat"
+	"mmdr/internal/matrix"
+)
+
+func TestGaussianMahaDistIdentityCov(t *testing.T) {
+	g := &Gaussian{
+		Mean:   []float64{0, 0},
+		CovInv: matrix.Identity(2),
+		LogDet: 0,
+	}
+	// With identity covariance, MahaDist is squared Euclidean distance.
+	if d := g.MahaDist([]float64{3, 4}); math.Abs(d-25) > 1e-12 {
+		t.Fatalf("MahaDist = %v, want 25", d)
+	}
+	if d := g.MahaDist([]float64{0, 0}); d != 0 {
+		t.Fatalf("MahaDist(mean) = %v, want 0", d)
+	}
+}
+
+// The figure-1 scenario: point B lies along the elongated axis and must be
+// closer (Mahalanobis) than point A off-axis, even though A is closer in
+// Euclidean distance.
+func TestMahalanobisPrefersElongationAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	// Cluster elongated along x: sd 10 in x, 0.5 in y.
+	n := 2000
+	pts := make([]float64, n*2)
+	for i := 0; i < n; i++ {
+		pts[i*2] = rng.NormFloat64() * 10
+		pts[i*2+1] = rng.NormFloat64() * 0.5
+	}
+	g, err := NewGaussian(pts, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []float64{0, 3}  // off-axis, Euclidean dist 3
+	b := []float64{15, 0} // on-axis, Euclidean dist 15
+	if matrix.Dist(a, g.Mean) > matrix.Dist(b, g.Mean) {
+		t.Fatal("test setup wrong: A should be Euclidean-closer")
+	}
+	if g.MahaDist(a) <= g.MahaDist(b) {
+		t.Fatalf("MahaDist(A)=%v should exceed MahaDist(B)=%v", g.MahaDist(a), g.MahaDist(b))
+	}
+}
+
+// Normalized Mahalanobis must penalize the large cluster: for a point
+// equidistant (Mahalanobis-wise) the smaller-volume cluster wins.
+func TestNormalizedPenalizesLargeClusters(t *testing.T) {
+	big := &Gaussian{Mean: []float64{0, 0}, CovInv: matrix.Identity(2).Scale(1.0 / 100), LogDet: math.Log(100 * 100)}
+	small := &Gaussian{Mean: []float64{10, 0}, CovInv: matrix.Identity(2), LogDet: 0}
+	p := []float64{9, 0}
+	// Raw Mahalanobis: big cluster is closer (81/100 < 1).
+	if big.MahaDist(p) >= small.MahaDist(p) {
+		t.Fatal("setup: raw Mahalanobis should prefer big cluster")
+	}
+	// Normalized: the volume term flips the preference.
+	if big.NormMahaDist(p) <= small.NormMahaDist(p) {
+		t.Fatalf("normalized should prefer small cluster: big=%v small=%v",
+			big.NormMahaDist(p), small.NormMahaDist(p))
+	}
+}
+
+// Property: MahaDist is non-negative and zero at the mean for random SPD
+// covariances.
+func TestMahaDistProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(6)
+		n := dim*3 + 5
+		pts := make([]float64, n*dim)
+		for i := range pts {
+			pts[i] = r.NormFloat64() * 4
+		}
+		g, err := NewGaussian(pts, dim, 1e-9)
+		if err != nil {
+			return false
+		}
+		if g.MahaDist(g.Mean) > 1e-9 {
+			return false
+		}
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = r.NormFloat64() * 10
+		}
+		return g.MahaDist(p) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMahaRadius(t *testing.T) {
+	pts := []float64{0, 0, 1, 0, -1, 0, 0, 2, 0, -2}
+	g, err := NewGaussian(pts, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.MahaRadius(pts)
+	if r <= 0 {
+		t.Fatalf("MahaRadius = %v", r)
+	}
+	// Radius covers every member.
+	for i := 0; i < len(pts); i += 2 {
+		if g.MahaDist(pts[i:i+2]) > r+1e-12 {
+			t.Fatal("radius does not cover member")
+		}
+	}
+	if (&Gaussian{Mean: nil}).MahaRadius(nil) != 0 {
+		t.Fatal("empty radius should be 0")
+	}
+}
+
+// crossedEllipses builds two elongated clusters crossing at right angles:
+// Euclidean k-means splits them wrongly, elliptical k-means should recover
+// them.
+func crossedEllipses(n int, seed int64) (*dataset.Dataset, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.New(n, 2)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			ds.Point(i)[0] = rng.NormFloat64() * 12
+			ds.Point(i)[1] = rng.NormFloat64() * 0.3
+			truth[i] = 0
+		} else {
+			ds.Point(i)[0] = rng.NormFloat64() * 0.3
+			ds.Point(i)[1] = rng.NormFloat64()*12 + 4 // offset so clusters differ
+			truth[i] = 1
+		}
+	}
+	return ds, truth
+}
+
+func clusterAgreement(truth, assign []int) float64 {
+	// Two clusters: try both label mappings.
+	match, swap := 0, 0
+	for i := range truth {
+		if truth[i] == assign[i] {
+			match++
+		} else {
+			swap++
+		}
+	}
+	if swap > match {
+		match = swap
+	}
+	return float64(match) / float64(len(truth))
+}
+
+func TestRunRecoversCrossedEllipses(t *testing.T) {
+	ds, truth := crossedEllipses(600, 43)
+	res, err := Run(ds, Options{K: 2, Seed: 1, Normalized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr := clusterAgreement(truth, res.Assign); agr < 0.9 {
+		t.Fatalf("agreement %v < 0.9", agr)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := dataset.New(3, 2)
+	if _, err := Run(ds, Options{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	if _, err := Run(dataset.New(0, 2), Options{K: 2}); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+// The lookup-table/Activity optimization must not change clustering quality
+// materially, and must reduce distance computations.
+func TestLookupTableOptimization(t *testing.T) {
+	ds, truth := crossedEllipses(600, 44)
+	var plain, opt iostat.Counter
+	resPlain, err := Run(ds, Options{K: 2, Seed: 2, Normalized: true, Counter: &plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOpt, err := Run(ds, Options{
+		K: 2, Seed: 2, Normalized: true, Counter: &opt,
+		UseLookupTable: true, LookupK: 3, ActivityThreshold: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aPlain := clusterAgreement(truth, resPlain.Assign)
+	aOpt := clusterAgreement(truth, resOpt.Assign)
+	if aOpt < aPlain-0.05 {
+		t.Fatalf("optimized agreement %v much worse than plain %v", aOpt, aPlain)
+	}
+	if opt.DistanceOps >= plain.DistanceOps {
+		t.Fatalf("lookup table did not reduce distance ops: %d >= %d", opt.DistanceOps, plain.DistanceOps)
+	}
+}
+
+func TestRunKClampedToN(t *testing.T) {
+	ds := dataset.New(3, 2)
+	for i := 0; i < 3; i++ {
+		ds.Point(i)[0] = float64(i * 10)
+	}
+	res, err := Run(ds, Options{K: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 3 {
+		t.Fatalf("K = %d, want <= 3", res.K)
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	ds, _ := crossedEllipses(100, 45)
+	res, err := Run(ds, Options{K: 2, Seed: 4, Normalized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := 0; c < res.K; c++ {
+		m := res.Members(c)
+		if len(m) != res.Sizes[c] {
+			t.Fatalf("Members(%d) len %d != size %d", c, len(m), res.Sizes[c])
+		}
+		total += len(m)
+	}
+	if total != ds.N {
+		t.Fatalf("members cover %d of %d", total, ds.N)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	ds, _ := crossedEllipses(200, 46)
+	a, err := Run(ds, Options{K: 3, Seed: 5, Normalized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, Options{K: 3, Seed: 5, Normalized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("nondeterministic run with fixed seed")
+		}
+	}
+}
+
+func BenchmarkEllipticalKMeans(b *testing.B) {
+	ds, _ := crossedEllipses(1000, 47)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ds, Options{K: 4, Seed: 6, Normalized: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEllipticalKMeansLookup(b *testing.B) {
+	ds, _ := crossedEllipses(1000, 47)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ds, Options{K: 4, Seed: 6, Normalized: true,
+			UseLookupTable: true, ActivityThreshold: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Forcing K well above the natural cluster count exercises the
+// empty-cluster reseed path in fitClusters and updateMeans.
+func TestEmptyClusterReseed(t *testing.T) {
+	// 30 near-identical points cannot support 8 distinct clusters.
+	ds := dataset.New(30, 2)
+	rng := rand.New(rand.NewSource(48))
+	for i := 0; i < ds.N; i++ {
+		ds.Point(i)[0] = 1 + rng.NormFloat64()*1e-6
+		ds.Point(i)[1] = 2 + rng.NormFloat64()*1e-6
+	}
+	res, err := Run(ds, Options{K: 8, Seed: 1, Normalized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != ds.N {
+		t.Fatalf("sizes cover %d of %d", total, ds.N)
+	}
+}
+
+func TestGaussianDegenerateData(t *testing.T) {
+	// All-identical points: zero covariance must still invert via ridge.
+	pts := make([]float64, 20*3)
+	for i := range pts {
+		pts[i] = 5
+	}
+	g, err := NewGaussian(pts, 3, 1e-6)
+	if err != nil {
+		t.Fatalf("degenerate Gaussian: %v", err)
+	}
+	if d := g.MahaDist([]float64{5, 5, 5}); d > 1e-9 {
+		t.Fatalf("MahaDist at mean = %v", d)
+	}
+}

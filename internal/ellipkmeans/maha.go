@@ -1,0 +1,95 @@
+// Package ellipkmeans implements the elliptical k-means algorithm
+// (Sung & Poggio, PAMI 1998) that MMDR uses to discover elliptical
+// clusters: a nested-loop k-means where the inner loop assigns points by
+// Mahalanobis distance under fixed per-cluster covariance matrices and the
+// outer loop re-estimates those covariances. It includes the paper's §4.2
+// optimizations: a per-point lookup table of the k closest centroid IDs and
+// an Activity counter that freezes points whose membership has stopped
+// changing.
+package ellipkmeans
+
+import (
+	"math"
+
+	"mmdr/internal/matrix"
+	"mmdr/internal/stats"
+)
+
+// ln2Pi is ln(2π), used by the normalized Mahalanobis distance.
+var ln2Pi = math.Log(2 * math.Pi)
+
+// Gaussian models one elliptical cluster: its centroid and the inverse and
+// log-determinant of its covariance matrix.
+type Gaussian struct {
+	Mean   []float64
+	Cov    *matrix.Mat
+	CovInv *matrix.Mat
+	LogDet float64
+}
+
+// NewGaussian fits a Gaussian to the points (row-major, dimension dim),
+// regularizing the covariance with ridgeScale when degenerate.
+func NewGaussian(points []float64, dim int, ridgeScale float64) (*Gaussian, error) {
+	cov, mean, err := stats.Covariance(points, dim)
+	if err != nil {
+		return nil, err
+	}
+	inv, logDet, err := matrix.InverseSPD(cov, ridgeScale)
+	if err != nil {
+		return nil, err
+	}
+	return &Gaussian{Mean: mean, Cov: cov, CovInv: inv, LogDet: logDet}, nil
+}
+
+// MahaDist returns the (squared-form) Mahalanobis distance
+// (p-μ)ᵀ C⁻¹ (p-μ) — paper Definition 3.2.
+func (g *Gaussian) MahaDist(p []float64) float64 {
+	return mahaQuadForm(p, g.Mean, g.CovInv)
+}
+
+// NormMahaDist returns the Normalized Mahalanobis Distance
+// ½(d·ln 2π + ln|C| + maha). This is the Gaussian negative log-likelihood
+// form from Sung–Poggio that the paper adopts; the paper's printed formula
+// ½(d·ln(2Π·|C|)+maha) is a typesetting slip (see DESIGN.md). The
+// normalization penalizes large-volume clusters so they cannot swallow
+// small ones.
+func (g *Gaussian) NormMahaDist(p []float64) float64 {
+	d := float64(len(g.Mean))
+	return 0.5 * (d*ln2Pi + g.LogDet + g.MahaDist(p))
+}
+
+// mahaQuadForm computes (p-o)ᵀ M (p-o) without allocating.
+func mahaQuadForm(p, o []float64, m *matrix.Mat) float64 {
+	n := len(p)
+	var total float64
+	for i := 0; i < n; i++ {
+		di := p[i] - o[i]
+		if di == 0 {
+			continue
+		}
+		row := m.Row(i)
+		var s float64
+		for j := 0; j < n; j++ {
+			s += row[j] * (p[j] - o[j])
+		}
+		total += di * s
+	}
+	return total
+}
+
+// MahaRadius returns the maximum Mahalanobis distance from the Gaussian's
+// mean over the given points — the cluster's Mahalanobis radius r used by
+// MMDR when sizing subspaces.
+func (g *Gaussian) MahaRadius(points []float64) float64 {
+	dim := len(g.Mean)
+	if dim == 0 || len(points) == 0 {
+		return 0
+	}
+	var r float64
+	for i := 0; i+dim <= len(points); i += dim {
+		if d := g.MahaDist(points[i : i+dim]); d > r {
+			r = d
+		}
+	}
+	return r
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"time"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/ellipkmeans"
+	"mmdr/internal/iostat"
+	"mmdr/internal/query"
+)
+
+// AblationLookup quantifies the §4.2 optimizations (k-closest-centroid
+// lookup table + Activity freezing) inside elliptical k-means: distance
+// computations and wall time with the optimization off vs on, at equal
+// clustering quality inputs.
+func AblationLookup(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 5, 2, 20, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "ablation-lookup",
+		Title:  "elliptical k-means distance ops: lookup table + activity on/off",
+		Header: []string{"variant", "distance_ops", "ms"},
+	}
+	run := func(name string, lookup bool) error {
+		var ctr iostat.Counter
+		opts := ellipkmeans.Options{K: 10, Seed: c.Seed, Normalized: true, Counter: &ctr}
+		if lookup {
+			opts.UseLookupTable = true
+			opts.LookupK = 3
+			opts.ActivityThreshold = 10
+		}
+		start := time.Now()
+		if _, err := ellipkmeans.Run(ds, opts); err != nil {
+			return err
+		}
+		t.AddRow(name, i64(ctr.DistanceOps), i64(time.Since(start).Milliseconds()))
+		return nil
+	}
+	if err := run("plain", false); err != nil {
+		return nil, err
+	}
+	if err := run("lookup+activity", true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AblationNormalized probes Definition 3.2's claim directly: with the raw
+// Mahalanobis quadratic form, a large-covariance cluster keeps absorbing
+// points and overwhelms a small dense cluster sitting nearby; the
+// normalized distance's volume penalty prevents it. The table reports how
+// well elliptical k-means (K = 2) recovers a planted big/small cluster
+// pair under each distance.
+func AblationNormalized(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	// A large elongated cluster plus a small dense cluster inside its
+	// Mahalanobis reach.
+	big := datagen.ClusterSpec{
+		Size: 3000, SDim: 2, SRDim: 0, VarianceR: 40, VarianceE: 2,
+		Center: make([]float64, 8), Rotate: false,
+	}
+	smallCenter := make([]float64, 8)
+	smallCenter[0] = 8 // well inside the big cluster's Mahalanobis reach
+	smallCenter[2] = 2.5
+	small := datagen.ClusterSpec{
+		Size: 600, SDim: 2, SRDim: 2, VarianceR: 2, VarianceE: 0.2,
+		Center: smallCenter, Rotate: false,
+	}
+	ds, labels, err := datagen.Correlated(8, []datagen.ClusterSpec{big, small}, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Name:   "ablation-normalized",
+		Title:  "elliptical k-means recovery of a big/small cluster pair: normalized vs raw Mahalanobis",
+		Header: []string{"variant", "agreement", "small_cluster_size"},
+	}
+	for _, normalized := range []bool{true, false} {
+		res, err := ellipkmeans.Run(ds, ellipkmeans.Options{
+			K: 2, Seed: c.Seed, Normalized: normalized, Restarts: 3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Agreement up to label permutation.
+		match, swap := 0, 0
+		for i, l := range labels {
+			if res.Assign[i] == l {
+				match++
+			} else {
+				swap++
+			}
+		}
+		if swap > match {
+			match = swap
+		}
+		minSize := res.Sizes[0]
+		if len(res.Sizes) > 1 && res.Sizes[1] < minSize {
+			minSize = res.Sizes[1]
+		}
+		name := "raw"
+		if normalized {
+			name = "normalized"
+		}
+		t.AddRow(name, f2(float64(match)/float64(ds.N)), i64(int64(minSize)))
+	}
+	return t, nil
+}
+
+// AblationMultiLevel contrasts the multi-level GE recursion (s_dim doubling)
+// against a flat single-level clustering at the initial s_dim: the
+// recursion's ability to raise subspace dimensionality where needed is what
+// keeps MPE bounded on higher-dimensional cluster structure.
+func AblationMultiLevel(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.sizes()
+	// Clusters with 6 remained dims: a 2-d first level is insufficient.
+	ds, err := synthetic(n, dim, 4, 6, 20, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries := datagen.SampleQueries(ds, c.NumQueries, 0.005, c.Seed+6)
+	t := &Table{
+		Name:   "ablation-multilevel",
+		Title:  "MMDR precision: multi-level recursion vs flat clustering",
+		Header: []string{"variant", "precision", "avg_dim", "outliers"},
+	}
+	for _, multi := range []bool{true, false} {
+		params := core.Params{Seed: c.Seed, SDim: 2}
+		if !multi {
+			// Disabling the recursion: accept every semi-ellipsoid at the
+			// first level by making the MPE gate vacuous.
+			params.MaxMPE = 1e9
+		}
+		red, err := core.New(params).Reduce(ds)
+		if err != nil {
+			return nil, err
+		}
+		p := query.ReductionPrecision(ds, red, queries, c.K)
+		st := red.Summarize()
+		name := "flat"
+		if multi {
+			name = "multi-level"
+		}
+		t.AddRow(name, f2(p), f2(st.AvgDim), i64(int64(st.NumOutliers)))
+	}
+	return t, nil
+}

@@ -1,0 +1,305 @@
+// Package experiments regenerates every table and figure of the paper's
+// §6 evaluation. Each Fig* function runs one experiment and returns a Table
+// whose rows mirror the series the paper plots; the Run registry dispatches
+// by name for the mmdrbench CLI and the root-level benchmarks.
+//
+// Dataset sizes are parameterised by Scale because the original evaluation
+// machine (333 MHz Ultra-10) and this environment differ; the paper's
+// qualitative shapes — method orderings, crossovers, growth trends — are
+// the reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/hybridtree"
+	"mmdr/internal/idist"
+	"mmdr/internal/index"
+	"mmdr/internal/iostat"
+	"mmdr/internal/query"
+	"mmdr/internal/reduction"
+)
+
+// Scale selects experiment sizes.
+type Scale string
+
+// Supported scales. Small keeps unit tests and benchmarks fast; Medium is
+// the CLI default; Paper approaches the paper's dataset sizes (slow on a
+// single core).
+const (
+	Small  Scale = "small"
+	Medium Scale = "medium"
+	Paper  Scale = "paper"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	Scale      Scale
+	Seed       int64
+	K          int // KNN size; paper uses 10
+	NumQueries int // paper uses 100
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == "" {
+		c.Scale = Medium
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.NumQueries <= 0 {
+		switch c.Scale {
+		case Small:
+			c.NumQueries = 15
+		case Medium:
+			c.NumQueries = 50
+		default:
+			c.NumQueries = 100
+		}
+	}
+	return c
+}
+
+// sizes returns (N, dim) of the main synthetic dataset per scale.
+func (c Config) sizes() (n, dim int) {
+	switch c.Scale {
+	case Small:
+		return 2000, 32
+	case Medium:
+		return 12000, 64
+	default:
+		return 100000, 64
+	}
+}
+
+// histSizes returns (N, dim) of the simulated color-histogram dataset.
+func (c Config) histSizes() (n, dim int) {
+	switch c.Scale {
+	case Small:
+		return 2000, 32
+	case Medium:
+		return 12000, 64
+	default:
+		return 70000, 64
+	}
+}
+
+// Table is one experiment's output: header plus formatted rows.
+type Table struct {
+	Name   string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "## %s — %s\n", t.Name, t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(sep, "  "))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.3f", v) }
+func i64(v int64) string  { return fmt.Sprintf("%d", v) }
+
+// Runner is an experiment entry point.
+type Runner func(Config) (*Table, error)
+
+// registry maps experiment names to runners.
+var registry = map[string]Runner{
+	"fig7a":  Fig7a,
+	"fig7b":  Fig7b,
+	"fig8a":  Fig8a,
+	"fig8b":  Fig8b,
+	"fig9a":  Fig9a,
+	"fig9b":  Fig9b,
+	"fig10a": Fig10a,
+	"fig10b": Fig10b,
+	"fig11a": Fig11a,
+	"fig11b": Fig11b,
+
+	"ablation-lookup":     AblationLookup,
+	"ablation-normalized": AblationNormalized,
+	"ablation-multilevel": AblationMultiLevel,
+}
+
+// Names lists registered experiments in stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run dispatches an experiment by name.
+func Run(name string, cfg Config) (*Table, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return r(cfg)
+}
+
+// ---- shared helpers -------------------------------------------------------
+
+// synthetic builds the normalized Appendix-A workload. Cluster scales
+// decay geometrically (factor 0.75) so the collection mixes large sparse
+// clusters with small dense ones — the paper's "different size,
+// orientation and ellipticity".
+func synthetic(n, dim, clusters, sdim int, ratio float64, seed int64) (*dataset.Dataset, error) {
+	cfg := datagen.CorrelatedConfig{N: n, Dim: dim, NumClusters: clusters, SDim: sdim,
+		VarRatio: ratio, ScaleDecay: 0.75, Seed: seed}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return datagen.Normalize(ds), nil
+}
+
+// reducers returns the three methods at a given forced dimensionality
+// (0 = each method's native dimensionality selection).
+func reducers(forced int, dim int, seed int64) []reduction.Reducer {
+	gdrDim := forced
+	if gdrDim <= 0 {
+		gdrDim = 20
+	}
+	if gdrDim > dim {
+		gdrDim = dim
+	}
+	return []reduction.Reducer{
+		core.New(core.Params{Seed: seed, ForcedDim: forced}),
+		&reduction.LDR{Seed: seed, ForcedDim: forced},
+		&reduction.GDR{TargetDim: gdrDim},
+	}
+}
+
+// precisionRow evaluates mean precision for each reducer on ds.
+func precisionRow(ds *dataset.Dataset, reds []reduction.Reducer, queries *dataset.Dataset, k int) ([]float64, error) {
+	out := make([]float64, len(reds))
+	for i, r := range reds {
+		res, err := r.Reduce(ds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Name(), err)
+		}
+		out[i] = query.ReductionPrecision(ds, res, queries, k)
+	}
+	return out, nil
+}
+
+// indexSchemes builds the three indexing schemes of Figures 9 and 10 over
+// their respective reductions, sharing per-scheme counters.
+type scheme struct {
+	name    string
+	idx     index.KNNIndex
+	counter *iostat.Counter
+}
+
+func buildSchemes(ds *dataset.Dataset, forcedDim int, seed int64) ([]scheme, error) {
+	mmdrRed, err := core.New(core.Params{Seed: seed, ForcedDim: forcedDim}).Reduce(ds)
+	if err != nil {
+		return nil, err
+	}
+	ldrRed, err := (&reduction.LDR{Seed: seed, ForcedDim: forcedDim}).Reduce(ds)
+	if err != nil {
+		return nil, err
+	}
+	var cm, cl, cg, cs iostat.Counter
+	iMMDR, err := idist.Build(ds, mmdrRed, idist.Options{Counter: &cm})
+	if err != nil {
+		return nil, err
+	}
+	iLDR, err := idist.Build(ds, ldrRed, idist.Options{Counter: &cl})
+	if err != nil {
+		return nil, err
+	}
+	gLDR, err := hybridtree.BuildGlobal(ds, ldrRed, hybridtree.Options{Counter: &cg})
+	if err != nil {
+		return nil, err
+	}
+	seq := index.NewSeqScan(ds, ldrRed, &cs)
+	// Construction cost is not part of the per-query metrics.
+	cm.Reset()
+	cl.Reset()
+	cg.Reset()
+	cs.Reset()
+	return []scheme{
+		{"iMMDR", iMMDR, &cm},
+		{"iLDR", iLDR, &cl},
+		{"gLDR", gLDR, &cg},
+		{"seq-scan", seq, &cs},
+	}, nil
+}
+
+// runQueries executes the workload on a scheme and returns (avg page IO,
+// avg distance ops, avg microseconds) per query.
+func runQueries(s scheme, queries *dataset.Dataset, k int) (avgIO, avgDist float64, avgMicros float64) {
+	s.counter.Reset()
+	start := time.Now()
+	for i := 0; i < queries.N; i++ {
+		s.idx.KNN(queries.Point(i), k)
+	}
+	elapsed := time.Since(start)
+	n := float64(queries.N)
+	return float64(s.counter.IO()) / n, float64(s.counter.DistanceOps) / n,
+		float64(elapsed.Microseconds()) / n
+}
+
+// WriteCSV renders the table as CSV (header row + data rows) for plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"time"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/iostat"
+)
+
+// Fig7a — query precision vs. ellipticity (paper Figure 7a): the synthetic
+// dataset's variance ratio sweeps the cluster ellipticity; MMDR should
+// dominate LDR and GDR, and LDR should decay faster as ellipticity falls.
+func Fig7a(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.sizes()
+	t := &Table{
+		Name:   "fig7a",
+		Title:  "query precision vs ellipticity (10NN)",
+		Header: []string{"ellipticity", "MMDR", "LDR", "GDR"},
+	}
+	for _, ratio := range []float64{2, 4, 8, 16, 32, 64} {
+		ds, err := synthetic(n, dim, 10, 4, ratio, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+1)
+		precs, err := precisionRow(ds, reducers(0, dim, c.Seed), queries, c.K)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f2(ratio-1), f2(precs[0]), f2(precs[1]), f2(precs[2]))
+	}
+	return t, nil
+}
+
+// Fig7b — query precision vs. number of correlated clusters (Figure 7b):
+// all methods match at one cluster; MMDR stays flat as clusters multiply
+// while LDR and GDR fall.
+func Fig7b(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.sizes()
+	t := &Table{
+		Name:   "fig7b",
+		Title:  "query precision vs number of correlated clusters (10NN)",
+		Header: []string{"clusters", "MMDR", "LDR", "GDR"},
+	}
+	for _, clusters := range []int{1, 2, 4, 6, 8, 10} {
+		ds, err := synthetic(n, dim, clusters, 4, 32, c.Seed+int64(clusters))
+		if err != nil {
+			return nil, err
+		}
+		queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+2)
+		precs, err := precisionRow(ds, reducers(0, dim, c.Seed), queries, c.K)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(i64(int64(clusters)), f2(precs[0]), f2(precs[1]), f2(precs[2]))
+	}
+	return t, nil
+}
+
+// dimSweep returns the retained-dimensionality sweep for Figures 8-10,
+// clamped to the dataset dimensionality.
+func dimSweep(dim int) []int {
+	base := []int{5, 10, 15, 20, 25, 30}
+	out := base[:0]
+	for _, d := range base {
+		if d <= dim {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, dim)
+	}
+	return out
+}
+
+// Fig8a — precision vs. retained dimensionality on the synthetic dataset
+// (Figure 8a).
+func Fig8a(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 10, 10, 32, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return precisionVsDim(c, "fig8a", "precision vs retained dims (synthetic)", ds)
+}
+
+// Fig8b — precision vs. retained dimensionality on the simulated color
+// histograms (Figure 8b): all methods degrade relative to the synthetic
+// data; MMDR stays on top.
+func Fig8b(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.histSizes()
+	ds := datagen.ColorHistogram(n, dim, 12, 0.15, c.Seed)
+	datagen.Normalize(ds)
+	return precisionVsDim(c, "fig8b", "precision vs retained dims (color histogram)", ds)
+}
+
+func precisionVsDim(c Config, name, title string, ds *dataset.Dataset) (*Table, error) {
+	t := &Table{
+		Name:   name,
+		Title:  title,
+		Header: []string{"dims", "MMDR", "LDR", "GDR"},
+	}
+	queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+3)
+	for _, dr := range dimSweep(ds.Dim) {
+		precs, err := precisionRow(ds, reducers(dr, ds.Dim, c.Seed), queries, c.K)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(i64(int64(dr)), f2(precs[0]), f2(precs[1]), f2(precs[2]))
+	}
+	return t, nil
+}
+
+// Fig9a — average page I/O per 10NN query vs. retained dimensionality on
+// the synthetic dataset (Figure 9a): iMMDR < iLDR < gLDR, with gLDR
+// crossing the sequential scan around d_r = 20.
+func Fig9a(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 8, 12, 32, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return costVsDim(c, "fig9a", "page IO per query vs dims (synthetic)", ds, metricIO)
+}
+
+// Fig9b — page I/O on the simulated color histograms (Figure 9b).
+func Fig9b(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.histSizes()
+	ds := datagen.ColorHistogram(n, dim, 12, 0.15, c.Seed)
+	datagen.Normalize(ds)
+	return costVsDim(c, "fig9b", "page IO per query vs dims (color histogram)", ds, metricIO)
+}
+
+// Fig10a — CPU cost per 10NN query vs. retained dimensionality on the
+// synthetic dataset (Figure 10a), reported as both wall microseconds and
+// distance computations. gLDR's multi-dimensional node processing makes it
+// an order of magnitude slower by d_r = 30.
+func Fig10a(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 8, 12, 32, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return costVsDim(c, "fig10a", "CPU microseconds per query vs dims (synthetic)", ds, metricCPU)
+}
+
+// Fig10b — CPU cost on the simulated color histograms (Figure 10b).
+func Fig10b(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	n, dim := c.histSizes()
+	ds := datagen.ColorHistogram(n, dim, 12, 0.15, c.Seed)
+	datagen.Normalize(ds)
+	return costVsDim(c, "fig10b", "CPU microseconds per query vs dims (color histogram)", ds, metricCPU)
+}
+
+type metric int
+
+const (
+	metricIO metric = iota
+	metricCPU
+)
+
+func costVsDim(c Config, name, title string, ds *dataset.Dataset, m metric) (*Table, error) {
+	header := []string{"dims", "iMMDR", "iLDR", "gLDR", "seq-scan"}
+	t := &Table{Name: name, Title: title, Header: header}
+	queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+4)
+	for _, dr := range dimSweep(ds.Dim) {
+		schemes, err := buildSchemes(ds, dr, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{i64(int64(dr))}
+		for _, s := range schemes {
+			io, _, micros := runQueries(s, queries, c.K)
+			switch m {
+			case metricIO:
+				row = append(row, f2(io))
+			default:
+				row = append(row, f2(micros))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig11a — MMDR total response time vs. data size (Figure 11a): plain vs
+// scalable MMDR, fixed dimensionality. TRT grows linearly with N and the
+// scalable variant's disk traffic stays a single sequential scan even past
+// the buffer size.
+func Fig11a(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	var sizes []int
+	var dim int
+	switch c.Scale {
+	case Small:
+		sizes, dim = []int{1000, 2000, 4000}, 16
+	case Medium:
+		sizes, dim = []int{5000, 10000, 20000, 40000}, 32
+	default:
+		sizes, dim = []int{50000, 100000, 250000, 500000, 1000000}, 100
+	}
+	t := &Table{
+		Name:   "fig11a",
+		Title:  "MMDR total response time vs data size",
+		Header: []string{"N", "plain_ms", "scalable_ms", "scalable_scan_pages"},
+	}
+	for _, n := range sizes {
+		ds, err := synthetic(n, dim, 5, 3, 20, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := core.New(core.Params{Seed: c.Seed}).Reduce(ds); err != nil {
+			return nil, err
+		}
+		plain := time.Since(start)
+
+		var ctr iostat.Counter
+		start = time.Now()
+		if _, err := (&core.Scalable{Params: core.Params{Seed: c.Seed, Counter: &ctr}}).Reduce(ds); err != nil {
+			return nil, err
+		}
+		scal := time.Since(start)
+		t.AddRow(i64(int64(n)), i64(plain.Milliseconds()), i64(scal.Milliseconds()), i64(ctr.PageReads))
+	}
+	return t, nil
+}
+
+// Fig11b — MMDR total response time vs. dimensionality (Figure 11b): TRT
+// grows roughly quadratically with d.
+func Fig11b(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	var dims []int
+	var n int
+	switch c.Scale {
+	case Small:
+		dims, n = []int{8, 16, 32}, 2000
+	case Medium:
+		dims, n = []int{16, 32, 64, 96}, 10000
+	default:
+		dims, n = []int{50, 100, 150, 200}, 1000000
+	}
+	t := &Table{
+		Name:   "fig11b",
+		Title:  "MMDR total response time vs dimensionality",
+		Header: []string{"dims", "scalable_ms"},
+	}
+	for _, dim := range dims {
+		ds, err := synthetic(n, dim, 5, 3, 20, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := (&core.Scalable{Params: core.Params{Seed: c.Seed}}).Reduce(ds); err != nil {
+			return nil, err
+		}
+		t.AddRow(i64(int64(dim)), i64(time.Since(start).Milliseconds()))
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package hybridtree
+
+import (
+	"fmt"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/index"
+	"mmdr/internal/iostat"
+	"mmdr/internal/reduction"
+)
+
+// Global is the paper's "Global indexing method" (gLDR): one Hybrid tree
+// per reduced cluster in that cluster's reduced coordinates, one more for
+// the outliers in the original space, and an array mapping clusters to
+// trees. KNN searches every tree with a shared candidate set so the
+// evolving k-th distance prunes across trees.
+type Global struct {
+	ds      *dataset.Dataset
+	red     *reduction.Result
+	trees   []*Tree
+	subs    []*reduction.Subspace // parallel to trees; nil entry = outlier tree
+	counter *iostat.Counter
+}
+
+// BuildGlobal constructs the gLDR structure over a reduction of ds.
+func BuildGlobal(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Global, error) {
+	if ds.N == 0 {
+		return nil, fmt.Errorf("hybridtree: empty dataset")
+	}
+	g := &Global{ds: ds, red: red, counter: opts.Counter}
+	for _, s := range red.Subspaces {
+		pts := make([]float64, len(s.Coords))
+		copy(pts, s.Coords)
+		tr, err := Build(pts, s.Dr, append([]int(nil), s.Members...), opts)
+		if err != nil {
+			return nil, err
+		}
+		g.trees = append(g.trees, tr)
+		g.subs = append(g.subs, s)
+	}
+	if len(red.Outliers) > 0 {
+		out := ds.Subset(red.Outliers)
+		tr, err := Build(out.Data, ds.Dim, append([]int(nil), red.Outliers...), opts)
+		if err != nil {
+			return nil, err
+		}
+		g.trees = append(g.trees, tr)
+		g.subs = append(g.subs, nil)
+	}
+	if len(g.trees) == 0 {
+		return nil, fmt.Errorf("hybridtree: reduction has no partitions")
+	}
+	return g, nil
+}
+
+// Name implements index.KNNIndex.
+func (g *Global) Name() string { return "gLDR" }
+
+// KNN implements index.KNNIndex, searching all trees with a shared top-k.
+func (g *Global) KNN(q []float64, k int) []index.Neighbor {
+	top := index.NewTopK(k)
+	for ti, tr := range g.trees {
+		var qq []float64
+		if s := g.subs[ti]; s != nil {
+			qq = s.Project(q)
+		} else {
+			qq = q
+		}
+		tr.Search(qq, top.Kth(), func(id int, dist float64) float64 {
+			top.Add(id, dist)
+			return top.Kth()
+		})
+	}
+	return top.Sorted()
+}

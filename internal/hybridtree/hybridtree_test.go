@@ -1,0 +1,244 @@
+package hybridtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/index"
+	"mmdr/internal/iostat"
+)
+
+func randPoints(n, dim int, seed int64) ([]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]float64, n*dim)
+	for i := range pts {
+		pts[i] = rng.Float64()
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return pts, ids
+}
+
+// bruteKNN computes exact k nearest neighbors by scan.
+func bruteKNN(pts []float64, dim int, q []float64, k int) []index.Neighbor {
+	n := len(pts) / dim
+	top := index.NewTopK(k)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < dim; j++ {
+			d := q[j] - pts[i*dim+j]
+			s += d * d
+		}
+		top.Add(i, math.Sqrt(s))
+	}
+	return top.Sorted()
+}
+
+func knnViaSearch(tr *Tree, q []float64, k int) []index.Neighbor {
+	top := index.NewTopK(k)
+	tr.Search(q, top.Kth(), func(id int, dist float64) float64 {
+		top.Add(id, dist)
+		return top.Kth()
+	})
+	return top.Sorted()
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 0, nil, Options{}); err == nil {
+		t.Fatal("expected error for dim 0")
+	}
+	if _, err := Build([]float64{1, 2, 3}, 2, []int{0}, Options{}); err == nil {
+		t.Fatal("expected error for ragged points")
+	}
+	if _, err := Build([]float64{1, 2}, 2, []int{0, 1}, Options{}); err == nil {
+		t.Fatal("expected error for id count mismatch")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	pts, ids := randPoints(1000, 6, 111)
+	tr, err := Build(pts, 6, ids, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float64, 6)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		got := knnViaSearch(tr, q, 10)
+		want := bruteKNN(pts, 6, q, 10)
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+// Property: for random small datasets, tree KNN equals brute force.
+func TestSearchProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(5)
+		n := 1 + r.Intn(200)
+		pts, ids := randPoints(n, dim, seed)
+		tr, err := Build(pts, dim, ids, Options{PageSize: 256})
+		if err != nil {
+			return false
+		}
+		k := 1 + r.Intn(10)
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = r.Float64()*2 - 0.5
+		}
+		got := knnViaSearch(tr, q, k)
+		want := bruteKNN(pts, dim, q, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	pts, ids := randPoints(5000, 4, 114)
+	var ctr iostat.Counter
+	tr, err := Build(pts, 4, ids, Options{PageSize: 1024, Counter: &ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5, 0.5, 0.5}
+	knnViaSearch(tr, q, 5)
+	visited := ctr.NodeAccesses
+	ctr.Reset()
+	knnViaSearch(tr, q, 5000)
+	full := ctr.NodeAccesses
+	if visited*2 > full {
+		t.Fatalf("5-NN visited %d nodes vs %d for full retrieval — no pruning", visited, full)
+	}
+}
+
+func TestGlobalMatchesSeqScan(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 700, Dim: 12, NumClusters: 3, SDim: 2, VarRatio: 20, Seed: 115}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	red, err := core.New(core.Params{Seed: 115, MaxEC: 5}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGlobal(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "gLDR" {
+		t.Fatal("name")
+	}
+	scan := index.NewSeqScan(ds, red, nil)
+	queries := datagen.SampleQueries(ds, 15, 0.02, 116)
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Point(qi)
+		got := g.KNN(q, 10)
+		want := scan.KNN(q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestGlobalEmpty(t *testing.T) {
+	ds := datagen.Uniform(0, 4, 1)
+	if _, err := BuildGlobal(ds, nil, Options{}); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestDuplicatePointsAllReturned(t *testing.T) {
+	pts := make([]float64, 0, 40)
+	ids := make([]int, 0, 20)
+	for i := 0; i < 20; i++ {
+		pts = append(pts, 0.5, 0.5)
+		ids = append(ids, i)
+	}
+	tr, err := Build(pts, 2, ids, Options{PageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := knnViaSearch(tr, []float64{0.5, 0.5}, 20)
+	if len(got) != 20 {
+		t.Fatalf("got %d of 20 duplicates", len(got))
+	}
+	seen := map[int]bool{}
+	for _, n := range got {
+		seen[n.ID] = true
+	}
+	if len(seen) != 20 {
+		t.Fatal("duplicate IDs collapsed")
+	}
+	sort.Ints(ids)
+}
+
+func TestGlobalWithOutliers(t *testing.T) {
+	// Force a reduction with an outlier set so the outlier tree path runs.
+	cfg := datagen.CorrelatedConfig{N: 600, Dim: 10, NumClusters: 2, SDim: 2, VarRatio: 25, Seed: 117}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	red, err := core.New(core.Params{Seed: 117, Beta: 0.01, Xi: 0.2}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Outliers) == 0 {
+		t.Skip("no outliers at this seed; tighten beta")
+	}
+	g, err := BuildGlobal(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := index.NewSeqScan(ds, red, nil)
+	q := ds.Point(red.Outliers[0])
+	got := g.KNN(q, 5)
+	want := scan.KNN(q, 5)
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d results", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+	// The outlier itself is its own nearest neighbor.
+	if got[0].ID != red.Outliers[0] || got[0].Dist > 1e-9 {
+		t.Fatalf("outlier not found: %+v", got[0])
+	}
+}

@@ -1,0 +1,339 @@
+// Package idist implements the paper's §5: the extended iDistance index.
+//
+// iDistance [Yu, Ooi, Tan, Jagadish — VLDB'01] maps every point to a single
+// dimension: y = i·c + dist(P, O_i), where O_i is the reference point of the
+// partition holding P and c a stretching constant that range-partitions the
+// key space per partition. The single-dimensional keys live in a B⁺-tree.
+//
+// The extension indexes points from *different axis systems* in one tree:
+// each MMDR/LDR subspace is a partition whose reference point is its
+// centroid (which projects to the origin of its local coordinate system),
+// and the outlier set is one extra partition in the original space. KNN
+// search proceeds by iteratively enlarging a query sphere and, per
+// partition, scanning only the key annulus that the sphere can reach — the
+// three containment cases of Figure 6 — until the k-th candidate distance
+// drops below the search radius.
+package idist
+
+import (
+	"fmt"
+	"math"
+
+	"mmdr/internal/btree"
+	"mmdr/internal/dataset"
+	"mmdr/internal/index"
+	"mmdr/internal/iostat"
+	"mmdr/internal/matrix"
+	"mmdr/internal/reduction"
+	"mmdr/internal/stats"
+)
+
+// Options configures index construction.
+type Options struct {
+	// PageSize for the underlying B⁺-tree (0 = iostat.PageSize).
+	PageSize int
+	// C is the key-space stretching constant; 0 derives it from the
+	// largest partition radius.
+	C float64
+	// DeltaR is the radius-enlargement step of the KNN search; 0 derives
+	// it as a fraction of the average partition radius.
+	DeltaR float64
+	// Counter accumulates page and distance costs (may be nil).
+	Counter *iostat.Counter
+}
+
+// partition is one key-range section of the single-dimensional space:
+// either a reduced subspace or the outlier set.
+type partition struct {
+	sub       *reduction.Subspace // nil for the outlier partition
+	centroid  []float64           // original-space reference point (outliers)
+	maxRadius float64             // data-sphere radius in the partition's metric
+}
+
+// Index is the extended iDistance structure: one B⁺-tree plus the two
+// auxiliary arrays of §5 (partition geometry for searching; cluster shape
+// for dynamic insertion lives on the Subspace values themselves).
+type Index struct {
+	ds      *dataset.Dataset
+	red     *reduction.Result
+	tree    *btree.Tree
+	parts   []partition
+	c       float64
+	deltaR  float64
+	counter *iostat.Counter
+
+	// Per-rid location: which partition and which member slot, so candidate
+	// distances can be computed from stored reduced coordinates.
+	partOf []int32
+	slotOf []int32
+}
+
+// Build constructs the index over a reduction of ds.
+func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, error) {
+	if ds.N == 0 {
+		return nil, fmt.Errorf("idist: empty dataset")
+	}
+	nParts := len(red.Subspaces)
+	hasOutliers := len(red.Outliers) > 0
+	if hasOutliers {
+		nParts++
+	}
+	if nParts == 0 {
+		return nil, fmt.Errorf("idist: reduction has no partitions")
+	}
+
+	idx := &Index{
+		ds:      ds,
+		red:     red,
+		counter: opts.Counter,
+		partOf:  make([]int32, ds.N),
+		slotOf:  make([]int32, ds.N),
+		parts:   make([]partition, 0, nParts),
+	}
+	for i := range idx.partOf {
+		idx.partOf[i] = -1
+	}
+
+	// Partition geometry. Subspace partitions measure distance in their
+	// reduced coordinates (centroid projects to the origin); the outlier
+	// partition measures in the original space from the outlier centroid.
+	var weightedDim, members float64
+	for _, s := range red.Subspaces {
+		idx.parts = append(idx.parts, partition{sub: s, maxRadius: s.MaxRadius})
+		weightedDim += float64(s.Dr) * float64(len(s.Members))
+		members += float64(len(s.Members))
+	}
+	var outCentroid []float64
+	if hasOutliers {
+		outPts := ds.Subset(red.Outliers)
+		mean, err := stats.Mean(outPts.Data, ds.Dim)
+		if err != nil {
+			return nil, err
+		}
+		outCentroid = mean
+		var r float64
+		for i := 0; i < outPts.N; i++ {
+			if d := matrix.Dist(outPts.Point(i), mean); d > r {
+				r = d
+			}
+		}
+		idx.parts = append(idx.parts, partition{centroid: mean, maxRadius: r})
+		weightedDim += float64(ds.Dim) * float64(len(red.Outliers))
+		members += float64(len(red.Outliers))
+	}
+
+	// Stretching constant: beyond every partition's radius so ranges never
+	// collide.
+	c := opts.C
+	if c <= 0 {
+		var maxR float64
+		for _, p := range idx.parts {
+			if p.maxRadius > maxR {
+				maxR = p.maxRadius
+			}
+		}
+		c = maxR*1.05 + 1e-9
+	}
+	idx.c = c
+
+	dr := opts.DeltaR
+	if dr <= 0 {
+		var sum float64
+		for _, p := range idx.parts {
+			sum += p.maxRadius
+		}
+		dr = sum / float64(len(idx.parts)) / 4
+		if dr <= 0 {
+			dr = c / 4
+		}
+	}
+	idx.deltaR = dr
+
+	// Leaf entries hold the key plus the reduced vector: size the tree's
+	// fan-out by the member-weighted average dimensionality so page I/O
+	// scales with d_r the way Figure 9 expects.
+	avgDim := 1.0
+	if members > 0 {
+		avgDim = weightedDim / members
+	}
+	entry := 8 * (int(math.Ceil(avgDim)) + 2)
+	idx.tree = btree.NewWithEntrySize(opts.PageSize, entry, opts.Counter)
+
+	// Map all points to keys y = i*c + dist(P, O_i) and bulk-load the tree
+	// bottom-up (construction over an existing dataset; dynamic Insert
+	// serves later additions).
+	entries := make([]btree.Entry, 0, ds.N)
+	for pi, s := range red.Subspaces {
+		for mi, id := range s.Members {
+			key := float64(pi)*c + matrix.Norm2(s.MemberCoords(mi))
+			entries = append(entries, btree.Entry{Key: key, RID: uint32(id)})
+			idx.partOf[id] = int32(pi)
+			idx.slotOf[id] = int32(mi)
+		}
+	}
+	if hasOutliers {
+		pi := len(red.Subspaces)
+		for _, id := range red.Outliers {
+			key := float64(pi)*c + matrix.Dist(ds.Point(id), outCentroid)
+			entries = append(entries, btree.Entry{Key: key, RID: uint32(id)})
+			idx.partOf[id] = int32(pi)
+			idx.slotOf[id] = -1
+		}
+	}
+	idx.tree.BulkLoad(entries, 0.9)
+	return idx, nil
+}
+
+// Name implements index.KNNIndex.
+func (idx *Index) Name() string { return "iDistance" }
+
+// Tree exposes the underlying B⁺-tree (diagnostics, tests).
+func (idx *Index) Tree() *btree.Tree { return idx.tree }
+
+// C returns the stretching constant.
+func (idx *Index) C() float64 { return idx.c }
+
+// queryState tracks, per partition, the query's projection, its distance to
+// the reference point, and the key annulus already scanned.
+type queryState struct {
+	proj      []float64 // reduced coords (subspaces) or nil (outliers)
+	dist      float64   // dist(q_i, O_i) in the partition metric
+	scanLo    float64   // already-scanned annulus [scanLo, scanHi]
+	scanHi    float64
+	exhausted bool
+}
+
+// KNN implements index.KNNIndex: the iterative radius-enlargement search,
+// run to completion (exact over the reduced representation).
+func (idx *Index) KNN(q []float64, k int) []index.Neighbor {
+	return idx.knn(q, k, 0)
+}
+
+// KNNApprox bounds the radius enlargement to maxRounds iterations
+// (0 = unbounded, i.e. exact). Early termination returns the best
+// candidates found so far — the online-answering mode of iDistance, useful
+// when a slightly lower precision is an acceptable trade for latency.
+func (idx *Index) KNNApprox(q []float64, k, maxRounds int) []index.Neighbor {
+	return idx.knn(q, k, maxRounds)
+}
+
+func (idx *Index) knn(q []float64, k, maxRounds int) []index.Neighbor {
+	top := index.NewTopK(k)
+	states := make([]queryState, len(idx.parts))
+	for pi := range idx.parts {
+		p := &idx.parts[pi]
+		st := &states[pi]
+		if p.sub != nil {
+			st.proj = p.sub.Project(q)
+			st.dist = matrix.Norm2(st.proj)
+		} else {
+			st.dist = matrix.Dist(q, p.centroid)
+		}
+		st.scanLo, st.scanHi = math.Inf(1), math.Inf(-1) // nothing scanned
+	}
+
+	r := idx.deltaR
+	for round := 1; ; round++ {
+		allDone := true
+		for pi := range idx.parts {
+			p := &idx.parts[pi]
+			st := &states[pi]
+			if st.exhausted {
+				continue
+			}
+			// Figure 6 case analysis collapses into one annulus formula:
+			// reachable key range = [max(0, dist-r), min(maxRadius, dist+r)].
+			lo := st.dist - r
+			if lo < 0 {
+				lo = 0
+			}
+			hi := st.dist + r
+			if hi > p.maxRadius {
+				hi = p.maxRadius
+			}
+			if lo > hi {
+				// Case 3: sphere does not reach this partition yet.
+				if st.dist-r > p.maxRadius {
+					allDone = false // may reach later
+				}
+				continue
+			}
+			// Scan only the not-yet-visited parts of the annulus.
+			base := float64(pi) * idx.c
+			if st.scanLo > st.scanHi {
+				idx.scanRange(q, pi, base+lo, base+hi, st, top)
+				st.scanLo, st.scanHi = lo, hi
+			} else {
+				if lo < st.scanLo {
+					idx.scanRange(q, pi, base+lo, base+st.scanLo-1e-15, st, top)
+					st.scanLo = lo
+				}
+				if hi > st.scanHi {
+					idx.scanRange(q, pi, base+st.scanHi+1e-15, base+hi, st, top)
+					st.scanHi = hi
+				}
+			}
+			if st.scanLo <= 0 && st.scanHi >= p.maxRadius {
+				st.exhausted = true
+			} else {
+				allDone = false
+			}
+		}
+		// Stop when the k-th distance is within the sphere (every closer
+		// point has been seen) or nothing remains to scan.
+		if top.Len() >= k && top.Kth() <= r {
+			break
+		}
+		if allDone {
+			break
+		}
+		if maxRounds > 0 && round >= maxRounds {
+			break
+		}
+		r += idx.deltaR
+	}
+	return top.Sorted()
+}
+
+// scanRange visits tree keys in [lo, hi] for partition pi, computing each
+// candidate's distance in the partition's metric: projected distance for
+// subspace members, exact original-space distance for outliers.
+func (idx *Index) scanRange(q []float64, pi int, lo, hi float64, st *queryState, top *index.TopK) {
+	p := &idx.parts[pi]
+	idx.tree.RangeAsc(lo, hi, func(_ float64, rid uint32) bool {
+		id := int(rid)
+		var d float64
+		if p.sub != nil {
+			d = matrix.Dist(st.proj, p.sub.MemberCoords(int(idx.slotOf[id])))
+		} else {
+			d = matrix.Dist(idx.ds.Point(id), q)
+		}
+		if idx.counter != nil {
+			idx.counter.DistanceOps++
+		}
+		top.Add(id, d)
+		return true
+	})
+}
+
+// Stats describes the index structure for monitoring and diagnostics.
+type Stats struct {
+	Points     int // indexed entries
+	Partitions int // subspace partitions + outlier partition
+	TreeHeight int
+	LeafPages  int
+	C          float64 // stretching constant
+	DeltaR     float64 // search-radius step
+}
+
+// Stats returns the index's structural statistics.
+func (idx *Index) Stats() Stats {
+	return Stats{
+		Points:     idx.tree.Len(),
+		Partitions: len(idx.parts),
+		TreeHeight: idx.tree.Height(),
+		LeafPages:  idx.tree.LeafPages(),
+		C:          idx.c,
+		DeltaR:     idx.deltaR,
+	}
+}

@@ -1,0 +1,128 @@
+package idist
+
+import (
+	"fmt"
+	"math"
+
+	"mmdr/internal/matrix"
+)
+
+// insertBeta is the projection-distance bound a new point must satisfy to
+// join a subspace (the reduction's β); points no subspace represents well
+// go to the outlier partition. Carried on the index via Options in the
+// future if tuning is needed; the paper's Table 1 default is used here.
+const insertBeta = 0.1
+
+// Insert adds a new point to the index (extended iDistance dynamic
+// insertion, §5). The subspace is chosen with the auxiliary shape array the
+// index keeps per cluster: among subspaces whose Mahalanobis distance to
+// the point is within the cluster's Mahalanobis radius (with 20% slack) and
+// whose projection distance is within β, the closest (normalized by
+// radius) wins. If none qualifies the point joins the outlier partition,
+// which is created on demand. It returns the point's new row ID.
+func (idx *Index) Insert(p []float64) (int, error) {
+	if len(p) != idx.ds.Dim {
+		return 0, fmt.Errorf("idist: Insert dimension %d, want %d", len(p), idx.ds.Dim)
+	}
+
+	bestPart := -1
+	bestScore := math.Inf(1)
+	for pi := range idx.parts {
+		part := &idx.parts[pi]
+		s := part.sub
+		if s == nil || s.CovInv == nil {
+			continue
+		}
+		maha := mahaQuad(p, s.Centroid, s.CovInv)
+		if s.MahaRadius > 0 && maha > s.MahaRadius*1.2 {
+			continue
+		}
+		if s.Residual(p) > insertBeta {
+			continue
+		}
+		score := maha
+		if s.MahaRadius > 0 {
+			score = maha / s.MahaRadius
+		}
+		if score < bestScore {
+			bestScore, bestPart = score, pi
+		}
+	}
+
+	// Register the point in the dataset.
+	id := idx.ds.N
+	idx.ds.Append(p)
+	idx.partOf = append(idx.partOf, -1)
+	idx.slotOf = append(idx.slotOf, -1)
+
+	if bestPart >= 0 {
+		// A key must stay inside its partition's [i·c, (i+1)·c) range.
+		if d := matrix.Norm2(idx.parts[bestPart].sub.Project(p)); d >= idx.c {
+			bestPart = -1
+		}
+	}
+
+	if bestPart >= 0 {
+		part := &idx.parts[bestPart]
+		s := part.sub
+		coords := s.Project(p)
+		slot := len(s.Members)
+		s.Members = append(s.Members, id)
+		s.Coords = append(s.Coords, coords...)
+		dist := matrix.Norm2(coords)
+		if dist > s.MaxRadius {
+			s.MaxRadius = dist
+			part.maxRadius = dist
+		}
+		idx.partOf[id] = int32(bestPart)
+		idx.slotOf[id] = int32(slot)
+		idx.tree.Insert(float64(bestPart)*idx.c+dist, uint32(id))
+		return id, nil
+	}
+
+	// Outlier partition, created on first demand.
+	oi := idx.outlierPartition(p)
+	part := &idx.parts[oi]
+	dist := matrix.Dist(p, part.centroid)
+	if dist > part.maxRadius {
+		part.maxRadius = dist
+	}
+	idx.partOf[id] = int32(oi)
+	idx.slotOf[id] = -1
+	idx.tree.Insert(float64(oi)*idx.c+dist, uint32(id))
+	idx.red.Outliers = append(idx.red.Outliers, id)
+	return id, nil
+}
+
+// outlierPartition returns the index of the outlier partition, creating one
+// anchored at p when the build produced none.
+func (idx *Index) outlierPartition(p []float64) int {
+	for pi := range idx.parts {
+		if idx.parts[pi].sub == nil {
+			return pi
+		}
+	}
+	centroid := make([]float64, len(p))
+	copy(centroid, p)
+	idx.parts = append(idx.parts, partition{centroid: centroid})
+	return len(idx.parts) - 1
+}
+
+// mahaQuad computes (p-o)ᵀ M (p-o).
+func mahaQuad(p, o []float64, m *matrix.Mat) float64 {
+	var total float64
+	n := len(p)
+	for i := 0; i < n; i++ {
+		di := p[i] - o[i]
+		if di == 0 {
+			continue
+		}
+		row := m.Row(i)
+		var s float64
+		for j := 0; j < n; j++ {
+			s += row[j] * (p[j] - o[j])
+		}
+		total += di * s
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+package idist
+
+import (
+	"sort"
+
+	"mmdr/internal/index"
+	"mmdr/internal/matrix"
+)
+
+// Range returns every point whose distance to q (in the partition metric:
+// reduced coordinates for subspace members, original space for outliers) is
+// at most r, sorted ascending by distance. Range queries are the other
+// query class iDistance supports natively: the query sphere maps to one key
+// annulus per partition, no iteration required.
+func (idx *Index) Range(q []float64, r float64) []index.Neighbor {
+	var out []index.Neighbor
+	for pi := range idx.parts {
+		p := &idx.parts[pi]
+		var proj []float64
+		var dist float64
+		if p.sub != nil {
+			proj = p.sub.Project(q)
+			dist = matrix.Norm2(proj)
+		} else {
+			dist = matrix.Dist(q, p.centroid)
+		}
+		lo := dist - r
+		if lo < 0 {
+			lo = 0
+		}
+		hi := dist + r
+		if hi > p.maxRadius {
+			hi = p.maxRadius
+		}
+		if lo > hi {
+			continue // query sphere cannot reach this partition
+		}
+		base := float64(pi) * idx.c
+		idx.tree.RangeAsc(base+lo, base+hi, func(_ float64, rid uint32) bool {
+			id := int(rid)
+			var d float64
+			if p.sub != nil {
+				d = matrix.Dist(proj, p.sub.MemberCoords(int(idx.slotOf[id])))
+			} else {
+				d = matrix.Dist(idx.ds.Point(id), q)
+			}
+			if idx.counter != nil {
+				idx.counter.DistanceOps++
+			}
+			if d <= r {
+				out = append(out, index.Neighbor{ID: id, Dist: d})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Delete removes point id from the index. The B⁺-tree entry is deleted;
+// the subspace's member slot is left in place (tombstoned) so the reduced
+// coordinates of other members keep their offsets. It reports whether the
+// point was present.
+func (idx *Index) Delete(id int) bool {
+	if id < 0 || id >= len(idx.partOf) || idx.partOf[id] < 0 {
+		return false
+	}
+	pi := int(idx.partOf[id])
+	p := &idx.parts[pi]
+	var key float64
+	if p.sub != nil {
+		key = float64(pi)*idx.c + matrix.Norm2(p.sub.MemberCoords(int(idx.slotOf[id])))
+	} else {
+		key = float64(pi)*idx.c + matrix.Dist(idx.ds.Point(id), p.centroid)
+	}
+	if !idx.tree.Delete(key, uint32(id)) {
+		return false
+	}
+	idx.partOf[id] = -1
+	idx.slotOf[id] = -1
+	return true
+}

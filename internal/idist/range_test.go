@@ -1,0 +1,138 @@
+package idist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmdr/internal/index"
+)
+
+// bruteRange computes the reduced-metric range answer by filtering a full
+// sequential scan.
+func bruteRange(scan *index.SeqScan, q []float64, r float64, n int) []index.Neighbor {
+	all := scan.KNN(q, n)
+	var out []index.Neighbor
+	for _, nb := range all {
+		if nb.Dist <= r {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+func TestRangeMatchesScan(t *testing.T) {
+	ds, red := testSetup(t, 700, 10, 3, 141)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := index.NewSeqScan(ds, red, nil)
+	rng := rand.New(rand.NewSource(142))
+	for trial := 0; trial < 15; trial++ {
+		q := ds.Point(rng.Intn(ds.N))
+		r := 0.02 + rng.Float64()*0.2
+		got := idx.Range(q, r)
+		want := bruteRange(scan, q, r, ds.N)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (r=%v): %d results, scan found %d", trial, r, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+			if got[i].Dist > r {
+				t.Fatalf("result outside radius: %v > %v", got[i].Dist, r)
+			}
+		}
+	}
+}
+
+func TestRangeZeroRadius(t *testing.T) {
+	ds, red := testSetup(t, 300, 8, 2, 143)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 0 at a data point returns at least that point.
+	got := idx.Range(ds.Point(5), 0)
+	found := false
+	for _, nb := range got {
+		if nb.ID == 5 {
+			found = true
+		}
+		if nb.Dist != 0 {
+			t.Fatalf("radius-0 result with dist %v", nb.Dist)
+		}
+	}
+	if !found {
+		t.Fatal("point not in its own radius-0 range")
+	}
+}
+
+func TestRangeFarQueryEmpty(t *testing.T) {
+	ds, red := testSetup(t, 300, 8, 2, 144)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, ds.Dim)
+	for i := range q {
+		q[i] = 100
+	}
+	if got := idx.Range(q, 0.01); len(got) != 0 {
+		t.Fatalf("far query returned %d results", len(got))
+	}
+}
+
+func TestDeleteRemovesFromResults(t *testing.T) {
+	ds, red := testSetup(t, 400, 8, 2, 145)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Point(7)
+	before := idx.KNN(q, 1)
+	if before[0].ID != 7 {
+		t.Fatalf("setup: 1-NN of point 7 is %d", before[0].ID)
+	}
+	if !idx.Delete(7) {
+		t.Fatal("Delete(7) reported not found")
+	}
+	after := idx.KNN(q, 1)
+	if len(after) == 1 && after[0].ID == 7 {
+		t.Fatal("deleted point still returned")
+	}
+	// Double delete is a no-op.
+	if idx.Delete(7) {
+		t.Fatal("second Delete(7) should report false")
+	}
+	// Out-of-range IDs are rejected.
+	if idx.Delete(-1) || idx.Delete(ds.N+10) {
+		t.Fatal("out-of-range delete should report false")
+	}
+	if idx.Tree().Len() != ds.N-1 {
+		t.Fatalf("tree len %d, want %d", idx.Tree().Len(), ds.N-1)
+	}
+}
+
+func TestDeleteThenInsert(t *testing.T) {
+	ds, red := testSetup(t, 400, 8, 2, 146)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, ds.Dim)
+	copy(p, ds.Point(3))
+	if !idx.Delete(3) {
+		t.Fatal("delete failed")
+	}
+	id, err := idx.Insert(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := idx.KNN(p, 1)
+	if res[0].ID != id || res[0].Dist > 1e-9 {
+		t.Fatalf("reinserted point not 1-NN: %+v", res[0])
+	}
+}

@@ -1,0 +1,94 @@
+// Package index defines the common KNN-index contract shared by the
+// extended iDistance, the Global/Hybrid-tree scheme and the sequential-scan
+// baseline, plus the bounded top-k accumulator they all use.
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Neighbor is one KNN result: the dataset row ID and its distance to the
+// query (in whatever representation the index searches).
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// KNNIndex is implemented by every index in the repository.
+type KNNIndex interface {
+	// KNN returns the k nearest neighbors of q in ascending distance order.
+	KNN(q []float64, k int) []Neighbor
+	// Name identifies the scheme in experiment tables.
+	Name() string
+}
+
+// TopK accumulates the k smallest-distance neighbors seen so far using a
+// bounded max-heap. The zero value is unusable; create with NewTopK.
+type TopK struct {
+	k    int
+	heap nbrHeap
+}
+
+// NewTopK returns an accumulator for the k nearest neighbors.
+func NewTopK(k int) *TopK {
+	return &TopK{k: k, heap: make(nbrHeap, 0, k+1)}
+}
+
+// Add offers a candidate; it is kept only if it beats the current k-th
+// distance.
+func (t *TopK) Add(id int, dist float64) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		heap.Push(&t.heap, Neighbor{ID: id, Dist: dist})
+		return
+	}
+	if dist < t.heap[0].Dist {
+		t.heap[0] = Neighbor{ID: id, Dist: dist}
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// Kth returns the current k-th smallest distance, or +Inf while fewer than
+// k candidates have been seen. It is the search-termination radius of the
+// iDistance algorithm.
+func (t *TopK) Kth() float64 {
+	if len(t.heap) < t.k {
+		return math.Inf(1)
+	}
+	return t.heap[0].Dist
+}
+
+// Len returns how many neighbors are currently held.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Sorted returns the accumulated neighbors in ascending distance order.
+func (t *TopK) Sorted() []Neighbor {
+	out := make([]Neighbor, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// nbrHeap is a max-heap on Dist.
+type nbrHeap []Neighbor
+
+func (h nbrHeap) Len() int            { return len(h) }
+func (h nbrHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h nbrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nbrHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nbrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

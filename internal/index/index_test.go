@@ -1,0 +1,142 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mmdr/internal/datagen"
+	"mmdr/internal/iostat"
+	"mmdr/internal/reduction"
+)
+
+func TestTopKBasics(t *testing.T) {
+	top := NewTopK(3)
+	if top.Kth() != math.Inf(1) {
+		t.Fatal("Kth of empty should be +Inf")
+	}
+	for i, d := range []float64{5, 1, 4, 2, 3} {
+		top.Add(i, d)
+	}
+	if top.Len() != 3 {
+		t.Fatalf("Len = %d", top.Len())
+	}
+	if top.Kth() != 3 {
+		t.Fatalf("Kth = %v, want 3", top.Kth())
+	}
+	got := top.Sorted()
+	wantDists := []float64{1, 2, 3}
+	for i, n := range got {
+		if n.Dist != wantDists[i] {
+			t.Fatalf("Sorted = %v", got)
+		}
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	top := NewTopK(0)
+	top.Add(1, 1)
+	if top.Len() != 0 {
+		t.Fatal("k=0 must keep nothing")
+	}
+}
+
+func TestTopKTieBreaksByID(t *testing.T) {
+	top := NewTopK(2)
+	top.Add(9, 1)
+	top.Add(3, 1)
+	got := top.Sorted()
+	if got[0].ID != 3 || got[1].ID != 9 {
+		t.Fatalf("tie order %v", got)
+	}
+}
+
+// Property: TopK(k) over any stream equals sorting the stream and taking
+// the first k.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		k := 1 + r.Intn(20)
+		dists := make([]float64, n)
+		top := NewTopK(k)
+		for i := range dists {
+			dists[i] = math.Floor(r.Float64()*100) / 10 // ties likely
+			top.Add(i, dists[i])
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		want := k
+		if n < k {
+			want = n
+		}
+		got := top.Sorted()
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			if got[i].Dist != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqScanOverReduction(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 500, Dim: 12, NumClusters: 2, SDim: 2, VarRatio: 20, Seed: 82}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	red, err := (&reduction.LDR{MaxClusters: 4, MaxDim: 6, MaxReconDist: 0.2, Seed: 1}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr iostat.Counter
+	scan := NewSeqScan(ds, red, &ctr)
+	if scan.Name() != "seq-scan" {
+		t.Fatal("name")
+	}
+	q := ds.Point(0)
+	res := scan.KNN(q, 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	if ctr.PageReads == 0 || ctr.DistanceOps == 0 {
+		t.Fatalf("seq scan counted no cost: %+v", ctr)
+	}
+	// Scanning again costs the same pages (stateless).
+	first := ctr.PageReads
+	scan.KNN(q, 10)
+	if ctr.PageReads != 2*first {
+		t.Fatalf("second scan pages %d != %d", ctr.PageReads-first, first)
+	}
+}
+
+func TestTopKStreamsBeyondCapacity(t *testing.T) {
+	// Exercises the heap replace path (and keeps the heap interface
+	// honest) by streaming many more candidates than k.
+	top := NewTopK(4)
+	for i := 1000; i > 0; i-- {
+		top.Add(i, float64(i))
+	}
+	got := top.Sorted()
+	for i, n := range got {
+		if n.Dist != float64(i+1) {
+			t.Fatalf("rank %d dist %v", i, n.Dist)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package iostat provides the logical cost model used by every index in the
+// repository: counters for simulated disk-page accesses and for distance
+// computations. The paper's evaluation (Figures 9 and 10) reports I/O in
+// page accesses and CPU cost; on modern hardware wall clock alone would hide
+// the structure, so all indexes report both logical counters and elapsed
+// time.
+package iostat
+
+import "fmt"
+
+// PageSize is the simulated disk page size in bytes, matching the common
+// 8 KB configuration of the era's systems.
+const PageSize = 8192
+
+// Counter accumulates logical costs. The zero value is ready to use.
+type Counter struct {
+	PageReads    int64 // simulated disk page reads
+	PageWrites   int64 // simulated disk page writes
+	DistanceOps  int64 // full distance computations (CPU proxy)
+	KeyCompares  int64 // single-dimensional key comparisons in B+-trees
+	FloatOps     int64 // optional finer-grained float-op estimate
+	NodeAccesses int64 // tree nodes visited (incl. cached)
+}
+
+// Reset zeroes all counters.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// Add accumulates other into c.
+func (c *Counter) Add(other Counter) {
+	c.PageReads += other.PageReads
+	c.PageWrites += other.PageWrites
+	c.DistanceOps += other.DistanceOps
+	c.KeyCompares += other.KeyCompares
+	c.FloatOps += other.FloatOps
+	c.NodeAccesses += other.NodeAccesses
+}
+
+// IO returns total simulated page I/O (reads + writes).
+func (c *Counter) IO() int64 { return c.PageReads + c.PageWrites }
+
+// String renders the counter compactly for logs and tables.
+func (c *Counter) String() string {
+	return fmt.Sprintf("io=%d (r=%d w=%d) dist=%d keycmp=%d nodes=%d",
+		c.IO(), c.PageReads, c.PageWrites, c.DistanceOps, c.KeyCompares, c.NodeAccesses)
+}
+
+// PagesForBytes returns the number of pages needed to hold n bytes.
+func PagesForBytes(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + PageSize - 1) / PageSize
+}
+
+// PagesForPoints returns the sequential-scan page count for n points of
+// dimension dim stored as float64.
+func PagesForPoints(n, dim int) int64 {
+	return PagesForBytes(int64(n) * int64(dim) * 8)
+}

@@ -1,0 +1,48 @@
+package iostat
+
+import "testing"
+
+func TestCounterAddResetIO(t *testing.T) {
+	var a, b Counter
+	a.PageReads = 3
+	a.PageWrites = 2
+	b.PageReads = 5
+	b.DistanceOps = 7
+	b.KeyCompares = 1
+	b.NodeAccesses = 4
+	a.Add(b)
+	if a.PageReads != 8 || a.PageWrites != 2 || a.DistanceOps != 7 || a.KeyCompares != 1 || a.NodeAccesses != 4 {
+		t.Fatalf("Add result %+v", a)
+	}
+	if a.IO() != 10 {
+		t.Fatalf("IO = %d", a.IO())
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+	a.Reset()
+	if a.IO() != 0 || a.DistanceOps != 0 {
+		t.Fatalf("Reset left %+v", a)
+	}
+}
+
+func TestPagesForBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want int64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {PageSize, 1}, {PageSize + 1, 2}, {3 * PageSize, 3},
+	}
+	for _, c := range cases {
+		if got := PagesForBytes(c.in); got != c.want {
+			t.Errorf("PagesForBytes(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPagesForPoints(t *testing.T) {
+	// 1024 points of 64-d float64 = 512 KiB = 64 pages of 8 KiB.
+	if got := PagesForPoints(1024, 64); got != 64 {
+		t.Fatalf("PagesForPoints = %d, want 64", got)
+	}
+}

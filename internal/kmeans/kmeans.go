@@ -1,0 +1,186 @@
+// Package kmeans implements standard Euclidean k-means with k-means++
+// seeding. It serves two roles in the reproduction: the clustering engine of
+// the LDR baseline (Chakrabarti–Mehrotra use spatial clusters found with
+// Euclidean distance) and the initializer for elliptical k-means.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mmdr/internal/dataset"
+)
+
+// Result holds a k-means clustering.
+type Result struct {
+	K          int
+	Centroids  [][]float64
+	Assign     []int // Assign[i] = cluster of point i
+	Sizes      []int
+	Iterations int
+	Inertia    float64 // sum of squared distances to assigned centroids
+}
+
+// Options configures Run.
+type Options struct {
+	K        int
+	MaxIters int   // default 50
+	Seed     int64 // seeding randomness
+}
+
+// Run clusters ds into opts.K clusters using Lloyd's algorithm with
+// k-means++ seeding. Empty clusters are reseeded to the farthest point.
+func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
+	k := opts.K
+	if k <= 0 {
+		return nil, fmt.Errorf("kmeans: K must be positive, got %d", k)
+	}
+	if ds.N == 0 {
+		return nil, fmt.Errorf("kmeans: empty dataset")
+	}
+	if k > ds.N {
+		k = ds.N
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cents := SeedPlusPlus(ds, k, rng)
+
+	assign := make([]int, ds.N)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+	var iters int
+	var inertia float64
+
+	for iters = 1; iters <= maxIters; iters++ {
+		changed := 0
+		inertia = 0
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i := 0; i < ds.N; i++ {
+			p := ds.Point(i)
+			best, bestD := nearestCentroid(p, cents)
+			if best != assign[i] {
+				changed++
+				assign[i] = best
+			}
+			sizes[best]++
+			inertia += bestD
+		}
+		// Recompute centroids.
+		for c := range cents {
+			for j := range cents[c] {
+				cents[c][j] = 0
+			}
+		}
+		for i := 0; i < ds.N; i++ {
+			c := assign[i]
+			p := ds.Point(i)
+			for j, v := range p {
+				cents[c][j] += v
+			}
+		}
+		for c := range cents {
+			if sizes[c] == 0 {
+				// Reseed the empty cluster at the point farthest from its
+				// centroid assignment.
+				far, farD := 0, -1.0
+				for i := 0; i < ds.N; i++ {
+					d := sqDist(ds.Point(i), cents[assign[i]])
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(cents[c], ds.Point(far))
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range cents[c] {
+				cents[c][j] *= inv
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return &Result{K: k, Centroids: cents, Assign: assign, Sizes: sizes, Iterations: iters, Inertia: inertia}, nil
+}
+
+// SeedPlusPlus selects k initial centroids with the k-means++ strategy:
+// the first uniformly, each next with probability proportional to the
+// squared distance to the nearest chosen centroid.
+func SeedPlusPlus(ds *dataset.Dataset, k int, rng *rand.Rand) [][]float64 {
+	cents := make([][]float64, 0, k)
+	first := ds.Point(rng.Intn(ds.N))
+	c0 := make([]float64, ds.Dim)
+	copy(c0, first)
+	cents = append(cents, c0)
+
+	d2 := make([]float64, ds.N)
+	for i := range d2 {
+		d2[i] = sqDist(ds.Point(i), c0)
+	}
+	for len(cents) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(ds.N)
+		} else {
+			r := rng.Float64() * total
+			for idx = 0; idx < ds.N-1; idx++ {
+				r -= d2[idx]
+				if r <= 0 {
+					break
+				}
+			}
+		}
+		c := make([]float64, ds.Dim)
+		copy(c, ds.Point(idx))
+		cents = append(cents, c)
+		for i := range d2 {
+			if d := sqDist(ds.Point(i), c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return cents
+}
+
+func nearestCentroid(p []float64, cents [][]float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range cents {
+		if d := sqDist(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Members returns the indices of points assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	out := make([]int, 0, r.Sizes[c])
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}

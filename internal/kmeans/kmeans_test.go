@@ -1,0 +1,176 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmdr/internal/dataset"
+)
+
+// twoBlobs builds two well-separated Gaussian blobs in 2-d.
+func twoBlobs(n int, seed int64) (*dataset.Dataset, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.New(n, 2)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		cx, cy := 0.0, 0.0
+		if i%2 == 1 {
+			cx, cy = 100, 100
+			truth[i] = 1
+		}
+		ds.Point(i)[0] = cx + rng.NormFloat64()
+		ds.Point(i)[1] = cy + rng.NormFloat64()
+	}
+	return ds, truth
+}
+
+func TestRunSeparatesBlobs(t *testing.T) {
+	ds, truth := twoBlobs(200, 31)
+	res, err := Run(ds, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K = %d", res.K)
+	}
+	// Every pair in the same true blob must share a cluster.
+	for i := 1; i < ds.N; i++ {
+		same := truth[i] == truth[0]
+		got := res.Assign[i] == res.Assign[0]
+		if same != got {
+			t.Fatalf("point %d misclustered", i)
+		}
+	}
+	// Centroids near (0,0) and (100,100).
+	var near0, near100 bool
+	for _, c := range res.Centroids {
+		if math.Hypot(c[0], c[1]) < 5 {
+			near0 = true
+		}
+		if math.Hypot(c[0]-100, c[1]-100) < 5 {
+			near100 = true
+		}
+	}
+	if !near0 || !near100 {
+		t.Fatalf("centroids %v not near blob centers", res.Centroids)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := dataset.New(3, 2)
+	if _, err := Run(ds, Options{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	empty := dataset.New(0, 2)
+	if _, err := Run(empty, Options{K: 2}); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestRunKExceedsN(t *testing.T) {
+	ds := dataset.New(3, 1)
+	ds.Data = []float64{0, 5, 10}
+	res, err := Run(ds, Options{K: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("K clamped to %d, want 3", res.K)
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	ds, _ := twoBlobs(100, 5)
+	a, err := Run(ds, Options{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ds, Options{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed should reproduce assignment")
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	ds, _ := twoBlobs(300, 8)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 4} {
+		res, err := Run(ds, Options{K: k, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev*1.001 {
+			t.Fatalf("inertia did not decrease at k=%d: %v > %v", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestMembers(t *testing.T) {
+	ds, _ := twoBlobs(40, 9)
+	res, err := Run(ds, Options{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := 0; c < res.K; c++ {
+		m := res.Members(c)
+		if len(m) != res.Sizes[c] {
+			t.Fatalf("Members(%d) len %d != size %d", c, len(m), res.Sizes[c])
+		}
+		for _, idx := range m {
+			if res.Assign[idx] != c {
+				t.Fatal("Members returned wrong point")
+			}
+		}
+		total += len(m)
+	}
+	if total != ds.N {
+		t.Fatalf("members total %d != N %d", total, ds.N)
+	}
+}
+
+func TestSeedPlusPlusDistinctWhenPossible(t *testing.T) {
+	ds := dataset.New(4, 1)
+	ds.Data = []float64{0, 1, 2, 3}
+	rng := rand.New(rand.NewSource(10))
+	cents := SeedPlusPlus(ds, 4, rng)
+	seen := map[float64]bool{}
+	for _, c := range cents {
+		seen[c[0]] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("seeding picked duplicates: %v", cents)
+	}
+}
+
+func TestAllIdenticalPoints(t *testing.T) {
+	ds := dataset.New(10, 2)
+	for i := 0; i < ds.N; i++ {
+		ds.Point(i)[0], ds.Point(i)[1] = 3, 4
+	}
+	res, err := Run(ds, Options{K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("identical points inertia %v", res.Inertia)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	ds, _ := twoBlobs(2000, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ds, Options{K: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the spectral decomposition of a symmetric matrix:
+// A = V diag(Values) Vᵀ, with Values sorted in descending order and the
+// eigenvector for Values[k] stored in column k of Vectors.
+type Eigen struct {
+	Values  []float64
+	Vectors *Mat // n x n, column k is the k-th eigenvector (unit norm)
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence is
+// quadratic once off-diagonal mass is small; 64 sweeps is far beyond what
+// covariance matrices of order <= 512 need.
+const maxJacobiSweeps = 64
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi method. a is not modified. It returns an error if a is
+// not square.
+//
+// Jacobi is chosen over QR iteration because it is simple, unconditionally
+// stable for symmetric input, and delivers orthonormal eigenvectors to
+// machine precision — exactly what PCA on covariance matrices needs.
+func SymEigen(a *Mat) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matrix: SymEigen requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return &Eigen{Values: nil, Vectors: New(0, 0)}, nil
+	}
+
+	// Work on a copy; accumulate rotations in v.
+	w := a.Clone()
+	v := Identity(n)
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off == 0 {
+			break
+		}
+		// Threshold strategy from Numerical Recipes: on early sweeps skip
+		// tiny rotations.
+		thresh := 0.0
+		if sweep < 3 {
+			thresh = 0.2 * off / float64(n*n)
+		}
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= thresh {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// If the off-diagonal element is negligible relative to the
+				// diagonal, zero it outright.
+				g := 100 * math.Abs(apq)
+				if sweep > 3 && math.Abs(app)+g == math.Abs(app) && math.Abs(aqq)+g == math.Abs(aqq) {
+					w.Set(p, q, 0)
+					w.Set(q, p, 0)
+					continue
+				}
+				// Compute the Jacobi rotation that annihilates w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e20 {
+					t = 1 / (2 * theta)
+				} else {
+					t = 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+					if theta < 0 {
+						t = -t
+					}
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				tau := s / (1 + c)
+				applyJacobi(w, v, p, q, s, tau, t, apq)
+				rotated = true
+			}
+		}
+		if !rotated && thresh == 0 {
+			break
+		}
+	}
+
+	eig := &Eigen{Values: make([]float64, n), Vectors: v}
+	for i := 0; i < n; i++ {
+		eig.Values[i] = w.At(i, i)
+	}
+	sortEigenDesc(eig)
+	return eig, nil
+}
+
+// applyJacobi applies the rotation in the (p,q) plane to w (two-sided) and
+// accumulates it into v (one-sided, columns).
+func applyJacobi(w, v *Mat, p, q int, s, tau, t, apq float64) {
+	n := w.Rows
+	w.Set(p, p, w.At(p, p)-t*apq)
+	w.Set(q, q, w.At(q, q)+t*apq)
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+	rot := func(m *Mat, i1, j1, i2, j2 int) {
+		g := m.At(i1, j1)
+		h := m.At(i2, j2)
+		m.Set(i1, j1, g-s*(h+g*tau))
+		m.Set(i2, j2, h+s*(g-h*tau))
+	}
+	for j := 0; j < p; j++ {
+		rot(w, j, p, j, q)
+		w.Set(p, j, w.At(j, p))
+		w.Set(q, j, w.At(j, q))
+	}
+	for j := p + 1; j < q; j++ {
+		rot(w, p, j, j, q)
+		w.Set(j, p, w.At(p, j))
+		w.Set(q, j, w.At(j, q))
+	}
+	for j := q + 1; j < n; j++ {
+		rot(w, p, j, q, j)
+		w.Set(j, p, w.At(p, j))
+		w.Set(j, q, w.At(q, j))
+	}
+	for j := 0; j < n; j++ {
+		rot(v, j, p, j, q)
+	}
+}
+
+func offDiagNorm(m *Mat) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			s += math.Abs(m.At(i, j))
+		}
+	}
+	return s
+}
+
+// sortEigenDesc reorders the decomposition so Values is descending and
+// Vectors' columns follow.
+func sortEigenDesc(e *Eigen) {
+	n := len(e.Values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return e.Values[idx[a]] > e.Values[idx[b]] })
+
+	vals := make([]float64, n)
+	vecs := New(n, n)
+	for newCol, oldCol := range idx {
+		vals[newCol] = e.Values[oldCol]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, newCol, e.Vectors.At(r, oldCol))
+		}
+	}
+	e.Values = vals
+	e.Vectors = vecs
+}
+
+// LogDet returns the log-determinant of the symmetric positive definite
+// matrix whose eigenvalues are Values, clamping each eigenvalue to at least
+// floor to keep the result finite for near-singular matrices.
+func (e *Eigen) LogDet(floor float64) float64 {
+	var s float64
+	for _, v := range e.Values {
+		if v < floor {
+			v = floor
+		}
+		s += math.Log(v)
+	}
+	return s
+}

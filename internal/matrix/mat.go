@@ -1,0 +1,308 @@
+// Package matrix provides the dense linear algebra needed by the MMDR
+// pipeline: basic matrix arithmetic, a symmetric eigensolver (cyclic Jacobi),
+// Cholesky and LU factorizations for inverses and determinants, and a
+// Householder QR used to draw random orthonormal rotations.
+//
+// The package is self-contained (stdlib only) and tuned for the modest
+// matrix orders that arise in dimensionality reduction (covariance matrices
+// up to a few hundred rows), not for BLAS-scale workloads. All matrices are
+// dense, row-major float64.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mat is a dense row-major matrix. The zero value is an empty 0x0 matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zeroed r-by-c matrix.
+func New(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewFromData wraps data (not copied) as an r-by-c matrix.
+func NewFromData(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("matrix: data length %d != %d*%d", len(data), r, c))
+	}
+	return &Mat{Rows: r, Cols: c, Data: data}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Mat {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Mat) T() *Mat {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *Mat) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("matrix: MulVec dimension mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns the vector-matrix product xᵀ*m as a vector of length m.Cols.
+// This is the projection operation P' = P·Φ used throughout the paper.
+func (m *Mat) VecMul(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("matrix: VecMul dimension mismatch %d * %dx%d", len(x), m.Rows, m.Cols))
+	}
+	out := make([]float64, m.Cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b *Mat) *Mat {
+	checkSameShape(a, b, "Add")
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b.
+func Sub(a, b *Mat) *Mat {
+	checkSameShape(a, b, "Sub")
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m as a new matrix.
+func (m *Mat) Scale(s float64) *Mat {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// AddRidge adds lambda to every diagonal element in place and returns m.
+// It is the regularization applied to near-singular covariance matrices
+// before inversion.
+func (m *Mat) AddRidge(lambda float64) *Mat {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += lambda
+	}
+	return m
+}
+
+// Trace returns the sum of diagonal elements.
+func (m *Mat) Trace() float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	var t float64
+	for i := 0; i < n; i++ {
+		t += m.Data[i*m.Cols+i]
+	}
+	return t
+}
+
+// Cols2 returns a new matrix containing columns [0, k) of m. It is the
+// Φ_dr operator: keeping the first k principal components.
+func (m *Mat) LeadingCols(k int) *Mat {
+	if k < 0 || k > m.Cols {
+		panic(fmt.Sprintf("matrix: LeadingCols %d of %d", k, m.Cols))
+	}
+	out := New(m.Rows, k)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[:k])
+	}
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Mat) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b; useful in tests.
+func MaxAbsDiff(a, b *Mat) float64 {
+	checkSameShape(a, b, "MaxAbsDiff")
+	var max float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Mat) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Mat) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func checkSameShape(a, b *Mat, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("matrix: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// SqDist returns the squared Euclidean distance between x and y.
+func SqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("matrix: SqDist length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between x and y.
+func Dist(x, y []float64) float64 { return math.Sqrt(SqDist(x, y)) }
+
+// AXPY computes y += a*x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("matrix: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}

@@ -1,0 +1,577 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	if got := m.Row(1); got[2] != 7 {
+		t.Fatalf("Row(1)[2] = %v, want 7", got[2])
+	}
+}
+
+func TestNewFromDataPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFromData(2, 2, []float64{1, 2, 3})
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T shape %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFromData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := Mul(a, b)
+	want := NewFromData(2, 2, []float64{58, 64, 139, 154})
+	if MaxAbsDiff(c, want) > 1e-12 {
+		t.Fatalf("Mul = %v, want %v", c, want)
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	a := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mv := a.MulVec([]float64{1, 1, 1})
+	if mv[0] != 6 || mv[1] != 15 {
+		t.Fatalf("MulVec = %v", mv)
+	}
+	vm := a.VecMul([]float64{1, 1})
+	if vm[0] != 5 || vm[1] != 7 || vm[2] != 9 {
+		t.Fatalf("VecMul = %v", vm)
+	}
+}
+
+func TestAddSubScaleTrace(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromData(2, 2, []float64{4, 3, 2, 1})
+	if s := Add(a, b); MaxAbsDiff(s, NewFromData(2, 2, []float64{5, 5, 5, 5})) > 0 {
+		t.Fatalf("Add = %v", s)
+	}
+	if d := Sub(a, b); MaxAbsDiff(d, NewFromData(2, 2, []float64{-3, -1, 1, 3})) > 0 {
+		t.Fatalf("Sub = %v", d)
+	}
+	if sc := a.Scale(2); sc.At(1, 1) != 8 {
+		t.Fatalf("Scale = %v", sc)
+	}
+	if tr := a.Trace(); tr != 5 {
+		t.Fatalf("Trace = %v", tr)
+	}
+}
+
+func TestAddRidge(t *testing.T) {
+	a := New(3, 3)
+	a.AddRidge(0.5)
+	if a.At(0, 0) != 0.5 || a.At(2, 2) != 0.5 || a.At(0, 1) != 0 {
+		t.Fatalf("AddRidge result %v", a)
+	}
+}
+
+func TestLeadingColsAndCol(t *testing.T) {
+	a := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	lc := a.LeadingCols(2)
+	if lc.Cols != 2 || lc.At(1, 1) != 5 {
+		t.Fatalf("LeadingCols = %v", lc)
+	}
+	col := a.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Fatalf("Col = %v", col)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	y := []float64{0, 0}
+	if Dot(x, x) != 25 {
+		t.Fatal("Dot")
+	}
+	if Norm2(x) != 5 {
+		t.Fatal("Norm2")
+	}
+	if SqDist(x, y) != 25 || Dist(x, y) != 5 {
+		t.Fatal("SqDist/Dist")
+	}
+	AXPY(2, x, y)
+	if y[0] != 6 || y[1] != 8 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 2, 2, 1})
+	if !a.IsSymmetric(0) {
+		t.Fatal("expected symmetric")
+	}
+	a.Set(0, 1, 3)
+	if a.IsSymmetric(0.5) {
+		t.Fatal("expected asymmetric")
+	}
+	if NewFromData(1, 2, []float64{1, 2}).IsSymmetric(1) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+// randSPD builds a random symmetric positive definite matrix B·Bᵀ + εI.
+func randSPD(n int, rng *rand.Rand) *Mat {
+	b := New(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	spd := Mul(b, b.T())
+	return spd.AddRidge(0.1)
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewFromData(2, 2, []float64{2, 1, 1, 2})
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-10) || !almostEqual(e.Values[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 5)
+	a.Set(1, 1, -2)
+	a.Set(2, 2, 9)
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 5, -2}
+	for i, w := range want {
+		if !almostEqual(e.Values[i], w, 1e-12) {
+			t.Fatalf("eigenvalues = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, err := SymEigen(New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSymEigenEmpty(t *testing.T) {
+	e, err := SymEigen(New(0, 0))
+	if err != nil || len(e.Values) != 0 {
+		t.Fatalf("empty eigen: %v %v", e, err)
+	}
+}
+
+// Property: for random SPD matrices, A·v_k = λ_k·v_k, eigenvalues descend,
+// and the eigenvector matrix is orthonormal.
+func TestSymEigenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		a := randSPD(n, r)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		if OrthonormalityError(e.Vectors) > 1e-9 {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if k > 0 && e.Values[k] > e.Values[k-1]+1e-9 {
+				return false
+			}
+			v := e.Vectors.Col(k)
+			av := a.MulVec(v)
+			for i := range av {
+				if !almostEqual(av[i], e.Values[k]*v[i], 1e-7*(1+math.Abs(e.Values[k]))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD: %v", err)
+		}
+		if MaxAbsDiff(Mul(l, l.T()), a) > 1e-8 {
+			t.Fatalf("L·Lᵀ != A (n=%d)", n)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a := NewFromData(2, 2, []float64{4, 2, 2, 3})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholeskySolveVec(l, []float64{10, 9})
+	// Verify A·x = b.
+	b := a.MulVec(x)
+	if !almostEqual(b[0], 10, 1e-10) || !almostEqual(b[1], 9, 1e-10) {
+		t.Fatalf("solve residual: %v", b)
+	}
+}
+
+func TestLUDetAndSolve(t *testing.T) {
+	a := NewFromData(3, 3, []float64{2, 0, 1, 1, 3, 2, 1, 1, 4})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// det = 2*(12-2) - 0 + 1*(1-3) = 20 - 2 = 18
+	if !almostEqual(f.Det(), 18, 1e-9) {
+		t.Fatalf("Det = %v, want 18", f.Det())
+	}
+	x := f.SolveVec([]float64{3, 6, 6})
+	ax := a.MulVec(x)
+	for i, v := range []float64{3, 6, 6} {
+		if !almostEqual(ax[i], v, 1e-9) {
+			t.Fatalf("LU solve residual %v", ax)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewFromData(2, 2, []float64{1, 2, 2, 4})
+	if _, err := NewLU(a); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+	if Det(a) != 0 {
+		t.Fatal("Det of singular should be 0")
+	}
+}
+
+// Property: Inverse satisfies A·A⁻¹ ≈ I for random well-conditioned matrices.
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randSPD(n, r) // SPD is well-conditioned enough
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(Mul(a, inv), Identity(n)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSPD(6, rng)
+	inv, logDet, err := InverseSPD(a, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(Mul(a, inv), Identity(6)) > 1e-7 {
+		t.Fatal("InverseSPD: A·A⁻¹ != I")
+	}
+	// log-det must match LU determinant.
+	wantLog := math.Log(Det(a))
+	if !almostEqual(logDet, wantLog, 1e-6*(1+math.Abs(wantLog))) {
+		t.Fatalf("logDet = %v, want %v", logDet, wantLog)
+	}
+}
+
+func TestInverseSPDRegularizesSingular(t *testing.T) {
+	// Rank-1 covariance: must succeed via ridge.
+	a := NewFromData(2, 2, []float64{1, 1, 1, 1})
+	inv, _, err := InverseSPD(a, 1e-6)
+	if err != nil {
+		t.Fatalf("InverseSPD on singular: %v", err)
+	}
+	if inv == nil {
+		t.Fatal("nil inverse")
+	}
+}
+
+func TestInverseSPDZeroSize(t *testing.T) {
+	inv, logDet, err := InverseSPD(New(0, 0), 1e-6)
+	if err != nil || inv.Rows != 0 || logDet != 0 {
+		t.Fatalf("zero-size InverseSPD: %v %v %v", inv, logDet, err)
+	}
+}
+
+func TestQRProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(10)
+		n := 1 + r.Intn(m)
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		q, rr := QR(a)
+		if OrthonormalityError(q) > 1e-9 {
+			return false
+		}
+		// R upper triangular.
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(rr.At(i, j)) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return MaxAbsDiff(Mul(q, rr), a) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 8, 32} {
+		q := RandomOrthonormal(n, rng)
+		if q.Rows != n || q.Cols != n {
+			t.Fatalf("shape %dx%d", q.Rows, q.Cols)
+		}
+		if e := OrthonormalityError(q); e > 1e-9 {
+			t.Fatalf("n=%d orthonormality error %g", n, e)
+		}
+		// Rotation preserves norms.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		if !almostEqual(Norm2(q.MulVec(x)), Norm2(x), 1e-9) {
+			t.Fatal("rotation changed vector norm")
+		}
+	}
+}
+
+func TestEigenLogDet(t *testing.T) {
+	e := &Eigen{Values: []float64{4, 1, 1e-30}}
+	got := e.LogDet(1e-12)
+	want := math.Log(4) + math.Log(1) + math.Log(1e-12)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	s := NewFromData(2, 2, []float64{1, 2, 3, 4}).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkSymEigen64(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSPD(64, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInverseSPD64(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	a := randSPD(64, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := InverseSPD(a, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOrthogonalIterationMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(30)
+		k := 1 + rng.Intn(5)
+		a := randSPD(n, rng)
+		full, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, vecs, err := OrthogonalIteration(a, k, 0, 0, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vecs.Rows != n || vecs.Cols != k {
+			t.Fatalf("vectors shape %dx%d", vecs.Rows, vecs.Cols)
+		}
+		if e := OrthonormalityError(vecs); e > 1e-8 {
+			t.Fatalf("orthonormality error %g", e)
+		}
+		for j := 0; j < k; j++ {
+			if !almostEqual(vals[j], full.Values[j], 1e-6*(1+math.Abs(full.Values[j]))) {
+				t.Fatalf("trial %d eigenvalue %d: %v vs Jacobi %v", trial, j, vals[j], full.Values[j])
+			}
+			// Eigenvector residual ||A v - λ v||.
+			v := vecs.Col(j)
+			av := a.MulVec(v)
+			var res float64
+			for i := range av {
+				d := av[i] - vals[j]*v[i]
+				res += d * d
+			}
+			if math.Sqrt(res) > 1e-5*(1+math.Abs(vals[j])) {
+				t.Fatalf("trial %d eigenvector %d residual %g", trial, j, math.Sqrt(res))
+			}
+		}
+	}
+}
+
+func TestOrthogonalIterationValidation(t *testing.T) {
+	if _, _, err := OrthogonalIteration(New(2, 3), 1, 0, 0, 1); err == nil {
+		t.Fatal("non-square should error")
+	}
+	a := Identity(4)
+	if _, _, err := OrthogonalIteration(a, 0, 0, 0, 1); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, _, err := OrthogonalIteration(a, 5, 0, 0, 1); err == nil {
+		t.Fatal("k>d should error")
+	}
+	vals, _, err := OrthogonalIteration(a, 4, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if !almostEqual(v, 1, 1e-9) {
+			t.Fatalf("identity eigenvalues %v", vals)
+		}
+	}
+}
+
+func BenchmarkOrthogonalIterationTop20Of128(b *testing.B) {
+	rng := rand.New(rand.NewSource(78))
+	a := randSPD(128, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OrthogonalIteration(a, 20, 0, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEigen128(b *testing.B) {
+	rng := rand.New(rand.NewSource(79))
+	a := randSPD(128, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// decayedSPD builds an SPD matrix with a sharply decaying spectrum — the
+// shape covariance matrices of locally correlated data actually have, and
+// where orthogonal iteration converges in a handful of steps.
+func decayedSPD(n int, rng *rand.Rand) *Mat {
+	q := RandomOrthonormal(n, rng)
+	d := New(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, math.Pow(0.5, float64(i))+1e-6)
+	}
+	return Mul(q, Mul(d, q.T()))
+}
+
+func TestOrthogonalIterationDecayedSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	a := decayedSPD(64, rng)
+	full, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := OrthogonalIteration(a, 8, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 8; j++ {
+		if !almostEqual(vals[j], full.Values[j], 1e-8*(1+full.Values[j])) {
+			t.Fatalf("eigenvalue %d: %v vs %v", j, vals[j], full.Values[j])
+		}
+	}
+}
+
+func BenchmarkOrthogonalIterationDecayed128(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	a := decayedSPD(128, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OrthogonalIteration(a, 20, 0, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

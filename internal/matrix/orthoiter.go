@@ -1,0 +1,83 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OrthogonalIteration computes the k leading eigenpairs of the symmetric
+// positive semi-definite matrix a by subspace (orthogonal/simultaneous)
+// iteration: repeatedly multiply an orthonormal d×k block by a and
+// re-orthonormalize with QR. Cost is O(d²·k) per iteration; convergence
+// rate depends on the gap between eigenvalue k and k+1, so it beats the
+// Jacobi solver (O(d³) total) only on matrices with decaying spectra —
+// which covariance matrices of locally correlated data have (measured:
+// ~7× faster for the top 20 of 128 on a geometric spectrum, but slower
+// than Jacobi on near-flat spectra; see the package benchmarks).
+//
+// Convergence is checked on the eigenvalue estimates (Rayleigh quotients);
+// tol is relative (default 1e-10 when <= 0), maxIter defaults to 300.
+func OrthogonalIteration(a *Mat, k, maxIter int, tol float64, seed int64) ([]float64, *Mat, error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("matrix: OrthogonalIteration requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	d := a.Rows
+	if k <= 0 || k > d {
+		return nil, nil, fmt.Errorf("matrix: OrthogonalIteration k=%d out of range (1..%d)", k, d)
+	}
+	if maxIter <= 0 {
+		maxIter = 300
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	q := New(d, k)
+	for i := range q.Data {
+		q.Data[i] = rng.NormFloat64()
+	}
+	q, _ = QR(q)
+
+	vals := make([]float64, k)
+	prev := make([]float64, k)
+	for iter := 0; iter < maxIter; iter++ {
+		z := Mul(a, q)
+		// Rayleigh quotient estimates before re-orthonormalization:
+		// λ_j ≈ q_jᵀ a q_j = q_j · z_j.
+		for j := 0; j < k; j++ {
+			var s float64
+			for i := 0; i < d; i++ {
+				s += q.At(i, j) * z.At(i, j)
+			}
+			vals[j] = s
+		}
+		q, _ = QR(z)
+
+		if iter > 0 {
+			converged := true
+			for j := 0; j < k; j++ {
+				if math.Abs(vals[j]-prev[j]) > tol*(1+math.Abs(vals[j])) {
+					converged = false
+					break
+				}
+			}
+			if converged {
+				break
+			}
+		}
+		copy(prev, vals)
+	}
+
+	// The iteration converges to the invariant subspace but individual
+	// columns may mix degenerate directions; a final small k×k eigensolve
+	// of the projected matrix (qᵀ a q) cleans the pairs up (Rayleigh–Ritz).
+	small := Mul(q.T(), Mul(a, q))
+	eig, err := SymEigen(small)
+	if err != nil {
+		return nil, nil, err
+	}
+	vectors := Mul(q, eig.Vectors)
+	return eig.Values, vectors, nil
+}

@@ -1,0 +1,119 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+)
+
+// QR computes a Householder QR factorization of a (m >= n) and returns the
+// thin Q (m x n, orthonormal columns) and R (n x n, upper triangular).
+func QR(a *Mat) (q, r *Mat) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("matrix: QR requires Rows >= Cols")
+	}
+	// Work matrix accumulates R; vs stores Householder vectors.
+	work := a.Clone()
+	vs := make([][]float64, n)
+
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = work.At(i, k)
+		}
+		alpha := Norm2(v)
+		if v[0] > 0 {
+			alpha = -alpha
+		}
+		if alpha != 0 {
+			v[0] -= alpha
+			nv := Norm2(v)
+			if nv > 0 {
+				for i := range v {
+					v[i] /= nv
+				}
+			}
+		}
+		vs[k] = v
+		// Apply H = I - 2vvᵀ to the trailing submatrix.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * work.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+
+	r = New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+
+	// Form thin Q by applying the Householder reflections to the first n
+	// columns of the identity, in reverse order.
+	q = New(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	return q, r
+}
+
+// RandomOrthonormal draws an n x n orthonormal matrix Haar-uniformly by
+// QR-factoring a Gaussian matrix and fixing the sign of R's diagonal.
+// It replaces the MATLAB rotation generation in the paper's Appendix A.
+func RandomOrthonormal(n int, rng *rand.Rand) *Mat {
+	g := New(n, n)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	q, r := QR(g)
+	// Make the distribution Haar: multiply column j by sign(R[j][j]).
+	for j := 0; j < n; j++ {
+		if r.At(j, j) < 0 {
+			for i := 0; i < n; i++ {
+				q.Set(i, j, -q.At(i, j))
+			}
+		}
+	}
+	return q
+}
+
+// OrthonormalityError returns max |QᵀQ - I| for a matrix with orthonormal
+// columns; useful in tests.
+func OrthonormalityError(q *Mat) float64 {
+	qtq := Mul(q.T(), q)
+	n := qtq.Rows
+	var max float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := math.Abs(qtq.At(i, j) - want); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

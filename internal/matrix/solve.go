@@ -1,0 +1,260 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or inverse encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive definite matrix. It returns ErrSingular if a pivot is
+// not strictly positive.
+func Cholesky(a *Mat) (*Mat, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matrix: Cholesky requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// CholeskyLogDet returns the log-determinant of the SPD matrix with
+// Cholesky factor l: 2·Σ log l[i][i].
+func CholeskyLogDet(l *Mat) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// CholeskySolveVec solves L·Lᵀ·x = b given the Cholesky factor l.
+func CholeskySolveVec(l *Mat, b []float64) []float64 {
+	n := l.Rows
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U packed into
+// a single matrix (unit lower triangle implicit).
+type LU struct {
+	lu    *Mat
+	piv   []int
+	sign  float64 // +1 or -1, determinant sign from row swaps
+	valid bool
+}
+
+// NewLU factors a with partial pivoting. It returns ErrSingular if a pivot
+// is exactly zero.
+func NewLU(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matrix: LU requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |value| in the column at/below the diagonal.
+		p := col
+		max := math.Abs(f.lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(f.lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			rp, rc := f.lu.Row(p), f.lu.Row(col)
+			for j := 0; j < n; j++ {
+				rp[j], rc[j] = rc[j], rp[j]
+			}
+			f.piv[p], f.piv[col] = f.piv[col], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivVal := f.lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			m := f.lu.At(r, col) / pivVal
+			f.lu.Set(r, col, m)
+			if m == 0 {
+				continue
+			}
+			rr, rc := f.lu.Row(r), f.lu.Row(col)
+			for j := col + 1; j < n; j++ {
+				rr[j] -= m * rc[j]
+			}
+		}
+	}
+	f.valid = true
+	return f, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveVec solves A x = b.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.Rows
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with implicit unit diagonal.
+	for i := 0; i < n; i++ {
+		row := f.lu.Row(i)
+		for k := 0; k < i; k++ {
+			x[i] -= row[k] * x[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		for k := i + 1; k < n; k++ {
+			x[i] -= row[k] * x[k]
+		}
+		x[i] /= row[i]
+	}
+	return x
+}
+
+// Inverse returns a⁻¹ using LU with partial pivoting.
+func Inverse(a *Mat) (*Mat, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := f.SolveVec(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Det returns the determinant of a (0 for singular input).
+func Det(a *Mat) float64 {
+	f, err := NewLU(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}
+
+// InverseSPD inverts a symmetric positive definite matrix via Cholesky and
+// also returns its log-determinant. If the matrix is not positive definite
+// (e.g. a degenerate covariance), a ridge of ridgeScale·trace/n is added to
+// the diagonal and the inversion retried, doubling the ridge until it
+// succeeds. This mirrors the regularization every practical elliptical
+// k-means needs (see DESIGN.md).
+func InverseSPD(a *Mat, ridgeScale float64) (inv *Mat, logDet float64, err error) {
+	if a.Rows != a.Cols {
+		return nil, 0, fmt.Errorf("matrix: InverseSPD requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return New(0, 0), 0, nil
+	}
+	work := a
+	ridge := 0.0
+	base := a.Trace() / float64(n)
+	if base <= 0 {
+		base = 1
+	}
+	for attempt := 0; attempt < 40; attempt++ {
+		l, cerr := Cholesky(work)
+		if cerr == nil {
+			inv, ierr := invFromCholesky(l)
+			if ierr == nil {
+				return inv, CholeskyLogDet(l), nil
+			}
+		}
+		if ridge == 0 {
+			ridge = ridgeScale * base
+			if ridge <= 0 {
+				ridge = 1e-12
+			}
+		} else {
+			ridge *= 8
+		}
+		work = a.Clone().AddRidge(ridge)
+	}
+	return nil, 0, ErrSingular
+}
+
+func invFromCholesky(l *Mat) (*Mat, error) {
+	n := l.Rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := CholeskySolveVec(l, e)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(col[i]) || math.IsInf(col[i], 0) {
+				return nil, ErrSingular
+			}
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

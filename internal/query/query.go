@@ -1,0 +1,70 @@
+// Package query provides the evaluation machinery of §6: exact KNN ground
+// truth in the original space, the paper's precision measure
+// |R_dr ∩ R_d| / |R_d|, and batch evaluation over query workloads.
+package query
+
+import (
+	"math"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/index"
+	"mmdr/internal/reduction"
+)
+
+// ExactKNN returns the exact k nearest neighbors of q in ds under L2 —
+// R_d, the reference answer set.
+func ExactKNN(ds *dataset.Dataset, q []float64, k int) []index.Neighbor {
+	top := index.NewTopK(k)
+	for i := 0; i < ds.N; i++ {
+		p := ds.Point(i)
+		var s float64
+		for j, v := range q {
+			d := v - p[j]
+			s += d * d
+		}
+		top.Add(i, math.Sqrt(s))
+	}
+	return top.Sorted()
+}
+
+// Precision computes |R_dr ∩ R_d| / |R_d| (paper §6). Result sets are
+// compared by point ID.
+func Precision(approx, exact []index.Neighbor) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	in := make(map[int]bool, len(exact))
+	for _, n := range exact {
+		in[n.ID] = true
+	}
+	hit := 0
+	for _, n := range approx {
+		if in[n.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// MeanPrecision evaluates an index against exact search over the original
+// data for every query (rows of queries), returning the mean precision of
+// k-NN answers — the methodology of Figures 7 and 8 (100 queries, 10NN).
+func MeanPrecision(ds *dataset.Dataset, idx index.KNNIndex, queries *dataset.Dataset, k int) float64 {
+	if queries.N == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < queries.N; i++ {
+		q := queries.Point(i)
+		sum += Precision(idx.KNN(q, k), ExactKNN(ds, q, k))
+	}
+	return sum / float64(queries.N)
+}
+
+// ReductionPrecision evaluates the representation itself, independent of
+// any index, by sequential scan over the reduced data. All indexes over
+// the same reduction return identical answer sets, so this is the number
+// Figures 7 and 8 plot.
+func ReductionPrecision(ds *dataset.Dataset, red *reduction.Result, queries *dataset.Dataset, k int) float64 {
+	return MeanPrecision(ds, index.NewSeqScan(ds, red, nil), queries, k)
+}

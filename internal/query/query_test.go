@@ -1,0 +1,135 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/index"
+	"mmdr/internal/reduction"
+)
+
+func TestExactKNNOrderedAndCorrect(t *testing.T) {
+	ds := dataset.New(5, 1)
+	copy(ds.Data, []float64{0, 10, 3, 7, 1})
+	res := ExactKNN(ds, []float64{2}, 3)
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	// Nearest to 2: 3 (dist 1), 1 (dist 1), 0 (dist 2).
+	wantIDs := map[int]bool{2: true, 4: true, 0: true}
+	for _, n := range res {
+		if !wantIDs[n.ID] {
+			t.Fatalf("unexpected neighbor %v", n)
+		}
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	exact := []index.Neighbor{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	approx := []index.Neighbor{{ID: 2}, {ID: 4}, {ID: 9}, {ID: 10}}
+	if p := Precision(approx, exact); p != 0.5 {
+		t.Fatalf("Precision = %v, want 0.5", p)
+	}
+	if p := Precision(nil, exact); p != 0 {
+		t.Fatalf("empty approx precision = %v", p)
+	}
+	if p := Precision(approx, nil); p != 0 {
+		t.Fatalf("empty exact precision = %v", p)
+	}
+	if p := Precision(exact, exact); p != 1 {
+		t.Fatalf("self precision = %v", p)
+	}
+}
+
+// Full-rank reduction must give precision 1: the reduced representation is
+// lossless, so R_dr == R_d.
+func TestFullRankReductionPerfectPrecision(t *testing.T) {
+	ds := datagen.Uniform(300, 6, 121)
+	red, err := (&reduction.GDR{TargetDim: 6}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := datagen.SampleQueries(ds, 10, 0.01, 122)
+	p := ReductionPrecision(ds, red, queries, 10)
+	if math.Abs(p-1) > 1e-12 {
+		t.Fatalf("full-rank precision = %v, want 1", p)
+	}
+}
+
+// Precision must be within [0,1] and improve (weakly) with retained
+// dimensionality on correlated data.
+func TestPrecisionIncreasesWithDim(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 600, Dim: 16, NumClusters: 2, SDim: 3, VarRatio: 20, Seed: 123}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	queries := datagen.SampleQueries(ds, 20, 0.01, 124)
+	var prev float64 = -1
+	for _, dim := range []int{1, 4, 16} {
+		red, err := (&reduction.GDR{TargetDim: dim}).Reduce(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := ReductionPrecision(ds, red, queries, 10)
+		if p < 0 || p > 1 {
+			t.Fatalf("precision %v out of range", p)
+		}
+		if p < prev-0.1 {
+			t.Fatalf("precision dropped substantially with more dims: %v -> %v", prev, p)
+		}
+		prev = p
+	}
+	if prev < 0.999 {
+		t.Fatalf("full-dim precision = %v, want ~1", prev)
+	}
+}
+
+// MMDR on strongly correlated clusters must beat GDR at equal retained
+// dimensionality — the headline claim of Figure 7/8.
+func TestMMDRBeatsGDROnLocallyCorrelatedData(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 1000, Dim: 20, NumClusters: 4, SDim: 2, VarRatio: 25, Seed: 125}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	queries := datagen.SampleQueries(ds, 30, 0.01, 126)
+
+	mres, err := core.New(core.Params{Seed: 5, ForcedDim: 3}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := (&reduction.GDR{TargetDim: 3}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := ReductionPrecision(ds, mres, queries, 10)
+	gp := ReductionPrecision(ds, gres, queries, 10)
+	if mp <= gp {
+		t.Fatalf("MMDR precision %v should beat GDR %v on locally correlated data", mp, gp)
+	}
+	if mp < 0.5 {
+		t.Fatalf("MMDR precision %v unexpectedly low", mp)
+	}
+}
+
+func TestMeanPrecisionEmptyQueries(t *testing.T) {
+	ds := datagen.Uniform(10, 3, 127)
+	red, err := (&reduction.GDR{TargetDim: 2}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ReductionPrecision(ds, red, dataset.New(0, 3), 5); p != 0 {
+		t.Fatalf("empty queries precision = %v", p)
+	}
+}

@@ -1,0 +1,60 @@
+package reduction
+
+import (
+	"fmt"
+	"math"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/stats"
+)
+
+// GDR is the Global Dimensionality Reduction baseline [Chakrabarti &
+// Mehrotra, VLDB'00 strategy 1]: a single PCA over the entire dataset,
+// keeping the first TargetDim components. It cannot adapt to locally
+// correlated data — exactly the weakness the paper's Figures 7 and 8
+// exhibit.
+type GDR struct {
+	// TargetDim is the retained dimensionality (paper sweeps 10..30).
+	TargetDim int
+}
+
+// Name implements Reducer.
+func (g *GDR) Name() string { return "GDR" }
+
+// Reduce implements Reducer.
+func (g *GDR) Reduce(ds *dataset.Dataset) (*Result, error) {
+	if g.TargetDim <= 0 || g.TargetDim > ds.Dim {
+		return nil, fmt.Errorf("gdr: TargetDim %d out of range (1..%d)", g.TargetDim, ds.Dim)
+	}
+	if ds.N == 0 {
+		return nil, fmt.Errorf("gdr: empty dataset")
+	}
+	p, err := stats.ComputePCA(ds.Data, ds.Dim)
+	if err != nil {
+		return nil, err
+	}
+	dr := g.TargetDim
+	sub := &Subspace{
+		ID:       0,
+		Centroid: p.Mean,
+		Basis:    p.Components.LeadingCols(dr),
+		Dr:       dr,
+		Members:  make([]int, ds.N),
+		Coords:   make([]float64, ds.N*dr),
+	}
+	var mpeSum float64
+	for i := 0; i < ds.N; i++ {
+		sub.Members[i] = i
+		sub.ProjectInto(ds.Point(i), sub.Coords[i*dr:(i+1)*dr])
+		var norm2 float64
+		for _, c := range sub.Coords[i*dr : (i+1)*dr] {
+			norm2 += c * c
+		}
+		if norm2 > sub.MaxRadius*sub.MaxRadius {
+			sub.MaxRadius = math.Sqrt(norm2)
+		}
+		mpeSum += sub.Residual(ds.Point(i))
+	}
+	sub.MPE = mpeSum / float64(ds.N)
+	return &Result{Dim: ds.Dim, Subspaces: []*Subspace{sub}}, nil
+}

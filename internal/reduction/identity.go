@@ -1,0 +1,72 @@
+package reduction
+
+import (
+	"fmt"
+	"math"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/kmeans"
+	"mmdr/internal/matrix"
+)
+
+// Identity is the no-reduction "reducer": it partitions the data with
+// Euclidean k-means and keeps every dimension (basis = identity), so the
+// reduced representation is lossless. Feeding it to the extended iDistance
+// yields the *original* iDistance of Yu et al. (VLDB'01) — full-dimensional
+// points, k-means reference points — which quantifies what dimensionality
+// reduction itself buys on top of the indexing scheme.
+type Identity struct {
+	Clusters int // reference partitions; default 16
+	Seed     int64
+}
+
+// Name implements Reducer.
+func (r *Identity) Name() string { return "identity" }
+
+// Reduce implements Reducer.
+func (r *Identity) Reduce(ds *dataset.Dataset) (*Result, error) {
+	if ds.N == 0 {
+		return nil, fmt.Errorf("identity: empty dataset")
+	}
+	k := r.Clusters
+	if k <= 0 {
+		k = 16
+	}
+	km, err := kmeans.Run(ds, kmeans.Options{K: k, Seed: r.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Dim: ds.Dim}
+	id := 0
+	for c := 0; c < km.K; c++ {
+		members := km.Members(c)
+		if len(members) == 0 {
+			continue
+		}
+		sub := &Subspace{
+			ID:       id,
+			Centroid: append([]float64(nil), km.Centroids[c]...),
+			Basis:    matrix.Identity(ds.Dim),
+			Dr:       ds.Dim,
+			Members:  append([]int(nil), members...),
+			Coords:   make([]float64, len(members)*ds.Dim),
+		}
+		var maxR2 float64
+		for mi, m := range members {
+			dst := sub.Coords[mi*ds.Dim : (mi+1)*ds.Dim]
+			p := ds.Point(m)
+			var n2 float64
+			for j := range dst {
+				dst[j] = p[j] - sub.Centroid[j]
+				n2 += dst[j] * dst[j]
+			}
+			if n2 > maxR2 {
+				maxR2 = n2
+			}
+		}
+		sub.MaxRadius = math.Sqrt(maxR2)
+		res.Subspaces = append(res.Subspaces, sub)
+		id++
+	}
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package reduction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/kmeans"
+	"mmdr/internal/stats"
+)
+
+// LDR is the Local Dimensionality Reduction baseline [Chakrabarti &
+// Mehrotra, VLDB'00]: Euclidean spatial clusters, each with its own PCA,
+// where the retained dimensionality is the smallest that bounds the
+// reconstruction distance for most members, and badly represented points
+// fall out as outliers. Because the clustering is Euclidean it finds
+// spherical neighborhoods and misses crossing or nested elliptical
+// correlations — the behaviour the paper's Figure 5 contrasts with MMDR.
+type LDR struct {
+	MaxClusters  int     // number of spatial clusters; default 10
+	MaxDim       int     // cap on retained dimensionality; default 20
+	MaxReconDist float64 // reconstruction-distance bound; default 0.1
+	FracPoints   float64 // fraction of members the bound must cover; default 0.9
+	MinSize      int     // clusters smaller than this dissolve to outliers; default 20
+	ForcedDim    int     // >0 forces every cluster to this Dr (dimension sweeps)
+	Xi           float64 // cap on reconstruction-based evictions as a fraction of N; default 0.005
+	Seed         int64
+}
+
+// Name implements Reducer.
+func (l *LDR) Name() string { return "LDR" }
+
+func (l *LDR) withDefaults() LDR {
+	out := *l
+	if out.MaxClusters <= 0 {
+		out.MaxClusters = 10
+	}
+	if out.MaxDim <= 0 {
+		out.MaxDim = 20
+	}
+	if out.MaxReconDist <= 0 {
+		out.MaxReconDist = 0.1
+	}
+	if out.FracPoints <= 0 || out.FracPoints > 1 {
+		out.FracPoints = 0.9
+	}
+	if out.MinSize <= 0 {
+		out.MinSize = 20
+	}
+	if out.Xi <= 0 {
+		out.Xi = 0.005
+	}
+	return out
+}
+
+// Reduce implements Reducer.
+func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
+	o := l.withDefaults()
+	if ds.N == 0 {
+		return nil, fmt.Errorf("ldr: empty dataset")
+	}
+	km, err := kmeans.Run(ds, kmeans.Options{K: o.MaxClusters, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Dim: ds.Dim}
+	var outliers []int
+
+	// First pass: per-cluster PCA, dimensionality choice, and
+	// reconstruction-distance eviction candidates.
+	type clusterPlan struct {
+		members []int
+		pca     *stats.PCA
+		dr      int
+	}
+	type candidate struct {
+		cluster  int
+		member   int
+		residual float64
+	}
+	var plans []clusterPlan
+	var cands []candidate
+	for c := 0; c < km.K; c++ {
+		members := km.Members(c)
+		if len(members) < o.MinSize {
+			outliers = append(outliers, members...)
+			continue
+		}
+		pts := gatherPoints(ds, members)
+		pca, err := stats.ComputePCA(pts, ds.Dim)
+		if err != nil {
+			return nil, err
+		}
+		dr := l.chooseDim(pca, pts, ds.Dim, o)
+		ci := len(plans)
+		plans = append(plans, clusterPlan{members: members, pca: pca, dr: dr})
+		for _, m := range members {
+			if r := pca.Residual(ds.Point(m), dr); r > o.MaxReconDist {
+				cands = append(cands, candidate{cluster: ci, member: m, residual: r})
+			}
+		}
+	}
+
+	// The LDR outlier set is bounded (the original bounds it to keep the
+	// full-dimensional set small); evict only the worst Xi·N residuals.
+	maxEvict := int(o.Xi * float64(ds.N))
+	if len(cands) > maxEvict {
+		sort.Slice(cands, func(a, b int) bool { return cands[a].residual > cands[b].residual })
+		cands = cands[:maxEvict]
+	}
+	evicted := make(map[int]bool, len(cands))
+	for _, c := range cands {
+		evicted[c.member] = true
+		outliers = append(outliers, c.member)
+	}
+
+	id := 0
+	for _, plan := range plans {
+		kept := make([]int, 0, len(plan.members))
+		for _, m := range plan.members {
+			if !evicted[m] {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) < o.MinSize {
+			outliers = append(outliers, kept...)
+			continue
+		}
+		res.Subspaces = append(res.Subspaces, buildSubspace(id, ds, plan.pca, plan.dr, kept))
+		id++
+	}
+	sort.Ints(outliers)
+	res.Outliers = outliers
+	return res, nil
+}
+
+// chooseDim picks the smallest retained dimensionality such that FracPoints
+// of the cluster's points have reconstruction distance within the bound,
+// capped at MaxDim (or returns ForcedDim when set).
+func (l *LDR) chooseDim(pca *stats.PCA, pts []float64, dim int, o LDR) int {
+	if o.ForcedDim > 0 {
+		if o.ForcedDim > dim {
+			return dim
+		}
+		return o.ForcedDim
+	}
+	maxDim := o.MaxDim
+	if maxDim > dim {
+		maxDim = dim
+	}
+	n := len(pts) / dim
+	need := int(math.Ceil(o.FracPoints * float64(n)))
+	for dr := 1; dr <= maxDim; dr++ {
+		within := 0
+		for i := 0; i < n; i++ {
+			if pca.Residual(pts[i*dim:(i+1)*dim], dr) <= o.MaxReconDist {
+				within++
+			}
+		}
+		if within >= need {
+			return dr
+		}
+	}
+	return maxDim
+}
+
+// gatherPoints copies the rows at indices into a flat slice.
+func gatherPoints(ds *dataset.Dataset, indices []int) []float64 {
+	out := make([]float64, 0, len(indices)*ds.Dim)
+	for _, idx := range indices {
+		out = append(out, ds.Point(idx)...)
+	}
+	return out
+}
+
+// buildSubspace assembles a Subspace anchored at the PCA mean with the
+// leading dr components, filling reduced coordinates, radius and MPE.
+func buildSubspace(id int, ds *dataset.Dataset, pca *stats.PCA, dr int, members []int) *Subspace {
+	sub := &Subspace{
+		ID:       id,
+		Centroid: pca.Mean,
+		Basis:    pca.Components.LeadingCols(dr),
+		Dr:       dr,
+		Members:  append([]int(nil), members...),
+		Coords:   make([]float64, len(members)*dr),
+	}
+	var mpeSum float64
+	var maxR2 float64
+	for k, m := range members {
+		p := ds.Point(m)
+		dst := sub.Coords[k*dr : (k+1)*dr]
+		sub.ProjectInto(p, dst)
+		var norm2 float64
+		for _, c := range dst {
+			norm2 += c * c
+		}
+		if norm2 > maxR2 {
+			maxR2 = norm2
+		}
+		mpeSum += sub.Residual(p)
+	}
+	sub.MaxRadius = math.Sqrt(maxR2)
+	if len(members) > 0 {
+		sub.MPE = mpeSum / float64(len(members))
+	}
+	return sub
+}

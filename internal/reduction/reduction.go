@@ -1,0 +1,208 @@
+// Package reduction defines the shared vocabulary of all dimensionality
+// reducers in the repository — the Subspace and Result types and the Reducer
+// interface — and implements the paper's two baselines:
+//
+//   - GDR (Global Dimensionality Reduction): one global PCA over the whole
+//     dataset, reduced to a single target dimensionality.
+//   - LDR (Local Dimensionality Reduction, Chakrabarti & Mehrotra VLDB'00):
+//     Euclidean spatial clusters, each reduced with its own PCA subject to a
+//     reconstruction-distance bound; points that no cluster represents well
+//     become outliers.
+//
+// The MMDR algorithm itself lives in internal/core and produces the same
+// Result type, so indexes and evaluation code are reducer-agnostic.
+package reduction
+
+import (
+	"fmt"
+	"math"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/matrix"
+)
+
+// Subspace is one locally reduced cluster: an affine subspace of the
+// original d-dimensional space spanned by Basis and anchored at Centroid,
+// together with the reduced coordinates of its member points.
+type Subspace struct {
+	ID       int
+	Centroid []float64   // original-space anchor (cluster centroid)
+	Basis    *matrix.Mat // d x Dr matrix, orthonormal columns
+	Dr       int         // retained dimensionality
+
+	Members []int     // indices into the source dataset
+	Coords  []float64 // row-major len(Members) x Dr reduced coordinates
+
+	MaxRadius float64 // max ‖coords‖ over members: the subspace's data-sphere radius
+	MPE       float64 // mean ProjDist_r of members at dimensionality Dr
+
+	// Fields retained for dynamic insertion and diagnostics (the paper's
+	// third auxiliary array): the cluster's shape in the original space.
+	CovInv     *matrix.Mat
+	LogDet     float64
+	MahaRadius float64
+}
+
+// Project maps an original-space point into the subspace's reduced
+// coordinates: (p - centroid)ᵀ · Basis.
+func (s *Subspace) Project(p []float64) []float64 {
+	out := make([]float64, s.Dr)
+	s.ProjectInto(p, out)
+	return out
+}
+
+// ProjectInto is Project without allocation; dst must have length Dr.
+func (s *Subspace) ProjectInto(p []float64, dst []float64) {
+	d := len(s.Centroid)
+	for j := 0; j < s.Dr; j++ {
+		var acc float64
+		for i := 0; i < d; i++ {
+			acc += (p[i] - s.Centroid[i]) * s.Basis.At(i, j)
+		}
+		dst[j] = acc
+	}
+}
+
+// ResidualSq returns ProjDist_r²: the squared distance from p to the
+// subspace (energy in the eliminated dimensions).
+func (s *Subspace) ResidualSq(p []float64) float64 {
+	d := len(s.Centroid)
+	var total float64
+	for i := 0; i < d; i++ {
+		diff := p[i] - s.Centroid[i]
+		total += diff * diff
+	}
+	var retained float64
+	for j := 0; j < s.Dr; j++ {
+		var acc float64
+		for i := 0; i < d; i++ {
+			acc += (p[i] - s.Centroid[i]) * s.Basis.At(i, j)
+		}
+		retained += acc * acc
+	}
+	res := total - retained
+	if res < 0 {
+		return 0
+	}
+	return res
+}
+
+// Residual returns ProjDist_r (Euclidean).
+func (s *Subspace) Residual(p []float64) float64 { return math.Sqrt(s.ResidualSq(p)) }
+
+// MemberCoords returns a view of member k's reduced coordinates.
+func (s *Subspace) MemberCoords(k int) []float64 {
+	return s.Coords[k*s.Dr : (k+1)*s.Dr]
+}
+
+// Result is the output of any dimensionality reducer: a set of reduced
+// subspaces plus the points left in the original space as outliers.
+type Result struct {
+	Dim       int // original dimensionality
+	Subspaces []*Subspace
+	Outliers  []int // indices into the source dataset
+}
+
+// Reducer is implemented by GDR, LDR and MMDR.
+type Reducer interface {
+	// Reduce partitions ds into reduced subspaces and outliers.
+	Reduce(ds *dataset.Dataset) (*Result, error)
+	// Name identifies the method in experiment tables.
+	Name() string
+}
+
+// Stats summarizes a Result for reports.
+type Stats struct {
+	NumSubspaces int
+	NumOutliers  int
+	AvgDim       float64 // member-weighted average retained dimensionality
+	MaxDim       int
+	TotalPoints  int
+}
+
+// Summarize computes summary statistics of r.
+func (r *Result) Summarize() Stats {
+	st := Stats{NumSubspaces: len(r.Subspaces), NumOutliers: len(r.Outliers)}
+	var weighted float64
+	for _, s := range r.Subspaces {
+		st.TotalPoints += len(s.Members)
+		weighted += float64(s.Dr) * float64(len(s.Members))
+		if s.Dr > st.MaxDim {
+			st.MaxDim = s.Dr
+		}
+	}
+	if st.TotalPoints > 0 {
+		st.AvgDim = weighted / float64(st.TotalPoints)
+	}
+	st.TotalPoints += st.NumOutliers
+	return st
+}
+
+// Validate checks structural invariants: every point appears exactly once
+// across subspaces and outliers, coordinate blocks have the right shape, and
+// bases are orthonormal. It is used by tests and by the CLI's inspect
+// command.
+func (r *Result) Validate(n int) error {
+	seen := make([]bool, n)
+	mark := func(idx int) error {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("reduction: point index %d out of range [0,%d)", idx, n)
+		}
+		if seen[idx] {
+			return fmt.Errorf("reduction: point %d assigned twice", idx)
+		}
+		seen[idx] = true
+		return nil
+	}
+	for _, s := range r.Subspaces {
+		if s.Dr <= 0 || s.Dr > r.Dim {
+			return fmt.Errorf("reduction: subspace %d has Dr=%d with Dim=%d", s.ID, s.Dr, r.Dim)
+		}
+		if len(s.Coords) != len(s.Members)*s.Dr {
+			return fmt.Errorf("reduction: subspace %d coords len %d != %d members x %d",
+				s.ID, len(s.Coords), len(s.Members), s.Dr)
+		}
+		if s.Basis.Rows != r.Dim || s.Basis.Cols != s.Dr {
+			return fmt.Errorf("reduction: subspace %d basis %dx%d, want %dx%d",
+				s.ID, s.Basis.Rows, s.Basis.Cols, r.Dim, s.Dr)
+		}
+		if e := matrix.OrthonormalityError(s.Basis); e > 1e-6 {
+			return fmt.Errorf("reduction: subspace %d basis not orthonormal (err %g)", s.ID, e)
+		}
+		for _, m := range s.Members {
+			if err := mark(m); err != nil {
+				return err
+			}
+		}
+	}
+	for _, o := range r.Outliers {
+		if err := mark(o); err != nil {
+			return err
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("reduction: point %d unassigned", i)
+		}
+	}
+	return nil
+}
+
+// Reconstruct maps reduced coordinates back to the original space:
+// centroid + Σ coords[j]·basis_j. It is the decompression direction of the
+// subspace mapping; the reconstruction error of a member equals its
+// ProjDist_r.
+func (s *Subspace) Reconstruct(coords []float64) []float64 {
+	d := len(s.Centroid)
+	out := make([]float64, d)
+	copy(out, s.Centroid)
+	for j, c := range coords {
+		if c == 0 {
+			continue
+		}
+		for i := 0; i < d; i++ {
+			out[i] += c * s.Basis.At(i, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/matrix"
+	"mmdr/internal/stats"
+)
+
+// planeData builds points on a noisy 2-d plane inside dim-dimensional
+// space.
+func planeData(n, dim int, noise float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.New(n, dim)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64()*5, rng.NormFloat64()*3
+		p := ds.Point(i)
+		p[0] = a
+		p[1] = b
+		for j := 2; j < dim; j++ {
+			p[j] = rng.NormFloat64() * noise
+		}
+	}
+	return ds
+}
+
+func TestSubspaceProjectResidual(t *testing.T) {
+	// Subspace = xy-plane in 4-d, centroid at origin.
+	basis := matrix.New(4, 2)
+	basis.Set(0, 0, 1)
+	basis.Set(1, 1, 1)
+	s := &Subspace{Centroid: make([]float64, 4), Basis: basis, Dr: 2}
+	p := []float64{3, 4, 2, 1}
+	coords := s.Project(p)
+	if coords[0] != 3 || coords[1] != 4 {
+		t.Fatalf("Project = %v", coords)
+	}
+	if r := s.Residual(p); math.Abs(r-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("Residual = %v, want sqrt(5)", r)
+	}
+	dst := make([]float64, 2)
+	s.ProjectInto(p, dst)
+	if dst[0] != coords[0] || dst[1] != coords[1] {
+		t.Fatal("ProjectInto disagrees with Project")
+	}
+}
+
+func TestMemberCoords(t *testing.T) {
+	s := &Subspace{Dr: 2, Coords: []float64{1, 2, 3, 4}}
+	if c := s.MemberCoords(1); c[0] != 3 || c[1] != 4 {
+		t.Fatalf("MemberCoords = %v", c)
+	}
+}
+
+func TestGDRReducesPlane(t *testing.T) {
+	dim := 8
+	ds := planeData(500, dim, 0.01, 51)
+	g := &GDR{TargetDim: 2}
+	if g.Name() != "GDR" {
+		t.Fatal("name")
+	}
+	res, err := g.Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(ds.N); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subspaces) != 1 || len(res.Outliers) != 0 {
+		t.Fatalf("GDR should give exactly one subspace, got %d + %d outliers",
+			len(res.Subspaces), len(res.Outliers))
+	}
+	s := res.Subspaces[0]
+	if s.Dr != 2 || len(s.Members) != ds.N {
+		t.Fatalf("subspace Dr=%d members=%d", s.Dr, len(s.Members))
+	}
+	if s.MPE > 0.05 {
+		t.Fatalf("plane data should project with tiny MPE, got %v", s.MPE)
+	}
+	// Reduced-space distances approximate original distances on plane data.
+	a, b := ds.Point(0), ds.Point(1)
+	da := matrix.Dist(a, b)
+	dr := matrix.Dist(s.Project(a), s.Project(b))
+	if math.Abs(da-dr) > 0.2 {
+		t.Fatalf("distances diverge: %v vs %v", da, dr)
+	}
+}
+
+func TestGDRValidation(t *testing.T) {
+	ds := planeData(10, 4, 0.1, 52)
+	if _, err := (&GDR{TargetDim: 0}).Reduce(ds); err == nil {
+		t.Fatal("expected error for TargetDim 0")
+	}
+	if _, err := (&GDR{TargetDim: 5}).Reduce(ds); err == nil {
+		t.Fatal("expected error for TargetDim > dim")
+	}
+	if _, err := (&GDR{TargetDim: 2}).Reduce(dataset.New(0, 4)); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestLDRSeparatesLocalClusters(t *testing.T) {
+	// Two locally correlated clusters in 10-d, far apart: LDR should find
+	// both, each with low retained dimensionality.
+	cfg := datagen.CorrelatedConfig{N: 800, Dim: 10, NumClusters: 2, SDim: 2, VarRatio: 20, Seed: 53}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	l := &LDR{MaxClusters: 6, MaxDim: 5, MaxReconDist: 0.1, Seed: 1}
+	if l.Name() != "LDR" {
+		t.Fatal("name")
+	}
+	res, err := l.Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(ds.N); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subspaces) == 0 {
+		t.Fatal("LDR found no subspaces")
+	}
+	st := res.Summarize()
+	if st.TotalPoints != ds.N {
+		t.Fatalf("summary covers %d of %d", st.TotalPoints, ds.N)
+	}
+	// Most points should be captured in low-dim subspaces.
+	if st.NumOutliers > ds.N/4 {
+		t.Fatalf("too many outliers: %d", st.NumOutliers)
+	}
+	if st.AvgDim > 6 {
+		t.Fatalf("avg dim %v too high for locally 2-d data", st.AvgDim)
+	}
+}
+
+func TestLDRForcedDim(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 400, Dim: 8, NumClusters: 2, SDim: 2, VarRatio: 15, Seed: 54}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	res, err := (&LDR{MaxClusters: 4, ForcedDim: 3, MaxReconDist: 0.5, Seed: 2}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Subspaces {
+		if s.Dr != 3 {
+			t.Fatalf("ForcedDim violated: Dr=%d", s.Dr)
+		}
+	}
+}
+
+func TestLDREmptyDataset(t *testing.T) {
+	if _, err := (&LDR{}).Reduce(dataset.New(0, 3)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLDRUncorrelatedDataMostlyOutliers(t *testing.T) {
+	// Uniform noise has no low-dimensional structure: with a tight
+	// reconstruction bound and an uncapped outlier budget nearly
+	// everything must become an outlier.
+	ds := datagen.Uniform(500, 16, 55)
+	res, err := (&LDR{MaxClusters: 5, MaxDim: 4, MaxReconDist: 0.05, Xi: 1, Seed: 3}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(ds.N); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outliers) < ds.N/2 {
+		t.Fatalf("uniform noise should be mostly outliers, got %d of %d", len(res.Outliers), ds.N)
+	}
+
+	// The default ξ bounds the outlier set (clusters below MinSize aside).
+	capped, err := (&LDR{MaxClusters: 5, MaxDim: 4, MaxReconDist: 0.05, Seed: 3}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Outliers) >= len(res.Outliers) {
+		t.Fatalf("xi cap had no effect: %d vs %d outliers", len(capped.Outliers), len(res.Outliers))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ds := planeData(50, 4, 0.01, 56)
+	res, err := (&GDR{TargetDim: 2}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate a member.
+	res.Outliers = append(res.Outliers, res.Subspaces[0].Members[0])
+	if err := res.Validate(ds.N); err == nil {
+		t.Fatal("Validate missed duplicate assignment")
+	}
+	// Missing point.
+	res.Outliers = nil
+	res.Subspaces[0].Members = res.Subspaces[0].Members[:ds.N-1]
+	res.Subspaces[0].Coords = res.Subspaces[0].Coords[:(ds.N-1)*2]
+	if err := res.Validate(ds.N); err == nil {
+		t.Fatal("Validate missed unassigned point")
+	}
+}
+
+// Property: residual² + ‖projection‖² == ‖p - centroid‖² for subspaces built
+// from PCA bases.
+func TestSubspacePythagorasProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 3 + r.Intn(5)
+		n := dim*3 + 10
+		pts := make([]float64, n*dim)
+		for i := range pts {
+			pts[i] = r.NormFloat64() * 3
+		}
+		pca, err := stats.ComputePCA(pts, dim)
+		if err != nil {
+			return false
+		}
+		dr := 1 + r.Intn(dim)
+		s := &Subspace{Centroid: pca.Mean, Basis: pca.Components.LeadingCols(dr), Dr: dr}
+		p := pts[:dim]
+		var total float64
+		for i := range p {
+			d := p[i] - s.Centroid[i]
+			total += d * d
+		}
+		coords := s.Project(p)
+		var kept float64
+		for _, c := range coords {
+			kept += c * c
+		}
+		return math.Abs(s.ResidualSq(p)+kept-total) < 1e-8*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityReducerIsLossless(t *testing.T) {
+	ds := planeData(400, 6, 0.5, 58)
+	r := &Identity{Clusters: 4, Seed: 1}
+	if r.Name() != "identity" {
+		t.Fatal("name")
+	}
+	res, err := r.Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(ds.N); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outliers) != 0 {
+		t.Fatalf("identity reduction has %d outliers", len(res.Outliers))
+	}
+	// Every subspace keeps full dimensionality and reconstructs exactly.
+	for _, s := range res.Subspaces {
+		if s.Dr != ds.Dim {
+			t.Fatalf("Dr = %d, want %d", s.Dr, ds.Dim)
+		}
+		for k, m := range s.Members[:min(3, len(s.Members))] {
+			rec := s.Reconstruct(s.MemberCoords(k))
+			orig := ds.Point(m)
+			for j := range orig {
+				if math.Abs(rec[j]-orig[j]) > 1e-12 {
+					t.Fatalf("identity reconstruction not exact at point %d dim %d", m, j)
+				}
+			}
+			if r := s.Residual(orig); r > 1e-9 {
+				t.Fatalf("identity residual %v", r)
+			}
+		}
+	}
+	if _, err := (&Identity{}).Reduce(dataset.New(0, 3)); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestSubspaceReconstructRoundTrip(t *testing.T) {
+	ds := planeData(300, 8, 0.001, 59)
+	res, err := (&GDR{TargetDim: 2}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Subspaces[0]
+	// Members lie near the plane: reconstruction ~= original.
+	for k, m := range s.Members[:5] {
+		rec := s.Reconstruct(s.MemberCoords(k))
+		if d := matrix.Dist(rec, ds.Point(m)); d > 0.05 {
+			t.Fatalf("reconstruction error %v for near-planar data", d)
+		}
+	}
+}

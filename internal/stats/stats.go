@@ -1,0 +1,242 @@
+// Package stats computes the first- and second-order statistics the MMDR
+// pipeline is built on: mean vectors, covariance matrices, and principal
+// component analysis (PCA) via the symmetric eigensolver in internal/matrix.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mmdr/internal/matrix"
+)
+
+// ErrEmpty is returned when statistics are requested for zero points.
+var ErrEmpty = errors.New("stats: empty point set")
+
+// Mean returns the componentwise mean of points, each of dimension dim.
+// points is row-major flat storage of n rows.
+func Mean(points []float64, dim int) ([]float64, error) {
+	if dim <= 0 || len(points) == 0 || len(points)%dim != 0 {
+		return nil, fmt.Errorf("stats: Mean invalid input len=%d dim=%d", len(points), dim)
+	}
+	n := len(points) / dim
+	mean := make([]float64, dim)
+	for r := 0; r < n; r++ {
+		row := points[r*dim : (r+1)*dim]
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	inv := 1 / float64(n)
+	for j := range mean {
+		mean[j] *= inv
+	}
+	return mean, nil
+}
+
+// Covariance returns the sample covariance matrix (divisor n, maximum
+// likelihood form — matching the Mahalanobis usage in the paper) of the
+// points together with their mean. For n == 1 the covariance is the zero
+// matrix.
+func Covariance(points []float64, dim int) (*matrix.Mat, []float64, error) {
+	mean, err := Mean(points, dim)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(points) / dim
+	cov := matrix.New(dim, dim)
+	centered := make([]float64, dim)
+	for r := 0; r < n; r++ {
+		row := points[r*dim : (r+1)*dim]
+		for j, v := range row {
+			centered[j] = v - mean[j]
+		}
+		for i := 0; i < dim; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			covRow := cov.Row(i)
+			for j := i; j < dim; j++ {
+				covRow[j] += ci * centered[j]
+			}
+		}
+	}
+	inv := 1 / float64(n)
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			v := cov.At(i, j) * inv
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov, mean, nil
+}
+
+// PCA is the result of principal component analysis: an orthonormal basis
+// ordered by descending explained variance, centered at Mean.
+type PCA struct {
+	Mean       []float64
+	Components *matrix.Mat // dim x dim, column k = k-th principal component
+	Variances  []float64   // eigenvalues, descending
+}
+
+// ComputePCA runs PCA on n points of dimension dim stored row-major in
+// points.
+func ComputePCA(points []float64, dim int) (*PCA, error) {
+	cov, mean, err := Covariance(points, dim)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := matrix.SymEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	return &PCA{Mean: mean, Components: eig.Vectors, Variances: eig.Values}, nil
+}
+
+// Project maps p into the coordinate system of the first k principal
+// components: out[j] = (p - mean)·component_j. It is the projection
+// P'_{d_r} = P·Φ_{d_r} of the paper (after centering).
+func (p *PCA) Project(point []float64, k int) []float64 {
+	if k < 0 || k > p.Components.Cols {
+		panic(fmt.Sprintf("stats: Project k=%d of %d components", k, p.Components.Cols))
+	}
+	dim := len(p.Mean)
+	out := make([]float64, k)
+	for j := 0; j < k; j++ {
+		var s float64
+		for i := 0; i < dim; i++ {
+			s += (point[i] - p.Mean[i]) * p.Components.At(i, j)
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// ProjectInto is Project writing into dst (len k), avoiding allocation in
+// hot loops.
+func (p *PCA) ProjectInto(point []float64, dst []float64) {
+	dim := len(p.Mean)
+	for j := range dst {
+		var s float64
+		for i := 0; i < dim; i++ {
+			s += (point[i] - p.Mean[i]) * p.Components.At(i, j)
+		}
+		dst[j] = s
+	}
+}
+
+// Reconstruct maps reduced coordinates (length k) back to the original
+// space: mean + Σ coords[j]·component_j.
+func (p *PCA) Reconstruct(coords []float64) []float64 {
+	dim := len(p.Mean)
+	out := make([]float64, dim)
+	copy(out, p.Mean)
+	for j, c := range coords {
+		if c == 0 {
+			continue
+		}
+		for i := 0; i < dim; i++ {
+			out[i] += c * p.Components.At(i, j)
+		}
+	}
+	return out
+}
+
+// ResidualSq returns the squared distance from point to its projection onto
+// the first k components — i.e. ProjDist_r² in the paper's terminology (the
+// information lost by keeping only k dimensions). It equals
+// ‖p-mean‖² - ‖coords‖² computed stably by summing the trailing components.
+func (p *PCA) ResidualSq(point []float64, k int) float64 {
+	dim := len(p.Mean)
+	var res float64
+	for j := k; j < p.Components.Cols; j++ {
+		var s float64
+		for i := 0; i < dim; i++ {
+			s += (point[i] - p.Mean[i]) * p.Components.At(i, j)
+		}
+		res += s * s
+	}
+	return res
+}
+
+// Residual returns ProjDist_r: the Euclidean distance from point to the
+// k-dimensional principal subspace.
+func (p *PCA) Residual(point []float64, k int) float64 {
+	return sqrt(p.ResidualSq(point, k))
+}
+
+// RetainedSq returns ProjDist_e²: the squared norm of the projection onto
+// the retained k-dimensional subspace (the information kept).
+func (p *PCA) RetainedSq(point []float64, k int) float64 {
+	dim := len(p.Mean)
+	var res float64
+	for j := 0; j < k; j++ {
+		var s float64
+		for i := 0; i < dim; i++ {
+			s += (point[i] - p.Mean[i]) * p.Components.At(i, j)
+		}
+		res += s * s
+	}
+	return res
+}
+
+// MPE returns the Mean ProjDist_r Error (paper Definition 3.5): the average
+// distance from each point to the k-dimensional principal subspace.
+func (p *PCA) MPE(points []float64, k int) float64 {
+	dim := len(p.Mean)
+	if len(points) == 0 {
+		return 0
+	}
+	n := len(points) / dim
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += p.Residual(points[r*dim:(r+1)*dim], k)
+	}
+	return sum / float64(n)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// ResidualEnergyFraction returns the fraction of total variance NOT
+// captured by the first k principal components: (Σ_{j>=k} λ_j) / (Σ λ_j).
+// It is the scale-invariant form of the Mean Projection Error used by the
+// MMDR acceptance gate (see DESIGN.md: the paper's absolute MaxMPE = 0.05
+// presupposes unit-scale data).
+func (p *PCA) ResidualEnergyFraction(k int) float64 {
+	var total, tail float64
+	for j, v := range p.Variances {
+		if v < 0 {
+			v = 0
+		}
+		total += v
+		if j >= k {
+			tail += v
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return tail / total
+}
+
+// TailRMS returns sqrt(Σ_{j>=k} λ_j): the root-mean-square distance of the
+// distribution to its k-dimensional principal subspace. It is the
+// eigenvalue form of the Mean Projection Error (cheap to sweep over k) and
+// is compared against the dataset's global RMS scale by the MMDR gates.
+func (p *PCA) TailRMS(k int) float64 {
+	var tail float64
+	for j := k; j < len(p.Variances); j++ {
+		if v := p.Variances[j]; v > 0 {
+			tail += v
+		}
+	}
+	return math.Sqrt(tail)
+}

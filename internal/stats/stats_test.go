@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmdr/internal/matrix"
+)
+
+func TestMean(t *testing.T) {
+	pts := []float64{1, 2, 3, 4, 5, 6} // 3 points in 2-d
+	m, err := Mean(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 3 || m[1] != 4 {
+		t.Fatalf("Mean = %v, want [3 4]", m)
+	}
+}
+
+func TestMeanErrors(t *testing.T) {
+	if _, err := Mean(nil, 2); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := Mean([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("expected error for ragged input")
+	}
+	if _, err := Mean([]float64{1}, 0); err == nil {
+		t.Fatal("expected error for dim 0")
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Points on the line y = x: covariance matrix [[v,v],[v,v]].
+	pts := []float64{-1, -1, 0, 0, 1, 1}
+	cov, mean, err := Covariance(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0] != 0 || mean[1] != 0 {
+		t.Fatalf("mean = %v", mean)
+	}
+	want := 2.0 / 3.0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(cov.At(i, j)-want) > 1e-12 {
+				t.Fatalf("cov = %v", cov)
+			}
+		}
+	}
+}
+
+func TestCovarianceSinglePoint(t *testing.T) {
+	cov, mean, err := Covariance([]float64{5, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0] != 5 || mean[1] != 7 {
+		t.Fatalf("mean = %v", mean)
+	}
+	for _, v := range cov.Data {
+		if v != 0 {
+			t.Fatalf("single-point covariance must be zero, got %v", cov)
+		}
+	}
+}
+
+// Property: covariance is symmetric PSD (all eigenvalues >= -eps).
+func TestCovariancePSDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(8)
+		n := 2 + r.Intn(50)
+		pts := make([]float64, n*dim)
+		for i := range pts {
+			pts[i] = r.NormFloat64() * 10
+		}
+		cov, _, err := Covariance(pts, dim)
+		if err != nil {
+			return false
+		}
+		if !cov.IsSymmetric(1e-9) {
+			return false
+		}
+		eig, err := matrix.SymEigen(cov)
+		if err != nil {
+			return false
+		}
+		for _, v := range eig.Values {
+			if v < -1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genElongated(n int, rng *rand.Rand) []float64 {
+	// 3-d data elongated along (1,1,0)/sqrt2 with small noise elsewhere.
+	pts := make([]float64, n*3)
+	for i := 0; i < n; i++ {
+		tv := rng.NormFloat64() * 10
+		pts[i*3] = tv/math.Sqrt2 + rng.NormFloat64()*0.1
+		pts[i*3+1] = tv/math.Sqrt2 + rng.NormFloat64()*0.1
+		pts[i*3+2] = rng.NormFloat64() * 0.1
+	}
+	return pts
+}
+
+func TestPCAFindsElongationDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := genElongated(500, rng)
+	p, err := ComputePCA(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First component should align with (1,1,0)/sqrt2 (up to sign).
+	c0 := p.Components.Col(0)
+	align := math.Abs(c0[0]/math.Sqrt2 + c0[1]/math.Sqrt2)
+	if align < 0.99 {
+		t.Fatalf("first PC alignment = %v, want ~1 (PC=%v)", align, c0)
+	}
+	if p.Variances[0] < 10*p.Variances[1] {
+		t.Fatalf("variances not dominated by first PC: %v", p.Variances)
+	}
+}
+
+func TestProjectReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dim := 5
+	pts := make([]float64, 100*dim)
+	for i := range pts {
+		pts[i] = rng.NormFloat64()
+	}
+	p, err := ComputePCA(pts, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := pts[:dim]
+	coords := p.Project(point, dim) // full-rank: lossless
+	back := p.Reconstruct(coords)
+	for i := range point {
+		if math.Abs(back[i]-point[i]) > 1e-9 {
+			t.Fatalf("round trip failed: %v vs %v", back, point)
+		}
+	}
+	// ProjectInto must agree with Project.
+	dst := make([]float64, 3)
+	p.ProjectInto(point, dst)
+	c3 := p.Project(point, 3)
+	for i := range dst {
+		if dst[i] != c3[i] {
+			t.Fatalf("ProjectInto disagrees with Project: %v vs %v", dst, c3)
+		}
+	}
+}
+
+// Property: Pythagoras — ResidualSq(k) + RetainedSq(k) == ‖p-mean‖².
+func TestResidualRetainedPythagoras(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 2 + r.Intn(6)
+		n := dim + 2 + r.Intn(30)
+		pts := make([]float64, n*dim)
+		for i := range pts {
+			pts[i] = r.NormFloat64() * 5
+		}
+		p, err := ComputePCA(pts, dim)
+		if err != nil {
+			return false
+		}
+		k := r.Intn(dim + 1)
+		point := pts[:dim]
+		var total float64
+		for i := 0; i < dim; i++ {
+			d := point[i] - p.Mean[i]
+			total += d * d
+		}
+		got := p.ResidualSq(point, k) + p.RetainedSq(point, k)
+		return math.Abs(got-total) <= 1e-8*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPEMonotonicInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	dim := 6
+	pts := make([]float64, 200*dim)
+	for i := range pts {
+		pts[i] = rng.NormFloat64()
+	}
+	p, err := ComputePCA(pts, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for k := 0; k <= dim; k++ {
+		m := p.MPE(pts, k)
+		if m > prev+1e-9 {
+			t.Fatalf("MPE not monotone non-increasing at k=%d: %v > %v", k, m, prev)
+		}
+		prev = m
+	}
+	if last := p.MPE(pts, dim); last > 1e-9 {
+		t.Fatalf("MPE at full rank = %v, want ~0", last)
+	}
+}
+
+func TestMPEEmptyPoints(t *testing.T) {
+	p := &PCA{Mean: []float64{0, 0}, Components: matrix.Identity(2), Variances: []float64{1, 1}}
+	if got := p.MPE(nil, 1); got != 0 {
+		t.Fatalf("MPE(nil) = %v", got)
+	}
+}
+
+func BenchmarkCovariance64(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	dim := 64
+	pts := make([]float64, 1000*dim)
+	for i := range pts {
+		pts[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Covariance(pts, dim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestResidualEnergyFractionAndTailRMS(t *testing.T) {
+	p := &PCA{Variances: []float64{4, 3, 2, 1}}
+	if f := p.ResidualEnergyFraction(0); f != 1 {
+		t.Fatalf("fraction(0) = %v", f)
+	}
+	if f := p.ResidualEnergyFraction(4); f != 0 {
+		t.Fatalf("fraction(4) = %v", f)
+	}
+	if f := p.ResidualEnergyFraction(2); math.Abs(f-0.3) > 1e-12 {
+		t.Fatalf("fraction(2) = %v, want 0.3", f)
+	}
+	if r := p.TailRMS(2); math.Abs(r-math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("TailRMS(2) = %v, want sqrt(3)", r)
+	}
+	// Negative (numerical noise) eigenvalues are clamped.
+	pn := &PCA{Variances: []float64{1, -1e-18}}
+	if f := pn.ResidualEnergyFraction(1); f != 0 {
+		t.Fatalf("clamped fraction = %v", f)
+	}
+	empty := &PCA{}
+	if empty.ResidualEnergyFraction(0) != 0 || empty.TailRMS(0) != 0 {
+		t.Fatal("empty PCA should report zero residuals")
+	}
+}

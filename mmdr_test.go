@@ -1,0 +1,491 @@
+package mmdr_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmdr"
+	"mmdr/internal/datagen"
+	"mmdr/internal/matrix"
+)
+
+// testData builds a normalized locally-correlated dataset and returns its
+// flat storage plus dimensionality.
+func testData(t *testing.T, n, dim, clusters int, seed int64) ([]float64, int) {
+	t.Helper()
+	cfg := datagen.CorrelatedConfig{
+		N: n, Dim: dim, NumClusters: clusters, SDim: 3,
+		VarRatio: 25, ScaleDecay: 0.8, Seed: seed,
+	}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	return ds.Data, ds.Dim
+}
+
+func TestReduceAndQueryEndToEnd(t *testing.T) {
+	data, dim := testData(t, 1200, 16, 3, 201)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Method() != "MMDR" {
+		t.Fatalf("method %q", model.Method())
+	}
+	if model.N() != 1200 || model.Dim() != 16 {
+		t.Fatalf("shape %dx%d", model.N(), model.Dim())
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	subs := model.Subspaces()
+	if len(subs) == 0 {
+		t.Fatal("no subspaces")
+	}
+	for _, s := range subs {
+		if s.Dim <= 0 || s.Points <= 0 {
+			t.Fatalf("bad subspace %+v", s)
+		}
+	}
+	if ad := model.AvgDim(); ad <= 0 || ad > 16 {
+		t.Fatalf("AvgDim %v", ad)
+	}
+
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[:dim]
+	res := idx.KNN(q, 10)
+	if len(res) != 10 {
+		t.Fatalf("%d results", len(res))
+	}
+	if res[0].ID != 0 || res[0].Dist > 1e-9 {
+		t.Fatalf("query point should be its own 1-NN: %+v", res[0])
+	}
+
+	// Sequential scan over the same model returns the same answers.
+	scan := model.NewSeqScan()
+	want := scan.KNN(q, 10)
+	for i := range want {
+		if math.Abs(res[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: %v vs %v", i, res[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	if _, err := mmdr.Reduce(nil, 4); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := mmdr.Reduce([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("expected error for ragged data")
+	}
+}
+
+func TestAllMethods(t *testing.T) {
+	data, dim := testData(t, 800, 12, 2, 202)
+	for _, m := range []mmdr.Method{
+		mmdr.MethodMMDR, mmdr.MethodMMDRScalable, mmdr.MethodLDR, mmdr.MethodGDR,
+	} {
+		model, err := mmdr.Reduce(data, dim, mmdr.WithMethod(m), mmdr.WithSeed(2))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := model.Validate(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		idx, err := model.NewIndex()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res := idx.KNN(data[:dim], 5); len(res) != 5 {
+			t.Fatalf("%v: %d results", m, len(res))
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if mmdr.MethodMMDR.String() != "MMDR" || mmdr.MethodGDR.String() != "GDR" ||
+		mmdr.MethodLDR.String() != "LDR" || mmdr.MethodMMDRScalable.String() != "MMDR-scalable" {
+		t.Fatal("method names")
+	}
+	if mmdr.Method(99).String() == "" {
+		t.Fatal("unknown method should still render")
+	}
+}
+
+func TestForcedDimOption(t *testing.T) {
+	data, dim := testData(t, 700, 12, 2, 203)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(3), mmdr.WithForcedDim(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range model.Subspaces() {
+		if s.Dim != 5 {
+			t.Fatalf("forced dim violated: %d", s.Dim)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	data, dim := testData(t, 900, 12, 2, 204)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mmdr.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != model.N() || loaded.Dim() != model.Dim() || loaded.Method() != model.Method() {
+		t.Fatal("metadata mismatch after load")
+	}
+	// Queries against the loaded model match the original exactly.
+	origIdx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadIdx, err := loaded.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[5*dim : 6*dim]
+	a := origIdx.KNN(q, 10)
+	b := loadIdx.KNN(q, 10)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			t.Fatalf("rank %d differs after reload", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := mmdr.Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	data, dim := testData(t, 800, 12, 2, 205)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, dim)
+	copy(p, data[:dim])
+	p[0] += 1e-4
+	id, err := idx.Insert(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := idx.KNN(p, 1)
+	if len(res) != 1 || res[0].ID != id {
+		t.Fatalf("inserted point not retrievable: %+v", res)
+	}
+	// Sequential-scan indexes do not support insertion.
+	scan := model.NewSeqScan()
+	if _, err := scan.Insert(p); err == nil {
+		t.Fatal("expected insert error on seq-scan")
+	}
+}
+
+func TestCostCounter(t *testing.T) {
+	data, dim := testData(t, 800, 12, 2, 206)
+	var ctr mmdr.CostCounter
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(6), mmdr.WithCostCounter(&ctr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Distances() == 0 {
+		t.Fatal("reduction counted no distance ops")
+	}
+	ctr.Reset()
+	idx, err := model.NewIndex(mmdr.WithCostCounter(&ctr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr.Reset()
+	idx.KNN(data[:dim], 10)
+	if ctr.PageIO() == 0 {
+		t.Fatal("query counted no page IO")
+	}
+}
+
+func TestOptionKnobs(t *testing.T) {
+	data, dim := testData(t, 700, 12, 2, 207)
+	model, err := mmdr.Reduce(data, dim,
+		mmdr.WithSeed(7),
+		mmdr.WithMaxClusters(4),
+		mmdr.WithMaxDim(6),
+		mmdr.WithBeta(0.2),
+		mmdr.WithOutlierBudget(0.01),
+		mmdr.WithStreamFraction(0.1),
+		mmdr.WithPageSize(4096),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range model.Subspaces() {
+		if s.Dim > 6 {
+			t.Fatalf("MaxDim violated: %d", s.Dim)
+		}
+	}
+	if _, err := model.NewIndex(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeAndDelete(t *testing.T) {
+	data, dim := testData(t, 800, 12, 2, 208)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := model.Point(3)
+	res, err := idx.Range(q, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != 3 {
+		t.Fatalf("range around a data point should contain it: %+v", res)
+	}
+	for _, n := range res {
+		if n.Dist > 0.05 {
+			t.Fatalf("range result outside radius: %v", n.Dist)
+		}
+	}
+	ok, err := idx.Delete(3)
+	if err != nil || !ok {
+		t.Fatalf("Delete: %v %v", ok, err)
+	}
+	res, err = idx.Range(q, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res {
+		if n.ID == 3 {
+			t.Fatal("deleted point still in range results")
+		}
+	}
+	// Seq-scan indexes reject maintenance operations.
+	scan := model.NewSeqScan()
+	if _, err := scan.Range(q, 0.1); err == nil {
+		t.Fatal("expected range error on seq-scan")
+	}
+	if _, err := scan.Delete(1); err == nil {
+		t.Fatal("expected delete error on seq-scan")
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	data, dim := testData(t, 700, 12, 2, 210)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.Points != 700 || st.Partitions == 0 || st.TreeHeight < 1 || st.LeafPages < 1 || st.C <= 0 {
+		t.Fatalf("implausible stats %+v", st)
+	}
+	if model.NewSeqScan().Stats().Points != 0 {
+		t.Fatal("seq-scan stats should be zero")
+	}
+}
+
+func TestReconstructAndCompression(t *testing.T) {
+	data, dim := testData(t, 900, 16, 2, 211)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction error of each member equals its projection distance,
+	// which the β threshold bounds (modulo the ξ eviction cap).
+	var worst float64
+	for i := 0; i < 50; i++ {
+		rec, err := model.ReconstructPoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := model.Point(i)
+		var d2 float64
+		for j := range orig {
+			diff := rec[j] - orig[j]
+			d2 += diff * diff
+		}
+		if d := math.Sqrt(d2); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.5 {
+		t.Fatalf("reconstruction error %v too large", worst)
+	}
+	if _, err := model.ReconstructPoint(-1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if cr := model.CompressionRatio(); cr < 1.5 {
+		t.Fatalf("compression ratio %v; locally 3-d data in 16 dims should compress", cr)
+	}
+}
+
+func TestAnomalyScore(t *testing.T) {
+	data, dim := testData(t, 900, 16, 2, 212)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subspace member scores near zero; a far random point scores high.
+	member := model.Point(0)
+	far := make([]float64, dim)
+	for i := range far {
+		far[i] = 5
+	}
+	ms := model.AnomalyScore(member)
+	fs := model.AnomalyScore(far)
+	if ms > 0.15 {
+		t.Fatalf("member anomaly score %v too high", ms)
+	}
+	if fs < 10*ms || fs < 0.5 {
+		t.Fatalf("far point score %v not clearly anomalous (member %v)", fs, ms)
+	}
+}
+
+func TestMethodRawIsLossless(t *testing.T) {
+	data, dim := testData(t, 600, 12, 2, 213)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithMethod(mmdr.MethodRaw), mmdr.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Method() != "identity" {
+		t.Fatalf("method %q", model.Method())
+	}
+	queries := data[:10*dim]
+	p, err := model.EvaluatePrecision(queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.999 {
+		t.Fatalf("raw method precision %v, want 1", p)
+	}
+}
+
+// MMDR is rotation-equivariant: rotating the whole dataset by an
+// orthonormal matrix must leave query precision essentially unchanged,
+// because every ingredient (PCA, Mahalanobis distance, Euclidean KNN) is
+// rotation-invariant. This exercises the entire pipeline end to end.
+func TestRotationInvariance(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 3, 214)
+	queries := append([]float64(nil), data[:25*dim]...)
+
+	precision := func(d []float64, q []float64) float64 {
+		model, err := mmdr.Reduce(append([]float64(nil), d...), dim, mmdr.WithSeed(14))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := model.EvaluatePrecision(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	rot := matrix.RandomOrthonormal(dim, rand.New(rand.NewSource(215)))
+	rotate := func(src []float64) []float64 {
+		out := make([]float64, len(src))
+		for i := 0; i+dim <= len(src); i += dim {
+			copy(out[i:i+dim], rot.MulVec(src[i:i+dim]))
+		}
+		return out
+	}
+
+	orig := precision(data, queries)
+	rotated := precision(rotate(data), rotate(queries))
+	if math.Abs(orig-rotated) > 0.1 {
+		t.Fatalf("precision not rotation-invariant: %v vs %v", orig, rotated)
+	}
+	// The workload at this seed is hard (overlapping clusters); the test's
+	// purpose is the invariance, not absolute precision.
+	if orig < 0.2 {
+		t.Fatalf("baseline precision %v unexpectedly low", orig)
+	}
+}
+
+func TestRefitAfterInsertions(t *testing.T) {
+	data, dim := testData(t, 800, 12, 2, 216)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a batch of far-off points that must land as outliers.
+	for i := 0; i < 30; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = 3 + float64(i)*0.01
+		}
+		if _, err := idx.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refit, err := model.Refit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit.N() != 830 {
+		t.Fatalf("refit model covers %d points, want 830", refit.N())
+	}
+	if err := refit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The refit model can discover the inserted blob as its own subspace or
+	// keep it as outliers — either way it indexes everything.
+	idx2, err := refit.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = 3
+	}
+	res := idx2.KNN(q, 5)
+	if len(res) != 5 {
+		t.Fatalf("%d results from refit index", len(res))
+	}
+}
+
+func TestSaveFileErrors(t *testing.T) {
+	data, dim := testData(t, 300, 8, 2, 217)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveFile("/nonexistent-dir/x.mmdr"); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+	if _, err := mmdr.LoadFile("/nonexistent-dir/x.mmdr"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

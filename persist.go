@@ -1,0 +1,78 @@
+package mmdr
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/reduction"
+)
+
+// modelFile is the gob-serialized form of a Model. All referenced types
+// (dataset.Dataset, reduction.Result, matrix.Mat) have exported fields, so
+// stdlib gob round-trips them without custom codecs.
+type modelFile struct {
+	Version int
+	Method  string
+	Dim     int
+	Data    *dataset.Dataset
+	Result  *reduction.Result
+}
+
+const modelFileVersion = 1
+
+// Save serializes the model — data and reduction — to w.
+func (m *Model) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(modelFile{
+		Version: modelFileVersion,
+		Method:  m.method,
+		Dim:     m.ds.Dim,
+		Data:    m.ds,
+		Result:  m.result,
+	})
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("mmdr: decoding model: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("mmdr: unsupported model file version %d", mf.Version)
+	}
+	if mf.Data == nil || mf.Result == nil {
+		return nil, fmt.Errorf("mmdr: corrupt model file")
+	}
+	m := &Model{ds: mf.Data, result: mf.Result, method: mf.Method}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mmdr: loaded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
