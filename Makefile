@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-2 verification: vet plus the full suite under the race detector,
+# including the concurrent-index/atomic-counter tests.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/mmdrbench -experiment all -scale small

@@ -6,6 +6,9 @@
 //	mmdrbench -list
 //	mmdrbench -experiment fig7a [-scale small|medium|paper] [-seed N]
 //	mmdrbench -experiment all -scale medium
+//	mmdrbench -experiment fig7a -trace            # phase tree on stderr
+//	mmdrbench -experiment fig9a -metrics-json     # cost counters as JSON
+//	mmdrbench -experiment all -pprof localhost:0  # pprof + expvar server
 //
 // Scales trade fidelity for runtime: "paper" approaches the published
 // dataset sizes (100k-1M points) and can take a long time on one core;
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,10 +26,20 @@ import (
 	"time"
 
 	"mmdr/internal/experiments"
+	"mmdr/internal/iostat"
+	"mmdr/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// procCounter aggregates logical costs across every experiment of the
+// process; the expvar endpoint reads it live while experiments run.
+var procCounter iostat.AtomicCounter
+
+func init() {
+	obs.Publish("mmdr.costs", func() any { return procCounter.Snapshot() })
 }
 
 // run contains the CLI logic; separated from main so tests can exercise it.
@@ -40,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queries = fs.Int("queries", 0, "number of queries (0 = scale default)")
 		list    = fs.Bool("list", false, "list available experiments")
 		format  = fs.String("format", "table", "output format: table or csv")
+		trace   = fs.Bool("trace", false, "print the pipeline phase tree per experiment (stderr)")
+		mjson   = fs.Bool("metrics-json", false, "print per-experiment cost counters as JSON (stderr)")
+		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,11 +74,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *pprof != "" {
+		addr, err := obs.StartDebugServer(*pprof)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: pprof server: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "pprof/expvar listening on http://%s/debug/pprof/\n", addr)
+	}
+
 	cfg := experiments.Config{
 		Scale:      experiments.Scale(*scale),
 		Seed:       *seed,
 		K:          *k,
 		NumQueries: *queries,
+		Counter:    &procCounter,
 	}
 	switch cfg.Scale {
 	case experiments.Small, experiments.Medium, experiments.Paper:
@@ -74,13 +101,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if strings.EqualFold(*exp, "all") {
 		names = experiments.Names()
 	}
+	var before iostat.Counter
 	for _, name := range names {
+		var collector *obs.Collector
+		cfg.Tracer = nil
+		if *trace {
+			collector = obs.NewCollector()
+			cfg.Tracer = collector
+		}
 		start := time.Now()
 		tb, err := experiments.Run(name, cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
 			return 1
 		}
+		elapsed := time.Since(start)
 		if *format == "csv" {
 			if err := tb.WriteCSV(stdout); err != nil {
 				fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
@@ -89,7 +124,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			tb.Fprint(stdout)
 		}
-		fmt.Fprintf(stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+		// Per-experiment counter delta: the process counter only grows, so
+		// the difference against the previous snapshot is this experiment.
+		after := procCounter.Snapshot()
+		delta := after
+		delta.PageReads -= before.PageReads
+		delta.PageWrites -= before.PageWrites
+		delta.DistanceOps -= before.DistanceOps
+		delta.KeyCompares -= before.KeyCompares
+		delta.FloatOps -= before.FloatOps
+		delta.NodeAccesses -= before.NodeAccesses
+		before = after
+		fmt.Fprintf(stderr, "(%s in %v; %s)\n", name, elapsed.Round(time.Millisecond), delta.String())
+		if collector != nil {
+			fmt.Fprintf(stderr, "phase tree for %s:\n", name)
+			if err := collector.WriteTree(stderr); err != nil {
+				fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
+				return 1
+			}
+		}
+		if *mjson {
+			b, err := json.Marshal(&delta)
+			if err != nil {
+				fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "{\"experiment\":%q,\"elapsed_ms\":%d,\"costs\":%s}\n",
+				name, elapsed.Milliseconds(), b)
+		}
 	}
 	return 0
 }

@@ -5,13 +5,15 @@
 //
 //	mmdrtool gen -out data.bin -n 10000 -dim 64 -clusters 10 [-kind synthetic|histogram|uniform]
 //	mmdrtool reduce -in data.bin -out model.mmdr [-method mmdr|mmdr-scalable|ldr|gdr]
+//	mmdrtool reduce -in data.bin -out model.mmdr -trace [-metrics-json] [-pprof localhost:0]
 //	mmdrtool inspect -model model.mmdr
 //	mmdrtool inspect -defaults
-//	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17]
+//	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17] [-explain]
 //	mmdrtool eval -model model.mmdr -queries 100 -k 10
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -24,6 +26,7 @@ import (
 	"mmdr/internal/core"
 	"mmdr/internal/datagen"
 	"mmdr/internal/dataset"
+	"mmdr/internal/obs"
 )
 
 func main() {
@@ -135,10 +138,20 @@ func cmdReduce(args []string) error {
 		seed   = fs.Int64("seed", 1, "random seed")
 		maxDim = fs.Int("maxdim", 0, "cap on retained dimensionality (0 = default 20)")
 		forced = fs.Int("forcedim", 0, "force this retained dimensionality (0 = adaptive)")
+		trace  = fs.Bool("trace", false, "print the pipeline phase tree (stderr)")
+		mjson  = fs.Bool("metrics-json", false, "print reduction cost counters as JSON (stderr)")
+		pprof  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("reduce: -in and -out are required")
+	}
+	if *pprof != "" {
+		addr, err := obs.StartDebugServer(*pprof)
+		if err != nil {
+			return fmt.Errorf("reduce: pprof server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/\n", addr)
 	}
 	ds, err := dataset.LoadBinary(*in)
 	if err != nil {
@@ -155,6 +168,15 @@ func cmdReduce(args []string) error {
 	if *forced > 0 {
 		opts = append(opts, mmdr.WithForcedDim(*forced))
 	}
+	var collector *mmdr.TraceCollector
+	if *trace {
+		collector = mmdr.NewTraceCollector()
+		opts = append(opts, mmdr.WithTracer(collector))
+	}
+	var ctr mmdr.CostCounter
+	if *mjson {
+		opts = append(opts, mmdr.WithCostCounter(&ctr))
+	}
 	start := time.Now()
 	model, err := mmdr.ReduceDataset(ds, opts...)
 	if err != nil {
@@ -166,6 +188,19 @@ func cmdReduce(args []string) error {
 	fmt.Printf("%s reduced %d points x %d dims in %v: %d subspaces (avg dim %.1f), %d outliers\n",
 		model.Method(), model.N(), model.Dim(), time.Since(start).Round(time.Millisecond),
 		len(model.Subspaces()), model.AvgDim(), len(model.Outliers()))
+	if collector != nil {
+		fmt.Fprintln(os.Stderr, "phase tree:")
+		if err := collector.WriteTree(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if *mjson {
+		b, err := json.Marshal(&ctr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", b)
+	}
 	return nil
 }
 
@@ -212,6 +247,7 @@ func cmdKNN(args []string) error {
 		k         = fs.Int("k", 10, "number of neighbors")
 		queryStr  = fs.String("query", "", "comma-separated query vector")
 		row       = fs.Int("row", -1, "use dataset row as the query")
+		explain   = fs.Bool("explain", false, "print the structured query explain after the results")
 	)
 	fs.Parse(args)
 	if *modelPath == "" {
@@ -247,11 +283,36 @@ func cmdKNN(args []string) error {
 		return err
 	}
 	start := time.Now()
-	res := idx.KNN(q, *k)
+	var res []mmdr.Neighbor
+	var tr *mmdr.KNNTrace
+	if *explain {
+		res, tr, err = idx.KNNTrace(q, *k)
+		if err != nil {
+			return err
+		}
+	} else {
+		res = idx.KNN(q, *k)
+	}
 	elapsed := time.Since(start)
 	fmt.Printf("%d-NN in %v:\n", *k, elapsed.Round(time.Microsecond))
 	for i, n := range res {
 		fmt.Printf("  %2d. row %-8d dist %.6f\n", i+1, n.ID, n.Dist)
+	}
+	if tr != nil {
+		fmt.Printf("explain: %d rounds, final radius %.4f, %d candidates, %d leaf pages\n",
+			tr.Rounds, tr.FinalRadius, tr.Candidates, tr.LeavesScanned)
+		for _, p := range tr.Partitions {
+			kind := "subspace"
+			if p.Outlier {
+				kind = "outliers"
+			}
+			scanned := "not reached"
+			if p.ScanLo <= p.ScanHi {
+				scanned = fmt.Sprintf("annulus [%.4f, %.4f]", p.ScanLo, p.ScanHi)
+			}
+			fmt.Printf("  partition %d (%s, dim %d): dist-to-ref %.4f, %s, %d candidates, exhausted=%v\n",
+				p.ID, kind, p.Dim, p.DistToRef, scanned, p.Candidates, p.Exhausted)
+		}
 	}
 	return nil
 }

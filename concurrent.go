@@ -8,11 +8,11 @@ import "sync"
 // is read-mostly, so this wrapper is the pragmatic production pattern —
 // queries scale out, maintenance serializes.
 //
-// Note: cost counters attached via WithCostCounter are not synchronized;
-// attach them only in single-goroutine measurement runs. Insert grows the
-// model's backing data, so Model methods that read it (Point, Validate)
-// must not run concurrently with writers — snapshot what you need before
-// going concurrent, or route every access through this wrapper.
+// Cost counters attached via WithCostCounter are atomic, so they may stay
+// attached while queries run concurrently through this wrapper. Insert
+// grows the model's backing data, so Model methods that read it (Point,
+// Validate) must not run concurrently with writers — snapshot what you need
+// before going concurrent, or route every access through this wrapper.
 type ConcurrentIndex struct {
 	mu  sync.RWMutex
 	idx *Index
@@ -28,6 +28,14 @@ func (c *ConcurrentIndex) KNN(q []float64, k int) []Neighbor {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.idx.KNN(q, k)
+}
+
+// KNNTrace returns the k nearest neighbors of q plus the structured explain
+// of the search. Safe for concurrent use.
+func (c *ConcurrentIndex) KNNTrace(q []float64, k int) ([]Neighbor, *KNNTrace, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.KNNTrace(q, k)
 }
 
 // Range returns all points within r of q. Safe for concurrent use.

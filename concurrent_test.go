@@ -84,6 +84,61 @@ func TestConcurrentIndex(t *testing.T) {
 	}
 }
 
+// TestConcurrentKNNWithMetrics attaches a cost counter and a query explain
+// to an index queried from many goroutines at once; with -race this pins
+// down that the metrics path is synchronization-free but data-race-free.
+func TestConcurrentKNNWithMetrics(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 210)
+	var ctr mmdr.CostCounter
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(10), mmdr.WithCostCounter(&ctr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := mmdr.Concurrent(raw)
+	ctr.Reset() // isolate query-time costs from build costs
+
+	points := make([][]float64, 200)
+	for i := range points {
+		points[i] = model.Point(i)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := points[(g*31+i)%len(points)]
+				if res := idx.KNN(q, 5); len(res) == 0 {
+					errs <- errEmpty
+					return
+				}
+				if _, tr, err := idx.KNNTrace(q, 5); err != nil || tr.Candidates < 5 {
+					errs <- errEmpty
+					return
+				}
+				// Concurrent snapshot while other goroutines count.
+				_ = ctr.Metrics()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := ctr.Metrics()
+	if m.DistanceOps == 0 || m.PageReads == 0 {
+		t.Fatalf("counter saw no query work: %s", ctr.String())
+	}
+}
+
 var errEmpty = &emptyError{}
 
 type emptyError struct{}

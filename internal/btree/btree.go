@@ -24,7 +24,7 @@ type Tree struct {
 	root    *node
 	size    int
 	height  int
-	counter *iostat.Counter
+	counter iostat.Sink
 }
 
 type node struct {
@@ -37,7 +37,7 @@ type node struct {
 
 // New creates a tree whose node capacity matches pageSize bytes
 // (pageSize <= 0 selects iostat.PageSize). counter may be nil.
-func New(pageSize int, counter *iostat.Counter) *Tree {
+func New(pageSize int, counter iostat.Sink) *Tree {
 	return NewWithEntrySize(pageSize, entryBytes, counter)
 }
 
@@ -45,7 +45,7 @@ func New(pageSize int, counter *iostat.Counter) *Tree {
 // bytes each — used by iDistance, whose leaves store the reduced vectors
 // alongside the key, so leaf fan-out (and therefore page I/O) depends on
 // the retained dimensionality.
-func NewWithEntrySize(pageSize, bytesPerEntry int, counter *iostat.Counter) *Tree {
+func NewWithEntrySize(pageSize, bytesPerEntry int, counter iostat.Sink) *Tree {
 	if pageSize <= 0 {
 		pageSize = iostat.PageSize
 	}
@@ -81,23 +81,23 @@ func (t *Tree) touchLeaf(read bool) {
 	if t.counter == nil {
 		return
 	}
-	t.counter.NodeAccesses++
+	t.counter.CountNodeAccesses(1)
 	if read {
-		t.counter.PageReads++
+		t.counter.CountPageReads(1)
 	} else {
-		t.counter.PageWrites++
+		t.counter.CountPageWrites(1)
 	}
 }
 
 func (t *Tree) touchInternal() {
 	if t.counter != nil {
-		t.counter.NodeAccesses++
+		t.counter.CountNodeAccesses(1)
 	}
 }
 
 func (t *Tree) compare() {
 	if t.counter != nil {
-		t.counter.KeyCompares++
+		t.counter.CountKeyCompares(1)
 	}
 }
 
@@ -230,30 +230,35 @@ func (t *Tree) findLeaf(key float64) *node {
 }
 
 // RangeAsc visits all entries with lo <= key <= hi in ascending key order.
-// The visit function returns false to stop early.
-func (t *Tree) RangeAsc(lo, hi float64, visit func(key float64, rid uint32) bool) {
+// The visit function returns false to stop early. It returns the number of
+// leaf pages read during the scan (query-explain telemetry; the same pages
+// are also charged to the tree's counter).
+func (t *Tree) RangeAsc(lo, hi float64, visit func(key float64, rid uint32) bool) (leaves int) {
 	if t.size == 0 || lo > hi {
-		return
+		return 0
 	}
 	n := t.findLeaf(lo)
+	leaves = 1
 	// Position at the first key >= lo inside the leaf.
 	idx := sort.SearchFloat64s(n.keys, lo)
 	for n != nil {
 		for ; idx < len(n.keys); idx++ {
 			t.compare()
 			if n.keys[idx] > hi {
-				return
+				return leaves
 			}
 			if !visit(n.keys[idx], n.rids[idx]) {
-				return
+				return leaves
 			}
 		}
 		n = n.next
 		if n != nil {
+			leaves++
 			t.touchLeaf(true)
 		}
 		idx = 0
 	}
+	return leaves
 }
 
 // Count returns the number of entries in [lo, hi].

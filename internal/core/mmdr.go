@@ -26,6 +26,7 @@ import (
 	"mmdr/internal/dataset"
 	"mmdr/internal/ellipkmeans"
 	"mmdr/internal/iostat"
+	"mmdr/internal/obs"
 	"mmdr/internal/reduction"
 	"mmdr/internal/stats"
 )
@@ -84,8 +85,13 @@ type Params struct {
 	// RidgeScale regularizes degenerate covariances (default 1e-6).
 	RidgeScale float64
 	// Counter, when non-nil, accumulates distance-op and simulated-I/O
-	// costs across the run.
-	Counter *iostat.Counter
+	// costs across the run. Counter and AtomicCounter both satisfy it.
+	Counter iostat.Sink
+	// Tracer, when non-nil, receives the phase/span telemetry of the run:
+	// one span per Generate-Ellipsoid recursion level (with its clustering
+	// nested inside), the merge pass, and Dimensionality Optimization with
+	// outlier separation. A nil Tracer costs nothing.
+	Tracer obs.Tracer
 }
 
 // DefaultParams returns the paper's Table 1 defaults.
@@ -173,6 +179,10 @@ func (m *MMDR) Reduce(ds *dataset.Dataset) (*reduction.Result, error) {
 	if ds.N == 0 {
 		return nil, fmt.Errorf("mmdr: empty dataset")
 	}
+	obs.Begin(p.Tracer, obs.PhaseReduce)
+	obs.Attr(p.Tracer, "points", float64(ds.N))
+	obs.Attr(p.Tracer, "dim", float64(ds.Dim))
+	defer obs.End(p.Tracer)
 	all := make([]int, ds.N)
 	for i := range all {
 		all[i] = i
@@ -186,10 +196,15 @@ func (m *MMDR) Reduce(ds *dataset.Dataset) (*reduction.Result, error) {
 	// The GE recursion fragments coherent ellipsoids (k-means always
 	// returns MaxEC non-empty partitions); coalesce fragments that fit each
 	// other's subspaces before optimizing dimensionality.
+	obs.Begin(p.Tracer, obs.PhaseMerge)
+	obs.Attr(p.Tracer, "ellipsoids_in", float64(len(ellipsoids)))
 	ellipsoids, err = mergeEllipsoids(ds, ellipsoids, p, gscale)
 	if err != nil {
+		obs.End(p.Tracer)
 		return nil, err
 	}
+	obs.Attr(p.Tracer, "ellipsoids_out", float64(len(ellipsoids)))
+	obs.End(p.Tracer)
 	return dimensionalityOptimization(ds, ellipsoids, outliers, p, gscale)
 }
 
@@ -218,6 +233,12 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 		return nil, nil
 	}
 
+	// One span per recursion level; the level's clustering nests inside.
+	obs.Begin(p.Tracer, obs.PhaseGenerate)
+	obs.Attr(p.Tracer, "sdim", float64(sdim))
+	obs.Attr(p.Tracer, "points", float64(len(indices)))
+	defer obs.End(p.Tracer)
+
 	// Line 1: multi-level projection of this subset onto its top-sdim PCA
 	// subspace.
 	sub := ds.Subset(indices)
@@ -231,6 +252,7 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 	// dataset's global RMS scale — the scale-invariant form of the paper's
 	// absolute MaxMPE on [0,1]-normalized data (see DESIGN.md).
 	if pca.TailRMS(sdim) <= p.MaxMPE*gscale || sdim >= d {
+		obs.Attr(p.Tracer, "accepted_whole", 1)
 		return []ellipsoid{{members: append([]int(nil), indices...), sdim: sdim, pca: pca}}, nil
 	}
 
@@ -259,6 +281,7 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 		ActivityThreshold: p.ActivityThreshold,
 		RidgeScale:        p.RidgeScale,
 		Counter:           p.Counter,
+		Tracer:            p.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -321,6 +344,7 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 		// Line 11: accept.
 		out = append(out, ellipsoid{members: members, sdim: sdim, pca: localPCA})
 	}
+	obs.Attr(p.Tracer, "accepted", float64(len(out)))
 	return out, nil
 }
 
@@ -329,6 +353,9 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 // separation.
 func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, outliers []int, p Params, gscale float64) (*reduction.Result, error) {
 	res := &reduction.Result{Dim: ds.Dim}
+	obs.Begin(p.Tracer, obs.PhaseDimOpt)
+	obs.Attr(p.Tracer, "ellipsoids", float64(len(ellipsoids)))
+	defer obs.End(p.Tracer)
 
 	// Lines 18-24: per ellipsoid, pick d_r and flag members whose
 	// ProjDist_r exceeds β as eviction candidates. The total eviction is
@@ -349,6 +376,8 @@ func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, out
 			}
 		}
 	}
+	obs.Begin(p.Tracer, obs.PhaseOutliers)
+	obs.Attr(p.Tracer, "candidates", float64(len(cands)))
 	maxEvict := int(p.Xi * float64(ds.N))
 	evicted := make(map[int]bool, maxEvict)
 	if len(cands) > maxEvict {
@@ -359,6 +388,9 @@ func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, out
 		evicted[c.member] = true
 		outliers = append(outliers, c.member)
 	}
+	obs.Attr(p.Tracer, "evicted", float64(len(cands)))
+	obs.Attr(p.Tracer, "budget", float64(maxEvict))
+	obs.End(p.Tracer)
 
 	id := 0
 	for ei, e := range ellipsoids {
@@ -380,6 +412,8 @@ func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, out
 		id++
 	}
 	res.Outliers = outliers
+	obs.Attr(p.Tracer, "subspaces", float64(len(res.Subspaces)))
+	obs.Attr(p.Tracer, "outliers", float64(len(res.Outliers)))
 	return res, nil
 }
 

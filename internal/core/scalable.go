@@ -6,6 +6,7 @@ import (
 
 	"mmdr/internal/dataset"
 	"mmdr/internal/iostat"
+	"mmdr/internal/obs"
 	"mmdr/internal/reduction"
 	"mmdr/internal/stats"
 )
@@ -41,6 +42,10 @@ func (s *Scalable) Reduce(ds *dataset.Dataset) (*reduction.Result, error) {
 	if ds.N == 0 {
 		return nil, fmt.Errorf("mmdr: empty dataset")
 	}
+	obs.Begin(p.Tracer, obs.PhaseReduce)
+	obs.Attr(p.Tracer, "points", float64(ds.N))
+	obs.Attr(p.Tracer, "dim", float64(ds.Dim))
+	defer obs.End(p.Tracer)
 	gscale := globalScale(ds)
 	streamSize := int(p.Epsilon * float64(ds.N))
 	if streamSize < 4*p.MinClusterSize {
@@ -66,16 +71,22 @@ func (s *Scalable) Reduce(ds *dataset.Dataset) (*reduction.Result, error) {
 			hi = ds.N
 		}
 		if p.Counter != nil {
-			p.Counter.PageReads += iostat.PagesForPoints(hi-lo, ds.Dim)
+			p.Counter.CountPageReads(iostat.PagesForPoints(hi-lo, ds.Dim))
 		}
+		obs.Begin(p.Tracer, obs.PhaseStream)
+		obs.Attr(p.Tracer, "lo", float64(lo))
+		obs.Attr(p.Tracer, "points", float64(hi-lo))
 		indices := make([]int, hi-lo)
 		for i := range indices {
 			indices[i] = lo + i
 		}
 		ellips, err := generateEllipsoid(ds, indices, p.SDim, p, &outliers, true, gscale)
 		if err != nil {
+			obs.End(p.Tracer)
 			return nil, err
 		}
+		obs.Attr(p.Tracer, "ellipsoids", float64(len(ellips)))
+		obs.End(p.Tracer)
 		for _, e := range ellips {
 			arr = append(arr, streamEllipsoid{centroid: e.pca.Mean, members: e.members})
 		}

@@ -9,6 +9,7 @@ import (
 	"mmdr/internal/dataset"
 	"mmdr/internal/iostat"
 	"mmdr/internal/kmeans"
+	"mmdr/internal/obs"
 )
 
 // Options configures the elliptical k-means run.
@@ -44,7 +45,12 @@ type Options struct {
 	Restarts int
 
 	// Counter, when non-nil, accumulates distance-computation counts.
-	Counter *iostat.Counter
+	Counter iostat.Sink
+
+	// Tracer, when non-nil, receives per-restart spans with per-iteration
+	// convergence telemetry: reassignments, active-point counts and the
+	// §4.2 lookup-table hit rate.
+	Tracer obs.Tracer
 }
 
 func (o *Options) withDefaults() Options {
@@ -109,6 +115,11 @@ func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
 	if ds.N == 0 {
 		return nil, fmt.Errorf("ellipkmeans: empty dataset")
 	}
+	obs.Begin(o.Tracer, obs.PhaseCluster)
+	obs.Attr(o.Tracer, "k", float64(o.K))
+	obs.Attr(o.Tracer, "points", float64(ds.N))
+	obs.Attr(o.Tracer, "restarts", float64(o.Restarts))
+	defer obs.End(o.Tracer)
 	var best *Result
 	bestCost := math.Inf(1)
 	var firstErr error
@@ -130,6 +141,9 @@ func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
 	if best == nil {
 		return nil, firstErr
 	}
+	obs.Attr(o.Tracer, "best_cost", bestCost)
+	obs.Attr(o.Tracer, "outer_iters", float64(best.OuterIters))
+	obs.Attr(o.Tracer, "inner_iters", float64(best.InnerIters))
 	return best, nil
 }
 
@@ -176,13 +190,17 @@ func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
 
 	dist := func(g *Gaussian, p []float64) float64 {
 		if o.Counter != nil {
-			o.Counter.DistanceOps++
+			o.Counter.CountDistanceOps(1)
 		}
 		if o.Normalized {
 			return g.NormMahaDist(p)
 		}
 		return g.MahaDist(p)
 	}
+
+	obs.Begin(o.Tracer, obs.PhaseRestart)
+	obs.Attr(o.Tracer, "seed", float64(o.Seed))
+	defer obs.End(o.Tracer)
 
 	for outer := 0; outer < o.MaxOuter; outer++ {
 		res.OuterIters = outer + 1
@@ -199,21 +217,30 @@ func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
 			}
 		}
 
+		// Per-pass convergence telemetry (§4.2 effectiveness): how points
+		// were evaluated this outer pass — frozen (no distance work), via
+		// the cached lookup IDs, or with a full evaluation.
 		outerChanged := 0
+		innerPasses := 0
+		var frozen, lookupEvals, fullEvals int64
 		for inner := 0; inner < o.MaxInner; inner++ {
 			res.InnerIters++
+			innerPasses++
 			changed := 0
 			for i := 0; i < ds.N; i++ {
 				if o.UseLookupTable && o.ActivityThreshold > 0 &&
 					table[i].activity > o.ActivityThreshold {
 					// Inactive point: skip all distance work (§4.2).
+					frozen++
 					continue
 				}
 				p := ds.Point(i)
 				var best int
 				if o.UseLookupTable && table[i].ids != nil {
+					lookupEvals++
 					best = argminOver(table[i].ids, clusters, p, dist)
 				} else {
+					fullEvals++
 					var ids []int
 					best, ids = argminAll(clusters, p, dist, o.LookupK)
 					if o.UseLookupTable {
@@ -239,6 +266,18 @@ func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
 			if changed == 0 {
 				break
 			}
+		}
+		if o.Tracer != nil {
+			obs.Begin(o.Tracer, obs.PhaseIteration)
+			obs.Attr(o.Tracer, "outer", float64(outer+1))
+			obs.Attr(o.Tracer, "inner_passes", float64(innerPasses))
+			obs.Attr(o.Tracer, "reassigned", float64(outerChanged))
+			obs.Attr(o.Tracer, "frozen_points", float64(frozen))
+			if evaluated := lookupEvals + fullEvals; evaluated > 0 {
+				obs.Attr(o.Tracer, "active_points", float64(evaluated))
+				obs.Attr(o.Tracer, "lookup_hit_rate", float64(lookupEvals)/float64(evaluated))
+			}
+			obs.End(o.Tracer)
 		}
 		if outerChanged == 0 && outer > 0 {
 			break

@@ -28,7 +28,8 @@ func AblationLookup(cfg Config) (*Table, error) {
 	}
 	run := func(name string, lookup bool) error {
 		var ctr iostat.Counter
-		opts := ellipkmeans.Options{K: 10, Seed: c.Seed, Normalized: true, Counter: &ctr}
+		opts := ellipkmeans.Options{K: 10, Seed: c.Seed, Normalized: true,
+			Counter: iostat.Tee(&ctr, c.Counter), Tracer: c.Tracer}
 		if lookup {
 			opts.UseLookupTable = true
 			opts.LookupK = 3
@@ -84,6 +85,7 @@ func AblationNormalized(cfg Config) (*Table, error) {
 	for _, normalized := range []bool{true, false} {
 		res, err := ellipkmeans.Run(ds, ellipkmeans.Options{
 			K: 2, Seed: c.Seed, Normalized: normalized, Restarts: 3,
+			Counter: c.Counter, Tracer: c.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -132,7 +134,7 @@ func AblationMultiLevel(cfg Config) (*Table, error) {
 		Header: []string{"variant", "precision", "avg_dim", "outliers"},
 	}
 	for _, multi := range []bool{true, false} {
-		params := core.Params{Seed: c.Seed, SDim: 2}
+		params := core.Params{Seed: c.Seed, SDim: 2, Tracer: c.Tracer, Counter: c.Counter}
 		if !multi {
 			// Disabling the recursion: accept every semi-ellipsoid at the
 			// first level by making the MPE gate vacuous.

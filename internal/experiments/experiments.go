@@ -24,6 +24,7 @@ import (
 	"mmdr/internal/idist"
 	"mmdr/internal/index"
 	"mmdr/internal/iostat"
+	"mmdr/internal/obs"
 	"mmdr/internal/query"
 	"mmdr/internal/reduction"
 )
@@ -46,6 +47,14 @@ type Config struct {
 	Seed       int64
 	K          int // KNN size; paper uses 10
 	NumQueries int // paper uses 100
+
+	// Tracer, when non-nil, receives phase spans from every reduction and
+	// index build the experiment performs (mmdrbench -trace).
+	Tracer obs.Tracer
+	// Counter, when non-nil, additionally accumulates every logical cost the
+	// experiment incurs — on top of the per-scheme counters the figures
+	// report (mmdrbench -metrics-json / expvar).
+	Counter iostat.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -202,8 +211,9 @@ func synthetic(n, dim, clusters, sdim int, ratio float64, seed int64) (*dataset.
 }
 
 // reducers returns the three methods at a given forced dimensionality
-// (0 = each method's native dimensionality selection).
-func reducers(forced int, dim int, seed int64) []reduction.Reducer {
+// (0 = each method's native dimensionality selection), wired to the
+// config's tracer and counter.
+func (c Config) reducers(forced int, dim int) []reduction.Reducer {
 	gdrDim := forced
 	if gdrDim <= 0 {
 		gdrDim = 20
@@ -212,9 +222,9 @@ func reducers(forced int, dim int, seed int64) []reduction.Reducer {
 		gdrDim = dim
 	}
 	return []reduction.Reducer{
-		core.New(core.Params{Seed: seed, ForcedDim: forced}),
-		&reduction.LDR{Seed: seed, ForcedDim: forced},
-		&reduction.GDR{TargetDim: gdrDim},
+		core.New(core.Params{Seed: c.Seed, ForcedDim: forced, Tracer: c.Tracer, Counter: c.Counter}),
+		&reduction.LDR{Seed: c.Seed, ForcedDim: forced, Tracer: c.Tracer},
+		&reduction.GDR{TargetDim: gdrDim, Tracer: c.Tracer},
 	}
 }
 
@@ -239,29 +249,31 @@ type scheme struct {
 	counter *iostat.Counter
 }
 
-func buildSchemes(ds *dataset.Dataset, forcedDim int, seed int64) ([]scheme, error) {
-	mmdrRed, err := core.New(core.Params{Seed: seed, ForcedDim: forcedDim}).Reduce(ds)
+func buildSchemes(c Config, ds *dataset.Dataset, forcedDim int) ([]scheme, error) {
+	mmdrRed, err := core.New(core.Params{Seed: c.Seed, ForcedDim: forcedDim, Tracer: c.Tracer, Counter: c.Counter}).Reduce(ds)
 	if err != nil {
 		return nil, err
 	}
-	ldrRed, err := (&reduction.LDR{Seed: seed, ForcedDim: forcedDim}).Reduce(ds)
+	ldrRed, err := (&reduction.LDR{Seed: c.Seed, ForcedDim: forcedDim, Tracer: c.Tracer}).Reduce(ds)
 	if err != nil {
 		return nil, err
 	}
+	// Per-scheme counters feed the figures; the config's counter, when set,
+	// sees the union of all schemes' work.
 	var cm, cl, cg, cs iostat.Counter
-	iMMDR, err := idist.Build(ds, mmdrRed, idist.Options{Counter: &cm})
+	iMMDR, err := idist.Build(ds, mmdrRed, idist.Options{Counter: iostat.Tee(&cm, c.Counter), Tracer: c.Tracer})
 	if err != nil {
 		return nil, err
 	}
-	iLDR, err := idist.Build(ds, ldrRed, idist.Options{Counter: &cl})
+	iLDR, err := idist.Build(ds, ldrRed, idist.Options{Counter: iostat.Tee(&cl, c.Counter), Tracer: c.Tracer})
 	if err != nil {
 		return nil, err
 	}
-	gLDR, err := hybridtree.BuildGlobal(ds, ldrRed, hybridtree.Options{Counter: &cg})
+	gLDR, err := hybridtree.BuildGlobal(ds, ldrRed, hybridtree.Options{Counter: iostat.Tee(&cg, c.Counter)})
 	if err != nil {
 		return nil, err
 	}
-	seq := index.NewSeqScan(ds, ldrRed, &cs)
+	seq := index.NewSeqScan(ds, ldrRed, iostat.Tee(&cs, c.Counter))
 	// Construction cost is not part of the per-query metrics.
 	cm.Reset()
 	cl.Reset()

@@ -34,7 +34,7 @@ func ExtInsertion(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	base := total.Slice(0, n).Clone()
-	red, err := core.New(core.Params{Seed: c.Seed}).Reduce(base)
+	red, err := core.New(core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter}).Reduce(base)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +94,7 @@ func ExtApprox(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	red, err := core.New(core.Params{Seed: c.Seed}).Reduce(ds)
+	red, err := core.New(core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter}).Reduce(ds)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +148,7 @@ func ExtRaw(cfg Config) (*Table, error) {
 	}
 	run := func(name string, red *reduction.Result) error {
 		var ctr iostat.Counter
-		idx, err := idist.Build(ds, red, idist.Options{Counter: &ctr})
+		idx, err := idist.Build(ds, red, idist.Options{Counter: iostat.Tee(&ctr, c.Counter), Tracer: c.Tracer})
 		if err != nil {
 			return err
 		}
@@ -167,7 +167,7 @@ func ExtRaw(cfg Config) (*Table, error) {
 		return nil
 	}
 
-	mmdrRed, err := core.New(core.Params{Seed: c.Seed}).Reduce(ds)
+	mmdrRed, err := core.New(core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter}).Reduce(ds)
 	if err != nil {
 		return nil, err
 	}

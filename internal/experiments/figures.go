@@ -26,7 +26,7 @@ func Fig7a(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+1)
-		precs, err := precisionRow(ds, reducers(0, dim, c.Seed), queries, c.K)
+		precs, err := precisionRow(ds, c.reducers(0, dim), queries, c.K)
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +52,7 @@ func Fig7b(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+2)
-		precs, err := precisionRow(ds, reducers(0, dim, c.Seed), queries, c.K)
+		precs, err := precisionRow(ds, c.reducers(0, dim), queries, c.K)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +108,7 @@ func precisionVsDim(c Config, name, title string, ds *dataset.Dataset) (*Table, 
 	}
 	queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+3)
 	for _, dr := range dimSweep(ds.Dim) {
-		precs, err := precisionRow(ds, reducers(dr, ds.Dim, c.Seed), queries, c.K)
+		precs, err := precisionRow(ds, c.reducers(dr, ds.Dim), queries, c.K)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +174,7 @@ func costVsDim(c Config, name, title string, ds *dataset.Dataset, m metric) (*Ta
 	t := &Table{Name: name, Title: title, Header: header}
 	queries := datagen.SampleQueries(ds, c.NumQueries, 0, c.Seed+4)
 	for _, dr := range dimSweep(ds.Dim) {
-		schemes, err := buildSchemes(ds, dr, c.Seed)
+		schemes, err := buildSchemes(c, ds, dr)
 		if err != nil {
 			return nil, err
 		}
@@ -220,14 +220,14 @@ func Fig11a(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := core.New(core.Params{Seed: c.Seed}).Reduce(ds); err != nil {
+		if _, err := core.New(core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter}).Reduce(ds); err != nil {
 			return nil, err
 		}
 		plain := time.Since(start)
 
 		var ctr iostat.Counter
 		start = time.Now()
-		if _, err := (&core.Scalable{Params: core.Params{Seed: c.Seed, Counter: &ctr}}).Reduce(ds); err != nil {
+		if _, err := (&core.Scalable{Params: core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: iostat.Tee(&ctr, c.Counter)}}).Reduce(ds); err != nil {
 			return nil, err
 		}
 		scal := time.Since(start)
@@ -261,7 +261,7 @@ func Fig11b(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := (&core.Scalable{Params: core.Params{Seed: c.Seed}}).Reduce(ds); err != nil {
+		if _, err := (&core.Scalable{Params: core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter}}).Reduce(ds); err != nil {
 			return nil, err
 		}
 		t.AddRow(i64(int64(dim)), i64(time.Since(start).Milliseconds()))

@@ -19,7 +19,7 @@ type Global struct {
 	red     *reduction.Result
 	trees   []*Tree
 	subs    []*reduction.Subspace // parallel to trees; nil entry = outlier tree
-	counter *iostat.Counter
+	counter iostat.Sink
 }
 
 // BuildGlobal constructs the gLDR structure over a reduction of ds.

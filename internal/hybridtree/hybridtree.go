@@ -25,7 +25,7 @@ type Tree struct {
 	dim     int
 	root    *node
 	size    int
-	counter *iostat.Counter
+	counter iostat.Sink
 	pts     []float64 // row-major storage of the indexed points
 	ids     []int     // external IDs parallel to pts rows
 }
@@ -40,7 +40,7 @@ type node struct {
 // Options configures construction.
 type Options struct {
 	PageSize int // 0 = iostat.PageSize
-	Counter  *iostat.Counter
+	Counter  iostat.Sink
 }
 
 // Build bulk-loads a tree over points (row-major, n x dim) with external
@@ -183,11 +183,11 @@ func (t *Tree) Search(q []float64, bound float64, emit func(id int, dist float64
 		}
 		nd := item.nd
 		if t.counter != nil {
-			t.counter.NodeAccesses++
+			t.counter.CountNodeAccesses(1)
 			// Index levels are assumed buffered (as for the B⁺-tree); data
 			// pages are charged as reads.
 			if nd.rows != nil {
-				t.counter.PageReads++
+				t.counter.CountPageReads(1)
 			}
 		}
 		if nd.rows != nil {
@@ -199,7 +199,7 @@ func (t *Tree) Search(q []float64, bound float64, emit func(id int, dist float64
 					s += d * d
 				}
 				if t.counter != nil {
-					t.counter.DistanceOps++
+					t.counter.CountDistanceOps(1)
 				}
 				bound = emit(t.ids[r], math.Sqrt(s))
 			}
@@ -208,7 +208,7 @@ func (t *Tree) Search(q []float64, bound float64, emit func(id int, dist float64
 		for _, c := range nd.children {
 			d := math.Sqrt(t.minDistSq(q, c))
 			if t.counter != nil {
-				t.counter.DistanceOps++ // MINDIST is a dim-dimensional computation
+				t.counter.CountDistanceOps(1) // MINDIST is a dim-dimensional computation
 			}
 			if d <= bound {
 				pq = append(pq, pqItem{c, d})

@@ -24,6 +24,7 @@ import (
 	"mmdr/internal/index"
 	"mmdr/internal/iostat"
 	"mmdr/internal/matrix"
+	"mmdr/internal/obs"
 	"mmdr/internal/reduction"
 	"mmdr/internal/stats"
 )
@@ -39,7 +40,9 @@ type Options struct {
 	// it as a fraction of the average partition radius.
 	DeltaR float64
 	// Counter accumulates page and distance costs (may be nil).
-	Counter *iostat.Counter
+	Counter iostat.Sink
+	// Tracer receives a build-index span covering bulk-load (may be nil).
+	Tracer obs.Tracer
 }
 
 // partition is one key-range section of the single-dimensional space:
@@ -60,7 +63,7 @@ type Index struct {
 	parts   []partition
 	c       float64
 	deltaR  float64
-	counter *iostat.Counter
+	counter iostat.Sink
 
 	// Per-rid location: which partition and which member slot, so candidate
 	// distances can be computed from stored reduced coordinates.
@@ -73,6 +76,9 @@ func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, er
 	if ds.N == 0 {
 		return nil, fmt.Errorf("idist: empty dataset")
 	}
+	obs.Begin(opts.Tracer, obs.PhaseBuildIndex)
+	obs.Attr(opts.Tracer, "points", float64(ds.N))
+	defer obs.End(opts.Tracer)
 	nParts := len(red.Subspaces)
 	hasOutliers := len(red.Outliers) > 0
 	if hasOutliers {
@@ -181,6 +187,9 @@ func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, er
 		}
 	}
 	idx.tree.BulkLoad(entries, 0.9)
+	obs.Attr(opts.Tracer, "partitions", float64(len(idx.parts)))
+	obs.Attr(opts.Tracer, "tree_height", float64(idx.tree.Height()))
+	obs.Attr(opts.Tracer, "leaf_pages", float64(idx.tree.LeafPages()))
 	return idx, nil
 }
 
@@ -206,7 +215,7 @@ type queryState struct {
 // KNN implements index.KNNIndex: the iterative radius-enlargement search,
 // run to completion (exact over the reduced representation).
 func (idx *Index) KNN(q []float64, k int) []index.Neighbor {
-	return idx.knn(q, k, 0)
+	return idx.knn(q, k, 0, nil)
 }
 
 // KNNApprox bounds the radius enlargement to maxRounds iterations
@@ -214,10 +223,53 @@ func (idx *Index) KNN(q []float64, k int) []index.Neighbor {
 // candidates found so far — the online-answering mode of iDistance, useful
 // when a slightly lower precision is an acceptable trade for latency.
 func (idx *Index) KNNApprox(q []float64, k, maxRounds int) []index.Neighbor {
-	return idx.knn(q, k, maxRounds)
+	return idx.knn(q, k, maxRounds, nil)
 }
 
-func (idx *Index) knn(q []float64, k, maxRounds int) []index.Neighbor {
+// PartitionProbe explains how the KNN search treated one partition.
+type PartitionProbe struct {
+	// ID is the partition's index (subspaces first, outlier partition last).
+	ID int `json:"id"`
+	// Dim is the dimensionality distances were computed in: the subspace's
+	// reduced dimensionality, or the original dimensionality for outliers.
+	Dim int `json:"dim"`
+	// Outlier marks the original-space outlier partition.
+	Outlier bool `json:"outlier,omitempty"`
+	// DistToRef is dist(q_i, O_i) in the partition's metric.
+	DistToRef float64 `json:"dist_to_ref"`
+	// ScanLo/ScanHi bound the key annulus actually scanned (relative to the
+	// partition's reference point). A partition the sphere never reached
+	// reports ScanLo=0, ScanHi=-1 (ScanLo > ScanHi means never scanned; the
+	// sentinel is finite so the trace always marshals to JSON).
+	ScanLo float64 `json:"scan_lo"`
+	ScanHi float64 `json:"scan_hi"`
+	// Candidates counts points of this partition whose distance was computed.
+	Candidates int `json:"candidates"`
+	// Exhausted reports whether the whole partition sphere was covered.
+	Exhausted bool `json:"exhausted"`
+}
+
+// QueryTrace is the structured explain of one KNN search: how many
+// radius-enlargement rounds ran, how far the sphere grew, and what each
+// partition contributed.
+type QueryTrace struct {
+	K             int              `json:"k"`
+	Rounds        int              `json:"rounds"`
+	FinalRadius   float64          `json:"final_radius"`
+	Candidates    int              `json:"candidates"`
+	LeavesScanned int              `json:"leaves_scanned"`
+	Partitions    []PartitionProbe `json:"partitions"`
+}
+
+// KNNTrace runs an exact KNN search and additionally returns the structured
+// explain of the work performed.
+func (idx *Index) KNNTrace(q []float64, k int) ([]index.Neighbor, *QueryTrace) {
+	tr := &QueryTrace{K: k}
+	nb := idx.knn(q, k, 0, tr)
+	return nb, tr
+}
+
+func (idx *Index) knn(q []float64, k, maxRounds int, tr *QueryTrace) []index.Neighbor {
 	top := index.NewTopK(k)
 	states := make([]queryState, len(idx.parts))
 	for pi := range idx.parts {
@@ -231,9 +283,26 @@ func (idx *Index) knn(q []float64, k, maxRounds int) []index.Neighbor {
 		}
 		st.scanLo, st.scanHi = math.Inf(1), math.Inf(-1) // nothing scanned
 	}
+	if tr != nil {
+		tr.Partitions = make([]PartitionProbe, len(idx.parts))
+		for pi := range idx.parts {
+			p := &idx.parts[pi]
+			pr := &tr.Partitions[pi]
+			pr.ID = pi
+			pr.DistToRef = states[pi].dist
+			if p.sub != nil {
+				pr.Dim = p.sub.Dr
+			} else {
+				pr.Dim = idx.ds.Dim
+				pr.Outlier = true
+			}
+		}
+	}
 
 	r := idx.deltaR
+	rounds := 0
 	for round := 1; ; round++ {
+		rounds = round
 		allDone := true
 		for pi := range idx.parts {
 			p := &idx.parts[pi]
@@ -261,15 +330,15 @@ func (idx *Index) knn(q []float64, k, maxRounds int) []index.Neighbor {
 			// Scan only the not-yet-visited parts of the annulus.
 			base := float64(pi) * idx.c
 			if st.scanLo > st.scanHi {
-				idx.scanRange(q, pi, base+lo, base+hi, st, top)
+				idx.scanRange(q, pi, base+lo, base+hi, st, top, tr)
 				st.scanLo, st.scanHi = lo, hi
 			} else {
 				if lo < st.scanLo {
-					idx.scanRange(q, pi, base+lo, base+st.scanLo-1e-15, st, top)
+					idx.scanRange(q, pi, base+lo, base+st.scanLo-1e-15, st, top, tr)
 					st.scanLo = lo
 				}
 				if hi > st.scanHi {
-					idx.scanRange(q, pi, base+st.scanHi+1e-15, base+hi, st, top)
+					idx.scanRange(q, pi, base+st.scanHi+1e-15, base+hi, st, top, tr)
 					st.scanHi = hi
 				}
 			}
@@ -292,15 +361,30 @@ func (idx *Index) knn(q []float64, k, maxRounds int) []index.Neighbor {
 		}
 		r += idx.deltaR
 	}
+	if tr != nil {
+		tr.Rounds = rounds
+		tr.FinalRadius = r
+		for pi := range idx.parts {
+			st := &states[pi]
+			pr := &tr.Partitions[pi]
+			if st.scanLo > st.scanHi {
+				pr.ScanLo, pr.ScanHi = 0, -1 // never reached
+			} else {
+				pr.ScanLo, pr.ScanHi = st.scanLo, st.scanHi
+			}
+			pr.Exhausted = st.exhausted
+		}
+	}
 	return top.Sorted()
 }
 
 // scanRange visits tree keys in [lo, hi] for partition pi, computing each
 // candidate's distance in the partition's metric: projected distance for
 // subspace members, exact original-space distance for outliers.
-func (idx *Index) scanRange(q []float64, pi int, lo, hi float64, st *queryState, top *index.TopK) {
+func (idx *Index) scanRange(q []float64, pi int, lo, hi float64, st *queryState, top *index.TopK, tr *QueryTrace) {
 	p := &idx.parts[pi]
-	idx.tree.RangeAsc(lo, hi, func(_ float64, rid uint32) bool {
+	cand := 0
+	leaves := idx.tree.RangeAsc(lo, hi, func(_ float64, rid uint32) bool {
 		id := int(rid)
 		var d float64
 		if p.sub != nil {
@@ -309,11 +393,17 @@ func (idx *Index) scanRange(q []float64, pi int, lo, hi float64, st *queryState,
 			d = matrix.Dist(idx.ds.Point(id), q)
 		}
 		if idx.counter != nil {
-			idx.counter.DistanceOps++
+			idx.counter.CountDistanceOps(1)
 		}
+		cand++
 		top.Add(id, d)
 		return true
 	})
+	if tr != nil {
+		tr.Candidates += cand
+		tr.LeavesScanned += leaves
+		tr.Partitions[pi].Candidates += cand
+	}
 }
 
 // Stats describes the index structure for monitoring and diagnostics.

@@ -45,7 +45,7 @@ func (idx *Index) Range(q []float64, r float64) []index.Neighbor {
 				d = matrix.Dist(idx.ds.Point(id), q)
 			}
 			if idx.counter != nil {
-				idx.counter.DistanceOps++
+				idx.counter.CountDistanceOps(1)
 			}
 			if d <= r {
 				out = append(out, index.Neighbor{ID: id, Dist: d})

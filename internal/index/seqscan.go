@@ -14,12 +14,12 @@ import (
 type SeqScan struct {
 	ds      *dataset.Dataset
 	red     *reduction.Result
-	counter *iostat.Counter
+	counter iostat.Sink
 }
 
 // NewSeqScan builds the baseline over a reduced dataset. counter may be
 // nil.
-func NewSeqScan(ds *dataset.Dataset, red *reduction.Result, counter *iostat.Counter) *SeqScan {
+func NewSeqScan(ds *dataset.Dataset, red *reduction.Result, counter iostat.Sink) *SeqScan {
 	return &SeqScan{ds: ds, red: red, counter: counter}
 }
 
@@ -38,23 +38,23 @@ func (s *SeqScan) KNN(q []float64, k int) []Neighbor {
 			c := sub.MemberCoords(mi)
 			d := matrix.Dist(qp, c)
 			if s.counter != nil {
-				s.counter.DistanceOps++
+				s.counter.CountDistanceOps(1)
 			}
 			top.Add(id, d)
 		}
 		if s.counter != nil {
-			s.counter.PageReads += iostat.PagesForPoints(len(sub.Members), sub.Dr)
+			s.counter.CountPageReads(iostat.PagesForPoints(len(sub.Members), sub.Dr))
 		}
 	}
 	for _, id := range s.red.Outliers {
 		d := matrix.Dist(q, s.ds.Point(id))
 		if s.counter != nil {
-			s.counter.DistanceOps++
+			s.counter.CountDistanceOps(1)
 		}
 		top.Add(id, d)
 	}
 	if s.counter != nil {
-		s.counter.PageReads += iostat.PagesForPoints(len(s.red.Outliers), s.ds.Dim)
+		s.counter.CountPageReads(iostat.PagesForPoints(len(s.red.Outliers), s.ds.Dim))
 	}
 	return top.Sorted()
 }

@@ -1,0 +1,90 @@
+package iostat
+
+import "sync/atomic"
+
+// AtomicCounter is the goroutine-safe Sink: every count is a single atomic
+// add, so concurrent KNN calls through ConcurrentIndex can share one
+// counter without a data race and without serializing on a lock. Each field
+// is its own atomic word, so uncorrelated counters (distance ops from one
+// query, page reads from another) do not contend on a shared cell —
+// workers may also keep per-goroutine plain Counters and merge them here
+// via Merge for fully contention-free sharding.
+//
+// The zero value is ready to use.
+type AtomicCounter struct {
+	pageReads    atomic.Int64
+	pageWrites   atomic.Int64
+	distanceOps  atomic.Int64
+	keyCompares  atomic.Int64
+	floatOps     atomic.Int64
+	nodeAccesses atomic.Int64
+}
+
+// CountPageReads implements Sink.
+func (c *AtomicCounter) CountPageReads(n int64) { c.pageReads.Add(n) }
+
+// CountPageWrites implements Sink.
+func (c *AtomicCounter) CountPageWrites(n int64) { c.pageWrites.Add(n) }
+
+// CountDistanceOps implements Sink.
+func (c *AtomicCounter) CountDistanceOps(n int64) { c.distanceOps.Add(n) }
+
+// CountKeyCompares implements Sink.
+func (c *AtomicCounter) CountKeyCompares(n int64) { c.keyCompares.Add(n) }
+
+// CountFloatOps implements Sink.
+func (c *AtomicCounter) CountFloatOps(n int64) { c.floatOps.Add(n) }
+
+// CountNodeAccesses implements Sink.
+func (c *AtomicCounter) CountNodeAccesses(n int64) { c.nodeAccesses.Add(n) }
+
+// Snapshot implements Sink: a point-in-time copy of the totals. Fields are
+// loaded individually, so a snapshot taken while writers are active is
+// per-field consistent (each value was the field's total at some instant
+// during the call).
+func (c *AtomicCounter) Snapshot() Counter {
+	return Counter{
+		PageReads:    c.pageReads.Load(),
+		PageWrites:   c.pageWrites.Load(),
+		DistanceOps:  c.distanceOps.Load(),
+		KeyCompares:  c.keyCompares.Load(),
+		FloatOps:     c.floatOps.Load(),
+		NodeAccesses: c.nodeAccesses.Load(),
+	}
+}
+
+// Merge adds a plain Counter's totals (e.g. a per-worker shard) into c.
+func (c *AtomicCounter) Merge(other Counter) {
+	c.pageReads.Add(other.PageReads)
+	c.pageWrites.Add(other.PageWrites)
+	c.distanceOps.Add(other.DistanceOps)
+	c.keyCompares.Add(other.KeyCompares)
+	c.floatOps.Add(other.FloatOps)
+	c.nodeAccesses.Add(other.NodeAccesses)
+}
+
+// Reset zeroes all counters. Counts from concurrent writers land either
+// before or after the reset, never partially.
+func (c *AtomicCounter) Reset() {
+	c.pageReads.Store(0)
+	c.pageWrites.Store(0)
+	c.distanceOps.Store(0)
+	c.keyCompares.Store(0)
+	c.floatOps.Store(0)
+	c.nodeAccesses.Store(0)
+}
+
+// IO returns total simulated page I/O (reads + writes).
+func (c *AtomicCounter) IO() int64 { return c.pageReads.Load() + c.pageWrites.Load() }
+
+// String renders the current totals like Counter.String.
+func (c *AtomicCounter) String() string {
+	s := c.Snapshot()
+	return s.String()
+}
+
+// MarshalJSON exports the current totals like Counter.MarshalJSON.
+func (c *AtomicCounter) MarshalJSON() ([]byte, error) {
+	s := c.Snapshot()
+	return s.MarshalJSON()
+}

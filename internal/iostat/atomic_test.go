@@ -1,0 +1,121 @@
+package iostat
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Both implementations must satisfy the shared counting interface.
+var (
+	_ Sink = (*Counter)(nil)
+	_ Sink = (*AtomicCounter)(nil)
+)
+
+// TestAtomicCounterConcurrent hammers one AtomicCounter from many
+// goroutines; run under -race this is the synchronization proof for the
+// ConcurrentIndex metrics path.
+func TestAtomicCounterConcurrent(t *testing.T) {
+	var c AtomicCounter
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.CountPageReads(1)
+				c.CountPageWrites(2)
+				c.CountDistanceOps(3)
+				c.CountKeyCompares(4)
+				c.CountFloatOps(5)
+				c.CountNodeAccesses(6)
+				_ = c.Snapshot() // concurrent readers must be safe too
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	want := Counter{
+		PageReads:    workers * perWorker * 1,
+		PageWrites:   workers * perWorker * 2,
+		DistanceOps:  workers * perWorker * 3,
+		KeyCompares:  workers * perWorker * 4,
+		FloatOps:     workers * perWorker * 5,
+		NodeAccesses: workers * perWorker * 6,
+	}
+	if s != want {
+		t.Fatalf("snapshot %+v, want %+v", s, want)
+	}
+	if c.IO() != want.PageReads+want.PageWrites {
+		t.Fatalf("IO = %d", c.IO())
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (Counter{}) {
+		t.Fatalf("Reset left %+v", s)
+	}
+}
+
+func TestAtomicCounterMerge(t *testing.T) {
+	var c AtomicCounter
+	c.Merge(Counter{PageReads: 1, DistanceOps: 2})
+	c.Merge(Counter{PageReads: 10, FloatOps: 3})
+	s := c.Snapshot()
+	if s.PageReads != 11 || s.DistanceOps != 2 || s.FloatOps != 3 {
+		t.Fatalf("merged snapshot %+v", s)
+	}
+}
+
+func TestNilCounterSinkIsNoop(t *testing.T) {
+	var c *Counter // typed nil inside the interface must not panic
+	var s Sink = c
+	s.CountPageReads(1)
+	s.CountDistanceOps(1)
+	if snap := s.Snapshot(); snap != (Counter{}) {
+		t.Fatalf("nil counter snapshot %+v", snap)
+	}
+}
+
+// TestCounterStringIncludesAllFields pins the regression where FloatOps was
+// omitted and PageWrites was easy to misread.
+func TestCounterStringIncludesAllFields(t *testing.T) {
+	c := Counter{PageReads: 1, PageWrites: 2, DistanceOps: 3, KeyCompares: 4, FloatOps: 5, NodeAccesses: 6}
+	s := c.String()
+	for _, want := range []string{"io=3", "reads=1", "writes=2", "dist=3", "keycmp=4", "floatops=5", "nodes=6"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCounterJSONRoundTrip(t *testing.T) {
+	c := Counter{PageReads: 7, PageWrites: 1, DistanceOps: 9, KeyCompares: 2, FloatOps: 5, NodeAccesses: 3}
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"page_io", "page_reads", "page_writes", "distance_ops", "key_compares", "float_ops", "node_accesses"} {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("JSON %s missing key %q", data, key)
+		}
+	}
+	var back Counter
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("round trip %+v != %+v", back, c)
+	}
+
+	var a AtomicCounter
+	a.Merge(c)
+	adata, err := json.Marshal(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(adata) != string(data) {
+		t.Fatalf("atomic JSON %s != counter JSON %s", adata, data)
+	}
+}

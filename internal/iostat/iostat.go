@@ -4,15 +4,42 @@
 // page accesses and CPU cost; on modern hardware wall clock alone would hide
 // the structure, so all indexes report both logical counters and elapsed
 // time.
+//
+// Two implementations share the Sink interface: Counter, a plain struct for
+// single-goroutine measurement runs, and AtomicCounter, which is safe under
+// the concurrent query path (ConcurrentIndex) at the cost of one atomic add
+// per count.
 package iostat
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // PageSize is the simulated disk page size in bytes, matching the common
 // 8 KB configuration of the era's systems.
 const PageSize = 8192
 
-// Counter accumulates logical costs. The zero value is ready to use.
+// Sink is the counting interface every cost producer (B⁺-tree, iDistance,
+// sequential scan, elliptical k-means, …) writes to. All methods must
+// tolerate concurrent callers for implementations documented as
+// goroutine-safe; Counter is not, AtomicCounter is.
+type Sink interface {
+	CountPageReads(n int64)
+	CountPageWrites(n int64)
+	CountDistanceOps(n int64)
+	CountKeyCompares(n int64)
+	CountFloatOps(n int64)
+	CountNodeAccesses(n int64)
+	// Snapshot returns a point-in-time copy of the totals.
+	Snapshot() Counter
+}
+
+// Counter accumulates logical costs. The zero value is ready to use. It is
+// the single-goroutine implementation of Sink; use AtomicCounter when
+// several goroutines count concurrently. All counting methods are nil-safe
+// so a nil *Counter stored in a Sink variable degrades to a no-op instead
+// of panicking.
 type Counter struct {
 	PageReads    int64 // simulated disk page reads
 	PageWrites   int64 // simulated disk page writes
@@ -35,13 +62,107 @@ func (c *Counter) Add(other Counter) {
 	c.NodeAccesses += other.NodeAccesses
 }
 
+// CountPageReads implements Sink.
+func (c *Counter) CountPageReads(n int64) {
+	if c != nil {
+		c.PageReads += n
+	}
+}
+
+// CountPageWrites implements Sink.
+func (c *Counter) CountPageWrites(n int64) {
+	if c != nil {
+		c.PageWrites += n
+	}
+}
+
+// CountDistanceOps implements Sink.
+func (c *Counter) CountDistanceOps(n int64) {
+	if c != nil {
+		c.DistanceOps += n
+	}
+}
+
+// CountKeyCompares implements Sink.
+func (c *Counter) CountKeyCompares(n int64) {
+	if c != nil {
+		c.KeyCompares += n
+	}
+}
+
+// CountFloatOps implements Sink.
+func (c *Counter) CountFloatOps(n int64) {
+	if c != nil {
+		c.FloatOps += n
+	}
+}
+
+// CountNodeAccesses implements Sink.
+func (c *Counter) CountNodeAccesses(n int64) {
+	if c != nil {
+		c.NodeAccesses += n
+	}
+}
+
+// Snapshot implements Sink.
+func (c *Counter) Snapshot() Counter {
+	if c == nil {
+		return Counter{}
+	}
+	return *c
+}
+
 // IO returns total simulated page I/O (reads + writes).
 func (c *Counter) IO() int64 { return c.PageReads + c.PageWrites }
 
-// String renders the counter compactly for logs and tables.
+// String renders every counter for logs and tables.
 func (c *Counter) String() string {
-	return fmt.Sprintf("io=%d (r=%d w=%d) dist=%d keycmp=%d nodes=%d",
-		c.IO(), c.PageReads, c.PageWrites, c.DistanceOps, c.KeyCompares, c.NodeAccesses)
+	return fmt.Sprintf("io=%d (reads=%d writes=%d) dist=%d keycmp=%d floatops=%d nodes=%d",
+		c.IO(), c.PageReads, c.PageWrites, c.DistanceOps, c.KeyCompares, c.FloatOps, c.NodeAccesses)
+}
+
+// counterJSON is the export shape of a Counter snapshot; page_io duplicates
+// reads+writes so dashboards need no arithmetic.
+type counterJSON struct {
+	PageIO       int64 `json:"page_io"`
+	PageReads    int64 `json:"page_reads"`
+	PageWrites   int64 `json:"page_writes"`
+	DistanceOps  int64 `json:"distance_ops"`
+	KeyCompares  int64 `json:"key_compares"`
+	FloatOps     int64 `json:"float_ops"`
+	NodeAccesses int64 `json:"node_accesses"`
+}
+
+// MarshalJSON exports the counter for snapshot files and the expvar
+// endpoint.
+func (c *Counter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(counterJSON{
+		PageIO:       c.IO(),
+		PageReads:    c.PageReads,
+		PageWrites:   c.PageWrites,
+		DistanceOps:  c.DistanceOps,
+		KeyCompares:  c.KeyCompares,
+		FloatOps:     c.FloatOps,
+		NodeAccesses: c.NodeAccesses,
+	})
+}
+
+// UnmarshalJSON accepts the MarshalJSON shape (page_io is derived and
+// ignored).
+func (c *Counter) UnmarshalJSON(data []byte) error {
+	var in counterJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*c = Counter{
+		PageReads:    in.PageReads,
+		PageWrites:   in.PageWrites,
+		DistanceOps:  in.DistanceOps,
+		KeyCompares:  in.KeyCompares,
+		FloatOps:     in.FloatOps,
+		NodeAccesses: in.NodeAccesses,
+	}
+	return nil
 }
 
 // PagesForBytes returns the number of pages needed to hold n bytes.

@@ -1,0 +1,65 @@
+package iostat
+
+// tee fans every count out to multiple sinks.
+type tee struct {
+	sinks []Sink
+}
+
+func (t *tee) CountPageReads(n int64) {
+	for _, s := range t.sinks {
+		s.CountPageReads(n)
+	}
+}
+
+func (t *tee) CountPageWrites(n int64) {
+	for _, s := range t.sinks {
+		s.CountPageWrites(n)
+	}
+}
+
+func (t *tee) CountDistanceOps(n int64) {
+	for _, s := range t.sinks {
+		s.CountDistanceOps(n)
+	}
+}
+
+func (t *tee) CountKeyCompares(n int64) {
+	for _, s := range t.sinks {
+		s.CountKeyCompares(n)
+	}
+}
+
+func (t *tee) CountFloatOps(n int64) {
+	for _, s := range t.sinks {
+		s.CountFloatOps(n)
+	}
+}
+
+func (t *tee) CountNodeAccesses(n int64) {
+	for _, s := range t.sinks {
+		s.CountNodeAccesses(n)
+	}
+}
+
+// Snapshot reports the first sink's totals (the primary); secondary sinks
+// are write-only aggregation targets.
+func (t *tee) Snapshot() Counter { return t.sinks[0].Snapshot() }
+
+// Tee returns a Sink that forwards every count to each non-nil sink. Nil
+// sinks are dropped; with zero survivors it returns nil (no counting), with
+// one it returns that sink unwrapped. Snapshot reads the first survivor.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &tee{sinks: kept}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanAttr is one named value attached to a span.
+type SpanAttr struct {
+	Key   string
+	Value float64
+}
+
+// Span is one recorded phase: its duration, attributes and nested children.
+type Span struct {
+	Phase    Phase
+	Start    time.Time
+	Dur      time.Duration
+	Attrs    []SpanAttr
+	Children []*Span
+}
+
+// Find returns the first descendant (depth-first, including s itself) with
+// the given phase, or nil.
+func (s *Span) Find(p Phase) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Phase == p {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := c.Find(p); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// AttrValue returns the named attribute's value (ok=false when absent).
+func (s *Span) AttrValue(key string) (float64, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Collector is a Tracer that records the span tree with wall-clock
+// durations. It is safe for concurrent use, though spans emitted from
+// different goroutines interleave on one stack — give each concurrent unit
+// of work its own Collector when the tree structure matters.
+type Collector struct {
+	mu    sync.Mutex
+	roots []*Span
+	stack []*Span
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Begin implements Tracer.
+func (c *Collector) Begin(p Phase) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Span{Phase: p, Start: time.Now()}
+	if n := len(c.stack); n > 0 {
+		parent := c.stack[n-1]
+		parent.Children = append(parent.Children, s)
+	} else {
+		c.roots = append(c.roots, s)
+	}
+	c.stack = append(c.stack, s)
+}
+
+// Attr implements Tracer.
+func (c *Collector) Attr(key string, value float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.stack); n > 0 {
+		top := c.stack[n-1]
+		top.Attrs = append(top.Attrs, SpanAttr{Key: key, Value: value})
+	}
+}
+
+// End implements Tracer.
+func (c *Collector) End() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.stack)
+	if n == 0 {
+		return
+	}
+	top := c.stack[n-1]
+	top.Dur = time.Since(top.Start)
+	c.stack = c.stack[:n-1]
+}
+
+// Spans returns the completed top-level spans. Spans still open keep a zero
+// duration.
+func (c *Collector) Spans() []*Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Span(nil), c.roots...)
+}
+
+// Reset discards all recorded spans.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roots, c.stack = nil, nil
+}
+
+// attrString renders attributes as "k=v" pairs; integers print without a
+// decimal point.
+func attrString(attrs []SpanAttr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		if a.Value == float64(int64(a.Value)) {
+			parts[i] = a.Key + "=" + strconv.FormatInt(int64(a.Value), 10)
+		} else {
+			parts[i] = a.Key + "=" + strconv.FormatFloat(a.Value, 'g', 4, 64)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// WriteTree renders the recorded spans as an indented phase tree:
+//
+//	reduce                                 182ms
+//	├─ generate-ellipsoid                  102ms  sdim=2 points=12000
+//	│  ├─ cluster                           88ms  k=10
+//	...
+func (c *Collector) WriteTree(w io.Writer) error {
+	for _, root := range c.Spans() {
+		if err := writeSpan(w, root, "", ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpan(w io.Writer, s *Span, prefix, childPrefix string) error {
+	label := prefix + string(s.Phase)
+	line := fmt.Sprintf("%-44s %9s", label, s.Dur.Round(time.Microsecond))
+	if as := attrString(s.Attrs); as != "" {
+		line += "  " + as
+	}
+	if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
+		return err
+	}
+	for i, child := range s.Children {
+		connector, next := "├─ ", "│  "
+		if i == len(s.Children)-1 {
+			connector, next = "└─ ", "   "
+		}
+		if err := writeSpan(w, child, childPrefix+connector, childPrefix+next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonSpan is the export shape of a span.
+type jsonSpan struct {
+	Phase    Phase              `json:"phase"`
+	Start    time.Time          `json:"start"`
+	Micros   int64              `json:"micros"`
+	Attrs    map[string]float64 `json:"attrs,omitempty"`
+	Children []jsonSpan         `json:"children,omitempty"`
+}
+
+func toJSONSpan(s *Span) jsonSpan {
+	out := jsonSpan{Phase: s.Phase, Start: s.Start, Micros: s.Dur.Microseconds()}
+	if len(s.Attrs) > 0 {
+		out.Attrs = make(map[string]float64, len(s.Attrs))
+		for _, a := range s.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, toJSONSpan(c))
+	}
+	return out
+}
+
+// MarshalJSON exports the span tree as nested objects with microsecond
+// durations, for snapshot files and dashboards.
+func (c *Collector) MarshalJSON() ([]byte, error) {
+	roots := c.Spans()
+	out := make([]jsonSpan, len(roots))
+	for i, r := range roots {
+		out[i] = toJSONSpan(r)
+	}
+	return json.Marshal(out)
+}

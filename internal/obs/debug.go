@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+)
+
+// StartDebugServer serves the Go debug endpoints — /debug/pprof/* (CPU,
+// heap, goroutine profiles) and /debug/vars (expvar, including counters
+// published via Publish) — on addr (e.g. "localhost:6060"). It returns the
+// bound address, useful when addr requests an ephemeral port (":0"). The
+// server runs until the process exits; both CLIs expose it behind a -pprof
+// flag so production-sized runs can be profiled in flight.
+func StartDebugServer(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck — best-effort debug endpoint
+	return ln.Addr(), nil
+}
+
+// Publish registers f under name in the process's expvar registry, shown at
+// /debug/vars. Unlike expvar.Publish it tolerates re-registration (the
+// first registration wins), so CLI entry points can be re-run in tests.
+func Publish(name string, f func() any) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(f))
+	}
+}

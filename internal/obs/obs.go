@@ -1,0 +1,162 @@
+// Package obs is the observability layer shared by the whole pipeline:
+// phase/span tracing for the reduction and indexing stages, progress
+// callbacks, and the pprof/expvar debug endpoint the CLIs expose.
+//
+// The design goal is a zero-overhead disabled path: every producer holds a
+// Tracer that is usually nil, and emits through the package-level Begin /
+// Attr / End helpers, which compile down to a nil check and nothing else.
+// The interface deliberately avoids variadic attribute lists — a variadic
+// call materializes a slice whose escape the compiler cannot always prove
+// away, which would charge allocations to code that has tracing off.
+package obs
+
+import "time"
+
+// Phase names one stage of the pipeline. Producers use the constants below
+// so consumers (progress callbacks, trace filters) can match on them; ad-hoc
+// sub-phases may use free-form values.
+type Phase string
+
+// Pipeline phases emitted by the reduction and indexing stages.
+const (
+	// PhaseReduce wraps one whole dimensionality-reduction run.
+	PhaseReduce Phase = "reduce"
+	// PhaseGenerate is one Generate-Ellipsoid recursion level; its "sdim"
+	// and "points" attributes identify the level.
+	PhaseGenerate Phase = "generate-ellipsoid"
+	// PhaseCluster is one elliptical k-means invocation.
+	PhaseCluster Phase = "cluster"
+	// PhaseRestart is one k-means initialization inside PhaseCluster.
+	PhaseRestart Phase = "restart"
+	// PhaseIteration is one outer (covariance re-estimation) pass of
+	// elliptical k-means, carrying convergence telemetry.
+	PhaseIteration Phase = "iteration"
+	// PhaseMerge is the ellipsoid-coalescing step between GE and DO.
+	PhaseMerge Phase = "merge"
+	// PhaseDimOpt is the Dimensionality Optimization phase.
+	PhaseDimOpt Phase = "dim-opt"
+	// PhaseOutliers is the β-threshold outlier separation inside DO.
+	PhaseOutliers Phase = "outlier-separation"
+	// PhaseStream is one ε·N stream pass of Scalable MMDR.
+	PhaseStream Phase = "stream"
+	// PhaseLDR and PhaseGDR wrap the baseline reducers.
+	PhaseLDR Phase = "ldr"
+	PhaseGDR Phase = "gdr"
+	// PhaseBuildIndex wraps extended-iDistance construction.
+	PhaseBuildIndex Phase = "build-index"
+	// PhaseExperiment wraps one mmdrbench experiment.
+	PhaseExperiment Phase = "experiment"
+)
+
+// Tracer receives span events. Spans nest by call order: Begin opens a child
+// of the innermost open span, Attr attaches a named value to it, End closes
+// it. Implementations are not required to be goroutine-safe unless
+// documented; the pipeline emits from a single goroutine per run.
+//
+// A nil Tracer is the disabled state — producers must emit through the
+// package-level helpers, which absorb nil without any work.
+type Tracer interface {
+	Begin(p Phase)
+	Attr(key string, value float64)
+	End()
+}
+
+// Begin opens a span on t; no-op when t is nil.
+func Begin(t Tracer, p Phase) {
+	if t != nil {
+		t.Begin(p)
+	}
+}
+
+// Attr attaches a numeric attribute to t's innermost open span; no-op when
+// t is nil. Counts and rates are all representable as float64 (counts up to
+// 2^53 exactly), which keeps the interface to a single method.
+func Attr(t Tracer, key string, value float64) {
+	if t != nil {
+		t.Attr(key, value)
+	}
+}
+
+// End closes t's innermost open span; no-op when t is nil.
+func End(t Tracer) {
+	if t != nil {
+		t.End()
+	}
+}
+
+// multi fans events out to several tracers.
+type multi struct {
+	ts []Tracer
+}
+
+func (m *multi) Begin(p Phase) {
+	for _, t := range m.ts {
+		t.Begin(p)
+	}
+}
+
+func (m *multi) Attr(key string, value float64) {
+	for _, t := range m.ts {
+		t.Attr(key, value)
+	}
+}
+
+func (m *multi) End() {
+	for _, t := range m.ts {
+		t.End()
+	}
+}
+
+// Multi combines tracers; nils are dropped. It returns nil when nothing
+// remains (preserving the disabled fast path) and the tracer itself when
+// only one remains.
+func Multi(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multi{ts: live}
+}
+
+// phaseFunc adapts a completion callback to the Tracer interface for the
+// public WithProgress option: it tracks only start times and reports each
+// span's phase and elapsed time as it closes.
+type phaseFunc struct {
+	fn    func(p Phase, elapsed time.Duration)
+	stack []phaseStart
+}
+
+type phaseStart struct {
+	p  Phase
+	at time.Time
+}
+
+func (f *phaseFunc) Begin(p Phase) {
+	f.stack = append(f.stack, phaseStart{p: p, at: time.Now()})
+}
+
+func (f *phaseFunc) Attr(string, float64) {}
+
+func (f *phaseFunc) End() {
+	n := len(f.stack)
+	if n == 0 {
+		return
+	}
+	top := f.stack[n-1]
+	f.stack = f.stack[:n-1]
+	f.fn(top.p, time.Since(top.at))
+}
+
+// OnPhase returns a Tracer that invokes fn each time a span completes, with
+// the span's phase and elapsed wall-clock time. fn must not be nil.
+func OnPhase(fn func(p Phase, elapsed time.Duration)) Tracer {
+	return &phaseFunc{fn: fn}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCollectorTree(t *testing.T) {
+	c := NewCollector()
+	Begin(c, PhaseReduce)
+	Begin(c, PhaseGenerate)
+	Attr(c, "sdim", 2)
+	Attr(c, "points", 100)
+	Begin(c, PhaseCluster)
+	End(c)
+	End(c)
+	Begin(c, PhaseDimOpt)
+	Attr(c, "evicted", 3.5)
+	End(c)
+	End(c)
+
+	roots := c.Spans()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Phase != PhaseReduce {
+		t.Fatalf("root phase = %q", root.Phase)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(root.Children))
+	}
+	ge := root.Find(PhaseGenerate)
+	if ge == nil {
+		t.Fatal("generate-ellipsoid span not found")
+	}
+	if v, ok := ge.AttrValue("sdim"); !ok || v != 2 {
+		t.Fatalf("sdim attr = %v, %v", v, ok)
+	}
+	if ge.Find(PhaseCluster) == nil {
+		t.Fatal("cluster span not nested under generate-ellipsoid")
+	}
+	if root.Dur <= 0 {
+		t.Fatal("completed root span has zero duration")
+	}
+}
+
+func TestCollectorUnbalancedEndIgnored(t *testing.T) {
+	c := NewCollector()
+	End(c) // must not panic
+	Attr(c, "orphan", 1)
+	Begin(c, PhaseReduce)
+	End(c)
+	if n := len(c.Spans()); n != 1 {
+		t.Fatalf("got %d roots, want 1", n)
+	}
+}
+
+// TestNilTracerZeroAllocs is the disabled-path contract: emitting through a
+// nil tracer must not allocate — tracing off means the obs layer costs a nil
+// check and nothing more.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr Tracer // nil: tracing disabled
+	allocs := testing.AllocsPerRun(1000, func() {
+		Begin(tr, PhaseCluster)
+		Attr(tr, "reassigned", 17)
+		Attr(tr, "hit_rate", 0.93)
+		End(tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilTracer(b *testing.B) {
+	var tr Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Begin(tr, PhaseCluster)
+		Attr(tr, "reassigned", float64(i))
+		End(tr)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	c := NewCollector()
+	if Multi(nil, c) != Tracer(c) {
+		t.Fatal("Multi with one live tracer should return it unchanged")
+	}
+	c2 := NewCollector()
+	m := Multi(c, c2)
+	Begin(m, PhaseReduce)
+	Attr(m, "n", 1)
+	End(m)
+	if len(c.Spans()) != 1 || len(c2.Spans()) != 1 {
+		t.Fatal("multi did not fan out to both collectors")
+	}
+}
+
+func TestOnPhase(t *testing.T) {
+	var got []Phase
+	tr := OnPhase(func(p Phase, d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative duration for %s", p)
+		}
+		got = append(got, p)
+	})
+	Begin(tr, PhaseReduce)
+	Begin(tr, PhaseCluster)
+	End(tr)
+	End(tr)
+	End(tr) // unbalanced: ignored
+	if len(got) != 2 || got[0] != PhaseCluster || got[1] != PhaseReduce {
+		t.Fatalf("phases = %v, want [cluster reduce]", got)
+	}
+}
+
+func TestWriteTreeAndJSON(t *testing.T) {
+	c := NewCollector()
+	Begin(c, PhaseReduce)
+	Begin(c, PhaseCluster)
+	Attr(c, "k", 10)
+	End(c)
+	End(c)
+
+	var sb strings.Builder
+	if err := c.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "reduce") || !strings.Contains(out, "├─ cluster") && !strings.Contains(out, "└─ cluster") {
+		t.Fatalf("tree rendering missing spans:\n%s", out)
+	}
+	if !strings.Contains(out, "k=10") {
+		t.Fatalf("tree rendering missing attrs:\n%s", out)
+	}
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []struct {
+		Phase    string             `json:"phase"`
+		Attrs    map[string]float64 `json:"attrs"`
+		Children []json.RawMessage  `json:"children"`
+	}
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if len(spans) != 1 || spans[0].Phase != "reduce" || len(spans[0].Children) != 1 {
+		t.Fatalf("unexpected JSON shape: %s", data)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	Begin(c, PhaseReduce)
+	End(c)
+	c.Reset()
+	if len(c.Spans()) != 0 {
+		t.Fatal("reset did not clear spans")
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	Publish("obs_test_var", func() any { return 42 })
+	Publish("obs_test_var", func() any { return 43 }) // re-publish tolerated
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	resp2, err := http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp2.StatusCode)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mmdr/internal/dataset"
+	"mmdr/internal/obs"
 	"mmdr/internal/stats"
 )
 
@@ -16,6 +17,8 @@ import (
 type GDR struct {
 	// TargetDim is the retained dimensionality (paper sweeps 10..30).
 	TargetDim int
+	// Tracer receives one span covering the global PCA pass (may be nil).
+	Tracer obs.Tracer
 }
 
 // Name implements Reducer.
@@ -29,6 +32,11 @@ func (g *GDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 	if ds.N == 0 {
 		return nil, fmt.Errorf("gdr: empty dataset")
 	}
+	obs.Begin(g.Tracer, obs.PhaseGDR)
+	obs.Attr(g.Tracer, "points", float64(ds.N))
+	obs.Attr(g.Tracer, "dim", float64(ds.Dim))
+	obs.Attr(g.Tracer, "target_dim", float64(g.TargetDim))
+	defer obs.End(g.Tracer)
 	p, err := stats.ComputePCA(ds.Data, ds.Dim)
 	if err != nil {
 		return nil, err

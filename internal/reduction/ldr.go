@@ -7,6 +7,7 @@ import (
 
 	"mmdr/internal/dataset"
 	"mmdr/internal/kmeans"
+	"mmdr/internal/obs"
 	"mmdr/internal/stats"
 )
 
@@ -26,6 +27,7 @@ type LDR struct {
 	ForcedDim    int     // >0 forces every cluster to this Dr (dimension sweeps)
 	Xi           float64 // cap on reconstruction-based evictions as a fraction of N; default 0.005
 	Seed         int64
+	Tracer       obs.Tracer // optional span for the whole LDR pass
 }
 
 // Name implements Reducer.
@@ -60,6 +62,10 @@ func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 	if ds.N == 0 {
 		return nil, fmt.Errorf("ldr: empty dataset")
 	}
+	obs.Begin(l.Tracer, obs.PhaseLDR)
+	obs.Attr(l.Tracer, "points", float64(ds.N))
+	obs.Attr(l.Tracer, "dim", float64(ds.Dim))
+	defer obs.End(l.Tracer)
 	km, err := kmeans.Run(ds, kmeans.Options{K: o.MaxClusters, Seed: o.Seed})
 	if err != nil {
 		return nil, err
@@ -133,6 +139,8 @@ func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 	}
 	sort.Ints(outliers)
 	res.Outliers = outliers
+	obs.Attr(l.Tracer, "subspaces", float64(len(res.Subspaces)))
+	obs.Attr(l.Tracer, "outliers", float64(len(res.Outliers)))
 	return res, nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"mmdr/internal/idist"
 	"mmdr/internal/index"
 	"mmdr/internal/iostat"
+	"mmdr/internal/obs"
 	"mmdr/internal/query"
 	"mmdr/internal/reduction"
 )
@@ -82,7 +83,8 @@ type config struct {
 	gdrDim    int
 	ldr       reduction.LDR
 	pageSize  int
-	counter   *iostat.Counter
+	counter   iostat.Sink
+	tracer    obs.Tracer
 	forcedDim int
 }
 
@@ -131,23 +133,43 @@ func WithStreamFraction(eps float64) Option { return func(c *config) { c.params.
 func WithPageSize(bytes int) Option { return func(c *config) { c.pageSize = bytes } }
 
 // WithCostCounter attaches a cost counter that accumulates simulated page
-// I/O and distance computations across reduction and queries.
+// I/O and distance computations across reduction and queries. The counter is
+// atomic, so the same counter may stay attached while queries run
+// concurrently (e.g. through ConcurrentIndex).
 func WithCostCounter(ctr *CostCounter) Option {
-	return func(c *config) { c.counter = (*iostat.Counter)(ctr); c.params.Counter = (*iostat.Counter)(ctr) }
+	return func(c *config) {
+		if ctr == nil {
+			return
+		}
+		c.counter = &ctr.c
+		c.params.Counter = &ctr.c
+	}
 }
 
 // CostCounter mirrors the library's logical cost model: simulated page
-// reads/writes and distance computations.
-type CostCounter iostat.Counter
+// reads/writes and distance computations. All methods are safe for
+// concurrent use; the zero value is ready to use.
+type CostCounter struct {
+	c iostat.AtomicCounter
+}
 
 // Reset zeroes the counter.
-func (c *CostCounter) Reset() { (*iostat.Counter)(c).Reset() }
+func (c *CostCounter) Reset() { c.c.Reset() }
 
 // PageIO returns total simulated page reads + writes.
-func (c *CostCounter) PageIO() int64 { return (*iostat.Counter)(c).IO() }
+func (c *CostCounter) PageIO() int64 { return c.c.IO() }
 
 // Distances returns the number of distance computations performed.
-func (c *CostCounter) Distances() int64 { return (*iostat.Counter)(c).DistanceOps }
+func (c *CostCounter) Distances() int64 { return c.c.Snapshot().DistanceOps }
+
+// Metrics returns a consistent point-in-time snapshot of every tracked cost.
+func (c *CostCounter) Metrics() Metrics { return c.c.Snapshot() }
+
+// String formats the current counts.
+func (c *CostCounter) String() string { return c.c.String() }
+
+// MarshalJSON encodes a snapshot of the counts.
+func (c *CostCounter) MarshalJSON() ([]byte, error) { return c.c.MarshalJSON() }
 
 // Neighbor is one KNN answer: the row index of the point in the original
 // data and its distance in the reduced representation.
@@ -196,6 +218,7 @@ func reduceWithConfig(ds *dataset.Dataset, cfg config) (*Model, error) {
 	case MethodLDR:
 		l := cfg.ldr
 		l.ForcedDim = cfg.forcedDim
+		l.Tracer = cfg.tracer
 		red = &l
 	case MethodRaw:
 		red = &reduction.Identity{Clusters: cfg.params.MaxEC, Seed: cfg.params.Seed}
@@ -210,7 +233,7 @@ func reduceWithConfig(ds *dataset.Dataset, cfg config) (*Model, error) {
 		if d > ds.Dim {
 			d = ds.Dim
 		}
-		red = &reduction.GDR{TargetDim: d}
+		red = &reduction.GDR{TargetDim: d, Tracer: cfg.tracer}
 	default:
 		return nil, fmt.Errorf("mmdr: unknown method %v", cfg.method)
 	}
@@ -284,6 +307,7 @@ func (m *Model) NewIndex(opts ...Option) (*Index, error) {
 	idx, err := idist.Build(m.ds, m.result, idist.Options{
 		PageSize: cfg.pageSize,
 		Counter:  cfg.counter,
+		Tracer:   cfg.tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,106 @@
+package mmdr
+
+import (
+	"fmt"
+	"time"
+
+	"mmdr/internal/idist"
+	"mmdr/internal/iostat"
+	"mmdr/internal/obs"
+)
+
+// Tracer receives phase begin/end events and numeric attributes from every
+// pipeline stage: reduction (per-recursion-level clustering, per-iteration
+// elliptical k-means telemetry, dimensionality optimization, outlier
+// separation) and index construction. A nil Tracer costs nothing — the hot
+// paths skip all tracing work, allocation-free.
+type Tracer = obs.Tracer
+
+// Phase labels one traced pipeline stage.
+type Phase = obs.Phase
+
+// Pipeline phases, in the order the MMDR pipeline visits them.
+const (
+	// PhaseReduce spans one whole Reduce call.
+	PhaseReduce = obs.PhaseReduce
+	// PhaseGenerate spans one Generate Ellipsoid recursion level.
+	PhaseGenerate = obs.PhaseGenerate
+	// PhaseCluster spans one elliptical k-means run.
+	PhaseCluster = obs.PhaseCluster
+	// PhaseRestart spans one random restart inside a clustering run.
+	PhaseRestart = obs.PhaseRestart
+	// PhaseIteration marks one outer clustering pass (reassignments,
+	// active-point counts, lookup-table hit rate ride along as attributes).
+	PhaseIteration = obs.PhaseIteration
+	// PhaseMerge spans the cross-level ellipsoid merge.
+	PhaseMerge = obs.PhaseMerge
+	// PhaseDimOpt spans Dimensionality Optimization.
+	PhaseDimOpt = obs.PhaseDimOpt
+	// PhaseOutliers spans β-threshold outlier separation.
+	PhaseOutliers = obs.PhaseOutliers
+	// PhaseStream spans one data stream of scalable MMDR.
+	PhaseStream = obs.PhaseStream
+	// PhaseLDR and PhaseGDR span the baseline reducers.
+	PhaseLDR = obs.PhaseLDR
+	PhaseGDR = obs.PhaseGDR
+	// PhaseBuildIndex spans extended-iDistance construction.
+	PhaseBuildIndex = obs.PhaseBuildIndex
+)
+
+// TraceCollector is a Tracer that records the span tree for later
+// inspection: Spans for programmatic access, WriteTree for a rendered phase
+// tree, MarshalJSON for export. Safe for concurrent use.
+type TraceCollector = obs.Collector
+
+// TraceSpan is one recorded phase with timing, attributes and children.
+type TraceSpan = obs.Span
+
+// NewTraceCollector returns an empty collector ready to pass to WithTracer.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// Metrics is a point-in-time snapshot of the library's logical cost model
+// (page reads/writes, distance computations, key comparisons, node
+// accesses). It marshals to JSON.
+type Metrics = iostat.Counter
+
+// WithTracer attaches a tracer to the pipeline. Multiple WithTracer /
+// WithProgress options compose: every tracer sees every event.
+func WithTracer(t Tracer) Option {
+	return func(c *config) {
+		c.tracer = obs.Multi(c.tracer, t)
+		c.params.Tracer = c.tracer
+	}
+}
+
+// WithProgress attaches a lightweight progress callback: fn is invoked at
+// the end of every pipeline phase with the phase label and its wall-clock
+// duration. For the full span tree (nesting, attributes) use WithTracer
+// with a TraceCollector instead.
+func WithProgress(fn func(phase Phase, elapsed time.Duration)) Option {
+	if fn == nil {
+		return func(*config) {}
+	}
+	return WithTracer(obs.OnPhase(fn))
+}
+
+// KNNTrace is the structured explain of one extended-iDistance KNN search:
+// radius-enlargement rounds, final search radius, candidates examined,
+// B⁺-tree leaf pages scanned, and one probe record per partition (subspace
+// identity and dimensionality, query distance to the reference point, the
+// key annulus scanned, candidates contributed, whether the partition was
+// exhausted).
+type KNNTrace = idist.QueryTrace
+
+// PartitionProbe is the per-partition component of a KNNTrace.
+type PartitionProbe = idist.PartitionProbe
+
+// KNNTrace answers the k nearest neighbors of q exactly like KNN while also
+// returning the structured explain of the search. Only the extended
+// iDistance index supports tracing.
+func (idx *Index) KNNTrace(q []float64, k int) ([]Neighbor, *KNNTrace, error) {
+	if idx.maint == nil {
+		return nil, nil, fmt.Errorf("mmdr: %s index does not support query tracing", idx.Name())
+	}
+	nb, tr := idx.maint.KNNTrace(q, k)
+	return nb, tr, nil
+}

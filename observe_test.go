@@ -1,0 +1,210 @@
+package mmdr_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mmdr"
+)
+
+// TestWithTracerPhaseTree runs the full pipeline with a collector attached
+// and checks the span tree has the paper's structure: a reduce root holding
+// generate-ellipsoid levels (each clustering), dimensionality optimization
+// with outlier separation, and a build-index span from NewIndex.
+func TestWithTracerPhaseTree(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 301)
+	tc := mmdr.NewTraceCollector()
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(3), mmdr.WithTracer(tc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := tc.Spans()
+	if len(roots) == 0 {
+		t.Fatal("no spans collected")
+	}
+	var reduce *mmdr.TraceSpan
+	for _, r := range roots {
+		if r.Phase == mmdr.PhaseReduce {
+			reduce = r
+		}
+	}
+	if reduce == nil {
+		t.Fatalf("no %s root span", mmdr.PhaseReduce)
+	}
+	if reduce.Dur <= 0 {
+		t.Fatal("reduce span has no duration")
+	}
+	gen := reduce.Find(mmdr.PhaseGenerate)
+	if gen == nil {
+		t.Fatal("no generate-ellipsoid span under reduce")
+	}
+	if gen.Find(mmdr.PhaseCluster) == nil {
+		t.Fatal("no clustering span under generate-ellipsoid")
+	}
+	dimopt := reduce.Find(mmdr.PhaseDimOpt)
+	if dimopt == nil {
+		t.Fatal("no dim-opt span under reduce")
+	}
+	if dimopt.Find(mmdr.PhaseOutliers) == nil {
+		t.Fatal("no outlier-separation span under dim-opt")
+	}
+	if _, ok := reduce.AttrValue("points"); !ok {
+		t.Fatal("reduce span missing points attribute")
+	}
+
+	if _, err := model.NewIndex(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range tc.Spans() {
+		if r.Phase == mmdr.PhaseBuildIndex {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no build-index span after NewIndex")
+	}
+
+	var buf bytes.Buffer
+	if err := tc.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tree := buf.String()
+	for _, want := range []string{"reduce", "generate-ellipsoid", "cluster", "dim-opt", "build-index"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, tree)
+		}
+	}
+	js, err := json.Marshal(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(js) || !bytes.Contains(js, []byte(`"phase"`)) {
+		t.Fatalf("bad JSON export: %s", js)
+	}
+}
+
+// TestWithProgress checks the lightweight callback sees every phase end with
+// a sane elapsed time, and that it composes with a full tracer.
+func TestWithProgress(t *testing.T) {
+	data, dim := testData(t, 800, 10, 2, 302)
+	var mu sync.Mutex
+	seen := map[mmdr.Phase]int{}
+	tc := mmdr.NewTraceCollector()
+	_, err := mmdr.Reduce(data, dim, mmdr.WithSeed(4),
+		mmdr.WithTracer(tc),
+		mmdr.WithProgress(func(p mmdr.Phase, elapsed time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			if elapsed < 0 {
+				t.Errorf("negative elapsed for %s", p)
+			}
+			seen[p]++
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[mmdr.PhaseReduce] != 1 {
+		t.Fatalf("reduce phase reported %d times", seen[mmdr.PhaseReduce])
+	}
+	for _, p := range []mmdr.Phase{mmdr.PhaseGenerate, mmdr.PhaseCluster, mmdr.PhaseDimOpt} {
+		if seen[p] == 0 {
+			t.Fatalf("phase %s never reported", p)
+		}
+	}
+	// Composition: the collector must have recorded the same run.
+	if len(tc.Spans()) == 0 {
+		t.Fatal("collector attached alongside progress saw nothing")
+	}
+}
+
+// TestIndexKNNTrace exercises the public explain path end to end.
+func TestIndexKNNTrace(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 303)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := model.Point(17)
+	const k = 7
+	nb, tr, err := idx.KNNTrace(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := idx.KNN(q, k)
+	if len(nb) != len(plain) {
+		t.Fatalf("traced KNN returned %d, plain %d", len(nb), len(plain))
+	}
+	for i := range plain {
+		if nb[i].ID != plain[i].ID {
+			t.Fatalf("rank %d: traced %d vs plain %d", i, nb[i].ID, plain[i].ID)
+		}
+	}
+	if tr.Candidates < k {
+		t.Fatalf("%d candidates < k=%d", tr.Candidates, k)
+	}
+	nParts := len(model.Subspaces())
+	if len(model.Outliers()) > 0 {
+		nParts++
+	}
+	if len(tr.Partitions) != nParts {
+		t.Fatalf("%d partition probes, want %d", len(tr.Partitions), nParts)
+	}
+	if tr.Rounds < 1 || tr.LeavesScanned < 1 {
+		t.Fatalf("implausible trace: %+v", tr)
+	}
+
+	// Sequential scan cannot explain queries.
+	scan := model.NewSeqScan()
+	if _, _, err := scan.KNNTrace(q, k); err == nil {
+		t.Fatal("expected error from KNNTrace on seq-scan")
+	}
+}
+
+// TestCostCounterJSONAndMetrics covers the snapshot/export surface.
+func TestCostCounterJSONAndMetrics(t *testing.T) {
+	data, dim := testData(t, 600, 10, 2, 304)
+	var ctr mmdr.CostCounter
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(6), mmdr.WithCostCounter(&ctr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.KNN(model.Point(0), 5)
+	m := ctr.Metrics()
+	if m.DistanceOps == 0 {
+		t.Fatal("no distance ops recorded")
+	}
+	if ctr.Distances() == 0 || ctr.PageIO() == 0 {
+		t.Fatal("accessors returned zero after work")
+	}
+	if s := ctr.String(); !strings.Contains(s, "dist=") {
+		t.Fatalf("String() = %q", s)
+	}
+	js, err := json.Marshal(&ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back mmdr.Metrics
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DistanceOps != m.DistanceOps {
+		t.Fatalf("JSON round trip: %d vs %d distance ops", back.DistanceOps, m.DistanceOps)
+	}
+	ctr.Reset()
+	if ctr.PageIO() != 0 || ctr.Distances() != 0 {
+		t.Fatal("Reset did not zero the counter")
+	}
+}
