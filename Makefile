@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments
+.PHONY: all build test race bench bench-json vet fmt experiments
 
 all: build test
 
@@ -24,6 +24,11 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate BENCH_parallel.json: serial vs parallel build time and
+# sequential vs batched query throughput (speedups scale with cores).
+bench-json:
+	$(GO) run ./cmd/mmdrbench -scale small -bench-parallel BENCH_parallel.json
 
 experiments:
 	$(GO) run ./cmd/mmdrbench -experiment all -scale small

@@ -1,0 +1,94 @@
+package mmdr
+
+import (
+	"fmt"
+
+	"mmdr/internal/pool"
+)
+
+// WithParallelism bounds the worker goroutines the library uses: the
+// parallel phases of reduction (clustering restarts, point assignment,
+// covariance fits, per-cluster PCA, subspace assembly) and the batch query
+// engine (BatchKNN, BatchRange). n <= 0 selects runtime.NumCPU() — the
+// default when the option is absent. n = 1 runs the exact serial code
+// path.
+//
+// Parallelism never changes results: work is partitioned by index and
+// every floating-point reduction happens in serial order, so a model built
+// at any parallelism is identical to the serial one, and batch answers
+// match a sequential query loop. The only observable difference is
+// tracing: clustering-restart spans require parallelism <= 1 (Tracer is
+// single-goroutine by contract, so fanned-out restarts run untraced).
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = pool.Workers(n) }
+}
+
+// Parallelism reports the resolved worker bound the model was built with.
+func (m *Model) Parallelism() int { return resolveParallelism(m.cfg) }
+
+// resolveParallelism returns the worker bound a config implies: the
+// WithParallelism setting, or all cores when the option was never given.
+func resolveParallelism(cfg config) int { return pool.Workers(cfg.parallelism) }
+
+// splitQueries validates a flat row-major query workload and slices it
+// into per-query vectors (views into the input, no copies).
+func splitQueries(queries []float64, dim int) ([][]float64, error) {
+	if len(queries) == 0 || len(queries)%dim != 0 {
+		return nil, fmt.Errorf("mmdr: queries length %d not a multiple of dim %d", len(queries), dim)
+	}
+	n := len(queries) / dim
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = queries[i*dim : (i+1)*dim]
+	}
+	return out, nil
+}
+
+// BatchKNN answers a workload of KNN queries concurrently. queries is flat
+// row-major — query i occupies queries[i*Dim:(i+1)*Dim], the same layout
+// as EvaluatePrecision — and the result at position i is exactly what
+// KNN(query i, k) returns: batching changes throughput, never answers.
+// Cost counters attached via WithCostCounter are atomic and keep exact
+// totals across the concurrent queries.
+func (idx *Index) BatchKNN(queries []float64, k int) ([][]Neighbor, error) {
+	qs, err := splitQueries(queries, idx.model.ds.Dim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(qs))
+	pool.Run(idx.parallelism, len(qs), func(i int) {
+		out[i] = idx.idx.KNN(qs[i], k)
+	})
+	return out, nil
+}
+
+// BatchRange answers a workload of range queries (radius r) concurrently.
+// queries is flat row-major like BatchKNN; out[i] matches Range(query i, r)
+// exactly. Only the extended iDistance index supports range queries.
+func (idx *Index) BatchRange(queries []float64, r float64) ([][]Neighbor, error) {
+	if idx.maint == nil {
+		return nil, fmt.Errorf("mmdr: %s index does not support range queries", idx.Name())
+	}
+	qs, err := splitQueries(queries, idx.model.ds.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return idx.maint.BatchRange(qs, r, idx.parallelism), nil
+}
+
+// BatchKNN answers a workload of KNN queries concurrently while other
+// goroutines insert and delete: the whole batch runs under the shared read
+// lock, so it sees one consistent snapshot of the index.
+func (c *ConcurrentIndex) BatchKNN(queries []float64, k int) ([][]Neighbor, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.BatchKNN(queries, k)
+}
+
+// BatchRange answers a workload of range queries concurrently under the
+// shared read lock (one consistent snapshot, like BatchKNN).
+func (c *ConcurrentIndex) BatchRange(queries []float64, r float64) ([][]Neighbor, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.BatchRange(queries, r)
+}

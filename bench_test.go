@@ -166,6 +166,69 @@ func BenchmarkInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildParallel measures the full MMDR build at increasing worker
+// counts. The models are identical at every setting (see parallel_test.go);
+// only wall clock changes, and only when GOMAXPROCS > 1.
+func BenchmarkBuildParallel(b *testing.B) {
+	data, dim := benchData(b, 4000, 32)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run("workers-"+itoa(p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mmdr.Reduce(data, dim, mmdr.WithSeed(1), mmdr.WithParallelism(p)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchKNN measures the batched query engine: one BatchKNN call
+// answering a whole workload, and — via SetParallelism/RunParallel —
+// several concurrent batch callers sharing one index, the ConcurrentIndex
+// read-path shape.
+func BenchmarkBatchKNN(b *testing.B) {
+	data, dim := benchData(b, 8000, 32)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.FromData(dim, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := datagen.SampleQueries(ds, 64, 0.002, 3)
+	workload := make([]float64, 0, qs.N*dim)
+	for i := 0; i < qs.N; i++ {
+		workload = append(workload, qs.Point(i)...)
+	}
+
+	b.Run("batch-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.BatchKNN(workload, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent-callers", func(b *testing.B) {
+		small := workload[:8*dim]
+		b.SetParallelism(4)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := idx.BatchKNN(small, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkBTreePageSize sweeps the B+-tree page size (ablation: page-size
 // sensitivity of the index).
 func BenchmarkBTreePageSize(b *testing.B) {

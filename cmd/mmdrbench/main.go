@@ -57,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace   = fs.Bool("trace", false, "print the pipeline phase tree per experiment (stderr)")
 		mjson   = fs.Bool("metrics-json", false, "print per-experiment cost counters as JSON (stderr)")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+
+		parallel = fs.Int("parallel", 0, "worker goroutines for reduction builds (0 = all cores, 1 = serial)")
+		benchPar = fs.String("bench-parallel", "", "run the parallelism benchmark and write its JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" {
+	if *exp == "" && *benchPar == "" {
 		fs.Usage()
 		return 2
 	}
@@ -84,17 +87,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := experiments.Config{
-		Scale:      experiments.Scale(*scale),
-		Seed:       *seed,
-		K:          *k,
-		NumQueries: *queries,
-		Counter:    &procCounter,
+		Scale:       experiments.Scale(*scale),
+		Seed:        *seed,
+		K:           *k,
+		NumQueries:  *queries,
+		Parallelism: *parallel,
+		Counter:     &procCounter,
 	}
 	switch cfg.Scale {
 	case experiments.Small, experiments.Medium, experiments.Paper:
 	default:
 		fmt.Fprintf(stderr, "mmdrbench: unknown scale %q\n", *scale)
 		return 2
+	}
+
+	if *benchPar != "" {
+		rep, err := experiments.ParallelBench(cfg, *parallel)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: parallel benchmark: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*benchPar)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", werr)
+			return 1
+		}
+		rep.Table().Fprint(stdout)
+		if *exp == "" {
+			return 0
+		}
 	}
 
 	names := []string{*exp}

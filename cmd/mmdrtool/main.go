@@ -138,6 +138,7 @@ func cmdReduce(args []string) error {
 		seed   = fs.Int64("seed", 1, "random seed")
 		maxDim = fs.Int("maxdim", 0, "cap on retained dimensionality (0 = default 20)")
 		forced = fs.Int("forcedim", 0, "force this retained dimensionality (0 = adaptive)")
+		par    = fs.Int("parallel", 0, "worker goroutines for the build (0 = all cores, 1 = serial)")
 		trace  = fs.Bool("trace", false, "print the pipeline phase tree (stderr)")
 		mjson  = fs.Bool("metrics-json", false, "print reduction cost counters as JSON (stderr)")
 		pprof  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
@@ -161,7 +162,7 @@ func cmdReduce(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := []mmdr.Option{mmdr.WithMethod(m), mmdr.WithSeed(*seed)}
+	opts := []mmdr.Option{mmdr.WithMethod(m), mmdr.WithSeed(*seed), mmdr.WithParallelism(*par)}
 	if *maxDim > 0 {
 		opts = append(opts, mmdr.WithMaxDim(*maxDim))
 	}

@@ -1,0 +1,162 @@
+package mmdr_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mmdr"
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/iostat"
+)
+
+// TestConcurrentBatchKNNDuringMaintenance runs whole query batches through
+// ConcurrentIndex while writers insert and delete. Each batch holds the
+// read lock for its full duration, so its answers must be internally
+// consistent (every query sees the same snapshot); run with -race to
+// validate the locking discipline of the batch path.
+func TestConcurrentBatchKNNDuringMaintenance(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 301)
+	var ctr mmdr.CostCounter
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(11), mmdr.WithCostCounter(&ctr), mmdr.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := mmdr.Concurrent(raw)
+
+	// Materialize query workloads up front: Insert grows the model's
+	// backing data, so nothing may read it concurrently.
+	workloads := make([][]float64, 4)
+	for w := range workloads {
+		flat := make([]float64, 0, 12*dim)
+		for i := 0; i < 12; i++ {
+			flat = append(flat, model.Point((w*53+i*7)%900)...)
+		}
+		workloads[w] = flat
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				batch, err := idx.BatchKNN(workloads[g], 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, res := range batch {
+					if len(res) == 0 {
+						errs <- errEmpty
+						return
+					}
+				}
+				if _, err := idx.BatchRange(workloads[g], 0.05); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Insert payloads are materialized before the writers start: Model.Point
+	// reads the backing data Insert grows, so it must not run concurrently
+	// with them.
+	inserts := make([][][]float64, 2)
+	for g := range inserts {
+		inserts[g] = make([][]float64, 15)
+		for i := range inserts[g] {
+			p := model.Point((g*211 + i) % 500)
+			p[0] += 1e-5 * float64(i+1)
+			inserts[g][i] = p
+		}
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, p := range inserts[g] {
+				if _, err := idx.Insert(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 900; i < 940; i++ {
+			if _, err := idx.Delete(i); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ctr.Metrics().DistanceOps == 0 {
+		t.Fatal("counter saw no work")
+	}
+}
+
+// TestParallelBuildsShareTeedCounter runs two multi-worker MMDR builds
+// concurrently, both counting into the same Tee of two atomic counters —
+// the worst case for the counting discipline: parallel workers inside each
+// build flush goroutine-local tallies into a sink that a second build is
+// writing at the same time. Both tee targets must agree exactly, and each
+// build must produce the same model as its serial twin.
+func TestParallelBuildsShareTeedCounter(t *testing.T) {
+	var a, b iostat.AtomicCounter
+	shared := iostat.Tee(&a, &b)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	counts := make([]int, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := datagen.CorrelatedConfig{N: 900, Dim: 14, NumClusters: 3, SDim: 2, VarRatio: 20, Seed: 400 + int64(g)}
+			ds, _, err := cfg.Generate()
+			if err != nil {
+				errs <- err
+				return
+			}
+			datagen.Normalize(ds)
+			reducer := core.New(core.Params{Seed: int64(g) + 1, MaxEC: 5, Parallelism: 4, Counter: shared})
+			red, err := reducer.Reduce(ds)
+			if err != nil {
+				errs <- err
+				return
+			}
+			counts[g] = len(red.Subspaces)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g, c := range counts {
+		if c == 0 {
+			t.Fatalf("build %d produced no subspaces", g)
+		}
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("tee targets diverged:\n  a: %s\n  b: %s", sa.String(), sb.String())
+	}
+	if sa.DistanceOps == 0 {
+		t.Fatalf("builds counted no distance work: %s", sa.String())
+	}
+}

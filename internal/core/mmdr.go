@@ -27,6 +27,7 @@ import (
 	"mmdr/internal/ellipkmeans"
 	"mmdr/internal/iostat"
 	"mmdr/internal/obs"
+	"mmdr/internal/pool"
 	"mmdr/internal/reduction"
 	"mmdr/internal/stats"
 )
@@ -84,6 +85,16 @@ type Params struct {
 	Seed int64
 	// RidgeScale regularizes degenerate covariances (default 1e-6).
 	RidgeScale float64
+	// Parallelism bounds the worker goroutines used across the pipeline:
+	// elliptical k-means (assignment, covariance fits, restarts), the
+	// projection loops, the per-cluster PCA fan-out in Generate Ellipsoid,
+	// and the per-ellipsoid work of Dimensionality Optimization. Values <= 1
+	// run the exact serial code path. Results are identical at every
+	// setting — work is partitioned by index and every floating-point
+	// reduction happens in serial order. Note that with Parallelism > 1 the
+	// clustering restarts run with a nil Tracer (Tracer is single-goroutine
+	// by contract), so full clustering telemetry requires Parallelism <= 1.
+	Parallelism int
 	// Counter, when non-nil, accumulates distance-op and simulated-I/O
 	// costs across the run. Counter and AtomicCounter both satisfy it.
 	Counter iostat.Sink
@@ -257,9 +268,11 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 	}
 
 	proj := dataset.New(sub.N, sdim)
-	for i := 0; i < sub.N; i++ {
-		pca.ProjectInto(sub.Point(i), proj.Point(i))
-	}
+	pool.Chunks(p.Parallelism, sub.N, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pca.ProjectInto(sub.Point(i), proj.Point(i))
+		}
+	})
 
 	// Line 2: elliptical k-means in the sdim-dimensional subspace.
 	k := 2
@@ -282,22 +295,47 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 		RidgeScale:        p.RidgeScale,
 		Counter:           p.Counter,
 		Tracer:            p.Tracer,
+		Parallelism:       p.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Lines 3-11: handle each semi-ellipsoid.
-	var out []ellipsoid
+	// Restore every semi-ellipsoid's member set in the original space
+	// (line 5) before the handling walk, so the per-cluster local PCAs —
+	// the expensive part of lines 6-7 — can be computed concurrently.
+	// Classification, recursion, and the outlier appends stay serial in
+	// cluster order, so the output is identical at every parallelism.
+	clusterMembers := make([][]int, ek.K)
 	for c := 0; c < ek.K; c++ {
 		local := ek.Members(c)
 		if len(local) == 0 {
 			continue
 		}
-		// Line 5: restore the semi-ellipsoid's data in the original space.
 		members := make([]int, len(local))
 		for i, li := range local {
 			members[i] = indices[li]
+		}
+		clusterMembers[c] = members
+	}
+	localPCAs := make([]*stats.PCA, ek.K)
+	pcaErrs := make([]error, ek.K)
+	pool.Run(p.Parallelism, ek.K, func(c int) {
+		members := clusterMembers[c]
+		// Only clusters that reach line 6 of the serial walk need a local
+		// PCA: large enough, and not a degenerate one-partition split.
+		if len(members) < p.MinClusterSize || len(members) == len(indices) {
+			return
+		}
+		localPCAs[c], pcaErrs[c] = stats.ComputePCA(ds.Subset(members).Data, d)
+	})
+
+	// Lines 3-11: handle each semi-ellipsoid.
+	var out []ellipsoid
+	for c := 0; c < ek.K; c++ {
+		members := clusterMembers[c]
+		if members == nil {
+			continue
 		}
 		if len(members) < p.MinClusterSize {
 			*outliers = append(*outliers, members...)
@@ -318,10 +356,9 @@ func generateEllipsoid(ds *dataset.Dataset, indices []int, sdim int, p Params, o
 			continue
 		}
 		// Line 6: local projections of this semi-ellipsoid.
-		memberData := ds.Subset(members)
-		localPCA, err := stats.ComputePCA(memberData.Data, d)
-		if err != nil {
-			return nil, err
+		localPCA := localPCAs[c]
+		if pcaErrs[c] != nil {
+			return nil, pcaErrs[c]
 		}
 		// Line 7: MPE of the local sdim-dimensional subspace, measured as
 		// the residual-energy fraction so the gate is scale-invariant (see
@@ -366,15 +403,23 @@ func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, out
 		member   int // index into the source dataset
 		residual float64
 	}
+	// The d_r search and the residual scan are independent per ellipsoid;
+	// fan them out with per-ellipsoid candidate lists, then concatenate in
+	// ellipsoid order — the exact sequence the serial loop produces.
 	drs := make([]int, len(ellipsoids))
-	var cands []candidate
-	for ei, e := range ellipsoids {
+	perEll := make([][]candidate, len(ellipsoids))
+	pool.Run(p.Parallelism, len(ellipsoids), func(ei int) {
+		e := ellipsoids[ei]
 		drs[ei] = chooseDr(e, ds.Dim, p, gscale)
 		for _, mIdx := range e.members {
 			if r := e.pca.Residual(ds.Point(mIdx), drs[ei]); r > p.Beta {
-				cands = append(cands, candidate{ell: ei, member: mIdx, residual: r})
+				perEll[ei] = append(perEll[ei], candidate{ell: ei, member: mIdx, residual: r})
 			}
 		}
+	})
+	var cands []candidate
+	for _, pc := range perEll {
+		cands = append(cands, pc...)
 	}
 	obs.Begin(p.Tracer, obs.PhaseOutliers)
 	obs.Attr(p.Tracer, "candidates", float64(len(cands)))
@@ -392,7 +437,15 @@ func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, out
 	obs.Attr(p.Tracer, "budget", float64(maxEvict))
 	obs.End(p.Tracer)
 
-	id := 0
+	// Subspace IDs and the structural-outlier appends depend on ellipsoid
+	// order, so assign them serially first; the per-subspace assembly
+	// (projection of every member, covariance fit) then fans out.
+	type buildTask struct {
+		id   int
+		ell  int
+		kept []int
+	}
+	var tasks []buildTask
 	for ei, e := range ellipsoids {
 		kept := make([]int, 0, len(e.members))
 		for _, mIdx := range e.members {
@@ -404,12 +457,19 @@ func dimensionalityOptimization(ds *dataset.Dataset, ellipsoids []ellipsoid, out
 			outliers = append(outliers, kept...)
 			continue
 		}
-		sub, err := buildSubspace(id, ds, e.pca, drs[ei], kept, p.RidgeScale)
-		if err != nil {
-			return nil, err
+		tasks = append(tasks, buildTask{id: len(tasks), ell: ei, kept: kept})
+	}
+	subs := make([]*reduction.Subspace, len(tasks))
+	buildErrs := make([]error, len(tasks))
+	pool.Run(p.Parallelism, len(tasks), func(ti int) {
+		t := tasks[ti]
+		subs[ti], buildErrs[ti] = buildSubspace(t.id, ds, ellipsoids[t.ell].pca, drs[t.ell], t.kept, p.RidgeScale)
+	})
+	for ti := range tasks {
+		if buildErrs[ti] != nil {
+			return nil, buildErrs[ti]
 		}
-		res.Subspaces = append(res.Subspaces, sub)
-		id++
+		res.Subspaces = append(res.Subspaces, subs[ti])
 	}
 	res.Outliers = outliers
 	obs.Attr(p.Tracer, "subspaces", float64(len(res.Subspaces)))

@@ -10,6 +10,7 @@ import (
 	"mmdr/internal/iostat"
 	"mmdr/internal/kmeans"
 	"mmdr/internal/obs"
+	"mmdr/internal/pool"
 )
 
 // Options configures the elliptical k-means run.
@@ -44,7 +45,17 @@ type Options struct {
 	// Default 3.
 	Restarts int
 
+	// Parallelism bounds the worker goroutines used for restarts, the
+	// per-point assignment pass and per-cluster covariance fitting. Values
+	// <= 1 run fully serial (the exact pre-parallel code path). Results are
+	// deterministic at every setting: work is split by index and every
+	// floating-point reduction happens in the same order as the serial run.
+	Parallelism int
+
 	// Counter, when non-nil, accumulates distance-computation counts.
+	// Parallel workers count into private tallies that are flushed into the
+	// sink after each join, so a plain (non-atomic) Counter stays safe at
+	// any Parallelism.
 	Counter iostat.Sink
 
 	// Tracer, when non-nil, receives per-restart spans with per-iteration
@@ -100,6 +111,15 @@ type lookupEntry struct {
 	activity int   // consecutive iterations without membership change
 }
 
+// assignStats accumulates one chunk's share of an assignment pass:
+// reassignment and §4.2 evaluation counts, plus a private cost tally that
+// is flushed into the shared sink after the chunks join.
+type assignStats struct {
+	changed                        int
+	frozen, lookupEvals, fullEvals int64
+	tally                          iostat.Counter
+}
+
 // Run performs elliptical k-means on ds.
 //
 // Structure (paper §2, describing Sung–Poggio): the inner loop is k-means
@@ -123,19 +143,64 @@ func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
 	var best *Result
 	bestCost := math.Inf(1)
 	var firstErr error
-	for r := 0; r < o.Restarts; r++ {
-		ro := o
-		ro.Seed = o.Seed + int64(r)*7919
-		res, err := runOnce(ds, ro)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+	if o.Parallelism > 1 && o.Restarts > 1 {
+		// Independent restarts fan out across the pool. Each worker counts
+		// into a private tally (flushed in restart order after the join, so
+		// plain sinks stay race-free and totals exact) and runs without a
+		// tracer — span emission is single-goroutine by contract, so
+		// per-restart telemetry is only available at Parallelism <= 1. The
+		// best-model selection below walks restarts in ascending order with
+		// the same strict comparison as the serial loop, so the chosen model
+		// is identical.
+		type restartOut struct {
+			res  *Result
+			cost float64
+			err  error
 		}
-		cost := totalCost(ds, res, o.Normalized)
-		if cost < bestCost {
-			best, bestCost = res, cost
+		outs := make([]restartOut, o.Restarts)
+		tallies := make([]iostat.Counter, o.Restarts)
+		workers := pool.Clamp(o.Parallelism, o.Restarts)
+		inner := o.Parallelism / workers
+		pool.Run(workers, o.Restarts, func(r int) {
+			ro := o
+			ro.Seed = o.Seed + int64(r)*7919
+			ro.Tracer = nil
+			ro.Counter = &tallies[r]
+			ro.Parallelism = inner
+			res, err := runOnce(ds, ro)
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			outs[r] = restartOut{res: res, cost: totalCost(ds, res, o.Normalized)}
+		})
+		for r := range outs {
+			iostat.Flush(o.Counter, tallies[r])
+			if outs[r].err != nil {
+				if firstErr == nil {
+					firstErr = outs[r].err
+				}
+				continue
+			}
+			if outs[r].cost < bestCost {
+				best, bestCost = outs[r].res, outs[r].cost
+			}
+		}
+	} else {
+		for r := 0; r < o.Restarts; r++ {
+			ro := o
+			ro.Seed = o.Seed + int64(r)*7919
+			res, err := runOnce(ds, ro)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			cost := totalCost(ds, res, o.Normalized)
+			if cost < bestCost {
+				best, bestCost = res, cost
+			}
 		}
 	}
 	if best == nil {
@@ -188,14 +253,60 @@ func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
 		table = make([]lookupEntry, ds.N)
 	}
 
-	dist := func(g *Gaussian, p []float64) float64 {
-		if o.Counter != nil {
-			o.Counter.CountDistanceOps(1)
+	workers := o.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	nchunks := pool.NumChunks(workers, ds.N)
+	chunkStats := make([]assignStats, nchunks)
+
+	// assignChunk runs one assignment pass over points [lo, hi), counting
+	// into cs and sink. Each point touches only its own assign/table slots,
+	// so chunks are independent; with one chunk and sink == o.Counter this
+	// is exactly the serial inner loop.
+	assignChunk := func(cs *assignStats, sink iostat.Sink, clusters []*Gaussian, lo, hi int) {
+		dist := func(g *Gaussian, p []float64) float64 {
+			if sink != nil {
+				sink.CountDistanceOps(1)
+			}
+			if o.Normalized {
+				return g.NormMahaDist(p)
+			}
+			return g.MahaDist(p)
 		}
-		if o.Normalized {
-			return g.NormMahaDist(p)
+		for i := lo; i < hi; i++ {
+			if o.UseLookupTable && o.ActivityThreshold > 0 &&
+				table[i].activity > o.ActivityThreshold {
+				// Inactive point: skip all distance work (§4.2).
+				cs.frozen++
+				continue
+			}
+			p := ds.Point(i)
+			var best int
+			if o.UseLookupTable && table[i].ids != nil {
+				cs.lookupEvals++
+				best = argminOver(table[i].ids, clusters, p, dist)
+			} else {
+				cs.fullEvals++
+				var ids []int
+				best, ids = argminAll(clusters, p, dist, o.LookupK)
+				if o.UseLookupTable {
+					table[i].ids = ids
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				cs.changed++
+				if o.UseLookupTable {
+					// Membership changed: refresh the entry fully next
+					// round and reset its activity.
+					table[i].ids = nil
+					table[i].activity = 0
+				}
+			} else if o.UseLookupTable {
+				table[i].activity++
+			}
 		}
-		return g.MahaDist(p)
 	}
 
 	obs.Begin(o.Tracer, obs.PhaseRestart)
@@ -205,7 +316,7 @@ func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
 	for outer := 0; outer < o.MaxOuter; outer++ {
 		res.OuterIters = outer + 1
 		// Outer step: (re)fit Gaussians to current memberships.
-		clusters, err := fitClusters(ds, assign, k, o.RidgeScale, rng)
+		clusters, err := fitClusters(ds, assign, k, o.RidgeScale, rng, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -227,42 +338,29 @@ func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
 			res.InnerIters++
 			innerPasses++
 			changed := 0
-			for i := 0; i < ds.N; i++ {
-				if o.UseLookupTable && o.ActivityThreshold > 0 &&
-					table[i].activity > o.ActivityThreshold {
-					// Inactive point: skip all distance work (§4.2).
-					frozen++
-					continue
+			if nchunks == 1 {
+				chunkStats[0] = assignStats{}
+				assignChunk(&chunkStats[0], o.Counter, clusters, 0, ds.N)
+			} else {
+				for c := range chunkStats {
+					chunkStats[c] = assignStats{}
 				}
-				p := ds.Point(i)
-				var best int
-				if o.UseLookupTable && table[i].ids != nil {
-					lookupEvals++
-					best = argminOver(table[i].ids, clusters, p, dist)
-				} else {
-					fullEvals++
-					var ids []int
-					best, ids = argminAll(clusters, p, dist, o.LookupK)
-					if o.UseLookupTable {
-						table[i].ids = ids
-					}
+				pool.Chunks(workers, ds.N, func(c, lo, hi int) {
+					assignChunk(&chunkStats[c], &chunkStats[c].tally, clusters, lo, hi)
+				})
+				for c := range chunkStats {
+					iostat.Flush(o.Counter, chunkStats[c].tally)
 				}
-				if best != assign[i] {
-					assign[i] = best
-					changed++
-					if o.UseLookupTable {
-						// Membership changed: refresh the entry fully next
-						// round and reset its activity.
-						table[i].ids = nil
-						table[i].activity = 0
-					}
-				} else if o.UseLookupTable {
-					table[i].activity++
-				}
+			}
+			for c := range chunkStats {
+				changed += chunkStats[c].changed
+				frozen += chunkStats[c].frozen
+				lookupEvals += chunkStats[c].lookupEvals
+				fullEvals += chunkStats[c].fullEvals
 			}
 			outerChanged += changed
 			// Update centroids (means only) after each inner iteration.
-			updateMeans(ds, assign, clusters, rng)
+			updateMeans(ds, assign, clusters, rng, workers)
 			if changed == 0 {
 				break
 			}
@@ -291,7 +389,7 @@ func runOnce(ds *dataset.Dataset, o Options) (*Result, error) {
 		res.Sizes[a]++
 	}
 	// Final refit so the returned Gaussians match the final memberships.
-	clusters, err := fitClusters(ds, assign, k, o.RidgeScale, rng)
+	clusters, err := fitClusters(ds, assign, k, o.RidgeScale, rng, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -334,61 +432,73 @@ func argminOver(ids []int, clusters []*Gaussian, p []float64, dist func(*Gaussia
 }
 
 // fitClusters fits one Gaussian per cluster; empty clusters are reseeded at
-// a random point with an identity-scaled covariance.
-func fitClusters(ds *dataset.Dataset, assign []int, k int, ridgeScale float64, rng *rand.Rand) ([]*Gaussian, error) {
+// a random point with an identity-scaled covariance. The per-cluster
+// covariance accumulation (the dominant cost) fans out across workers;
+// bucket construction and the reseed draws stay on the caller's goroutine
+// in ascending cluster order, so the rng consumption sequence — and with it
+// every result — is identical at any parallelism.
+func fitClusters(ds *dataset.Dataset, assign []int, k int, ridgeScale float64, rng *rand.Rand, workers int) ([]*Gaussian, error) {
 	buckets := make([][]float64, k)
 	for i := 0; i < ds.N; i++ {
 		c := assign[i]
 		buckets[c] = append(buckets[c], ds.Point(i)...)
 	}
-	clusters := make([]*Gaussian, k)
-	for c := range clusters {
+	for c := range buckets {
 		if len(buckets[c]) == 0 {
 			// Reseed: singleton Gaussian at a random point.
 			p := ds.Point(rng.Intn(ds.N))
 			single := make([]float64, len(p))
 			copy(single, p)
-			g, err := NewGaussian(single, ds.Dim, ridgeScale)
-			if err != nil {
-				return nil, err
-			}
-			clusters[c] = g
-			continue
+			buckets[c] = single
 		}
-		g, err := NewGaussian(buckets[c], ds.Dim, ridgeScale)
-		if err != nil {
-			return nil, err
+	}
+	clusters := make([]*Gaussian, k)
+	errs := make([]error, k)
+	pool.Run(workers, k, func(c int) {
+		clusters[c], errs[c] = NewGaussian(buckets[c], ds.Dim, ridgeScale)
+	})
+	for c := range errs {
+		if errs[c] != nil {
+			return nil, errs[c]
 		}
-		clusters[c] = g
 	}
 	return clusters, nil
 }
 
 // updateMeans recomputes cluster means in place (covariances stay fixed
-// during the inner loop, per the nested-loop structure).
-func updateMeans(ds *dataset.Dataset, assign []int, clusters []*Gaussian, rng *rand.Rand) {
+// during the inner loop, per the nested-loop structure). Summation is per
+// cluster over its members in ascending point order — the same addition
+// sequence the serial single-pass form produced — so means are bit-identical
+// at any parallelism; empty-cluster reseeds draw from the rng serially in
+// ascending cluster order, preserving the serial consumption sequence.
+func updateMeans(ds *dataset.Dataset, assign []int, clusters []*Gaussian, rng *rand.Rand, workers int) {
 	k := len(clusters)
-	sums := make([][]float64, k)
-	counts := make([]int, k)
-	for c := range sums {
-		sums[c] = make([]float64, ds.Dim)
-	}
+	members := make([][]int, k)
 	for i := 0; i < ds.N; i++ {
-		c := assign[i]
-		counts[c]++
-		p := ds.Point(i)
-		for j, v := range p {
-			sums[c][j] += v
-		}
+		members[assign[i]] = append(members[assign[i]], i)
 	}
-	for c := range clusters {
-		if counts[c] == 0 {
-			copy(clusters[c].Mean, ds.Point(rng.Intn(ds.N)))
-			continue
+	pool.Run(workers, k, func(c int) {
+		if len(members[c]) == 0 {
+			return
 		}
-		inv := 1 / float64(counts[c])
-		for j := range sums[c] {
-			clusters[c].Mean[j] = sums[c][j] * inv
+		mean := clusters[c].Mean
+		for j := range mean {
+			mean[j] = 0
+		}
+		for _, i := range members[c] {
+			p := ds.Point(i)
+			for j, v := range p {
+				mean[j] += v
+			}
+		}
+		inv := 1 / float64(len(members[c]))
+		for j := range mean {
+			mean[j] *= inv
+		}
+	})
+	for c := range clusters {
+		if len(members[c]) == 0 {
+			copy(clusters[c].Mean, ds.Point(rng.Intn(ds.N)))
 		}
 	}
 }

@@ -48,6 +48,11 @@ type Config struct {
 	K          int // KNN size; paper uses 10
 	NumQueries int // paper uses 100
 
+	// Parallelism bounds the worker goroutines of every reduction the
+	// experiment runs (mmdrbench -parallel). <= 1 is serial; results are
+	// identical at every setting, only wall clock changes.
+	Parallelism int
+
 	// Tracer, when non-nil, receives phase spans from every reduction and
 	// index build the experiment performs (mmdrbench -trace).
 	Tracer obs.Tracer
@@ -222,8 +227,8 @@ func (c Config) reducers(forced int, dim int) []reduction.Reducer {
 		gdrDim = dim
 	}
 	return []reduction.Reducer{
-		core.New(core.Params{Seed: c.Seed, ForcedDim: forced, Tracer: c.Tracer, Counter: c.Counter}),
-		&reduction.LDR{Seed: c.Seed, ForcedDim: forced, Tracer: c.Tracer},
+		core.New(core.Params{Seed: c.Seed, ForcedDim: forced, Tracer: c.Tracer, Counter: c.Counter, Parallelism: c.Parallelism}),
+		&reduction.LDR{Seed: c.Seed, ForcedDim: forced, Tracer: c.Tracer, Parallelism: c.Parallelism},
 		&reduction.GDR{TargetDim: gdrDim, Tracer: c.Tracer},
 	}
 }
@@ -250,11 +255,11 @@ type scheme struct {
 }
 
 func buildSchemes(c Config, ds *dataset.Dataset, forcedDim int) ([]scheme, error) {
-	mmdrRed, err := core.New(core.Params{Seed: c.Seed, ForcedDim: forcedDim, Tracer: c.Tracer, Counter: c.Counter}).Reduce(ds)
+	mmdrRed, err := core.New(core.Params{Seed: c.Seed, ForcedDim: forcedDim, Tracer: c.Tracer, Counter: c.Counter, Parallelism: c.Parallelism}).Reduce(ds)
 	if err != nil {
 		return nil, err
 	}
-	ldrRed, err := (&reduction.LDR{Seed: c.Seed, ForcedDim: forcedDim, Tracer: c.Tracer}).Reduce(ds)
+	ldrRed, err := (&reduction.LDR{Seed: c.Seed, ForcedDim: forcedDim, Tracer: c.Tracer, Parallelism: c.Parallelism}).Reduce(ds)
 	if err != nil {
 		return nil, err
 	}

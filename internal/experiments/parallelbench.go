@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"mmdr/internal/core"
+	"mmdr/internal/idist"
+	"mmdr/internal/pool"
+)
+
+// ParallelReport is the machine-readable output of the parallelism
+// benchmark (BENCH_parallel.json): serial vs multi-worker build time and
+// sequential-loop vs batched query throughput on the same model. Speedups
+// scale with available cores — on a single-core machine they hover near 1
+// (the report records GOMAXPROCS so readers can tell).
+type ParallelReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Scale      string `json:"scale"`
+	N          int    `json:"n"`
+	Dim        int    `json:"dim"`
+
+	SerialBuildMS   float64 `json:"serial_build_ms"`
+	ParallelBuildMS float64 `json:"parallel_build_ms"`
+	BuildSpeedup    float64 `json:"build_speedup"`
+	// ModelsIdentical records the determinism contract: the multi-worker
+	// model must match the serial one bit for bit.
+	ModelsIdentical bool `json:"models_identical"`
+
+	Queries        int     `json:"queries"`
+	K              int     `json:"k"`
+	SeqQueriesPerS float64 `json:"sequential_queries_per_sec"`
+	BatchQPS       float64 `json:"batch_queries_per_sec"`
+	QuerySpeedup   float64 `json:"query_speedup"`
+}
+
+// ParallelBench measures the worker-pool layer end to end: one serial MMDR
+// build, one at the requested parallelism (0 = all cores), an equality
+// check between the two models, then the same KNN workload as a sequential
+// loop and as one BatchKNN call over the extended iDistance index.
+func ParallelBench(c Config, workers int) (*ParallelReport, error) {
+	c = c.withDefaults()
+	workers = pool.Workers(workers)
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 5, 3, 25, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([][]float64, c.NumQueries)
+	for i := range queries {
+		queries[i] = ds.Point((i * 37) % ds.N)
+	}
+
+	params := core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter}
+
+	params.Parallelism = 1
+	t0 := time.Now()
+	serialRed, err := core.New(params).Reduce(ds)
+	if err != nil {
+		return nil, err
+	}
+	serialMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	params.Parallelism = workers
+	t0 = time.Now()
+	parallelRed, err := core.New(params).Reduce(ds)
+	if err != nil {
+		return nil, err
+	}
+	parallelMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	idx, err := idist.Build(ds, parallelRed, idist.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	// One untimed pass warms caches; several timed rounds smooth out
+	// scheduling noise on small workloads.
+	for _, q := range queries {
+		idx.KNN(q, c.K)
+	}
+	rounds := 1
+	if c.NumQueries < 500 {
+		rounds = 500/c.NumQueries + 1
+	}
+	t0 = time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			idx.KNN(q, c.K)
+		}
+	}
+	seqSecs := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	for r := 0; r < rounds; r++ {
+		idx.BatchKNN(queries, c.K, workers)
+	}
+	batchSecs := time.Since(t0).Seconds()
+	totalQueries := float64(c.NumQueries * rounds)
+
+	rep := &ParallelReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Workers:         workers,
+		Scale:           string(c.Scale),
+		N:               n,
+		Dim:             dim,
+		SerialBuildMS:   serialMS,
+		ParallelBuildMS: parallelMS,
+		ModelsIdentical: reflect.DeepEqual(serialRed, parallelRed),
+		Queries:         c.NumQueries,
+		K:               c.K,
+	}
+	if parallelMS > 0 {
+		rep.BuildSpeedup = serialMS / parallelMS
+	}
+	if seqSecs > 0 {
+		rep.SeqQueriesPerS = totalQueries / seqSecs
+	}
+	if batchSecs > 0 {
+		rep.BatchQPS = totalQueries / batchSecs
+	}
+	if batchSecs > 0 && seqSecs > 0 {
+		rep.QuerySpeedup = seqSecs / batchSecs
+	}
+	if !rep.ModelsIdentical {
+		return rep, fmt.Errorf("experiments: parallel model diverged from serial build")
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ParallelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the report in the experiment-table shape for the CLI.
+func (r *ParallelReport) Table() *Table {
+	t := &Table{
+		Name:   "parallel",
+		Title:  fmt.Sprintf("parallel build + batch queries (workers=%d, GOMAXPROCS=%d)", r.Workers, r.GOMAXPROCS),
+		Header: []string{"metric", "serial", "parallel", "speedup"},
+	}
+	t.AddRow("build ms", f2(r.SerialBuildMS), f2(r.ParallelBuildMS), f2(r.BuildSpeedup))
+	t.AddRow("queries/s", f2(r.SeqQueriesPerS), f2(r.BatchQPS), f2(r.QuerySpeedup))
+	ident := "false"
+	if r.ModelsIdentical {
+		ident = "true"
+	}
+	t.AddRow("models identical", ident, ident, "")
+	return t
+}
+
+// runParallelBench adapts ParallelBench to the registry's Runner shape,
+// using all cores.
+func runParallelBench(c Config) (*Table, error) {
+	rep, err := ParallelBench(c, c.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}
+
+func init() { registry["parallel"] = runParallelBench }

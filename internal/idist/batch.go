@@ -1,0 +1,48 @@
+package idist
+
+import (
+	"mmdr/internal/index"
+	"mmdr/internal/pool"
+)
+
+// Batch queries fan a workload of independent searches across a worker
+// pool. The search read path touches the B⁺-tree, the partition geometry,
+// and the stored reduced coordinates — all immutable after Build — plus the
+// attached cost Sink, which is the one piece of shared mutable state. With
+// workers > 1 the Sink must therefore be goroutine-safe (AtomicCounter) or
+// nil; a plain Counter is only safe at workers <= 1.
+//
+// Results land at the same position as their query, so out[i] is exactly
+// what the corresponding single-query call would have returned: the answer
+// sets are identical to a sequential loop at every worker count.
+
+// BatchKNN answers len(queries) KNN queries using at most workers
+// goroutines (workers <= 0 selects runtime.NumCPU()).
+func (idx *Index) BatchKNN(queries [][]float64, k, workers int) [][]index.Neighbor {
+	out := make([][]index.Neighbor, len(queries))
+	pool.Run(pool.Workers(workers), len(queries), func(i int) {
+		out[i] = idx.KNN(queries[i], k)
+	})
+	return out
+}
+
+// BatchKNNTrace is BatchKNN with a per-query structured explain: traces[i]
+// records the search rounds and partition scans of queries[i].
+func (idx *Index) BatchKNNTrace(queries [][]float64, k, workers int) ([][]index.Neighbor, []*QueryTrace) {
+	out := make([][]index.Neighbor, len(queries))
+	traces := make([]*QueryTrace, len(queries))
+	pool.Run(pool.Workers(workers), len(queries), func(i int) {
+		out[i], traces[i] = idx.KNNTrace(queries[i], k)
+	})
+	return out, traces
+}
+
+// BatchRange answers len(queries) range queries of radius r using at most
+// workers goroutines (workers <= 0 selects runtime.NumCPU()).
+func (idx *Index) BatchRange(queries [][]float64, r float64, workers int) [][]index.Neighbor {
+	out := make([][]index.Neighbor, len(queries))
+	pool.Run(pool.Workers(workers), len(queries), func(i int) {
+		out[i] = idx.Range(queries[i], r)
+	})
+	return out
+}

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"sort"
+
 	"mmdr/internal/dataset"
 	"mmdr/internal/iostat"
 	"mmdr/internal/matrix"
@@ -57,4 +59,46 @@ func (s *SeqScan) KNN(q []float64, k int) []Neighbor {
 		s.counter.CountPageReads(iostat.PagesForPoints(len(s.red.Outliers), s.ds.Dim))
 	}
 	return top.Sorted()
+}
+
+// Range returns every point within distance r of q in the reduced
+// representation, sorted ascending by (distance, id) — the same distance
+// model and ordering as the extended iDistance Range, making this the
+// ground truth a tree-based answer must match exactly.
+func (s *SeqScan) Range(q []float64, r float64) []Neighbor {
+	var out []Neighbor
+	for _, sub := range s.red.Subspaces {
+		qp := sub.Project(q)
+		for mi, id := range sub.Members {
+			d := matrix.Dist(qp, sub.MemberCoords(mi))
+			if s.counter != nil {
+				s.counter.CountDistanceOps(1)
+			}
+			if d <= r {
+				out = append(out, Neighbor{ID: id, Dist: d})
+			}
+		}
+		if s.counter != nil {
+			s.counter.CountPageReads(iostat.PagesForPoints(len(sub.Members), sub.Dr))
+		}
+	}
+	for _, id := range s.red.Outliers {
+		d := matrix.Dist(q, s.ds.Point(id))
+		if s.counter != nil {
+			s.counter.CountDistanceOps(1)
+		}
+		if d <= r {
+			out = append(out, Neighbor{ID: id, Dist: d})
+		}
+	}
+	if s.counter != nil {
+		s.counter.CountPageReads(iostat.PagesForPoints(len(s.red.Outliers), s.ds.Dim))
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
 }

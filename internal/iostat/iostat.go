@@ -165,6 +165,36 @@ func (c *Counter) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// Flush adds the totals accumulated in a goroutine-local Counter into sink.
+// It is the reduction step of the parallel build paths: workers count into
+// private Counters while they run, and the coordinating goroutine flushes
+// each tally after the join — so a plain (non-atomic) Sink never sees
+// concurrent writers and totals stay exact regardless of parallelism. A nil
+// sink or an all-zero tally is a no-op.
+func Flush(sink Sink, c Counter) {
+	if sink == nil {
+		return
+	}
+	if c.PageReads != 0 {
+		sink.CountPageReads(c.PageReads)
+	}
+	if c.PageWrites != 0 {
+		sink.CountPageWrites(c.PageWrites)
+	}
+	if c.DistanceOps != 0 {
+		sink.CountDistanceOps(c.DistanceOps)
+	}
+	if c.KeyCompares != 0 {
+		sink.CountKeyCompares(c.KeyCompares)
+	}
+	if c.FloatOps != 0 {
+		sink.CountFloatOps(c.FloatOps)
+	}
+	if c.NodeAccesses != 0 {
+		sink.CountNodeAccesses(c.NodeAccesses)
+	}
+}
+
 // PagesForBytes returns the number of pages needed to hold n bytes.
 func PagesForBytes(n int64) int64 {
 	if n <= 0 {

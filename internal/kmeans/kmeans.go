@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"mmdr/internal/dataset"
+	"mmdr/internal/pool"
 )
 
 // Result holds a k-means clustering.
@@ -27,6 +28,13 @@ type Options struct {
 	K        int
 	MaxIters int   // default 50
 	Seed     int64 // seeding randomness
+
+	// Parallelism bounds the workers used for the per-point assignment pass
+	// and the k-means++ distance updates. Values <= 1 run serial. Results
+	// are identical at every setting: per-point work is index-partitioned
+	// and all floating-point reductions (inertia, centroid sums, seeding
+	// totals) happen serially in point order.
+	Parallelism int
 }
 
 // Run clusters ds into opts.K clusters using Lloyd's algorithm with
@@ -46,8 +54,12 @@ func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
 	if maxIters <= 0 {
 		maxIters = 50
 	}
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	cents := SeedPlusPlus(ds, k, rng)
+	cents := seedPlusPlus(ds, k, rng, workers)
 
 	assign := make([]int, ds.N)
 	for i := range assign {
@@ -57,21 +69,32 @@ func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
 	var iters int
 	var inertia float64
 
+	// Scratch for the parallel assignment pass: each point's nearest
+	// centroid and distance land in their own slot, then the counters and
+	// the inertia sum reduce serially in point order — the identical
+	// floating-point sequence of the serial loop.
+	nearest := make([]int, ds.N)
+	nearestD := make([]float64, ds.N)
+
 	for iters = 1; iters <= maxIters; iters++ {
 		changed := 0
 		inertia = 0
 		for i := range sizes {
 			sizes[i] = 0
 		}
+		pool.Chunks(workers, ds.N, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				nearest[i], nearestD[i] = nearestCentroid(ds.Point(i), cents)
+			}
+		})
 		for i := 0; i < ds.N; i++ {
-			p := ds.Point(i)
-			best, bestD := nearestCentroid(p, cents)
+			best := nearest[i]
 			if best != assign[i] {
 				changed++
 				assign[i] = best
 			}
 			sizes[best]++
-			inertia += bestD
+			inertia += nearestD[i]
 		}
 		// Recompute centroids.
 		for c := range cents {
@@ -116,6 +139,14 @@ func Run(ds *dataset.Dataset, opts Options) (*Result, error) {
 // the first uniformly, each next with probability proportional to the
 // squared distance to the nearest chosen centroid.
 func SeedPlusPlus(ds *dataset.Dataset, k int, rng *rand.Rand) [][]float64 {
+	return seedPlusPlus(ds, k, rng, 1)
+}
+
+// seedPlusPlus is SeedPlusPlus with the per-point distance refreshes spread
+// over workers. The rng-driven selection walk and the probability total stay
+// serial in point order, so the chosen centroids are identical at any
+// worker count.
+func seedPlusPlus(ds *dataset.Dataset, k int, rng *rand.Rand, workers int) [][]float64 {
 	cents := make([][]float64, 0, k)
 	first := ds.Point(rng.Intn(ds.N))
 	c0 := make([]float64, ds.Dim)
@@ -123,9 +154,11 @@ func SeedPlusPlus(ds *dataset.Dataset, k int, rng *rand.Rand) [][]float64 {
 	cents = append(cents, c0)
 
 	d2 := make([]float64, ds.N)
-	for i := range d2 {
-		d2[i] = sqDist(ds.Point(i), c0)
-	}
+	pool.Chunks(workers, ds.N, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d2[i] = sqDist(ds.Point(i), c0)
+		}
+	})
 	for len(cents) < k {
 		var total float64
 		for _, d := range d2 {
@@ -146,11 +179,13 @@ func SeedPlusPlus(ds *dataset.Dataset, k int, rng *rand.Rand) [][]float64 {
 		c := make([]float64, ds.Dim)
 		copy(c, ds.Point(idx))
 		cents = append(cents, c)
-		for i := range d2 {
-			if d := sqDist(ds.Point(i), c); d < d2[i] {
-				d2[i] = d
+		pool.Chunks(workers, ds.N, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := sqDist(ds.Point(i), c); d < d2[i] {
+					d2[i] = d
+				}
 			}
-		}
+		})
 	}
 	return cents
 }

@@ -1,0 +1,213 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// This file holds the cross-cutting property suite for the linear-algebra
+// kernel: every decomposition the MMDR pipeline relies on (Jacobi
+// eigensolver, Cholesky, LU inverse) is checked against its defining
+// algebraic identity on seeded random SPD matrices, plus the identities
+// that tie the decompositions to each other (spectral reconstruction,
+// determinant consistency, solve-vs-inverse agreement). All inputs come
+// from deterministic seeds, so failures reproduce exactly.
+
+// spdFromSeed builds a well-conditioned random SPD matrix of the given
+// size, with an optional spectrum spread to exercise harder conditioning:
+// A = B·Bᵀ + ridge with B ~ N(0,1) entries scaled per-column by up to
+// 10^spread.
+func spdFromSeed(n int, seed int64, spread float64) *Mat {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(n, n)
+	for c := 0; c < n; c++ {
+		scale := math.Pow(10, spread*rng.Float64())
+		for r := 0; r < n; r++ {
+			b.Set(r, c, scale*rng.NormFloat64())
+		}
+	}
+	spd := Mul(b, b.T())
+	return spd.AddRidge(1e-3)
+}
+
+// TestEigenDefiningProperties checks, for random SPD matrices across sizes
+// and spectra, everything the eigensolver promises: A·v_k = λ_k·v_k for
+// every pair, an orthonormal basis, non-increasing eigenvalues, and the
+// full spectral reconstruction A = V·diag(λ)·Vᵀ.
+func TestEigenDefiningProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		a := spdFromSeed(n, seed+1, 1.5)
+		e, err := SymEigen(a)
+		if err != nil {
+			t.Logf("seed %d: SymEigen: %v", seed, err)
+			return false
+		}
+		if oe := OrthonormalityError(e.Vectors); oe > 1e-8 {
+			t.Logf("seed %d: orthonormality error %g", seed, oe)
+			return false
+		}
+		scale := 1 + math.Abs(e.Values[0])
+		for k := 0; k < n; k++ {
+			if k > 0 && e.Values[k] > e.Values[k-1]+1e-9*scale {
+				t.Logf("seed %d: eigenvalues not sorted at %d", seed, k)
+				return false
+			}
+			// ‖A·v − λ·v‖ small relative to the dominant eigenvalue.
+			v := e.Vectors.Col(k)
+			av := a.MulVec(v)
+			var resid2 float64
+			for i := range av {
+				d := av[i] - e.Values[k]*v[i]
+				resid2 += d * d
+			}
+			if math.Sqrt(resid2) > 1e-7*scale {
+				t.Logf("seed %d: residual %g at pair %d", seed, math.Sqrt(resid2), k)
+				return false
+			}
+		}
+		// Spectral reconstruction: A = Σ_k λ_k v_k v_kᵀ.
+		recon := New(n, n)
+		for k := 0; k < n; k++ {
+			v := e.Vectors.Col(k)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					recon.Set(i, j, recon.At(i, j)+e.Values[k]*v[i]*v[j])
+				}
+			}
+		}
+		if d := MaxAbsDiff(recon, a); d > 1e-7*scale {
+			t.Logf("seed %d: reconstruction error %g", seed, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCholeskyDefiningProperties checks L·Lᵀ = A, that L is lower
+// triangular with positive diagonal, and that CholeskySolveVec agrees with
+// multiplying by the LU inverse.
+func TestCholeskyDefiningProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := spdFromSeed(n, seed+1, 1)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Logf("seed %d: Cholesky on SPD: %v", seed, err)
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if l.At(i, i) <= 0 {
+				t.Logf("seed %d: non-positive diagonal at %d", seed, i)
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Logf("seed %d: upper triangle not zero at (%d,%d)", seed, i, j)
+					return false
+				}
+			}
+		}
+		scale := 1.0
+		for _, v := range a.Data {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+		if d := MaxAbsDiff(Mul(l, l.T()), a); d > 1e-9*scale {
+			t.Logf("seed %d: L·Lᵀ error %g", seed, d)
+			return false
+		}
+		// Solve and inverse must agree: x = A⁻¹·b.
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := CholeskySolveVec(l, b)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Logf("seed %d: Inverse: %v", seed, err)
+			return false
+		}
+		xi := inv.MulVec(b)
+		for i := range x {
+			if !almostEqual(x[i], xi[i], 1e-6*(1+math.Abs(x[i]))) {
+				t.Logf("seed %d: solve/inverse disagree at %d: %g vs %g", seed, i, x[i], xi[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInverseDefiningProperties checks A·A⁻¹ ≈ I and A⁻¹·A ≈ I (both
+// sides — a one-sided check can pass on a transposition bug).
+func TestInverseDefiningProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := spdFromSeed(n, seed+1, 1)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Logf("seed %d: Inverse: %v", seed, err)
+			return false
+		}
+		eye := Identity(n)
+		if d := MaxAbsDiff(Mul(a, inv), eye); d > 1e-6 {
+			t.Logf("seed %d: A·A⁻¹ error %g", seed, d)
+			return false
+		}
+		if d := MaxAbsDiff(Mul(inv, a), eye); d > 1e-6 {
+			t.Logf("seed %d: A⁻¹·A error %g", seed, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminantConsistency ties the three decompositions together on the
+// same matrix: det(A) from LU, ∏λ_k from the eigensolver, and det(L)² from
+// Cholesky must all agree (compared in log space for stability).
+func TestDeterminantConsistency(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := spdFromSeed(n, seed+100, 1)
+
+		lu := math.Log(Det(a))
+
+		e, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("seed %d: SymEigen: %v", seed, err)
+		}
+		var eig float64
+		for _, v := range e.Values {
+			eig += math.Log(v)
+		}
+
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("seed %d: Cholesky: %v", seed, err)
+		}
+		chol := CholeskyLogDet(l)
+
+		tol := 1e-8 * (1 + math.Abs(lu))
+		if math.Abs(lu-eig) > tol || math.Abs(lu-chol) > tol {
+			t.Fatalf("seed %d n=%d: log-determinants disagree: LU=%g eigen=%g cholesky=%g",
+				seed, n, lu, eig, chol)
+		}
+	}
+}

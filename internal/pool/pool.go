@@ -1,0 +1,148 @@
+// Package pool provides the bounded worker-pool primitives the parallel
+// MMDR pipeline is built on. Two shapes cover every hot path:
+//
+//   - Run fans n independent items out to a fixed number of workers with
+//     dynamic (work-stealing) scheduling — right for uneven per-item work
+//     such as per-cluster PCA or per-query KNN search.
+//   - Chunks splits [0, n) into contiguous ranges, one goroutine each —
+//     right for tight per-point loops where the caller keeps chunk-local
+//     accumulators and reduces them in chunk order afterwards.
+//
+// Determinism contract: both helpers assign work purely by index, so a
+// callback that writes only to slot i (or to its own chunk's accumulator)
+// produces results independent of goroutine scheduling. Reductions the
+// caller performs in index/chunk order are therefore reproducible across
+// runs and across worker counts. With workers <= 1 the callbacks run inline
+// on the caller's goroutine in ascending order — exactly the serial code
+// path, byte for byte.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree: values <= 0 select
+// runtime.NumCPU(), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Clamp bounds a resolved worker count by the number of work items so no
+// goroutine starts with nothing to do.
+func Clamp(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// capturedPanic wraps a worker panic so the caller's goroutine can rethrow
+// it with the original value visible.
+type capturedPanic struct{ val any }
+
+func (c capturedPanic) String() string { return fmt.Sprint(c.val) }
+
+// Run invokes fn(i) for every i in [0, n) using at most workers
+// goroutines. Items are handed out dynamically, so uneven work balances
+// itself. When workers <= 1 or n <= 1 the calls run inline in ascending
+// order (the serial path). A panic in any fn is re-raised on the caller's
+// goroutine after all workers stop.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicked atomic.Pointer[capturedPanic]
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if panicked.Load() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &capturedPanic{val: r})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+// Chunks splits [0, n) into NumChunks(workers, n) contiguous ranges and
+// invokes fn(chunk, lo, hi) for each, concurrently when workers > 1. Chunk
+// boundaries depend only on (workers, n) — never on scheduling — so
+// chunk-local accumulators reduced in chunk order are deterministic. With
+// workers <= 1 the single chunk [0, n) runs inline on the caller's
+// goroutine. Panics propagate like Run.
+func Chunks(workers, n int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := NumChunks(workers, n)
+	if chunks == 1 {
+		fn(0, 0, n)
+		return
+	}
+	Run(chunks, chunks, func(c int) {
+		lo, hi := chunkBounds(c, chunks, n)
+		fn(c, lo, hi)
+	})
+}
+
+// NumChunks reports how many chunks Chunks will use for the given worker
+// count and item count: min(workers, n), at least 1.
+func NumChunks(workers, n int) int {
+	return Clamp(workers, n)
+}
+
+// chunkBounds returns the half-open range of chunk c when n items are split
+// into the given number of chunks as evenly as possible (the first n%chunks
+// chunks get one extra item).
+func chunkBounds(c, chunks, n int) (lo, hi int) {
+	size := n / chunks
+	rem := n % chunks
+	lo = c*size + min(c, rem)
+	hi = lo + size
+	if c < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

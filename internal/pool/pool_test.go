@@ -1,0 +1,98 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const n = 257
+		hits := make([]int32, n)
+		Run(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunSerialInline(t *testing.T) {
+	// workers <= 1 must run in ascending order on the caller's goroutine.
+	var order []int
+	Run(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+	Run(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		for _, n := range []int{1, 2, 5, 16, 97} {
+			covered := make([]int32, n)
+			var chunks int32
+			Chunks(workers, n, func(c, lo, hi int) {
+				atomic.AddInt32(&chunks, 1)
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			if want := int32(NumChunks(workers, n)); chunks != want {
+				t.Fatalf("workers=%d n=%d: %d chunks, want %d", workers, n, chunks, want)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkBoundsDeterministic(t *testing.T) {
+	// Boundaries depend only on (workers, n): two invocations agree.
+	record := func() [][2]int {
+		var out [][2]int
+		Chunks(1, 10, func(c, lo, hi int) { out = append(out, [2]int{lo, hi}) })
+		return out
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk bounds changed between runs: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Run(4, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}

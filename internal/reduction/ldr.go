@@ -8,6 +8,7 @@ import (
 	"mmdr/internal/dataset"
 	"mmdr/internal/kmeans"
 	"mmdr/internal/obs"
+	"mmdr/internal/pool"
 	"mmdr/internal/stats"
 )
 
@@ -28,6 +29,11 @@ type LDR struct {
 	Xi           float64 // cap on reconstruction-based evictions as a fraction of N; default 0.005
 	Seed         int64
 	Tracer       obs.Tracer // optional span for the whole LDR pass
+	// Parallelism bounds the workers used for the k-means passes, the
+	// per-cluster PCA/dimensionality work, and subspace assembly. Values
+	// <= 1 run the exact serial path; results are identical at every
+	// setting (index-partitioned work, serial-order reductions).
+	Parallelism int
 }
 
 // Name implements Reducer.
@@ -66,7 +72,7 @@ func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 	obs.Attr(l.Tracer, "points", float64(ds.N))
 	obs.Attr(l.Tracer, "dim", float64(ds.Dim))
 	defer obs.End(l.Tracer)
-	km, err := kmeans.Run(ds, kmeans.Options{K: o.MaxClusters, Seed: o.Seed})
+	km, err := kmeans.Run(ds, kmeans.Options{K: o.MaxClusters, Seed: o.Seed, Parallelism: o.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +81,11 @@ func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 	var outliers []int
 
 	// First pass: per-cluster PCA, dimensionality choice, and
-	// reconstruction-distance eviction candidates.
+	// reconstruction-distance eviction candidates. Small clusters route to
+	// the outlier set serially in cluster order; the surviving clusters'
+	// PCA and residual scans — the expensive part — fan out, with
+	// per-cluster candidate lists concatenated back in cluster order so
+	// the eviction sequence matches the serial loop exactly.
 	type clusterPlan struct {
 		members []int
 		pca     *stats.PCA
@@ -87,26 +97,39 @@ func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 		residual float64
 	}
 	var plans []clusterPlan
-	var cands []candidate
 	for c := 0; c < km.K; c++ {
 		members := km.Members(c)
 		if len(members) < o.MinSize {
 			outliers = append(outliers, members...)
 			continue
 		}
+		plans = append(plans, clusterPlan{members: members})
+	}
+	planCands := make([][]candidate, len(plans))
+	planErrs := make([]error, len(plans))
+	pool.Run(o.Parallelism, len(plans), func(ci int) {
+		members := plans[ci].members
 		pts := gatherPoints(ds, members)
 		pca, err := stats.ComputePCA(pts, ds.Dim)
 		if err != nil {
-			return nil, err
+			planErrs[ci] = err
+			return
 		}
 		dr := l.chooseDim(pca, pts, ds.Dim, o)
-		ci := len(plans)
-		plans = append(plans, clusterPlan{members: members, pca: pca, dr: dr})
+		plans[ci].pca = pca
+		plans[ci].dr = dr
 		for _, m := range members {
 			if r := pca.Residual(ds.Point(m), dr); r > o.MaxReconDist {
-				cands = append(cands, candidate{cluster: ci, member: m, residual: r})
+				planCands[ci] = append(planCands[ci], candidate{cluster: ci, member: m, residual: r})
 			}
 		}
+	})
+	var cands []candidate
+	for ci := range plans {
+		if planErrs[ci] != nil {
+			return nil, planErrs[ci]
+		}
+		cands = append(cands, planCands[ci]...)
 	}
 
 	// The LDR outlier set is bounded (the original bounds it to keep the
@@ -122,8 +145,15 @@ func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 		outliers = append(outliers, c.member)
 	}
 
-	id := 0
-	for _, plan := range plans {
+	// Subspace IDs and the dissolve-to-outliers appends depend on cluster
+	// order: assign serially, then fan out the per-subspace assembly.
+	type buildTask struct {
+		id   int
+		plan int
+		kept []int
+	}
+	var tasks []buildTask
+	for ci, plan := range plans {
 		kept := make([]int, 0, len(plan.members))
 		for _, m := range plan.members {
 			if !evicted[m] {
@@ -134,9 +164,14 @@ func (l *LDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 			outliers = append(outliers, kept...)
 			continue
 		}
-		res.Subspaces = append(res.Subspaces, buildSubspace(id, ds, plan.pca, plan.dr, kept))
-		id++
+		tasks = append(tasks, buildTask{id: len(tasks), plan: ci, kept: kept})
 	}
+	subs := make([]*Subspace, len(tasks))
+	pool.Run(o.Parallelism, len(tasks), func(ti int) {
+		t := tasks[ti]
+		subs[ti] = buildSubspace(t.id, ds, plans[t.plan].pca, plans[t.plan].dr, t.kept)
+	})
+	res.Subspaces = append(res.Subspaces, subs...)
 	sort.Ints(outliers)
 	res.Outliers = outliers
 	obs.Attr(l.Tracer, "subspaces", float64(len(res.Subspaces)))

@@ -86,6 +86,9 @@ type config struct {
 	counter   iostat.Sink
 	tracer    obs.Tracer
 	forcedDim int
+	// parallelism is the resolved worker bound (WithParallelism); 0 means
+	// the option was never given and all cores are used.
+	parallelism int
 }
 
 // Option customizes Reduce.
@@ -209,6 +212,9 @@ func reduceWithConfig(ds *dataset.Dataset, cfg config) (*Model, error) {
 		return nil, errors.New("mmdr: empty dataset")
 	}
 	cfg.params.ForcedDim = cfg.forcedDim
+	par := resolveParallelism(cfg)
+	cfg.params.Parallelism = par
+	cfg.ldr.Parallelism = par
 	var red reduction.Reducer
 	switch cfg.method {
 	case MethodMMDR:
@@ -293,9 +299,10 @@ func (m *Model) Validate() error { return m.result.Validate(m.ds.N) }
 
 // Index is a KNN index over a reduced model.
 type Index struct {
-	model *Model
-	idx   index.KNNIndex
-	maint *idist.Index // non-nil when the index supports Insert
+	model       *Model
+	idx         index.KNNIndex
+	maint       *idist.Index // non-nil when the index supports Insert
+	parallelism int          // resolved worker bound for batch queries
 }
 
 // NewIndex builds the extended iDistance index over the model's subspaces.
@@ -312,7 +319,7 @@ func (m *Model) NewIndex(opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{model: m, idx: idx, maint: idx}, nil
+	return &Index{model: m, idx: idx, maint: idx, parallelism: resolveParallelism(cfg)}, nil
 }
 
 // NewSeqScan builds the sequential-scan baseline over the same reduced
@@ -322,7 +329,7 @@ func (m *Model) NewSeqScan(opts ...Option) *Index {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Index{model: m, idx: index.NewSeqScan(m.ds, m.result, cfg.counter)}
+	return &Index{model: m, idx: index.NewSeqScan(m.ds, m.result, cfg.counter), parallelism: resolveParallelism(cfg)}
 }
 
 // KNN returns the k nearest neighbors of q (length Dim) in the reduced

@@ -1,0 +1,245 @@
+package mmdr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mmdr/internal/datagen"
+)
+
+// This file locks down the parallelism contract: a model built at any
+// WithParallelism setting is IDENTICAL — not approximately equal — to the
+// serial one, and the batch query engine returns exactly what a sequential
+// query loop returns. The comparisons are exact float64 equality on every
+// stored array, which is what the determinism design promises (work
+// partitioned by index, every floating-point reduction in serial order).
+
+// parallelTestData builds a normalized locally-correlated dataset.
+func parallelTestData(t *testing.T, n, dim, clusters int, seed int64) ([]float64, int) {
+	t.Helper()
+	cfg := datagen.CorrelatedConfig{
+		N: n, Dim: dim, NumClusters: clusters, SDim: 3,
+		VarRatio: 25, ScaleDecay: 0.8, Seed: seed,
+	}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	return ds.Data, ds.Dim
+}
+
+// requireIdenticalModels fails unless the two models' reductions match in
+// every stored bit: subspace identity, membership, retained dimensionality,
+// bases, centroids, reduced coordinates, radii, and the outlier set.
+func requireIdenticalModels(t *testing.T, want, got *Model, label string) {
+	t.Helper()
+	w, g := want.result, got.result
+	if len(w.Subspaces) != len(g.Subspaces) {
+		t.Fatalf("%s: %d subspaces, serial has %d", label, len(g.Subspaces), len(w.Subspaces))
+	}
+	if !reflect.DeepEqual(w.Outliers, g.Outliers) {
+		t.Fatalf("%s: outlier sets differ", label)
+	}
+	for i, ws := range w.Subspaces {
+		gs := g.Subspaces[i]
+		if ws.ID != gs.ID || ws.Dr != gs.Dr {
+			t.Fatalf("%s: subspace %d identity differs: id %d/%d dr %d/%d",
+				label, i, gs.ID, ws.ID, gs.Dr, ws.Dr)
+		}
+		if !reflect.DeepEqual(ws.Members, gs.Members) {
+			t.Fatalf("%s: subspace %d member lists differ", label, i)
+		}
+		if !reflect.DeepEqual(ws.Centroid, gs.Centroid) {
+			t.Fatalf("%s: subspace %d centroids differ", label, i)
+		}
+		if !reflect.DeepEqual(ws.Basis.Data, gs.Basis.Data) {
+			t.Fatalf("%s: subspace %d bases differ", label, i)
+		}
+		if !reflect.DeepEqual(ws.Coords, gs.Coords) {
+			t.Fatalf("%s: subspace %d reduced coordinates differ", label, i)
+		}
+		if ws.MaxRadius != gs.MaxRadius || ws.MPE != gs.MPE || ws.MahaRadius != gs.MahaRadius || ws.LogDet != gs.LogDet {
+			t.Fatalf("%s: subspace %d derived stats differ", label, i)
+		}
+		// LDR subspaces carry no covariance shape; MMDR's must match exactly.
+		if (ws.CovInv == nil) != (gs.CovInv == nil) {
+			t.Fatalf("%s: subspace %d covariance presence differs", label, i)
+		}
+		if ws.CovInv != nil && !reflect.DeepEqual(ws.CovInv.Data, gs.CovInv.Data) {
+			t.Fatalf("%s: subspace %d covariance inverses differ", label, i)
+		}
+	}
+}
+
+// buildAt reduces the same data at a given parallelism.
+func buildAt(t *testing.T, data []float64, dim int, p int, extra ...Option) *Model {
+	t.Helper()
+	opts := append([]Option{WithSeed(7), WithParallelism(p)}, extra...)
+	m, err := Reduce(data, dim, opts...)
+	if err != nil {
+		t.Fatalf("parallelism %d: %v", p, err)
+	}
+	return m
+}
+
+func TestParallelBuildEquivalenceMMDR(t *testing.T) {
+	data, dim := parallelTestData(t, 1500, 24, 4, 42)
+	serial := buildAt(t, data, dim, 1)
+	if err := serial.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		requireIdenticalModels(t, serial, buildAt(t, data, dim, p), "MMDR P="+itoa(p))
+	}
+}
+
+func TestParallelBuildEquivalenceLDR(t *testing.T) {
+	data, dim := parallelTestData(t, 1500, 24, 4, 43)
+	serial := buildAt(t, data, dim, 1, WithMethod(MethodLDR))
+	for _, p := range []int{2, 8} {
+		requireIdenticalModels(t, serial,
+			buildAt(t, data, dim, p, WithMethod(MethodLDR)), "LDR P="+itoa(p))
+	}
+}
+
+func TestParallelBuildEquivalenceScalable(t *testing.T) {
+	data, dim := parallelTestData(t, 1500, 24, 4, 44)
+	serial := buildAt(t, data, dim, 1, WithMethod(MethodMMDRScalable))
+	for _, p := range []int{2, 8} {
+		requireIdenticalModels(t, serial,
+			buildAt(t, data, dim, p, WithMethod(MethodMMDRScalable)), "scalable P="+itoa(p))
+	}
+}
+
+// TestBatchKNNMatchesSequential requires that BatchKNN over the extended
+// iDistance index returns, per query, exactly the neighbors and distances
+// of a sequential KNN loop — at several parallelism settings.
+func TestBatchKNNMatchesSequential(t *testing.T) {
+	data, dim := parallelTestData(t, 1200, 16, 3, 45)
+	queries := makeQueries(data, dim, 40, 46)
+	for _, p := range []int{1, 2, 8} {
+		model := buildAt(t, data, dim, p)
+		idx, err := model.NewIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := idx.BatchKNN(queries, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nq := len(queries) / dim
+		if len(batch) != nq {
+			t.Fatalf("P=%d: %d results for %d queries", p, len(batch), nq)
+		}
+		for qi := 0; qi < nq; qi++ {
+			want := idx.KNN(queries[qi*dim:(qi+1)*dim], 10)
+			if !reflect.DeepEqual(want, batch[qi]) {
+				t.Fatalf("P=%d query %d: batch answer differs from sequential\nwant %v\ngot  %v",
+					p, qi, want, batch[qi])
+			}
+		}
+	}
+}
+
+// TestBatchRangeMatchesSequential is the range-query counterpart.
+func TestBatchRangeMatchesSequential(t *testing.T) {
+	data, dim := parallelTestData(t, 1200, 16, 3, 47)
+	queries := makeQueries(data, dim, 30, 48)
+	model := buildAt(t, data, dim, 8)
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.25
+	batch, err := idx.BatchRange(queries, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < len(queries)/dim; qi++ {
+		want, err := idx.Range(queries[qi*dim:(qi+1)*dim], r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, batch[qi]) {
+			t.Fatalf("query %d: batch range differs from sequential", qi)
+		}
+	}
+}
+
+// TestBatchQueryValidationAndSeqScan covers the API edges: malformed
+// workloads error, the sequential-scan index answers BatchKNN but rejects
+// BatchRange, and a batch through ConcurrentIndex matches the plain index.
+func TestBatchQueryValidationAndSeqScan(t *testing.T) {
+	data, dim := parallelTestData(t, 800, 12, 2, 49)
+	queries := makeQueries(data, dim, 10, 50)
+	model := buildAt(t, data, dim, 4)
+
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.BatchKNN(queries[:dim-1], 5); err == nil {
+		t.Fatal("BatchKNN accepted a workload not divisible by dim")
+	}
+	if _, err := idx.BatchRange(nil, 0.1); err == nil {
+		t.Fatal("BatchRange accepted an empty workload")
+	}
+
+	scan := model.NewSeqScan()
+	scanBatch, err := scan.BatchKNN(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range scanBatch {
+		want := scan.KNN(queries[qi*dim:(qi+1)*dim], 5)
+		if !reflect.DeepEqual(want, scanBatch[qi]) {
+			t.Fatalf("seq-scan batch query %d differs", qi)
+		}
+	}
+	if _, err := scan.BatchRange(queries, 0.1); err == nil {
+		t.Fatal("seq-scan BatchRange should be unsupported")
+	}
+
+	conc := Concurrent(idx)
+	concBatch, err := conc.BatchKNN(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := idx.BatchKNN(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, concBatch) {
+		t.Fatal("ConcurrentIndex batch differs from plain index batch")
+	}
+}
+
+// makeQueries draws nq query points near the data distribution.
+func makeQueries(data []float64, dim, nq int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(data) / dim
+	out := make([]float64, 0, nq*dim)
+	for i := 0; i < nq; i++ {
+		base := data[rng.Intn(n)*dim:][:dim]
+		for _, v := range base {
+			out = append(out, v+0.01*rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
