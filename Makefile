@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet fmt experiments
+.PHONY: all build test race bench bench-json vet fmt check experiments
 
 all: build test
 
@@ -25,10 +25,22 @@ fmt:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Default verification bundle: vet, the full test suite, and a short fuzz
+# smoke of the query-equivalence targets (each holds EXACT equality between
+# the kernelized tree paths and the sequential-scan oracle).
+check:
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzKNNvsSeqScan -fuzztime 10s
+	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzRangeVsSeqScan -fuzztime 10s
+
 # Regenerate BENCH_parallel.json: serial vs parallel build time and
 # sequential vs batched query throughput (speedups scale with cores).
+# BENCH_query.json: kernelized vs frozen-reference query path at paper
+# scale (n=100k, d=64) — ns/query, allocs/query, qps.
 bench-json:
 	$(GO) run ./cmd/mmdrbench -scale small -bench-parallel BENCH_parallel.json
+	$(GO) run ./cmd/mmdrbench -scale paper -bench-query BENCH_query.json
 
 experiments:
 	$(GO) run ./cmd/mmdrbench -experiment all -scale small

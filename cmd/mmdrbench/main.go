@@ -58,8 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mjson   = fs.Bool("metrics-json", false, "print per-experiment cost counters as JSON (stderr)")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 
-		parallel = fs.Int("parallel", 0, "worker goroutines for reduction builds (0 = all cores, 1 = serial)")
-		benchPar = fs.String("bench-parallel", "", "run the parallelism benchmark and write its JSON report to this file")
+		parallel   = fs.Int("parallel", 0, "worker goroutines for reduction builds (0 = all cores, 1 = serial)")
+		benchPar   = fs.String("bench-parallel", "", "run the parallelism benchmark and write its JSON report to this file")
+		benchQuery = fs.String("bench-query", "", "run the query-kernel benchmark and write its JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *benchPar == "" {
+	if *exp == "" && *benchPar == "" && *benchQuery == "" {
 		fs.Usage()
 		return 2
 	}
@@ -108,6 +109,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		f, err := os.Create(*benchPar)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", werr)
+			return 1
+		}
+		rep.Table().Fprint(stdout)
+		if *exp == "" && *benchQuery == "" {
+			return 0
+		}
+	}
+
+	if *benchQuery != "" {
+		rep, err := experiments.QueryBench(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: query benchmark: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*benchQuery)
 		if err != nil {
 			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
 			return 1

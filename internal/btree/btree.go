@@ -234,20 +234,40 @@ func (t *Tree) findLeaf(key float64) *node {
 // leaf pages read during the scan (query-explain telemetry; the same pages
 // are also charged to the tree's counter).
 func (t *Tree) RangeAsc(lo, hi float64, visit func(key float64, rid uint32) bool) (leaves int) {
-	if t.size == 0 || lo > hi {
+	return t.RangeBetween(lo, hi, false, false, visit)
+}
+
+// RangeBetween visits entries between lo and hi in ascending key order,
+// with each bound independently exclusive: excludeLo skips keys equal to
+// lo, excludeHi skips keys equal to hi. Half-open scans are what the
+// iDistance annulus re-scan needs — a growing search radius re-enters the
+// key space exactly at the previous scan's edge, and an exclusive bound
+// guarantees keys sitting precisely on that edge are neither skipped nor
+// visited twice (the former ±1e-15 epsilon nudging could do either when a
+// key landed inside the epsilon). The visit function returns false to stop
+// early; the return value counts leaf pages read.
+func (t *Tree) RangeBetween(lo, hi float64, excludeLo, excludeHi bool, visit func(key float64, rid uint32) bool) (leaves int) {
+	if t.size == 0 || lo > hi || (lo == hi && (excludeLo || excludeHi)) {
 		return 0
 	}
 	n := t.findLeaf(lo)
 	leaves = 1
-	// Position at the first key >= lo inside the leaf.
+	// Position at the first in-range key inside the leaf: first >= lo, or
+	// first > lo when the low bound is exclusive. Duplicate runs of lo may
+	// straddle leaves, so the exclusive skip continues across the chain via
+	// the key check in the scan loop.
 	idx := sort.SearchFloat64s(n.keys, lo)
 	for n != nil {
 		for ; idx < len(n.keys); idx++ {
 			t.compare()
-			if n.keys[idx] > hi {
+			k := n.keys[idx]
+			if excludeLo && k == lo {
+				continue
+			}
+			if k > hi || (excludeHi && k == hi) {
 				return leaves
 			}
-			if !visit(n.keys[idx], n.rids[idx]) {
+			if !visit(k, n.rids[idx]) {
 				return leaves
 			}
 		}

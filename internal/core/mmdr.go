@@ -26,6 +26,7 @@ import (
 	"mmdr/internal/dataset"
 	"mmdr/internal/ellipkmeans"
 	"mmdr/internal/iostat"
+	"mmdr/internal/matrix"
 	"mmdr/internal/obs"
 	"mmdr/internal/pool"
 	"mmdr/internal/reduction"
@@ -524,20 +525,18 @@ func buildSubspace(id int, ds *dataset.Dataset, pca *stats.PCA, dr int, members 
 		Members:  append([]int(nil), members...),
 		Coords:   make([]float64, len(members)*dr),
 	}
+	sub.EnsureKernels()
 	var mpeSum, maxR2 float64
 	memberData := ds.Subset(members)
 	for k := range members {
 		pt := memberData.Point(k)
 		dst := sub.Coords[k*dr : (k+1)*dr]
-		sub.ProjectInto(pt, dst)
-		var n2 float64
-		for _, c := range dst {
-			n2 += c * c
-		}
+		res := sub.ProjectResidualInto(pt, dst)
+		n2 := matrix.SqNorm(dst)
 		if n2 > maxR2 {
 			maxR2 = n2
 		}
-		mpeSum += sub.Residual(pt)
+		mpeSum += sqrtNonNeg(res)
 	}
 	sub.MaxRadius = sqrtNonNeg(maxR2)
 	sub.MPE = mpeSum / float64(len(members))
@@ -549,6 +548,8 @@ func buildSubspace(id int, ds *dataset.Dataset, pca *stats.PCA, dr int, members 
 	sub.CovInv = g.CovInv
 	sub.LogDet = g.LogDet
 	sub.MahaRadius = g.MahaRadius(memberData.Data)
+	// CovInv only exists now: a second pass derives its Cholesky cache.
+	sub.EnsureKernels()
 	return sub, nil
 }
 

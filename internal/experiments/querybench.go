@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mmdr/internal/core"
+	"mmdr/internal/idist"
+	"mmdr/internal/index"
+)
+
+// QueryReport is the machine-readable output of the query-kernel benchmark
+// (BENCH_query.json). Both columns are measured in the same process on the
+// same index: "baseline" is the frozen pre-kernel query path
+// (ReferenceKNN/ReferenceRange — fresh per-query buffers, sqrt per
+// candidate), "kernel" is the live path (transposed-basis projection,
+// squared-distance pruning with early abandoning, pooled scratch). The
+// baseline is kept in-tree precisely so this comparison stays honest: same
+// machine, same data, same tree.
+type QueryReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      string  `json:"scale"`
+	N          int     `json:"n"`
+	Dim        int     `json:"dim"`
+	Queries    int     `json:"queries"`
+	K          int     `json:"k"`
+	Radius     float64 `json:"range_radius"`
+
+	BaselineKNNNsPerQuery     float64 `json:"baseline_knn_ns_per_query"`
+	KernelKNNNsPerQuery       float64 `json:"kernel_knn_ns_per_query"`
+	KNNSpeedup                float64 `json:"knn_speedup"`
+	BaselineKNNQPS            float64 `json:"baseline_knn_qps"`
+	KernelKNNQPS              float64 `json:"kernel_knn_qps"`
+	BaselineKNNAllocsPerQuery float64 `json:"baseline_knn_allocs_per_query"`
+	KernelKNNAllocsPerQuery   float64 `json:"kernel_knn_allocs_per_query"`
+
+	BaselineRangeNsPerQuery     float64 `json:"baseline_range_ns_per_query"`
+	KernelRangeNsPerQuery       float64 `json:"kernel_range_ns_per_query"`
+	RangeSpeedup                float64 `json:"range_speedup"`
+	BaselineRangeAllocsPerQuery float64 `json:"baseline_range_allocs_per_query"`
+	KernelRangeAllocsPerQuery   float64 `json:"kernel_range_allocs_per_query"`
+
+	// OracleBitIdentical records the correctness gate: kernel KNN and Range
+	// answers equal the sequential-scan oracle bit for bit on every probe.
+	OracleBitIdentical bool `json:"oracle_bit_identical"`
+}
+
+// measureQueries times fn over the query set and reports (ns/query,
+// allocs/query) from wall clock and runtime malloc counters.
+func measureQueries(queries [][]float64, rounds int, fn func(q []float64)) (nsPerQ, allocsPerQ float64) {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			fn(q)
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	total := float64(len(queries) * rounds)
+	return float64(elapsed.Nanoseconds()) / total, float64(ms1.Mallocs-ms0.Mallocs) / total
+}
+
+// QueryBench builds one MMDR model + extended iDistance index at the
+// configured scale and races the kernelized query path against the frozen
+// pre-kernel baseline, gating the numbers on bitwise agreement with the
+// sequential-scan oracle.
+func QueryBench(c Config) (*QueryReport, error) {
+	c = c.withDefaults()
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 5, 3, 25, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	red, err := core.New(core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter, Parallelism: c.Parallelism}).Reduce(ds)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := idist.Build(ds, red, idist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	scan := index.NewSeqScan(ds, red, nil)
+
+	queries := make([][]float64, c.NumQueries)
+	for i := range queries {
+		queries[i] = ds.Point((i * 37) % ds.N)
+	}
+	const radius = 0.4 // normalized data: small, non-empty neighborhoods
+
+	// Correctness gate before any timing: the kernel path must match the
+	// sequential-scan oracle bitwise on a sample of the workload.
+	rep := &QueryReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      string(c.Scale),
+		N:          n,
+		Dim:        dim,
+		Queries:    c.NumQueries,
+		K:          c.K,
+		Radius:     radius,
+	}
+	rep.OracleBitIdentical = true
+	probes := len(queries)
+	if probes > 25 {
+		probes = 25
+	}
+	for _, q := range queries[:probes] {
+		if !neighborsEqual(idx.KNN(q, c.K), scan.KNN(q, c.K)) ||
+			!neighborsEqual(idx.Range(q, radius), scan.Range(q, radius)) {
+			rep.OracleBitIdentical = false
+		}
+	}
+
+	// Warm both paths, then time them over identical rounds.
+	for _, q := range queries {
+		idx.KNN(q, c.K)
+		idx.ReferenceKNN(q, c.K)
+	}
+	rounds := 1
+	if c.NumQueries < 500 {
+		rounds = 500/c.NumQueries + 1
+	}
+	rep.BaselineKNNNsPerQuery, rep.BaselineKNNAllocsPerQuery =
+		measureQueries(queries, rounds, func(q []float64) { idx.ReferenceKNN(q, c.K) })
+	rep.KernelKNNNsPerQuery, rep.KernelKNNAllocsPerQuery =
+		measureQueries(queries, rounds, func(q []float64) { idx.KNN(q, c.K) })
+	rep.BaselineRangeNsPerQuery, rep.BaselineRangeAllocsPerQuery =
+		measureQueries(queries, rounds, func(q []float64) { idx.ReferenceRange(q, radius) })
+	rep.KernelRangeNsPerQuery, rep.KernelRangeAllocsPerQuery =
+		measureQueries(queries, rounds, func(q []float64) { idx.Range(q, radius) })
+
+	if rep.KernelKNNNsPerQuery > 0 {
+		rep.KNNSpeedup = rep.BaselineKNNNsPerQuery / rep.KernelKNNNsPerQuery
+		rep.KernelKNNQPS = 1e9 / rep.KernelKNNNsPerQuery
+	}
+	if rep.BaselineKNNNsPerQuery > 0 {
+		rep.BaselineKNNQPS = 1e9 / rep.BaselineKNNNsPerQuery
+	}
+	if rep.KernelRangeNsPerQuery > 0 {
+		rep.RangeSpeedup = rep.BaselineRangeNsPerQuery / rep.KernelRangeNsPerQuery
+	}
+	if !rep.OracleBitIdentical {
+		return rep, fmt.Errorf("experiments: kernel query path diverged from sequential-scan oracle")
+	}
+	return rep, nil
+}
+
+func neighborsEqual(a, b []index.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *QueryReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the report in the experiment-table shape for the CLI.
+func (r *QueryReport) Table() *Table {
+	t := &Table{
+		Name:   "query",
+		Title:  fmt.Sprintf("query kernels vs pre-kernel baseline (n=%d, d=%d, k=%d)", r.N, r.Dim, r.K),
+		Header: []string{"metric", "baseline", "kernel", "improvement"},
+	}
+	t.AddRow("KNN ns/query", f2(r.BaselineKNNNsPerQuery), f2(r.KernelKNNNsPerQuery), f2(r.KNNSpeedup)+"x")
+	t.AddRow("KNN allocs/query", f2(r.BaselineKNNAllocsPerQuery), f2(r.KernelKNNAllocsPerQuery), "")
+	t.AddRow("Range ns/query", f2(r.BaselineRangeNsPerQuery), f2(r.KernelRangeNsPerQuery), f2(r.RangeSpeedup)+"x")
+	t.AddRow("Range allocs/query", f2(r.BaselineRangeAllocsPerQuery), f2(r.KernelRangeAllocsPerQuery), "")
+	ident := "false"
+	if r.OracleBitIdentical {
+		ident = "true"
+	}
+	t.AddRow("oracle bit-identical", ident, ident, "")
+	return t
+}
+
+// runQueryBench adapts QueryBench to the registry's Runner shape.
+func runQueryBench(c Config) (*Table, error) {
+	rep, err := QueryBench(c)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}
+
+func init() { registry["query"] = runQueryBench }

@@ -1,0 +1,81 @@
+package idist
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// Allocation budget lockdown. The scratch rework's contract is that a query
+// allocates ONLY what it returns:
+//
+//   - KNN: exactly 1 allocation — the sorted neighbor slice.
+//   - Range: exactly 1 allocation when the result is non-empty (the exact-
+//     size result copy), 0 when it is empty (nil result).
+//   - BatchKNN at workers=1: 2 allocations per batch (the outer result
+//     slice and the worker closure's capture record) plus one per query,
+//     the scratch being checked out once for the whole batch.
+//
+// GC is disabled during measurement so sync.Pool cannot drop the warm
+// scratch between runs; anything above the budget is a regression in the
+// scratch plumbing (a fresh closure, a resized buffer, a stray boxing).
+
+func withAllocFixture(t *testing.T) (*Index, []float64) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; exact budgets only hold without -race")
+	}
+	ds, red := testSetup(t, 900, 12, 3, 17)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, ds.Point(5)
+}
+
+func TestKNNAllocatesOnlyResult(t *testing.T) {
+	idx, q := withAllocFixture(t)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	idx.KNN(q, 10) // warm the scratch pool and the TopK backing array
+	if n := testing.AllocsPerRun(100, func() { idx.KNN(q, 10) }); n != 1 {
+		t.Fatalf("KNN allocated %.1f objects per query, budget is exactly 1 (the result slice)", n)
+	}
+}
+
+func TestRangeAllocatesOnlyResult(t *testing.T) {
+	idx, q := withAllocFixture(t)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	const r = 0.4
+	if len(idx.Range(q, r)) == 0 {
+		t.Fatal("fixture radius matches nothing; pick a radius with hits")
+	}
+	if n := testing.AllocsPerRun(100, func() { idx.Range(q, r) }); n != 1 {
+		t.Fatalf("non-empty Range allocated %.1f objects per query, budget is exactly 1 (the result copy)", n)
+	}
+
+	// A far-off query with a tiny radius returns nil and must not allocate.
+	far := make([]float64, len(q))
+	for i := range far {
+		far[i] = 50
+	}
+	if got := idx.Range(far, 1e-6); got != nil {
+		t.Fatalf("expected empty result, got %d neighbors", len(got))
+	}
+	if n := testing.AllocsPerRun(100, func() { idx.Range(far, 1e-6) }); n != 0 {
+		t.Fatalf("empty Range allocated %.1f objects per query, budget is 0", n)
+	}
+}
+
+func TestBatchKNNWorkerAllocationBudget(t *testing.T) {
+	idx, q := withAllocFixture(t)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = q
+	}
+	idx.BatchKNN(queries, 10, 1)
+	budget := float64(2 + len(queries)) // outer slice + worker closure + one result per query
+	if n := testing.AllocsPerRun(50, func() { idx.BatchKNN(queries, 10, 1) }); n != budget {
+		t.Fatalf("BatchKNN(workers=1) allocated %.1f objects per batch, budget is exactly %.0f", n, budget)
+	}
+}

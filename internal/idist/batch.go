@@ -12,6 +12,12 @@ import (
 // workers > 1 the Sink must therefore be goroutine-safe (AtomicCounter) or
 // nil; a plain Counter is only safe at workers <= 1.
 //
+// Queries are split into contiguous chunks, one worker each, and every
+// worker checks a single queryScratch out of the index pool for its whole
+// chunk — so a batch of m queries performs the per-query buffer setup once
+// per worker instead of once per query, and allocates only the result
+// slices.
+//
 // Results land at the same position as their query, so out[i] is exactly
 // what the corresponding single-query call would have returned: the answer
 // sets are identical to a sequential loop at every worker count.
@@ -20,8 +26,12 @@ import (
 // goroutines (workers <= 0 selects runtime.NumCPU()).
 func (idx *Index) BatchKNN(queries [][]float64, k, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
-	pool.Run(pool.Workers(workers), len(queries), func(i int) {
-		out[i] = idx.KNN(queries[i], k)
+	pool.Chunks(pool.Workers(workers), len(queries), func(_, lo, hi int) {
+		sc := idx.getScratch()
+		defer idx.putScratch(sc)
+		for i := lo; i < hi; i++ {
+			out[i] = idx.knnInto(sc, queries[i], k, 0, nil)
+		}
 	})
 	return out
 }
@@ -31,8 +41,13 @@ func (idx *Index) BatchKNN(queries [][]float64, k, workers int) [][]index.Neighb
 func (idx *Index) BatchKNNTrace(queries [][]float64, k, workers int) ([][]index.Neighbor, []*QueryTrace) {
 	out := make([][]index.Neighbor, len(queries))
 	traces := make([]*QueryTrace, len(queries))
-	pool.Run(pool.Workers(workers), len(queries), func(i int) {
-		out[i], traces[i] = idx.KNNTrace(queries[i], k)
+	pool.Chunks(pool.Workers(workers), len(queries), func(_, lo, hi int) {
+		sc := idx.getScratch()
+		defer idx.putScratch(sc)
+		for i := lo; i < hi; i++ {
+			traces[i] = &QueryTrace{K: k}
+			out[i] = idx.knnInto(sc, queries[i], k, 0, traces[i])
+		}
 	})
 	return out, traces
 }
@@ -41,8 +56,12 @@ func (idx *Index) BatchKNNTrace(queries [][]float64, k, workers int) ([][]index.
 // workers goroutines (workers <= 0 selects runtime.NumCPU()).
 func (idx *Index) BatchRange(queries [][]float64, r float64, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
-	pool.Run(pool.Workers(workers), len(queries), func(i int) {
-		out[i] = idx.Range(queries[i], r)
+	pool.Chunks(pool.Workers(workers), len(queries), func(_, lo, hi int) {
+		sc := idx.getScratch()
+		defer idx.putScratch(sc)
+		for i := lo; i < hi; i++ {
+			out[i] = idx.rangeInto(sc, queries[i], r)
+		}
 	})
 	return out
 }

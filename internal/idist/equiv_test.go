@@ -1,0 +1,160 @@
+package idist
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/index"
+	"mmdr/internal/iostat"
+	"mmdr/internal/reduction"
+)
+
+// Equivalence lockdown for the kernelized query paths. Three independent
+// checks pin the rework down:
+//
+//   1. KNN/Range match the frozen pre-kernel implementation
+//      (ReferenceKNN/ReferenceRange in reference.go) bitwise after the
+//      final sqrt — the kernels changed memory layout and comparison
+//      space, not arithmetic.
+//   2. KNN/Range match the sequential-scan oracle bitwise — tree pruning
+//      never changes an answer.
+//   3. Both hold across every reduction family (MMDR, LDR, GDR), since
+//      each populates Subspace differently (with/without CovInv, forced
+//      dimensionalities, outlier mixes).
+
+// equivModels builds one index + oracle per reduction family over the same
+// correlated dataset.
+func equivModels(t *testing.T) map[string]struct {
+	idx  *Index
+	scan *index.SeqScan
+	ds   *dataset.Dataset
+} {
+	t.Helper()
+	cfg := datagen.CorrelatedConfig{N: 800, Dim: 12, NumClusters: 3, SDim: 2, VarRatio: 20, Seed: 97}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+
+	reducers := map[string]reduction.Reducer{
+		"MMDR": core.New(core.Params{Seed: 97, MaxEC: 5}),
+		"LDR":  &reduction.LDR{MaxClusters: 4, Seed: 97},
+		"GDR":  &reduction.GDR{TargetDim: 6},
+	}
+	out := make(map[string]struct {
+		idx  *Index
+		scan *index.SeqScan
+		ds   *dataset.Dataset
+	})
+	for name, r := range reducers {
+		red, err := r.Reduce(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		idx, err := Build(ds, red, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = struct {
+			idx  *Index
+			scan *index.SeqScan
+			ds   *dataset.Dataset
+		}{idx, index.NewSeqScan(ds, red, nil), ds}
+	}
+	return out
+}
+
+func equivQueries(ds *dataset.Dataset, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([][]float64, n)
+	for i := range qs {
+		q := make([]float64, ds.Dim)
+		if i%2 == 0 {
+			base := ds.Point(rng.Intn(ds.N))
+			for j, v := range base {
+				q[j] = v + 0.05*rng.NormFloat64()
+			}
+		} else {
+			for j := range q {
+				q[j] = rng.Float64()
+			}
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+func sameNeighbors(t *testing.T, label string, got, want []index.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("%s rank %d: got (%d, %v), want (%d, %v)",
+				label, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}
+
+func TestKNNBitIdenticalToReferenceAndOracle(t *testing.T) {
+	for name, m := range equivModels(t) {
+		qs := equivQueries(m.ds, 40, 1234)
+		for qi, q := range qs {
+			for _, k := range []int{1, 5, 17} {
+				got := m.idx.KNN(q, k)
+				ref := m.idx.ReferenceKNN(q, k)
+				oracle := m.scan.KNN(q, k)
+				sameNeighbors(t, name+"/ref", got, ref)
+				sameNeighbors(t, name+"/oracle", got, oracle)
+				_ = qi
+			}
+		}
+	}
+}
+
+// The kernel path must not only return the same answers — it must do the
+// same WORK: squared-space pruning and half-open re-scans may never change
+// how many candidates the annulus arithmetic evaluates (only how much each
+// evaluation costs).
+func TestCandidateCountParity(t *testing.T) {
+	ds, red := testSetup(t, 900, 12, 3, 41)
+	var ctr iostat.Counter
+	idx, err := Build(ds, red, Options{Counter: &ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := equivQueries(ds, 30, 99)
+	ctr.Reset()
+	for _, q := range qs {
+		idx.KNN(q, 10)
+	}
+	kernel := ctr.Snapshot().DistanceOps
+	ctr.Reset()
+	for _, q := range qs {
+		idx.ReferenceKNN(q, 10)
+	}
+	ref := ctr.Snapshot().DistanceOps
+	if kernel != ref {
+		t.Fatalf("kernel path evaluated %d candidates, reference evaluated %d", kernel, ref)
+	}
+}
+
+func TestRangeBitIdenticalToReferenceAndOracle(t *testing.T) {
+	for name, m := range equivModels(t) {
+		qs := equivQueries(m.ds, 40, 4321)
+		for _, q := range qs {
+			for _, r := range []float64{0, 0.05, 0.3, 1.5} {
+				got := m.idx.Range(q, r)
+				ref := m.idx.ReferenceRange(q, r)
+				oracle := m.scan.Range(q, r)
+				sameNeighbors(t, name+"/ref", got, ref)
+				sameNeighbors(t, name+"/oracle", got, oracle)
+			}
+		}
+	}
+}

@@ -97,6 +97,14 @@ func FuzzKNNvsSeqScan(f *testing.F) {
 	f.Add(int64(2), uint8(1))
 	f.Add(int64(-9999), uint8(255))
 	f.Add(int64(777), uint8(0))
+	// Kernel-rework corpus: exercise TopK boundary churn (k near the
+	// fixture's partition sizes), far-field queries at several k, and the
+	// seeds the equivalence lockdown tests sweep.
+	f.Add(int64(97), uint8(17))
+	f.Add(int64(1234), uint8(5))
+	f.Add(int64(4321), uint8(49))
+	f.Add(int64(-1), uint8(128))
+	f.Add(int64(541), uint8(33))
 	f.Fuzz(func(t *testing.T, seed int64, kraw uint8) {
 		k := int(kraw)%50 + 1
 		q := fuzzQuery(seed)
@@ -106,13 +114,14 @@ func FuzzKNNvsSeqScan(f *testing.F) {
 			t.Fatalf("k=%d: %d results, scan found %d", k, len(got), len(want))
 		}
 		for i := range want {
-			// Per-rank distances must agree; IDs may swap only between
-			// exact ties, so verify each returned ID's oracle distance
-			// instead of the ID sequence.
-			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			// Per-rank distances must agree BITWISE: both sides accumulate
+			// squared distances with the same kernels and take the same
+			// final sqrt. IDs may swap only between exact ties, so verify
+			// each returned ID's oracle distance instead of the ID sequence.
+			if got[i].Dist != want[i].Dist {
 				t.Fatalf("k=%d rank %d: dist %v, scan %v", k, i, got[i].Dist, want[i].Dist)
 			}
-			if d := reducedDist(q, got[i].ID); math.Abs(d-got[i].Dist) > 1e-9 {
+			if d := reducedDist(q, got[i].ID); d != got[i].Dist {
 				t.Fatalf("k=%d rank %d: reported dist %v but point %d is at %v",
 					k, i, got[i].Dist, got[i].ID, d)
 			}
@@ -128,6 +137,13 @@ func FuzzRangeVsSeqScan(f *testing.F) {
 	f.Add(int64(4), 0.0)
 	f.Add(int64(-5), 2.5)
 	f.Add(int64(600), 0.01)
+	// Kernel-rework corpus: radii at annulus-boundary scales, a radius
+	// large enough to cover every partition, and subnormal/huge extremes
+	// that stress the squared-radius (r²) predicate.
+	f.Add(int64(97), 0.4)
+	f.Add(int64(1234), 3.9999)
+	f.Add(int64(-7), 5e-324)
+	f.Add(int64(8), 1e154)
 	f.Fuzz(func(t *testing.T, seed int64, radius float64) {
 		if math.IsNaN(radius) || math.IsInf(radius, 0) {
 			t.Skip("non-finite radius")
@@ -142,10 +158,11 @@ func FuzzRangeVsSeqScan(f *testing.F) {
 		if len(got) != len(want) {
 			t.Fatalf("r=%v: %d results, scan found %d", r, len(got), len(want))
 		}
-		// Both sides sort ascending by (dist, id): the answer sets must
-		// match element for element.
+		// Both sides accumulate squared distances with the same kernels,
+		// sort ascending by (d², id) and take the same final sqrt: the
+		// answer lists must match element for element, bitwise.
 		for i := range want {
-			if got[i].ID != want[i].ID || math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
 				t.Fatalf("r=%v rank %d: got (%d, %v), scan (%d, %v)",
 					r, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
 			}

@@ -18,6 +18,7 @@ package idist
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mmdr/internal/btree"
 	"mmdr/internal/dataset"
@@ -69,6 +70,15 @@ type Index struct {
 	// distances can be computed from stored reduced coordinates.
 	partOf []int32
 	slotOf []int32
+
+	// scratchPool recycles queryScratch values so KNN/Range allocate only
+	// their returned neighbor slices.
+	scratchPool sync.Pool
+
+	// Insert scratch. Insert mutates the tree and is not concurrency-safe,
+	// so plain fields (lazily sized) suffice.
+	insDiff []float64
+	insProj []float64
 }
 
 // Build constructs the index over a reduction of ds.
@@ -105,6 +115,9 @@ func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, er
 	// partition measures in the original space from the outlier centroid.
 	var weightedDim, members float64
 	for _, s := range red.Subspaces {
+		// Builders populate the kernel caches already; reductions arriving
+		// from older snapshots or hand-built tests may not have them yet.
+		s.EnsureKernels()
 		idx.parts = append(idx.parts, partition{sub: s, maxRadius: s.MaxRadius})
 		weightedDim += float64(s.Dr) * float64(len(s.Members))
 		members += float64(len(s.Members))
@@ -270,18 +283,37 @@ func (idx *Index) KNNTrace(q []float64, k int) ([]index.Neighbor, *QueryTrace) {
 }
 
 func (idx *Index) knn(q []float64, k, maxRounds int, tr *QueryTrace) []index.Neighbor {
-	top := index.NewTopK(k)
-	states := make([]queryState, len(idx.parts))
+	if k <= 0 {
+		return nil
+	}
+	sc := idx.getScratch()
+	defer idx.putScratch(sc)
+	return idx.knnInto(sc, q, k, maxRounds, tr)
+}
+
+// knnInto runs the radius-enlargement search using sc's buffers. All
+// candidate bookkeeping is done in SQUARED distance — sqrt is monotone, so
+// the k-th squared distance selects exactly the same neighbor set — and the
+// single sqrt per result happens when materializing the returned slice,
+// which is the only allocation of the search.
+func (idx *Index) knnInto(sc *queryScratch, q []float64, k, maxRounds int, tr *QueryTrace) []index.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	sc.top.Reset(k)
+	sc.q = q
+	states := sc.states
 	for pi := range idx.parts {
 		p := &idx.parts[pi]
 		st := &states[pi]
 		if p.sub != nil {
-			st.proj = p.sub.Project(q)
-			st.dist = matrix.Norm2(st.proj)
+			p.sub.ProjectInto(q, st.proj)
+			st.dist = math.Sqrt(matrix.SqNorm(st.proj))
 		} else {
 			st.dist = matrix.Dist(q, p.centroid)
 		}
 		st.scanLo, st.scanHi = math.Inf(1), math.Inf(-1) // nothing scanned
+		st.exhausted = false
 	}
 	if tr != nil {
 		tr.Partitions = make([]PartitionProbe, len(idx.parts))
@@ -327,18 +359,20 @@ func (idx *Index) knn(q []float64, k, maxRounds int, tr *QueryTrace) []index.Nei
 				}
 				continue
 			}
-			// Scan only the not-yet-visited parts of the annulus.
+			// Scan only the not-yet-visited parts of the annulus. A grown
+			// annulus re-scans with half-open bounds so keys sitting exactly
+			// on a previous edge are visited exactly once.
 			base := float64(pi) * idx.c
 			if st.scanLo > st.scanHi {
-				idx.scanRange(q, pi, base+lo, base+hi, st, top, tr)
+				idx.scanRange(sc, pi, base+lo, base+hi, false, false, tr)
 				st.scanLo, st.scanHi = lo, hi
 			} else {
 				if lo < st.scanLo {
-					idx.scanRange(q, pi, base+lo, base+st.scanLo-1e-15, st, top, tr)
+					idx.scanRange(sc, pi, base+lo, base+st.scanLo, false, true, tr)
 					st.scanLo = lo
 				}
 				if hi > st.scanHi {
-					idx.scanRange(q, pi, base+st.scanHi+1e-15, base+hi, st, top, tr)
+					idx.scanRange(sc, pi, base+st.scanHi, base+hi, true, false, tr)
 					st.scanHi = hi
 				}
 			}
@@ -349,8 +383,9 @@ func (idx *Index) knn(q []float64, k, maxRounds int, tr *QueryTrace) []index.Nei
 			}
 		}
 		// Stop when the k-th distance is within the sphere (every closer
-		// point has been seen) or nothing remains to scan.
-		if top.Len() >= k && top.Kth() <= r {
+		// point has been seen) or nothing remains to scan. Kth is squared,
+		// so the sphere radius is compared squared too.
+		if sc.top.Len() >= k && sc.top.Kth() <= r*r {
 			break
 		}
 		if allDone {
@@ -375,34 +410,26 @@ func (idx *Index) knn(q []float64, k, maxRounds int, tr *QueryTrace) []index.Nei
 			pr.Exhausted = st.exhausted
 		}
 	}
-	return top.Sorted()
+	out := sc.top.Sorted()
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
+	return out
 }
 
-// scanRange visits tree keys in [lo, hi] for partition pi, computing each
-// candidate's distance in the partition's metric: projected distance for
-// subspace members, exact original-space distance for outliers.
-func (idx *Index) scanRange(q []float64, pi int, lo, hi float64, st *queryState, top *index.TopK, tr *QueryTrace) {
-	p := &idx.parts[pi]
-	cand := 0
-	leaves := idx.tree.RangeAsc(lo, hi, func(_ float64, rid uint32) bool {
-		id := int(rid)
-		var d float64
-		if p.sub != nil {
-			d = matrix.Dist(st.proj, p.sub.MemberCoords(int(idx.slotOf[id])))
-		} else {
-			d = matrix.Dist(idx.ds.Point(id), q)
-		}
-		if idx.counter != nil {
-			idx.counter.CountDistanceOps(1)
-		}
-		cand++
-		top.Add(id, d)
-		return true
-	})
+// scanRange visits tree keys in the [lo, hi] annulus slice of partition pi
+// (edges excluded per the flags when re-scanning a grown annulus), feeding
+// each candidate through the scratch's pre-bound visit callback: squared
+// projected distance for subspace members, squared original-space distance
+// for outliers.
+func (idx *Index) scanRange(sc *queryScratch, pi int, lo, hi float64, exLo, exHi bool, tr *QueryTrace) {
+	sc.beginScan(pi)
+	sc.cand = 0
+	leaves := idx.tree.RangeBetween(lo, hi, exLo, exHi, sc.visitKNN)
 	if tr != nil {
-		tr.Candidates += cand
+		tr.Candidates += sc.cand
 		tr.LeavesScanned += leaves
-		tr.Partitions[pi].Candidates += cand
+		tr.Partitions[pi].Candidates += sc.cand
 	}
 }
 

@@ -25,6 +25,11 @@ func (idx *Index) Insert(p []float64) (int, error) {
 		return 0, fmt.Errorf("idist: Insert dimension %d, want %d", len(p), idx.ds.Dim)
 	}
 
+	if cap(idx.insDiff) < idx.ds.Dim {
+		idx.insDiff = make([]float64, idx.ds.Dim)
+	}
+	diff := idx.insDiff[:idx.ds.Dim]
+
 	bestPart := -1
 	bestScore := math.Inf(1)
 	for pi := range idx.parts {
@@ -33,11 +38,17 @@ func (idx *Index) Insert(p []float64) (int, error) {
 		if s == nil || s.CovInv == nil {
 			continue
 		}
-		maha := mahaQuad(p, s.Centroid, s.CovInv)
+		// MahaSq evaluates the quadratic form through the cached Cholesky
+		// factor of CovInv when the subspace has one (half the multiplies of
+		// the full form), falling back to the dense form otherwise.
+		maha := s.MahaSq(p, diff)
 		if s.MahaRadius > 0 && maha > s.MahaRadius*1.2 {
 			continue
 		}
-		if s.Residual(p) > insertBeta {
+		if cap(idx.insProj) < s.Dr {
+			idx.insProj = make([]float64, s.Dr)
+		}
+		if math.Sqrt(s.ProjectResidualInto(p, idx.insProj[:s.Dr])) > insertBeta {
 			continue
 		}
 		score := maha
@@ -55,9 +66,13 @@ func (idx *Index) Insert(p []float64) (int, error) {
 	idx.partOf = append(idx.partOf, -1)
 	idx.slotOf = append(idx.slotOf, -1)
 
+	var insDist float64
 	if bestPart >= 0 {
 		// A key must stay inside its partition's [i·c, (i+1)·c) range.
-		if d := matrix.Norm2(idx.parts[bestPart].sub.Project(p)); d >= idx.c {
+		s := idx.parts[bestPart].sub
+		s.ProjectInto(p, idx.insProj[:s.Dr])
+		insDist = math.Sqrt(matrix.SqNorm(idx.insProj[:s.Dr]))
+		if insDist >= idx.c {
 			bestPart = -1
 		}
 	}
@@ -65,11 +80,10 @@ func (idx *Index) Insert(p []float64) (int, error) {
 	if bestPart >= 0 {
 		part := &idx.parts[bestPart]
 		s := part.sub
-		coords := s.Project(p)
 		slot := len(s.Members)
 		s.Members = append(s.Members, id)
-		s.Coords = append(s.Coords, coords...)
-		dist := matrix.Norm2(coords)
+		s.Coords = append(s.Coords, idx.insProj[:s.Dr]...)
+		dist := insDist
 		if dist > s.MaxRadius {
 			s.MaxRadius = dist
 			part.maxRadius = dist
@@ -106,23 +120,4 @@ func (idx *Index) outlierPartition(p []float64) int {
 	copy(centroid, p)
 	idx.parts = append(idx.parts, partition{centroid: centroid})
 	return len(idx.parts) - 1
-}
-
-// mahaQuad computes (p-o)ᵀ M (p-o).
-func mahaQuad(p, o []float64, m *matrix.Mat) float64 {
-	var total float64
-	n := len(p)
-	for i := 0; i < n; i++ {
-		di := p[i] - o[i]
-		if di == 0 {
-			continue
-		}
-		row := m.Row(i)
-		var s float64
-		for j := 0; j < n; j++ {
-			s += row[j] * (p[j] - o[j])
-		}
-		total += di * s
-	}
-	return total
 }

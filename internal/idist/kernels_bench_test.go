@@ -1,0 +1,74 @@
+package idist
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+)
+
+// benchIndex builds a mid-size fixture shared by the kernel benchmarks.
+func benchIndex(b *testing.B) (*Index, *dataset.Dataset) {
+	b.Helper()
+	cfg := datagen.CorrelatedConfig{N: 5000, Dim: 64, NumClusters: 4, SDim: 3, VarRatio: 20, Seed: 100}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	red, err := core.New(core.Params{Seed: 100}).Reduce(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, ds
+}
+
+// BenchmarkKNNKernels races the kernelized KNN path against the frozen
+// pre-kernel reference on the same index — the per-query view of the
+// BENCH_query.json numbers.
+func BenchmarkKNNKernels(b *testing.B) {
+	idx, ds := benchIndex(b)
+	queries := datagen.SampleQueries(ds, 64, 0.02, 101)
+	b.Run("kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.KNN(queries.Point(i%queries.N), 10)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.ReferenceKNN(queries.Point(i%queries.N), 10)
+		}
+	})
+}
+
+// BenchmarkInsert measures dynamic insertion, whose subspace selection now
+// runs through the cached Cholesky factor of CovInv and the fused
+// projection+residual kernel.
+func BenchmarkInsert(b *testing.B) {
+	idx, ds := benchIndex(b)
+	rng := rand.New(rand.NewSource(7))
+	points := make([][]float64, 1024)
+	for i := range points {
+		base := ds.Point(rng.Intn(ds.N))
+		p := make([]float64, ds.Dim)
+		for j, v := range base {
+			p[j] = v + 0.01*rng.NormFloat64()
+		}
+		points[i] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Insert(points[i%len(points)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

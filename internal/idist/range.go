@@ -1,7 +1,7 @@
 package idist
 
 import (
-	"sort"
+	"math"
 
 	"mmdr/internal/index"
 	"mmdr/internal/matrix"
@@ -13,14 +13,26 @@ import (
 // query class iDistance supports natively: the query sphere maps to one key
 // annulus per partition, no iteration required.
 func (idx *Index) Range(q []float64, r float64) []index.Neighbor {
-	var out []index.Neighbor
+	sc := idx.getScratch()
+	defer idx.putScratch(sc)
+	return idx.rangeInto(sc, q, r)
+}
+
+// rangeInto runs the range scan using sc's buffers. Candidates are filtered
+// and accumulated in SQUARED distance (d² ≤ r² selects the same ball as
+// d ≤ r) with the single sqrt per result taken when materializing the
+// returned slice — the only allocation of a non-empty query.
+func (idx *Index) rangeInto(sc *queryScratch, q []float64, r float64) []index.Neighbor {
+	sc.q = q
+	sc.r2 = r * r
+	sc.rangeBuf = sc.rangeBuf[:0]
 	for pi := range idx.parts {
 		p := &idx.parts[pi]
-		var proj []float64
+		st := &sc.states[pi]
 		var dist float64
 		if p.sub != nil {
-			proj = p.sub.Project(q)
-			dist = matrix.Norm2(proj)
+			p.sub.ProjectInto(q, st.proj)
+			dist = math.Sqrt(matrix.SqNorm(st.proj))
 		} else {
 			dist = matrix.Dist(q, p.centroid)
 		}
@@ -36,29 +48,20 @@ func (idx *Index) Range(q []float64, r float64) []index.Neighbor {
 			continue // query sphere cannot reach this partition
 		}
 		base := float64(pi) * idx.c
-		idx.tree.RangeAsc(base+lo, base+hi, func(_ float64, rid uint32) bool {
-			id := int(rid)
-			var d float64
-			if p.sub != nil {
-				d = matrix.Dist(proj, p.sub.MemberCoords(int(idx.slotOf[id])))
-			} else {
-				d = matrix.Dist(idx.ds.Point(id), q)
-			}
-			if idx.counter != nil {
-				idx.counter.CountDistanceOps(1)
-			}
-			if d <= r {
-				out = append(out, index.Neighbor{ID: id, Dist: d})
-			}
-			return true
-		})
+		sc.beginScan(pi)
+		idx.tree.RangeBetween(base+lo, base+hi, false, false, sc.visitRange)
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
-		}
-		return out[a].ID < out[b].ID
-	})
+	if len(sc.rangeBuf) == 0 {
+		return nil
+	}
+	// Squared distances sort in the same order as distances; sorting before
+	// the sqrt keeps the comparison cheap and the result order identical.
+	index.SortNeighbors(sc.rangeBuf)
+	out := make([]index.Neighbor, len(sc.rangeBuf))
+	copy(out, sc.rangeBuf)
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
 	return out
 }
 

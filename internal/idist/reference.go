@@ -1,0 +1,172 @@
+package idist
+
+import (
+	"math"
+	"sort"
+
+	"mmdr/internal/index"
+	"mmdr/internal/matrix"
+)
+
+// This file freezes the pre-kernel query implementation exactly as it shipped
+// before the allocation-free rework: per-query state slices are allocated
+// fresh, candidates are compared by plain (square-rooted) distance, and
+// annulus re-scans nudge their edges by ±1e-15 instead of using half-open
+// bounds. It exists for two reasons:
+//
+//   - Equivalence lockdown: tests assert the kernelized KNN/Range paths
+//     return bitwise-identical results (after the final sqrt) on the same
+//     index.
+//   - Honest baselines: the query benchmark reports the kernel speedup
+//     against this implementation measured on the same machine and data.
+//
+// Do not "fix" or modernize this code; its value is that it does not change.
+// Known ulp-edge divergences from the live path (acceptable, by design):
+// re-scan epsilons may skip or repeat keys sitting exactly on a scan edge
+// (the bug the live path fixes), and a candidate at exactly distance r may be
+// classified differently because the live path compares d² ≤ r² while this
+// one compares sqrt(d²) ≤ r.
+
+// ReferenceKNN answers a KNN query with the frozen pre-kernel search.
+func (idx *Index) ReferenceKNN(q []float64, k int) []index.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	top := index.NewTopK(k)
+	states := make([]queryState, len(idx.parts))
+	for pi := range idx.parts {
+		p := &idx.parts[pi]
+		st := &states[pi]
+		if p.sub != nil {
+			st.proj = p.sub.Project(q)
+			st.dist = matrix.Norm2(st.proj)
+		} else {
+			st.dist = matrix.Dist(q, p.centroid)
+		}
+		st.scanLo, st.scanHi = math.Inf(1), math.Inf(-1) // nothing scanned
+	}
+
+	r := idx.deltaR
+	for {
+		allDone := true
+		for pi := range idx.parts {
+			p := &idx.parts[pi]
+			st := &states[pi]
+			if st.exhausted {
+				continue
+			}
+			lo := st.dist - r
+			if lo < 0 {
+				lo = 0
+			}
+			hi := st.dist + r
+			if hi > p.maxRadius {
+				hi = p.maxRadius
+			}
+			if lo > hi {
+				if st.dist-r > p.maxRadius {
+					allDone = false // may reach later
+				}
+				continue
+			}
+			base := float64(pi) * idx.c
+			if st.scanLo > st.scanHi {
+				idx.refScanRange(q, pi, base+lo, base+hi, st, top)
+				st.scanLo, st.scanHi = lo, hi
+			} else {
+				if lo < st.scanLo {
+					idx.refScanRange(q, pi, base+lo, base+st.scanLo-1e-15, st, top)
+					st.scanLo = lo
+				}
+				if hi > st.scanHi {
+					idx.refScanRange(q, pi, base+st.scanHi+1e-15, base+hi, st, top)
+					st.scanHi = hi
+				}
+			}
+			if st.scanLo <= 0 && st.scanHi >= p.maxRadius {
+				st.exhausted = true
+			} else {
+				allDone = false
+			}
+		}
+		if top.Len() >= k && top.Kth() <= r {
+			break
+		}
+		if allDone {
+			break
+		}
+		r += idx.deltaR
+	}
+	return top.Sorted()
+}
+
+// refScanRange is the pre-kernel candidate evaluation: one matrix.Dist (with
+// its sqrt) per visited key.
+func (idx *Index) refScanRange(q []float64, pi int, lo, hi float64, st *queryState, top *index.TopK) {
+	p := &idx.parts[pi]
+	idx.tree.RangeAsc(lo, hi, func(_ float64, rid uint32) bool {
+		id := int(rid)
+		var d float64
+		if p.sub != nil {
+			d = matrix.Dist(st.proj, p.sub.MemberCoords(int(idx.slotOf[id])))
+		} else {
+			d = matrix.Dist(idx.ds.Point(id), q)
+		}
+		if idx.counter != nil {
+			idx.counter.CountDistanceOps(1)
+		}
+		top.Add(id, d)
+		return true
+	})
+}
+
+// ReferenceRange answers a range query with the frozen pre-kernel scan.
+func (idx *Index) ReferenceRange(q []float64, r float64) []index.Neighbor {
+	var out []index.Neighbor
+	for pi := range idx.parts {
+		p := &idx.parts[pi]
+		var proj []float64
+		var dist float64
+		if p.sub != nil {
+			proj = p.sub.Project(q)
+			dist = matrix.Norm2(proj)
+		} else {
+			dist = matrix.Dist(q, p.centroid)
+		}
+		lo := dist - r
+		if lo < 0 {
+			lo = 0
+		}
+		hi := dist + r
+		if hi > p.maxRadius {
+			hi = p.maxRadius
+		}
+		if lo > hi {
+			continue // query sphere cannot reach this partition
+		}
+		base := float64(pi) * idx.c
+		idx.tree.RangeAsc(base+lo, base+hi, func(_ float64, rid uint32) bool {
+			id := int(rid)
+			var d float64
+			if p.sub != nil {
+				d = matrix.Dist(proj, p.sub.MemberCoords(int(idx.slotOf[id])))
+			} else {
+				d = matrix.Dist(idx.ds.Point(id), q)
+			}
+			if idx.counter != nil {
+				idx.counter.CountDistanceOps(1)
+			}
+			if d <= r {
+				out = append(out, index.Neighbor{ID: id, Dist: d})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

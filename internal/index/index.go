@@ -4,9 +4,8 @@
 package index
 
 import (
-	"container/heap"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Neighbor is one KNN result: the dataset row ID and its distance to the
@@ -36,19 +35,64 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make(nbrHeap, 0, k+1)}
 }
 
+// Reset empties the accumulator and retargets it to k neighbors, keeping the
+// backing array so a pooled TopK can be reused across queries without
+// allocating.
+func (t *TopK) Reset(k int) {
+	t.k = k
+	t.heap = t.heap[:0]
+}
+
 // Add offers a candidate; it is kept only if it beats the current k-th
-// distance.
+// distance. The sift operations are inlined (not container/heap) so no
+// interface boxing allocates on the query hot path; they replicate
+// container/heap's up/down exactly, so tie handling is unchanged.
 func (t *TopK) Add(id int, dist float64) {
 	if t.k <= 0 {
 		return
 	}
 	if len(t.heap) < t.k {
-		heap.Push(&t.heap, Neighbor{ID: id, Dist: dist})
+		t.heap = append(t.heap, Neighbor{ID: id, Dist: dist})
+		t.up(len(t.heap) - 1)
 		return
 	}
 	if dist < t.heap[0].Dist {
 		t.heap[0] = Neighbor{ID: id, Dist: dist}
-		heap.Fix(&t.heap, 0)
+		t.down(0)
+	}
+}
+
+// up sifts element j toward the root of the max-heap.
+func (t *TopK) up(j int) {
+	h := t.heap
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h[j].Dist > h[i].Dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// down sifts element i toward the leaves of the max-heap.
+func (t *TopK) down(i int) {
+	h := t.heap
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].Dist > h[j1].Dist {
+			j = j2 // right child is the larger
+		}
+		if !(h[j].Dist > h[i].Dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
 	}
 }
 
@@ -65,30 +109,33 @@ func (t *TopK) Kth() float64 {
 // Len returns how many neighbors are currently held.
 func (t *TopK) Len() int { return len(t.heap) }
 
-// Sorted returns the accumulated neighbors in ascending distance order.
+// Sorted returns the accumulated neighbors in ascending distance order. The
+// returned slice is the only allocation a reused TopK makes per query.
 func (t *TopK) Sorted() []Neighbor {
 	out := make([]Neighbor, len(t.heap))
 	copy(out, t.heap)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	SortNeighbors(out)
 	return out
 }
 
-// nbrHeap is a max-heap on Dist.
-type nbrHeap []Neighbor
-
-func (h nbrHeap) Len() int            { return len(h) }
-func (h nbrHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h nbrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nbrHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *nbrHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// SortNeighbors orders ns ascending by (Dist, ID) in place without
+// allocating. Every index implementation sorts results through this one
+// helper so tie-breaking is identical across schemes.
+func SortNeighbors(ns []Neighbor) {
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
 }
+
+// nbrHeap is a max-heap on Dist, maintained by TopK.up/TopK.down.
+type nbrHeap []Neighbor

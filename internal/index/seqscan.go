@@ -1,7 +1,7 @@
 package index
 
 import (
-	"sort"
+	"math"
 
 	"mmdr/internal/dataset"
 	"mmdr/internal/iostat"
@@ -32,33 +32,42 @@ func (s *SeqScan) Name() string { return "seq-scan" }
 // representation: per-subspace projected distance for members, exact
 // distance for outliers — the same approximation every scheme over the
 // same reduction sees, so precision is identical and only cost differs.
+//
+// The scan accumulates SQUARED distances and applies one sqrt per returned
+// neighbor — the exact procedure of the kernelized iDistance path, so a
+// tree-based answer over the same reduction matches this oracle bitwise,
+// not merely within rounding.
 func (s *SeqScan) KNN(q []float64, k int) []Neighbor {
 	top := NewTopK(k)
 	for _, sub := range s.red.Subspaces {
 		qp := sub.Project(q)
 		for mi, id := range sub.Members {
 			c := sub.MemberCoords(mi)
-			d := matrix.Dist(qp, c)
+			dSq := matrix.SqDist(qp, c)
 			if s.counter != nil {
 				s.counter.CountDistanceOps(1)
 			}
-			top.Add(id, d)
+			top.Add(id, dSq)
 		}
 		if s.counter != nil {
 			s.counter.CountPageReads(iostat.PagesForPoints(len(sub.Members), sub.Dr))
 		}
 	}
 	for _, id := range s.red.Outliers {
-		d := matrix.Dist(q, s.ds.Point(id))
+		dSq := matrix.SqDist(q, s.ds.Point(id))
 		if s.counter != nil {
 			s.counter.CountDistanceOps(1)
 		}
-		top.Add(id, d)
+		top.Add(id, dSq)
 	}
 	if s.counter != nil {
 		s.counter.CountPageReads(iostat.PagesForPoints(len(s.red.Outliers), s.ds.Dim))
 	}
-	return top.Sorted()
+	out := top.Sorted()
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
+	return out
 }
 
 // Range returns every point within distance r of q in the reduced
@@ -66,16 +75,17 @@ func (s *SeqScan) KNN(q []float64, k int) []Neighbor {
 // model and ordering as the extended iDistance Range, making this the
 // ground truth a tree-based answer must match exactly.
 func (s *SeqScan) Range(q []float64, r float64) []Neighbor {
+	r2 := r * r
 	var out []Neighbor
 	for _, sub := range s.red.Subspaces {
 		qp := sub.Project(q)
 		for mi, id := range sub.Members {
-			d := matrix.Dist(qp, sub.MemberCoords(mi))
+			dSq := matrix.SqDist(qp, sub.MemberCoords(mi))
 			if s.counter != nil {
 				s.counter.CountDistanceOps(1)
 			}
-			if d <= r {
-				out = append(out, Neighbor{ID: id, Dist: d})
+			if dSq <= r2 {
+				out = append(out, Neighbor{ID: id, Dist: dSq})
 			}
 		}
 		if s.counter != nil {
@@ -83,22 +93,22 @@ func (s *SeqScan) Range(q []float64, r float64) []Neighbor {
 		}
 	}
 	for _, id := range s.red.Outliers {
-		d := matrix.Dist(q, s.ds.Point(id))
+		dSq := matrix.SqDist(q, s.ds.Point(id))
 		if s.counter != nil {
 			s.counter.CountDistanceOps(1)
 		}
-		if d <= r {
-			out = append(out, Neighbor{ID: id, Dist: d})
+		if dSq <= r2 {
+			out = append(out, Neighbor{ID: id, Dist: dSq})
 		}
 	}
 	if s.counter != nil {
 		s.counter.CountPageReads(iostat.PagesForPoints(len(s.red.Outliers), s.ds.Dim))
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
-		}
-		return out[a].ID < out[b].ID
-	})
+	// Same materialization procedure as the iDistance range path: sort by
+	// (d², id), then one sqrt per result.
+	SortNeighbors(out)
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
 	return out
 }

@@ -1,0 +1,148 @@
+package matrix
+
+// Flat-slice query kernels. These are the inner loops of the query hot path
+// (candidate evaluation in the extended iDistance, basis projection, residual
+// computation); everything else in the package is build-time code.
+//
+// Every kernel accumulates with a SINGLE accumulator in strict left-to-right
+// index order. The Go compiler never reassociates floating-point arithmetic,
+// so the 4-way unrolled bodies produce bit-identical results to the naive
+// loops they replace — unrolling buys reduced loop overhead and bounds-check
+// elimination only, never a different rounding sequence. This is what lets
+// the kernelized query path guarantee answers bitwise equal to the serial
+// reference while the same kernels also feed build-time model state
+// (projected coordinates, radii) without perturbing it.
+
+// DotUnroll4 returns the inner product of x and y with a 4-way unrolled
+// loop. Accumulation order is identical to Dot (serial, left to right).
+func DotUnroll4(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("matrix: DotUnroll4 length mismatch")
+	}
+	var s float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		s += x4[0] * y4[0]
+		s += x4[1] * y4[1]
+		s += x4[2] * y4[2]
+		s += x4[3] * y4[3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between x and y with a
+// 4-way unrolled loop (serial accumulation order).
+func SqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("matrix: SqDist length mismatch")
+	}
+	var s float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		d0 := x4[0] - y4[0]
+		s += d0 * d0
+		d1 := x4[1] - y4[1]
+		s += d1 * d1
+		d2 := x4[2] - y4[2]
+		s += d2 * d2
+		d3 := x4[3] - y4[3]
+		s += d3 * d3
+	}
+	for ; i < len(x); i++ {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// EarlyAbandonMinLen is the vector length below which SqDistEarlyAbandon
+// computes the full distance without bound checks: on short vectors (the
+// reduced dimensionalities subspace scans run at) the per-block branch
+// costs more than the skipped tail could save, and abandoning can only
+// ever change a value the caller rejects anyway. Hot loops that know their
+// vector length per scan can branch on this themselves and call SqDist
+// directly, saving the dispatch call.
+const EarlyAbandonMinLen = 16
+
+// SqDistEarlyAbandon computes the squared Euclidean distance between x and
+// y, abandoning the scan as soon as the partial sum exceeds bound. Partial
+// sums of squares are monotone non-decreasing, so a return value v > bound
+// certifies the full squared distance also exceeds bound; a return value
+// v <= bound is the exact full squared distance, bit-identical to SqDist
+// (the survivors' accumulation sequence is unchanged — the bound check only
+// cuts iterations short, it never reorders them). Pass bound = +Inf to
+// disable abandoning. Vectors shorter than earlyAbandonMinLen skip the
+// bound checks entirely (same contract: the return value is then always
+// the exact squared distance).
+func SqDistEarlyAbandon(x, y []float64, bound float64) float64 {
+	if len(x) != len(y) {
+		panic("matrix: SqDistEarlyAbandon length mismatch")
+	}
+	if len(x) < EarlyAbandonMinLen {
+		return SqDist(x, y)
+	}
+	var s float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		d0 := x4[0] - y4[0]
+		s += d0 * d0
+		d1 := x4[1] - y4[1]
+		s += d1 * d1
+		d2 := x4[2] - y4[2]
+		s += d2 * d2
+		d3 := x4[3] - y4[3]
+		s += d3 * d3
+		if s > bound {
+			return s
+		}
+	}
+	for ; i < len(x); i++ {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// MatVecRowMajor computes dst = A·x for a row-major rows×cols matrix stored
+// flat in a. Each output element is one contiguous dot product (DotUnroll4),
+// so the kernel streams both the matrix and the vector — the access pattern
+// the transposed projection basis is laid out for. dst must have length
+// rows; a must have length rows*cols.
+func MatVecRowMajor(a []float64, rows, cols int, x, dst []float64) {
+	if len(a) != rows*cols {
+		panic("matrix: MatVecRowMajor matrix size mismatch")
+	}
+	if len(x) != cols || len(dst) != rows {
+		panic("matrix: MatVecRowMajor vector size mismatch")
+	}
+	for r := 0; r < rows; r++ {
+		dst[r] = DotUnroll4(a[r*cols:(r+1)*cols], x)
+	}
+}
+
+// SqNorm returns the squared Euclidean norm of x (serial accumulation
+// order, 4-way unrolled).
+func SqNorm(x []float64) float64 {
+	var s float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		s += x4[0] * x4[0]
+		s += x4[1] * x4[1]
+		s += x4[2] * x4[2]
+		s += x4[3] * x4[3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * x[i]
+	}
+	return s
+}

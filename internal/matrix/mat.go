@@ -281,19 +281,6 @@ func Norm2(x []float64) float64 {
 	return math.Sqrt(Dot(x, x))
 }
 
-// SqDist returns the squared Euclidean distance between x and y.
-func SqDist(x, y []float64) float64 {
-	if len(x) != len(y) {
-		panic("matrix: SqDist length mismatch")
-	}
-	var s float64
-	for i, v := range x {
-		d := v - y[i]
-		s += d * d
-	}
-	return s
-}
-
 // Dist returns the Euclidean distance between x and y.
 func Dist(x, y []float64) float64 { return math.Sqrt(SqDist(x, y)) }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mmdr/internal/dataset"
+	"mmdr/internal/matrix"
 	"mmdr/internal/obs"
 	"mmdr/internal/stats"
 )
@@ -50,18 +51,17 @@ func (g *GDR) Reduce(ds *dataset.Dataset) (*Result, error) {
 		Members:  make([]int, ds.N),
 		Coords:   make([]float64, ds.N*dr),
 	}
+	sub.EnsureKernels()
 	var mpeSum float64
 	for i := 0; i < ds.N; i++ {
 		sub.Members[i] = i
-		sub.ProjectInto(ds.Point(i), sub.Coords[i*dr:(i+1)*dr])
-		var norm2 float64
-		for _, c := range sub.Coords[i*dr : (i+1)*dr] {
-			norm2 += c * c
-		}
+		dst := sub.Coords[i*dr : (i+1)*dr]
+		res := sub.ProjectResidualInto(ds.Point(i), dst)
+		norm2 := matrix.SqNorm(dst)
 		if norm2 > sub.MaxRadius*sub.MaxRadius {
 			sub.MaxRadius = math.Sqrt(norm2)
 		}
-		mpeSum += sub.Residual(ds.Point(i))
+		mpeSum += math.Sqrt(res)
 	}
 	sub.MPE = mpeSum / float64(ds.N)
 	return &Result{Dim: ds.Dim, Subspaces: []*Subspace{sub}}, nil

@@ -65,6 +65,7 @@ func (r *Identity) Reduce(ds *dataset.Dataset) (*Result, error) {
 			}
 		}
 		sub.MaxRadius = math.Sqrt(maxR2)
+		sub.EnsureKernels()
 		res.Subspaces = append(res.Subspaces, sub)
 		id++
 	}

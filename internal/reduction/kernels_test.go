@@ -1,0 +1,197 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmdr/internal/matrix"
+)
+
+// testSubspace builds a d-dimensional subspace with an orthonormal Dr-column
+// basis and a random centroid. withKernels controls whether EnsureKernels
+// has run — the pair lets tests compare fast path against fallback.
+func testSubspace(d, dr int, seed int64, withKernels bool) *Subspace {
+	rng := rand.New(rand.NewSource(seed))
+	q := matrix.RandomOrthonormal(d, rng)
+	centroid := make([]float64, d)
+	for i := range centroid {
+		centroid[i] = rng.NormFloat64()
+	}
+	s := &Subspace{ID: 0, Centroid: centroid, Basis: q.LeadingCols(dr), Dr: dr}
+	if withKernels {
+		s.EnsureKernels()
+	}
+	return s
+}
+
+func randPoint(rng *rand.Rand, d int) []float64 {
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+// The kernelized projection and residual paths must be BITWISE equal to the
+// column-walk fallbacks: same serial accumulation order, only the memory
+// layout differs. This is the invariant that makes "build once, query with
+// kernels" safe — coordinates stored at build time match what queries
+// compute.
+func TestKernelPathsBitIdenticalToFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][2]int{{4, 1}, {8, 3}, {16, 5}, {33, 7}, {64, 20}} {
+		d, dr := shape[0], shape[1]
+		fast := testSubspace(d, dr, int64(d*100+dr), true)
+		slow := testSubspace(d, dr, int64(d*100+dr), false)
+		diff := make([]float64, d)
+		pf, ps, pd, pr := make([]float64, dr), make([]float64, dr), make([]float64, dr), make([]float64, dr)
+		for trial := 0; trial < 20; trial++ {
+			p := randPoint(rng, d)
+			fast.ProjectInto(p, pf)
+			slow.ProjectInto(p, ps)
+			for j := range pf {
+				if pf[j] != ps[j] {
+					t.Fatalf("d=%d dr=%d coord %d: kernel %v fallback %v", d, dr, j, pf[j], ps[j])
+				}
+			}
+			for i := range diff {
+				diff[i] = p[i] - fast.Centroid[i]
+			}
+			fast.ProjectDiffInto(diff, pd)
+			for j := range pd {
+				if pd[j] != pf[j] {
+					t.Fatalf("d=%d dr=%d ProjectDiffInto coord %d: %v vs %v", d, dr, j, pd[j], pf[j])
+				}
+			}
+			resFused := fast.ProjectResidualInto(p, pr)
+			for j := range pr {
+				if pr[j] != pf[j] {
+					t.Fatalf("d=%d dr=%d fused coord %d: %v vs %v", d, dr, j, pr[j], pf[j])
+				}
+			}
+			if rf, rs := fast.ResidualSq(p), slow.ResidualSq(p); rf != rs || resFused != rf {
+				t.Fatalf("d=%d dr=%d residual: kernel %v fallback %v fused %v", d, dr, rf, rs, resFused)
+			}
+		}
+	}
+}
+
+func TestEnsureKernelsIdempotentAndCorrect(t *testing.T) {
+	s := testSubspace(12, 4, 3, true)
+	bt := s.KernelBasisT()
+	if len(bt) != s.Dr*12 {
+		t.Fatalf("basisT length %d, want %d", len(bt), s.Dr*12)
+	}
+	for j := 0; j < s.Dr; j++ {
+		for i := 0; i < 12; i++ {
+			if bt[j*12+i] != s.Basis.At(i, j) {
+				t.Fatalf("basisT[%d][%d] = %v, Basis = %v", j, i, bt[j*12+i], s.Basis.At(i, j))
+			}
+		}
+	}
+	s.EnsureKernels()
+	if &s.KernelBasisT()[0] != &bt[0] {
+		t.Fatal("EnsureKernels rebuilt an existing basisT")
+	}
+}
+
+func TestMahaSqCholeskyMatchesQuadForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{2, 5, 9, 16} {
+		// Random SPD CovInv: AᵀA + ridge.
+		a := matrix.New(d, d)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		spd := matrix.Mul(a.T(), a).AddRidge(0.5)
+		with := testSubspace(d, 2, int64(d), false)
+		with.CovInv = spd
+		with.EnsureKernels()
+		if with.KernelMahaChol() == nil {
+			t.Fatalf("d=%d: Cholesky cache missing for SPD CovInv", d)
+		}
+		without := testSubspace(d, 2, int64(d), false)
+		without.CovInv = spd
+		diff := make([]float64, d)
+		for trial := 0; trial < 25; trial++ {
+			p := randPoint(rng, d)
+			got := with.MahaSq(p, diff)
+			want := without.MahaSq(p, nil) // quad-form fallback, allocates its own scratch
+			if rel := math.Abs(got-want) / math.Max(1, math.Abs(want)); rel > 1e-9 {
+				t.Fatalf("d=%d: chol %v vs quad %v (rel %v)", d, got, want, rel)
+			}
+		}
+	}
+	// No CovInv: MahaSq is 0 and no cache appears.
+	s := testSubspace(6, 2, 1, true)
+	if s.KernelMahaChol() != nil || s.MahaSq(randPoint(rng, 6), nil) != 0 {
+		t.Fatal("subspace without CovInv must report 0 Mahalanobis and no cache")
+	}
+}
+
+func BenchmarkProjectInto(b *testing.B) {
+	const d, dr = 64, 16
+	rng := rand.New(rand.NewSource(21))
+	p := randPoint(rng, d)
+	dst := make([]float64, dr)
+	b.Run("kernel", func(b *testing.B) {
+		s := testSubspace(d, dr, 5, true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.ProjectInto(p, dst)
+		}
+	})
+	b.Run("fallback", func(b *testing.B) {
+		s := testSubspace(d, dr, 5, false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.ProjectInto(p, dst)
+		}
+	})
+	b.Run("diff", func(b *testing.B) {
+		s := testSubspace(d, dr, 5, true)
+		diff := make([]float64, d)
+		for i := range diff {
+			diff[i] = p[i] - s.Centroid[i]
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.ProjectDiffInto(diff, dst)
+		}
+	})
+}
+
+func BenchmarkResidualSq(b *testing.B) {
+	const d, dr = 64, 16
+	rng := rand.New(rand.NewSource(22))
+	p := randPoint(rng, d)
+	b.Run("kernel", func(b *testing.B) {
+		s := testSubspace(d, dr, 6, true)
+		b.ReportAllocs()
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += s.ResidualSq(p)
+		}
+		_ = acc
+	})
+	b.Run("fallback", func(b *testing.B) {
+		s := testSubspace(d, dr, 6, false)
+		b.ReportAllocs()
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += s.ResidualSq(p)
+		}
+		_ = acc
+	})
+	b.Run("fused", func(b *testing.B) {
+		s := testSubspace(d, dr, 6, true)
+		dst := make([]float64, dr)
+		b.ReportAllocs()
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += s.ProjectResidualInto(p, dst)
+		}
+		_ = acc
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"mmdr/internal/dataset"
 	"mmdr/internal/kmeans"
+	"mmdr/internal/matrix"
 	"mmdr/internal/obs"
 	"mmdr/internal/pool"
 	"mmdr/internal/stats"
@@ -229,20 +230,18 @@ func buildSubspace(id int, ds *dataset.Dataset, pca *stats.PCA, dr int, members 
 		Members:  append([]int(nil), members...),
 		Coords:   make([]float64, len(members)*dr),
 	}
+	sub.EnsureKernels()
 	var mpeSum float64
 	var maxR2 float64
 	for k, m := range members {
 		p := ds.Point(m)
 		dst := sub.Coords[k*dr : (k+1)*dr]
-		sub.ProjectInto(p, dst)
-		var norm2 float64
-		for _, c := range dst {
-			norm2 += c * c
-		}
+		res := sub.ProjectResidualInto(p, dst)
+		norm2 := matrix.SqNorm(dst)
 		if norm2 > maxR2 {
 			maxR2 = norm2
 		}
-		mpeSum += sub.Residual(p)
+		mpeSum += math.Sqrt(res)
 	}
 	sub.MaxRadius = math.Sqrt(maxR2)
 	if len(members) > 0 {

@@ -41,7 +41,55 @@ type Subspace struct {
 	CovInv     *matrix.Mat
 	LogDet     float64
 	MahaRadius float64
+
+	// Query kernels, derived from Basis/CovInv by EnsureKernels. Unexported
+	// so gob skips them; they are rebuilt on load and after build.
+	//
+	// basisT is the transposed basis stored row-major Dr×d flat: row j is
+	// basis column j, contiguous, so projection is Dr contiguous dot
+	// products instead of Dr strided column walks over the d×Dr Basis.
+	basisT []float64
+	// mahaChol is U = Lᵀ (upper triangular, row-major) where CovInv = L·Lᵀ,
+	// so the Mahalanobis quadratic form (p-c)ᵀ·CovInv·(p-c) collapses to
+	// ‖U·(p-c)‖² — a triangular matvec at half the multiplies of the full
+	// d×d quadratic form. nil when CovInv is nil or not numerically SPD
+	// (MahaSq then falls back to the quadratic form).
+	mahaChol *matrix.Mat
 }
+
+// EnsureKernels (re)derives the unexported query kernels from the exported
+// fields: the transposed basis from Basis, and the Cholesky factor of
+// CovInv when present. It is idempotent, cheap to re-invoke, and must be
+// called after constructing or deserializing a Subspace before the
+// allocation-free query paths can use the fast projections; the slow
+// column-walk fallbacks remain correct (and bit-identical) when it has not
+// run. Not safe for concurrent use with readers of the same Subspace.
+func (s *Subspace) EnsureKernels() {
+	if s.basisT == nil && s.Basis != nil && s.Dr > 0 {
+		d := s.Basis.Rows
+		bt := make([]float64, s.Dr*d)
+		for i := 0; i < d; i++ {
+			row := s.Basis.Row(i)
+			for j := 0; j < s.Dr; j++ {
+				bt[j*d+i] = row[j]
+			}
+		}
+		s.basisT = bt
+	}
+	if s.mahaChol == nil && s.CovInv != nil {
+		if l, err := matrix.Cholesky(s.CovInv); err == nil {
+			s.mahaChol = l.T()
+		}
+	}
+}
+
+// KernelBasisT exposes the transposed-basis kernel (nil before
+// EnsureKernels). Read-only: tests and persistence checks.
+func (s *Subspace) KernelBasisT() []float64 { return s.basisT }
+
+// KernelMahaChol exposes the cached Cholesky transpose of CovInv (nil
+// before EnsureKernels or when CovInv is absent/non-SPD). Read-only.
+func (s *Subspace) KernelMahaChol() *matrix.Mat { return s.mahaChol }
 
 // Project maps an original-space point into the subspace's reduced
 // coordinates: (p - centroid)ᵀ · Basis.
@@ -52,8 +100,31 @@ func (s *Subspace) Project(p []float64) []float64 {
 }
 
 // ProjectInto is Project without allocation; dst must have length Dr.
+// With kernels present (EnsureKernels) each output coordinate is one
+// contiguous pass over a transposed-basis row; the fallback walks Basis
+// columns. Both accumulate in the same serial order, so results are
+// bit-identical either way.
 func (s *Subspace) ProjectInto(p []float64, dst []float64) {
 	d := len(s.Centroid)
+	if s.basisT != nil {
+		for j := 0; j < s.Dr; j++ {
+			row := s.basisT[j*d : (j+1)*d]
+			var acc float64
+			i := 0
+			for ; i+4 <= d; i += 4 {
+				r4 := row[i : i+4 : i+4]
+				acc += (p[i] - s.Centroid[i]) * r4[0]
+				acc += (p[i+1] - s.Centroid[i+1]) * r4[1]
+				acc += (p[i+2] - s.Centroid[i+2]) * r4[2]
+				acc += (p[i+3] - s.Centroid[i+3]) * r4[3]
+			}
+			for ; i < d; i++ {
+				acc += (p[i] - s.Centroid[i]) * row[i]
+			}
+			dst[j] = acc
+		}
+		return
+	}
 	for j := 0; j < s.Dr; j++ {
 		var acc float64
 		for i := 0; i < d; i++ {
@@ -61,6 +132,62 @@ func (s *Subspace) ProjectInto(p []float64, dst []float64) {
 		}
 		dst[j] = acc
 	}
+}
+
+// ProjectDiffInto projects an already-centered difference vector
+// diff = p - Centroid into dst (length Dr). It is the query-side fast path:
+// the caller computes diff once into reusable scratch and the projection
+// becomes one contiguous matrix-vector product over the transposed basis.
+// Accumulation order matches ProjectInto, so for the same point the
+// coordinates are bit-identical.
+func (s *Subspace) ProjectDiffInto(diff, dst []float64) {
+	if s.basisT != nil {
+		matrix.MatVecRowMajor(s.basisT, s.Dr, len(diff), diff, dst)
+		return
+	}
+	d := len(diff)
+	for j := 0; j < s.Dr; j++ {
+		var acc float64
+		for i := 0; i < d; i++ {
+			acc += diff[i] * s.Basis.At(i, j)
+		}
+		dst[j] = acc
+	}
+}
+
+// ProjectResidualInto fuses projection and residual: it fills dst (length
+// Dr) with the reduced coordinates of p and returns ProjDist_r² in a single
+// pass over the point, computing each centered difference once and
+// streaming the row-major Basis. The coordinates are bit-identical to
+// ProjectInto and the residual to ResidualSq (same accumulation orders);
+// fusing removes the second full pass the separate calls would make.
+func (s *Subspace) ProjectResidualInto(p []float64, dst []float64) float64 {
+	d := len(s.Centroid)
+	dr := s.Dr
+	for j := range dst {
+		dst[j] = 0
+	}
+	var total float64
+	for i := 0; i < d; i++ {
+		diff := p[i] - s.Centroid[i]
+		total += diff * diff
+		if diff == 0 {
+			continue
+		}
+		row := s.Basis.Data[i*dr : (i+1)*dr]
+		for j, b := range row {
+			dst[j] += diff * b
+		}
+	}
+	var retained float64
+	for _, c := range dst {
+		retained += c * c
+	}
+	res := total - retained
+	if res < 0 {
+		return 0
+	}
+	return res
 }
 
 // ResidualSq returns ProjDist_r²: the squared distance from p to the
@@ -73,18 +200,65 @@ func (s *Subspace) ResidualSq(p []float64) float64 {
 		total += diff * diff
 	}
 	var retained float64
-	for j := 0; j < s.Dr; j++ {
-		var acc float64
-		for i := 0; i < d; i++ {
-			acc += (p[i] - s.Centroid[i]) * s.Basis.At(i, j)
+	if s.basisT != nil {
+		for j := 0; j < s.Dr; j++ {
+			row := s.basisT[j*d : (j+1)*d]
+			var acc float64
+			for i := 0; i < d; i++ {
+				acc += (p[i] - s.Centroid[i]) * row[i]
+			}
+			retained += acc * acc
 		}
-		retained += acc * acc
+	} else {
+		for j := 0; j < s.Dr; j++ {
+			var acc float64
+			for i := 0; i < d; i++ {
+				acc += (p[i] - s.Centroid[i]) * s.Basis.At(i, j)
+			}
+			retained += acc * acc
+		}
 	}
 	res := total - retained
 	if res < 0 {
 		return 0
 	}
 	return res
+}
+
+// MahaSq computes the Mahalanobis quadratic form (p-Centroid)ᵀ · CovInv ·
+// (p-Centroid). diff is caller scratch of length d (allocated when nil).
+// With the Cholesky kernel cached the form is a triangular matvec
+// ‖U·diff‖² at half the multiplies; the fallback evaluates the full
+// quadratic form against CovInv. Returns 0 when CovInv is nil.
+func (s *Subspace) MahaSq(p []float64, diff []float64) float64 {
+	if s.CovInv == nil {
+		return 0
+	}
+	d := len(s.Centroid)
+	if diff == nil {
+		diff = make([]float64, d)
+	}
+	diff = diff[:d]
+	for i := 0; i < d; i++ {
+		diff[i] = p[i] - s.Centroid[i]
+	}
+	if u := s.mahaChol; u != nil {
+		var total float64
+		for j := 0; j < d; j++ {
+			acc := matrix.DotUnroll4(u.Row(j)[j:], diff[j:])
+			total += acc * acc
+		}
+		return total
+	}
+	var total float64
+	for i := 0; i < d; i++ {
+		di := diff[i]
+		if di == 0 {
+			continue
+		}
+		total += di * matrix.DotUnroll4(s.CovInv.Row(i), diff)
+	}
+	return total
 }
 
 // Residual returns ProjDist_r (Euclidean).

@@ -64,6 +64,12 @@ func Load(r io.Reader) (*Model, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("mmdr: loaded model invalid: %w", err)
 	}
+	// The query kernel caches (transposed basis, Cholesky factor of CovInv)
+	// live in unexported fields gob does not carry; rebuild them so a loaded
+	// model queries on the same fast paths as a freshly built one.
+	for _, s := range m.result.Subspaces {
+		s.EnsureKernels()
+	}
 	return m, nil
 }
 

@@ -1,0 +1,79 @@
+package mmdr
+
+// White-box persistence test: the query kernel caches (transposed basis,
+// Cholesky factor of CovInv) live in unexported Subspace fields that gob
+// does not serialize, so Load must reconstruct them. The caches are pure
+// functions of the exported fields, which is what makes rebuilding them
+// equivalent to having saved them.
+
+import (
+	"bytes"
+	"testing"
+
+	"mmdr/internal/datagen"
+)
+
+func TestLoadRebuildsKernelCaches(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{
+		N: 900, Dim: 12, NumClusters: 2, SDim: 3,
+		VarRatio: 25, ScaleDecay: 0.8, Seed: 311,
+	}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	model, err := ReduceDataset(ds, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.result.Subspaces) == 0 {
+		t.Fatal("reduction produced no subspaces")
+	}
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for si, orig := range model.result.Subspaces {
+		got := loaded.result.Subspaces[si]
+		ob, gb := orig.KernelBasisT(), got.KernelBasisT()
+		if ob == nil {
+			t.Fatalf("subspace %d: builder left no basisT cache", si)
+		}
+		if gb == nil {
+			t.Fatalf("subspace %d: Load did not rebuild basisT", si)
+		}
+		if len(ob) != len(gb) {
+			t.Fatalf("subspace %d: basisT length %d after load, want %d", si, len(gb), len(ob))
+		}
+		for i := range ob {
+			if ob[i] != gb[i] {
+				t.Fatalf("subspace %d: basisT[%d] = %v after load, want %v", si, i, gb[i], ob[i])
+			}
+		}
+		oc, gc := orig.KernelMahaChol(), got.KernelMahaChol()
+		if orig.CovInv != nil && oc == nil {
+			t.Fatalf("subspace %d: builder left no Cholesky cache despite CovInv", si)
+		}
+		if (oc == nil) != (gc == nil) {
+			t.Fatalf("subspace %d: Cholesky cache presence changed across load (orig %v, loaded %v)",
+				si, oc != nil, gc != nil)
+		}
+		if oc != nil {
+			if len(oc.Data) != len(gc.Data) {
+				t.Fatalf("subspace %d: Cholesky size changed across load", si)
+			}
+			for i := range oc.Data {
+				if oc.Data[i] != gc.Data[i] {
+					t.Fatalf("subspace %d: Cholesky[%d] = %v after load, want %v", si, i, gc.Data[i], oc.Data[i])
+				}
+			}
+		}
+	}
+}
