@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet fmt check experiments
+.PHONY: all build test race bench bench-json vet fmt fmt-check lint check experiments
 
 all: build test
 
@@ -22,14 +22,28 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# fmt-check fails (listing the offenders) when any file needs gofmt; the CI
+# formatting gate.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs the repo's custom static-analysis suite (internal/analysis):
+# maporder, seededrand, hotalloc, poolreduce. See DESIGN.md, "Enforced
+# invariants". Also runnable as `go vet -vettool=<path>/mmdrlint ./...`.
+lint:
+	$(GO) run ./cmd/mmdrlint ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Default verification bundle: vet, the full test suite, and a short fuzz
-# smoke of the query-equivalence targets (each holds EXACT equality between
-# the kernelized tree paths and the sequential-scan oracle).
+# Default verification bundle: vet, the custom analyzer suite, the full test
+# suite, and a short fuzz smoke of the query-equivalence targets (each holds
+# EXACT equality between the kernelized tree paths and the sequential-scan
+# oracle).
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/mmdrlint ./...
 	$(GO) test ./...
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzKNNvsSeqScan -fuzztime 10s
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzRangeVsSeqScan -fuzztime 10s

@@ -1,0 +1,112 @@
+// Command mmdrlint runs the repo's custom static-analysis suite — the four
+// analyzers in internal/analysis that mechanically enforce the determinism
+// and hot-path invariants (see DESIGN.md, "Enforced invariants").
+//
+// Two modes:
+//
+//	mmdrlint [packages]            standalone driver; defaults to ./...
+//	go vet -vettool=$(which mmdrlint) ./...
+//
+// The second form speaks `go vet`'s unit-checker protocol (-V=full, -flags,
+// then one *.cfg per compilation unit), so mmdrlint slots into any workflow
+// that already knows how to run vet tools. Findings print as
+// file:line:col: analyzer: message. Exit status: 0 clean, 1 on findings or
+// usage errors, 2 on internal errors.
+//
+// Suppress a finding with a justified directive on the line above it (or on
+// the same line):
+//
+//	//mmdr:ignore <analyzer> <reason>
+//
+// Directives without a reason, or naming an unknown analyzer, are findings
+// themselves.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"mmdr/internal/analysis"
+	"mmdr/internal/analysis/framework"
+	"mmdr/internal/analysis/load"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// `go vet` probes the tool before handing it compilation units.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]") // no tool-specific flags
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitRun(args[0]))
+		}
+	}
+
+	for _, a := range args {
+		if a == "-h" || a == "-help" || a == "--help" || a == "help" {
+			usage()
+			return
+		}
+	}
+	os.Exit(driverRun(args))
+}
+
+func usage() {
+	fmt.Println("mmdrlint [packages] — default ./...\n\nAnalyzers:")
+	for _, a := range analysis.All() {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println("\nSuppression: //mmdr:ignore <analyzer> <reason> on or above the flagged line.")
+}
+
+// driverRun loads the requested packages through the module-aware loader
+// and analyzes each with the full suite.
+func driverRun(patterns []string) int {
+	loader, err := load.New(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Packages()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		runner := &framework.Runner{Analyzers: analysis.All()}
+		diags, err := runner.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmdrlint: %s: %v\n", pkg.PkgPath, err)
+			return 2
+		}
+		findings += printDiags(diags)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mmdrlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// printDiags writes diagnostics (skipping test files — the invariants
+// govern production code; tests assert them dynamically) and returns how
+// many were printed.
+func printDiags(diags []framework.Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d.String())
+		n++
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles mmdrlint into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mmdrlint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mmdrlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a self-contained module with one global-rand
+// violation, one justified suppression, and one clean seeded use.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"p.go": `package p
+
+import "math/rand"
+
+func Bad() int { return rand.Intn(10) }
+
+func Justified() float64 {
+	//mmdr:ignore seededrand deterministic seed irrelevant in this doc example
+	return rand.Float64()
+}
+
+func Good(rng *rand.Rand) int { return rng.Intn(10) }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// run executes bin with args in dir, returning combined output and exit code.
+func run(t *testing.T, dir, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestDriverMode runs the standalone driver over a module with a known
+// violation: the finding must print and the exit code must be 1, and the
+// justified suppression must hold.
+func TestDriverMode(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t)
+
+	out, code := run(t, dir, bin, "./...")
+	if code != 1 {
+		t.Fatalf("driver exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "seededrand: rand.Intn uses the global math/rand source") {
+		t.Errorf("missing rand.Intn finding in:\n%s", out)
+	}
+	if strings.Contains(out, "rand.Float64") {
+		t.Errorf("justified suppression did not hold:\n%s", out)
+	}
+	if strings.Contains(out, "rng.Intn") {
+		t.Errorf("seeded *rand.Rand use was flagged:\n%s", out)
+	}
+}
+
+// TestVetToolMode drives the same module through `go vet -vettool=...`,
+// exercising the unit-checker protocol end to end (probe handshake, .cfg
+// units, .vetx outputs, finding exit status).
+func TestVetToolMode(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t)
+
+	out, code := run(t, dir, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool exit = 0, want nonzero\n%s", out)
+	}
+	if !strings.Contains(out, "seededrand: rand.Intn uses the global math/rand source") {
+		t.Errorf("missing rand.Intn finding in:\n%s", out)
+	}
+	if strings.Contains(out, "rand.Float64") {
+		t.Errorf("justified suppression did not hold under vet:\n%s", out)
+	}
+}
+
+// TestDriverClean verifies exit 0 and no output on a module without
+// violations.
+func TestDriverClean(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"p.go":   "package p\n\nfunc Add(a, b int) int { return a + b }\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, code := run(t, dir, bin, "./...")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("clean module: exit %d, output %q", code, out)
+	}
+}

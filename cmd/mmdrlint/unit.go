@@ -1,0 +1,149 @@
+package main
+
+// go vet's unit-checker protocol, stdlib-only. `go vet -vettool=mmdrlint`
+// invokes the tool once per compilation unit with a JSON config file
+// describing the unit: its Go files, the import map, and an export-data
+// file per dependency (compiled by the go command). This file re-implements
+// the slice of golang.org/x/tools/go/analysis/unitchecker the suite needs:
+// parse the unit, type-check against the provided export data, run the
+// analyzers, write the (empty — no facts) .vetx output, print findings.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mmdr/internal/analysis"
+	"mmdr/internal/analysis/framework"
+)
+
+// vetConfig mirrors the fields of the go command's vet.cfg the checker
+// consumes (the file carries more; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitRun analyzes one compilation unit described by cfgPath.
+func unitRun(cfgPath string) (exit int) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmdrlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mmdrlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The go command caches on the .vetx facts file; write it even when the
+	// unit fails to type-check so the cache entry is complete.
+	writeVetx := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "mmdrlint: writing %s: %v\n", cfg.VetxOutput, err)
+			exit = 2
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return exit
+			}
+			fmt.Fprintf(os.Stderr, "mmdrlint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("mmdrlint: no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return exit
+		}
+		fmt.Fprintf(os.Stderr, "mmdrlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	findings := 0
+	if !cfg.VetxOnly {
+		runner := &framework.Runner{Analyzers: analysis.All()}
+		diags, err := runner.Run(fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmdrlint: %s: %v\n", cfg.ImportPath, err)
+			return 2
+		}
+		findings = printDiags(diags)
+	}
+
+	writeVetx()
+	if exit == 0 && findings > 0 {
+		exit = 2 // unit-checker convention: diagnostics exit 2
+	}
+	return exit
+}
+
+// printVersion implements -V=full in the exact shape the go command's
+// content-based tool caching expects: name, version, and a content hash of
+// the executable.
+func printVersion() {
+	name := "mmdrlint"
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		name = filepath.Base(exe)
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}

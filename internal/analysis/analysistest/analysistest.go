@@ -1,0 +1,134 @@
+// Package analysistest runs one mmdrlint analyzer over testdata packages
+// and checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest with the stdlib-only loader.
+//
+// Layout: <analyzer pkg>/testdata/src/<name>/*.go, loaded under the import
+// path <name>. Expectations are trailing comments on the offending line:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted payload is a regexp that must match a diagnostic on that
+// line; every diagnostic must be matched by an expectation and vice versa.
+// Testdata may import real module packages (e.g. mmdr/internal/pool) — the
+// loader resolves them from the repository's build.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"mmdr/internal/analysis"
+	"mmdr/internal/analysis/framework"
+	"mmdr/internal/analysis/load"
+)
+
+var (
+	payloadRE = regexp.MustCompile("`([^`]*)`")
+	wantRE    = regexp.MustCompile(`want(?::(-?\d+))?\s`)
+)
+
+// Run checks analyzer against each named testdata package.
+func Run(t *testing.T, analyzer *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := load.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pkgs {
+		dir := filepath.Join("testdata", "src", name)
+		pkg, err := loader.LoadDir(dir, name)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		runner := &framework.Runner{
+			Analyzers: []*framework.Analyzer{analyzer},
+			Known:     analysis.Names(),
+		}
+		diags, err := runner.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Fatalf("%s over %s: %v", analyzer.Name, name, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// expectation is one `// want` payload: the line it covers and the regexp a
+// diagnostic there must match.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func check(t *testing.T, pkg *load.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, pkg, c)...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one comment. A plain `// want`
+// covers the comment's own line; `// want:-1` covers the line above it —
+// used when the flagged line is itself a directive comment, which cannot
+// carry a second comment.
+func parseWants(t *testing.T, pkg *load.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	loc := wantRE.FindStringSubmatchIndex(c.Text)
+	if loc == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	line := pos.Line
+	if loc[2] >= 0 {
+		delta, err := strconv.Atoi(c.Text[loc[2]:loc[3]])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want line offset: %v", pos.Filename, pos.Line, err)
+		}
+		line += delta
+	}
+	var out []*expectation
+	for _, m := range payloadRE.FindAllStringSubmatch(c.Text[loc[0]:], -1) {
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", fmt.Sprintf("%s:%d", pos.Filename, pos.Line), m[1], err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: line, re: re})
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package analysis registers the mmdrlint analyzer suite: the four checks
+// that turn the repo's determinism and hot-path promises (see DESIGN.md,
+// "Enforced invariants") into compile-time errors.
+package analysis
+
+import (
+	"mmdr/internal/analysis/framework"
+	"mmdr/internal/analysis/hotalloc"
+	"mmdr/internal/analysis/maporder"
+	"mmdr/internal/analysis/poolreduce"
+	"mmdr/internal/analysis/seededrand"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		hotalloc.Analyzer,
+		maporder.Analyzer,
+		poolreduce.Analyzer,
+		seededrand.Analyzer,
+	}
+}
+
+// Names returns the analyzer names, for //mmdr:ignore validation in runs
+// that execute only a subset of the suite.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}

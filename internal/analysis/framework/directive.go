@@ -1,0 +1,71 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repo's two source directives, written like standard Go tool
+// directives (no space after //):
+//
+//	//mmdr:hotpath [note]            — marks a function whose body must
+//	                                   respect the hot-path allocation budget
+//	//mmdr:ignore <analyzer> <reason> — silences one finding, with the
+//	                                   justification kept in the source
+const (
+	ignorePrefix  = "//mmdr:ignore"
+	hotpathPrefix = "//mmdr:hotpath"
+)
+
+// IgnoreDirective is one parsed //mmdr:ignore comment.
+type IgnoreDirective struct {
+	Pos      token.Position
+	Analyzer string // first word after the directive ("" when absent)
+	Reason   string // rest of the comment ("" when absent)
+
+	used bool
+}
+
+// collectIgnores parses every //mmdr:ignore directive in the files,
+// regardless of where the comments attach in the AST.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []IgnoreDirective {
+	var out []IgnoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //mmdr:ignorexyz — not this directive
+				}
+				fields := strings.Fields(rest)
+				ig := IgnoreDirective{Pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					ig.Analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					ig.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, ig)
+			}
+		}
+	}
+	return out
+}
+
+// IsHotPath reports whether fn carries a //mmdr:hotpath directive in its
+// doc comment.
+func IsHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathPrefix || strings.HasPrefix(c.Text, hotpathPrefix+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+// Package framework is a minimal, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API surface the mmdrlint analyzers need.
+// The container this repo builds in has no module proxy access, so the
+// x/tools dependency is replaced by this package plus internal/analysis/load
+// (package loading) and cmd/mmdrlint's vet-protocol shim. The shapes are
+// kept deliberately close to go/analysis — Analyzer{Name, Doc, Run},
+// Pass{Fset, Files, Pkg, TypesInfo, Report} — so a future swap to the real
+// framework is mechanical.
+//
+// On top of the x/tools shapes, the framework implements the repo's
+// suppression directive:
+//
+//	//mmdr:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. A directive
+// without a reason does not suppress anything and is itself reported, so
+// every silenced finding carries a justification in the source.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Run inspects a single package via
+// the Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mmdr:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by mmdrlint help.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package, mirroring
+// x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	runner *Runner
+}
+
+// Diagnostic is one finding: its position, the analyzer that produced it,
+// and the message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a justified //mmdr:ignore
+// directive for this analyzer covers the position's line (same line or the
+// line immediately above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.runner.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	p.runner.diags = append(p.runner.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e (nil when untyped/unknown),
+// mirroring types.Info.TypeOf via the pass.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// Runner executes a set of analyzers over one package and owns the
+// suppression-directive machinery shared by all of them.
+type Runner struct {
+	Analyzers []*Analyzer
+	// Known lists analyzer names that are valid in //mmdr:ignore directives
+	// beyond the ones in this run — single-analyzer test runs pass the full
+	// registry here so a directive for a sibling analyzer is not misreported
+	// as unknown.
+	Known []string
+
+	ignores []IgnoreDirective
+	diags   []Diagnostic
+}
+
+// Run analyzes the package described by (fset, files, pkg, info) with every
+// analyzer, validates the //mmdr:ignore directives, and returns the
+// surviving diagnostics sorted by position.
+func (r *Runner) Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	r.ignores = collectIgnores(fset, files)
+	r.diags = nil
+
+	for _, a := range r.Analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			runner:    r,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	r.validateIgnores()
+
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return r.diags, nil
+}
+
+// suppressed reports whether a justified directive for the named analyzer
+// covers the diagnostic position. Unjustified directives (no reason) never
+// suppress — they are themselves diagnosed by validateIgnores.
+func (r *Runner) suppressed(analyzer string, pos token.Position) bool {
+	for i := range r.ignores {
+		ig := &r.ignores[i]
+		if ig.Analyzer != analyzer || ig.Reason == "" {
+			continue
+		}
+		if ig.Pos.Filename != pos.Filename {
+			continue
+		}
+		if ig.Pos.Line == pos.Line || ig.Pos.Line == pos.Line-1 {
+			ig.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// validateIgnores enforces the directive contract: the named analyzer must
+// exist in this run's set, and a non-empty reason is mandatory.
+func (r *Runner) validateIgnores() {
+	known := make(map[string]bool, len(r.Analyzers)+len(r.Known))
+	for _, a := range r.Analyzers {
+		known[a.Name] = true
+	}
+	for _, n := range r.Known {
+		known[n] = true
+	}
+	for _, ig := range r.ignores {
+		switch {
+		case ig.Analyzer == "":
+			r.diags = append(r.diags, Diagnostic{
+				Pos:      ig.Pos,
+				Analyzer: "mmdrignore",
+				Message:  "//mmdr:ignore needs an analyzer name and a reason",
+			})
+		case !known[ig.Analyzer]:
+			r.diags = append(r.diags, Diagnostic{
+				Pos:      ig.Pos,
+				Analyzer: "mmdrignore",
+				Message:  fmt.Sprintf("//mmdr:ignore names unknown analyzer %q", ig.Analyzer),
+			})
+		case ig.Reason == "":
+			r.diags = append(r.diags, Diagnostic{
+				Pos:      ig.Pos,
+				Analyzer: "mmdrignore",
+				Message:  fmt.Sprintf("//mmdr:ignore %s is missing a reason — unjustified suppressions are errors", ig.Analyzer),
+			})
+		}
+	}
+}

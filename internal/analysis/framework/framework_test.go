@@ -1,0 +1,135 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectIgnores(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//mmdr:ignore hotalloc cold error path
+var a int
+
+//mmdr:ignore maporder
+var b int
+
+//mmdr:ignorenope not the directive
+var c int
+`)
+	igs := collectIgnores(fset, files)
+	if len(igs) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(igs), igs)
+	}
+	if igs[0].Analyzer != "hotalloc" || igs[0].Reason != "cold error path" {
+		t.Errorf("first directive parsed as %+v", igs[0])
+	}
+	if igs[1].Analyzer != "maporder" || igs[1].Reason != "" {
+		t.Errorf("second directive parsed as %+v", igs[1])
+	}
+}
+
+func TestIsHotPath(t *testing.T) {
+	_, files := parse(t, `package p
+
+// Fast is quick.
+//
+//mmdr:hotpath audited by alloc_test
+func Fast() {}
+
+// Slow is not annotated.
+func Slow() {}
+
+//mmdr:hotpathnope
+func Typo() {}
+`)
+	got := map[string]bool{}
+	for _, d := range files[0].Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			got[fn.Name.Name] = IsHotPath(fn)
+		}
+	}
+	want := map[string]bool{"Fast": true, "Slow": false, "Typo": false}
+	for name, hot := range want {
+		if got[name] != hot {
+			t.Errorf("IsHotPath(%s) = %v, want %v", name, got[name], hot)
+		}
+	}
+}
+
+// TestSuppressionAndValidation drives a fake analyzer through the runner:
+// a justified directive silences the finding, a reason-less one does not
+// and is reported itself, an unknown name is reported.
+func TestSuppressionAndValidation(t *testing.T) {
+	src := `package p
+
+//mmdr:ignore fake covered by integration tests
+var a int
+
+//mmdr:ignore fake
+var b int
+
+//mmdr:ignore nosuch some reason
+var c int
+
+var d int
+`
+	fset, files := parse(t, src)
+	fake := &Analyzer{
+		Name: "fake",
+		Doc:  "flags every var declaration",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if vs, ok := n.(*ast.ValueSpec); ok {
+						p.Reportf(vs.Pos(), "var declared")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	r := &Runner{Analyzers: []*Analyzer{fake}}
+	diags, err := r.Run(fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	joined := strings.Join(got, "\n")
+
+	if strings.Contains(joined, "x.go:4") {
+		t.Errorf("justified suppression did not silence the finding:\n%s", joined)
+	}
+	for _, want := range []string{
+		"x.go:6:1: mmdrignore: //mmdr:ignore fake is missing a reason",
+		"x.go:7:5: fake: var declared", // unjustified directives do not suppress
+		`x.go:9:1: mmdrignore: //mmdr:ignore names unknown analyzer "nosuch"`,
+		"x.go:10:5: fake: var declared",
+		"x.go:12:5: fake: var declared",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing diagnostic %q in:\n%s", want, joined)
+		}
+	}
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5:\n%s", len(diags), joined)
+	}
+}

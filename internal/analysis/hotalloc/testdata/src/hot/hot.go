@@ -1,0 +1,129 @@
+// Package hot exercises hotalloc: allocation-inducing constructs are
+// flagged only inside functions annotated //mmdr:hotpath.
+package hot
+
+import (
+	"fmt"
+
+	"mmdr/internal/pool"
+)
+
+func sink(v any) { _ = v }
+
+// Sum is a clean hot-path kernel: single accumulator, no allocation.
+//
+//mmdr:hotpath
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Format allocates through fmt.
+//
+//mmdr:hotpath
+func Format(x float64) string {
+	return fmt.Sprintf("%g", x) // want `fmt.Sprintf allocates`
+}
+
+// ColdFormat is not annotated: fmt is fine off the hot path.
+func ColdFormat(x float64) string {
+	return fmt.Sprintf("%g", x)
+}
+
+// GrowingAppend grows an unpreallocated local geometrically.
+//
+//mmdr:hotpath
+func GrowingAppend(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x) // want `append to out`
+	}
+	return out
+}
+
+// PresizedAppend appends into reserved capacity — allowed.
+//
+//mmdr:hotpath
+func PresizedAppend(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Box implicitly converts its argument to an interface parameter.
+//
+//mmdr:hotpath
+func Box(x float64) {
+	sink(x) // want `boxes float64 into interface`
+}
+
+// Literals allocate backing arrays.
+//
+//mmdr:hotpath
+func Literals() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+// MapLiteral allocates a map header and buckets.
+//
+//mmdr:hotpath
+func MapLiteral() map[int]bool {
+	return map[int]bool{} // want `map literal allocates`
+}
+
+// Concat builds a fresh string.
+//
+//mmdr:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// Closure binds per call instead of once at setup.
+//
+//mmdr:hotpath
+func Closure(xs []float64) float64 {
+	f := func() float64 { return xs[0] } // want `closure may escape`
+	return f()
+}
+
+// FanOut's closure rides the sanctioned pool primitive — exempt.
+//
+//mmdr:hotpath
+func FanOut(xs, out []float64) {
+	pool.Run(2, len(xs), func(i int) {
+		out[i] = xs[i] * 2
+	})
+}
+
+// Spawn starts a raw goroutine.
+//
+//mmdr:hotpath
+func Spawn(done chan struct{}) {
+	go func() { close(done) }() // want `go statement allocates`
+}
+
+// Suppressed documents a tolerated allocation on a cold error branch.
+//
+//mmdr:hotpath
+func Suppressed(n int) error {
+	if n < 0 {
+		//mmdr:ignore hotalloc error construction is off the measured path
+		return fmt.Errorf("hot: negative n %d", n)
+	}
+	return nil
+}
+
+// Panics is allowed: panic arguments are exempt from boxing checks.
+//
+//mmdr:hotpath
+func Panics(n int) int {
+	if n < 0 {
+		panic("hot: negative n")
+	}
+	return n * 2
+}

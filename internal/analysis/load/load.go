@@ -1,0 +1,198 @@
+// Package load type-checks this module's packages for the mmdrlint
+// analyzers without golang.org/x/tools (the build environment has no module
+// proxy). It shells out to `go list -export -deps -json` — the local
+// toolchain, no network — which compiles dependencies into the build cache
+// and reports an export-data file per package. Imports are then resolved
+// through the stdlib gc importer's lookup hook while each target package is
+// parsed and type-checked from source, which is exactly the strategy
+// `go vet`'s unitchecker uses, minus the x/tools dependency.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Loader resolves and type-checks packages of the enclosing module.
+type Loader struct {
+	Fset *token.FileSet
+
+	exports map[string]string // import path → export-data file
+	targets []listedPkg       // module (non-standard) packages, listing order
+	imp     types.Importer
+}
+
+// New lists the given package patterns (default "./...") relative to dir,
+// compiling export data for every dependency. dir must lie inside a module.
+func New(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			l.targets = append(l.targets, p)
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l, nil
+}
+
+// lookup feeds the gc importer the export data `go list -export` compiled.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Packages parses and type-checks every module package from the listing,
+// in listing (dependency) order.
+func (l *Loader) Packages() ([]*Package, error) {
+	out := make([]*Package, 0, len(l.targets))
+	for _, t := range l.targets {
+		files := make([]string, len(t.GoFiles))
+		for i, g := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, g)
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (non-test files)
+// under the given import path. It serves the analyzers' testdata packages,
+// which `go list` deliberately does not see; their imports must be covered
+// by the loader's listing (stdlib or module packages).
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	return l.check(pkgPath, dir, files)
+}
+
+// check parses the named files and type-checks them as one package.
+func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

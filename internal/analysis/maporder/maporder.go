@@ -1,0 +1,264 @@
+// Package maporder flags `range` over maps that can break the repo's
+// bit-identical reproducibility promise: Go randomizes map iteration order,
+// so any float accumulation or result-slice construction driven by it
+// produces run-dependent results.
+//
+// Two tiers:
+//
+//   - In the numeric packages (core, ellipkmeans, kmeans, reduction, stats,
+//     matrix, idist, index) every map range is flagged — these packages
+//     feed model state and query answers, where even order-independent
+//     looking loops tend to grow order-dependent bodies later.
+//   - Everywhere else a map range is flagged only when its body is
+//     demonstrably order-dependent: it accumulates into a float, complex or
+//     string, or it appends to a slice.
+//
+// The sanctioned pattern is exempt in both tiers: collect the keys into a
+// slice and sort it before iterating —
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys) // or sort.Slice / slices.Sort in the same function
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmdr/internal/analysis/framework"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flags range over maps whose iteration order can leak into float accumulation or result slices",
+	Run:  run,
+}
+
+// strictPackages are the numeric packages (matched by the last import-path
+// element) where any map iteration is suspect.
+var strictPackages = map[string]bool{
+	"core":        true,
+	"ellipkmeans": true,
+	"kmeans":      true,
+	"reduction":   true,
+	"stats":       true,
+	"matrix":      true,
+	"idist":       true,
+	"index":       true,
+}
+
+func run(pass *framework.Pass) error {
+	strict := strictPackages[lastPathElement(pass.Pkg.Path())]
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := fnBody(n)
+			if !ok {
+				return true
+			}
+			checkFunc(pass, fn, strict)
+			return true
+		})
+	}
+	return nil
+}
+
+// fnBody extracts the body of a function declaration or literal.
+func fnBody(n ast.Node) (*ast.BlockStmt, bool) {
+	switch f := n.(type) {
+	case *ast.FuncDecl:
+		if f.Body != nil {
+			return f.Body, true
+		}
+	case *ast.FuncLit:
+		return f.Body, true
+	}
+	return nil, false
+}
+
+// checkFunc inspects one function body for map ranges. Nested function
+// literals are handled by their own fnBody visit, but map ranges inside
+// them are also visible here; that is fine — the sanctioned-pattern sort
+// lookup only needs *a* containing body, and duplicate positions collapse
+// because the inner visit reports the same diagnostic text at the same
+// position (the framework de-duplicates nothing, so we skip nested lits).
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt, strict bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n.Pos() != body.Pos() {
+			return false // reported by the literal's own visit
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isSortedKeyCollection(pass, rng, body) {
+			return true
+		}
+		kind, dependent := orderDependentBody(pass, rng)
+		if strict && !dependent {
+			pass.Reportf(rng.Pos(), "range over map in a numeric package: iteration order is random; collect and sort the keys first")
+			return true
+		}
+		if dependent {
+			pass.Reportf(rng.Pos(), "range over map feeds %s: iteration order is random, results are not reproducible; collect and sort the keys first", kind)
+		}
+		return true
+	})
+}
+
+func lastPathElement(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// orderDependentBody reports whether the loop body visibly depends on
+// iteration order: accumulation into float/complex/string values, or
+// appends building a result slice.
+func orderDependentBody(pass *framework.Pass, rng *ast.RangeStmt) (string, bool) {
+	kind, dependent := "", false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if dependent {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(s.Lhs) == 1 && isOrderSensitiveScalar(pass.TypeOf(s.Lhs[0])) {
+					kind, dependent = "float accumulation", true
+				}
+			case token.ASSIGN:
+				// x = x + e (and friends) is the spelled-out accumulation.
+				if len(s.Lhs) == 1 && len(s.Rhs) == 1 && isSelfAccumulation(s.Lhs[0], s.Rhs[0]) &&
+					isOrderSensitiveScalar(pass.TypeOf(s.Lhs[0])) {
+					kind, dependent = "float accumulation", true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, s) {
+				kind, dependent = "a result slice", true
+			}
+		}
+		return !dependent
+	})
+	return kind, dependent
+}
+
+// isOrderSensitiveScalar reports whether accumulating values of type t in
+// different orders can change the result bits: floats and complex values
+// (rounding) and strings (concatenation order).
+func isOrderSensitiveScalar(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+// isSelfAccumulation reports whether rhs is a binary expression with lhs as
+// one of its immediate operands (x = x + e / x = e * x ...).
+func isSelfAccumulation(lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, op := range []ast.Expr{bin.X, bin.Y} {
+		if opID, ok := op.(*ast.Ident); ok && opID.Name == id.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSortedKeyCollection recognizes the sanctioned pattern: the loop body is
+// exactly `s = append(s, k)` for the range key k, and the enclosing
+// function later passes s to a sort function.
+func isSortedKeyCollection(pass *framework.Pass, rng *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil {
+		return false
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(pass, call) || len(call.Args) != 2 {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || pass.ObjectOf(src) != pass.ObjectOf(dst) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.ObjectOf(arg) != pass.ObjectOf(key) {
+		return false
+	}
+	return sortedAfter(pass, enclosing, rng, pass.ObjectOf(dst))
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// body calls a sort/slices function with the collected slice among its
+// arguments.
+func sortedAfter(pass *framework.Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, slice types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := a.(*ast.Ident); ok && pass.ObjectOf(id) == slice {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"mmdr/internal/analysis/analysistest"
+	"mmdr/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "core", "other")
+}

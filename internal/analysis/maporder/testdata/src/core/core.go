@@ -1,0 +1,82 @@
+// Package core exercises maporder's strict tier: its synthetic import path
+// ends in "core", one of the numeric packages where every map range is
+// suspect.
+package core
+
+import "sort"
+
+// SumValues accumulates floats in map order — the canonical violation.
+func SumValues(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+// SortedSum is the sanctioned pattern: collect keys, sort, then iterate.
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// CollectIDs appends keys but never sorts them, so the result order is
+// random — strict tier flags it.
+func CollectIDs(m map[int]bool) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m { // want `range over map`
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// CountMembers only counts — order-independent — but the strict tier still
+// flags it: bodies in numeric packages tend to grow accumulation later.
+func CountMembers(m map[int]bool) int {
+	n := 0
+	for range m { // want `range over map`
+		n++
+	}
+	return n
+}
+
+// Suppressed carries a justified //mmdr:ignore and stays silent.
+func Suppressed(m map[string]float64) float64 {
+	var total float64
+	//mmdr:ignore maporder result is compared against a sorted oracle in tests
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Unjustified has a reason-less directive: the suppression itself is an
+// error and the underlying finding still fires.
+func Unjustified(m map[string]float64) float64 {
+	var total float64
+	//mmdr:ignore maporder
+	// want:-1 `missing a reason`
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+// UnknownAnalyzer names a check that does not exist.
+func UnknownAnalyzer(m map[string]int) int {
+	//mmdr:ignore nosuchcheck the name is wrong
+	// want:-1 `unknown analyzer`
+	n := 0
+	for range m { // want `range over map`
+		n++
+	}
+	return n
+}

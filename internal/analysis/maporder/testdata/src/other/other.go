@@ -1,0 +1,57 @@
+// Package other exercises maporder's relaxed tier: outside the numeric
+// packages only demonstrably order-dependent bodies are flagged.
+package other
+
+import "sort"
+
+// Render builds output in map order — flagged: appends feed a result slice.
+func Render(m map[string]int) []string {
+	lines := make([]string, 0, len(m))
+	for k := range m { // want `feeds a result slice`
+		lines = append(lines, k)
+	}
+	return lines
+}
+
+// Mean accumulates floats in map order — flagged.
+func Mean(m map[int]float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range m { // want `feeds float accumulation`
+		sum = sum + v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Count is order-independent (integer counting): allowed in the relaxed
+// tier.
+func Count(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Invert writes only to another map — order-independent, allowed.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SortedRender is the sanctioned collect-then-sort pattern, allowed.
+func SortedRender(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

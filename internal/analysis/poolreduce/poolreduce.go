@@ -1,0 +1,131 @@
+// Package poolreduce flags order-dependent float reductions inside
+// concurrent closures: `+=`-style accumulation into a variable captured
+// from the enclosing scope, inside a function literal handed to pool.Run,
+// pool.Chunks, or a go statement.
+//
+// The worker pool's determinism contract (internal/pool) requires callbacks
+// to write only to their own index slot or chunk-local accumulator, with the
+// caller reducing in index/chunk order afterwards — that is what makes
+// models bit-identical at every worker count. A captured-scalar reduction
+// accumulates in goroutine-scheduling order instead (and races unless
+// locked), so even a mutex-guarded one silently breaks reproducibility.
+// Indexed writes (acc[i] += v, out[chunk].sum += v) are the sanctioned
+// pattern and stay exempt.
+package poolreduce
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmdr/internal/analysis/framework"
+)
+
+// Analyzer is the poolreduce check.
+var Analyzer = &framework.Analyzer{
+	Name: "poolreduce",
+	Doc:  "flags += / -= on captured floats inside pool.Run/pool.Chunks/go closures (order-dependent reduction)",
+	Run:  run,
+}
+
+// poolPath is the package whose Run/Chunks closures are checked.
+const poolPath = "mmdr/internal/pool"
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if isPoolFanout(pass, x) {
+					for _, a := range x.Args {
+						if lit, ok := a.(*ast.FuncLit); ok {
+							checkClosure(pass, lit, "pool closure")
+						}
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					checkClosure(pass, lit, "go closure")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isPoolFanout(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != poolPath {
+		return false
+	}
+	return fn.Name() == "Run" || fn.Name() == "Chunks"
+}
+
+// checkClosure flags compound float assignments whose target is captured
+// from outside lit and not addressed through an index (the slot pattern).
+func checkClosure(pass *framework.Pass, lit *ast.FuncLit, what string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch asg.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := asg.Lhs[0]
+		if !isFloat(pass.TypeOf(lhs)) {
+			return true
+		}
+		root, indexed := rootIdent(lhs)
+		if root == nil || indexed {
+			return true // slot-addressed writes are the sanctioned pattern
+		}
+		obj := pass.ObjectOf(root)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure — goroutine-local
+		}
+		pass.Reportf(asg.Pos(), "%s accumulates into captured %q in scheduling order; write to an index slot and reduce serially in chunk order", what, root.Name)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// rootIdent unwraps selectors and parens to the base identifier of an
+// assignable expression, reporting whether any step goes through an index
+// expression.
+func rootIdent(e ast.Expr) (root *ast.Ident, indexed bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, indexed
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, indexed
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package poolreduce_test
+
+import (
+	"testing"
+
+	"mmdr/internal/analysis/analysistest"
+	"mmdr/internal/analysis/poolreduce"
+)
+
+func TestPoolReduce(t *testing.T) {
+	analysistest.Run(t, poolreduce.Analyzer, "poolred")
+}

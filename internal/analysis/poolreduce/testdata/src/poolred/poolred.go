@@ -1,0 +1,85 @@
+// Package poolred exercises poolreduce: captured-scalar float reductions
+// inside pool.Run / pool.Chunks / go closures are flagged; slot writes and
+// chunk-local accumulators are the sanctioned shapes.
+package poolred
+
+import (
+	"sync"
+
+	"mmdr/internal/pool"
+)
+
+// BadReduce accumulates into a captured scalar: scheduling-order rounding,
+// not reproducible — even under a mutex.
+func BadReduce(xs []float64) float64 {
+	var total float64
+	var mu sync.Mutex
+	pool.Run(4, len(xs), func(i int) {
+		mu.Lock()
+		total += xs[i] // want `accumulates into captured "total"`
+		mu.Unlock()
+	})
+	return total
+}
+
+// GoodChunks keeps a chunk-local accumulator and reduces serially in chunk
+// order afterwards — the determinism contract's shape.
+func GoodChunks(xs []float64, workers int) float64 {
+	partial := make([]float64, pool.NumChunks(workers, len(xs)))
+	pool.Chunks(workers, len(xs), func(c, lo, hi int) {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+		partial[c] = sum
+	})
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// SlotWrites go through an index — each goroutine owns its slot.
+func SlotWrites(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	pool.Run(4, len(xs), func(i int) {
+		out[i] += xs[i]
+	})
+	return out
+}
+
+// GoClosure is the same defect via a bare go statement.
+func GoClosure(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			total -= x // want `accumulates into captured "total"`
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// StructField reductions on captured structs are order-dependent too.
+type acc struct{ sum float64 }
+
+func StructField(xs []float64) float64 {
+	var a acc
+	pool.Run(2, len(xs), func(i int) {
+		a.sum += xs[i] // want `accumulates into captured "a"`
+	})
+	return a.sum
+}
+
+// Suppressed documents why the reduction is tolerated.
+func Suppressed(xs []float64) float64 {
+	var total float64
+	pool.Run(1, len(xs), func(i int) {
+		//mmdr:ignore poolreduce workers pinned to 1, callbacks run inline in order
+		total += xs[i]
+	})
+	return total
+}

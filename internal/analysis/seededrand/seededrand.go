@@ -1,0 +1,61 @@
+// Package seededrand forbids the global math/rand source. Every stochastic
+// component in this repo (k-means seeding, restarts, data generation)
+// threads an explicitly seeded *rand.Rand through its options so whole
+// pipelines replay bit-identically; a single call to a package-level
+// math/rand function reintroduces cross-run nondeterminism (and, before Go
+// 1.20, a shared lock on the hot path).
+//
+// Allowed: constructing generators (rand.New, rand.NewSource, rand.NewZipf,
+// and the math/rand/v2 equivalents) and any method call on a *rand.Rand
+// value. Flagged: every other package-level function of math/rand and
+// math/rand/v2 — Intn, Float64, Perm, Shuffle, Seed, and friends.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mmdr/internal/analysis/framework"
+)
+
+// Analyzer is the seededrand check.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids global math/rand functions; randomness must flow through a seeded *rand.Rand",
+	Run:  run,
+}
+
+// allowed lists the package-level functions that construct explicit
+// generators rather than touching the global source.
+var allowed = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			allow, randPkg := allowed[fn.Pkg().Path()]
+			if !randPkg {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on *rand.Rand / rand.Source — fine
+			}
+			if allow[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s uses the global math/rand source; thread a seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"mmdr/internal/analysis/analysistest"
+	"mmdr/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer, "randuse")
+}

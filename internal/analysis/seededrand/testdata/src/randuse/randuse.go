@@ -1,0 +1,42 @@
+// Package randuse exercises seededrand: global math/rand functions are
+// flagged wherever they appear; explicitly seeded generators are fine.
+package randuse
+
+import "math/rand"
+
+// GlobalDraw hits the shared, unseeded source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global math/rand source`
+}
+
+// GlobalFloat and friends are equally forbidden.
+func GlobalFloat() float64 {
+	return rand.Float64() // want `global math/rand source`
+}
+
+// GlobalShuffle randomizes in place off the global source.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source`
+}
+
+// SeededDraw threads an explicit generator — the repo's required shape.
+func SeededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// SeededZipf builds a derived distribution from a seeded generator.
+func SeededZipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.5, 1, 99)
+}
+
+// MethodCalls on a threaded *rand.Rand are always fine.
+func MethodCalls(rng *rand.Rand, xs []float64) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Suppressed documents why the global source is tolerable here.
+func Suppressed() int {
+	//mmdr:ignore seededrand demo helper, output is never asserted on
+	return rand.Intn(10)
+}

@@ -24,6 +24,8 @@ import (
 
 // BatchKNN answers len(queries) KNN queries using at most workers
 // goroutines (workers <= 0 selects runtime.NumCPU()).
+//
+//mmdr:hotpath budget pinned by alloc_test: 2 + one result slice per query
 func (idx *Index) BatchKNN(queries [][]float64, k, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
 	pool.Chunks(pool.Workers(workers), len(queries), func(_, lo, hi int) {
@@ -38,6 +40,8 @@ func (idx *Index) BatchKNN(queries [][]float64, k, workers int) [][]index.Neighb
 
 // BatchKNNTrace is BatchKNN with a per-query structured explain: traces[i]
 // records the search rounds and partition scans of queries[i].
+//
+//mmdr:hotpath
 func (idx *Index) BatchKNNTrace(queries [][]float64, k, workers int) ([][]index.Neighbor, []*QueryTrace) {
 	out := make([][]index.Neighbor, len(queries))
 	traces := make([]*QueryTrace, len(queries))
@@ -54,6 +58,8 @@ func (idx *Index) BatchKNNTrace(queries [][]float64, k, workers int) ([][]index.
 
 // BatchRange answers len(queries) range queries of radius r using at most
 // workers goroutines (workers <= 0 selects runtime.NumCPU()).
+//
+//mmdr:hotpath
 func (idx *Index) BatchRange(queries [][]float64, r float64, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
 	pool.Chunks(pool.Workers(workers), len(queries), func(_, lo, hi int) {

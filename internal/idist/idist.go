@@ -227,6 +227,8 @@ type queryState struct {
 
 // KNN implements index.KNNIndex: the iterative radius-enlargement search,
 // run to completion (exact over the reduced representation).
+//
+//mmdr:hotpath budget pinned by alloc_test: 1 alloc (the returned slice)
 func (idx *Index) KNN(q []float64, k int) []index.Neighbor {
 	return idx.knn(q, k, 0, nil)
 }
@@ -235,6 +237,8 @@ func (idx *Index) KNN(q []float64, k int) []index.Neighbor {
 // (0 = unbounded, i.e. exact). Early termination returns the best
 // candidates found so far — the online-answering mode of iDistance, useful
 // when a slightly lower precision is an acceptable trade for latency.
+//
+//mmdr:hotpath
 func (idx *Index) KNNApprox(q []float64, k, maxRounds int) []index.Neighbor {
 	return idx.knn(q, k, maxRounds, nil)
 }
@@ -282,6 +286,7 @@ func (idx *Index) KNNTrace(q []float64, k int) ([]index.Neighbor, *QueryTrace) {
 	return nb, tr
 }
 
+//mmdr:hotpath
 func (idx *Index) knn(q []float64, k, maxRounds int, tr *QueryTrace) []index.Neighbor {
 	if k <= 0 {
 		return nil
@@ -296,6 +301,8 @@ func (idx *Index) knn(q []float64, k, maxRounds int, tr *QueryTrace) []index.Nei
 // the k-th squared distance selects exactly the same neighbor set — and the
 // single sqrt per result happens when materializing the returned slice,
 // which is the only allocation of the search.
+//
+//mmdr:hotpath the trace branches only run under KNNTrace, off the budget
 func (idx *Index) knnInto(sc *queryScratch, q []float64, k, maxRounds int, tr *QueryTrace) []index.Neighbor {
 	if k <= 0 {
 		return nil
@@ -422,6 +429,8 @@ func (idx *Index) knnInto(sc *queryScratch, q []float64, k, maxRounds int, tr *Q
 // each candidate through the scratch's pre-bound visit callback: squared
 // projected distance for subspace members, squared original-space distance
 // for outliers.
+//
+//mmdr:hotpath
 func (idx *Index) scanRange(sc *queryScratch, pi int, lo, hi float64, exLo, exHi bool, tr *QueryTrace) {
 	sc.beginScan(pi)
 	sc.cand = 0

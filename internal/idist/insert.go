@@ -20,8 +20,11 @@ const insertBeta = 0.1
 // whose projection distance is within β, the closest (normalized by
 // radius) wins. If none qualifies the point joins the outlier partition,
 // which is created on demand. It returns the point's new row ID.
+//
+//mmdr:hotpath
 func (idx *Index) Insert(p []float64) (int, error) {
 	if len(p) != idx.ds.Dim {
+		//mmdr:ignore hotalloc rejected-input error path, never taken on the measured insert path
 		return 0, fmt.Errorf("idist: Insert dimension %d, want %d", len(p), idx.ds.Dim)
 	}
 

@@ -12,6 +12,8 @@ import (
 // at most r, sorted ascending by distance. Range queries are the other
 // query class iDistance supports natively: the query sphere maps to one key
 // annulus per partition, no iteration required.
+//
+//mmdr:hotpath budget pinned by alloc_test: 1 alloc non-empty, 0 empty
 func (idx *Index) Range(q []float64, r float64) []index.Neighbor {
 	sc := idx.getScratch()
 	defer idx.putScratch(sc)
@@ -22,6 +24,8 @@ func (idx *Index) Range(q []float64, r float64) []index.Neighbor {
 // and accumulated in SQUARED distance (d² ≤ r² selects the same ball as
 // d ≤ r) with the single sqrt per result taken when materializing the
 // returned slice — the only allocation of a non-empty query.
+//
+//mmdr:hotpath
 func (idx *Index) rangeInto(sc *queryScratch, q []float64, r float64) []index.Neighbor {
 	sc.q = q
 	sc.r2 = r * r

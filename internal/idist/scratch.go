@@ -104,6 +104,8 @@ func (sc *queryScratch) beginScan(pi int) {
 // partial sum already above it proves the candidate cannot enter the heap,
 // so the loop abandons early (candidates that survive get their exact,
 // bit-identical squared distance — see matrix.SqDistEarlyAbandon).
+//
+//mmdr:hotpath innermost per-candidate callback of every KNN scan
 func (sc *queryScratch) knnVisit(_ float64, rid uint32) bool {
 	idx := sc.idx
 	id := int(rid)
@@ -131,6 +133,8 @@ func (sc *queryScratch) knnVisit(_ float64, rid uint32) bool {
 // radius itself bounds the inner loop: an abandoned (partial) sum is already
 // > r², so the d² ≤ r² filter rejects it either way, and accepted candidates
 // carry their exact squared distance.
+//
+//mmdr:hotpath innermost per-candidate callback of every range scan
 func (sc *queryScratch) rangeVisit(_ float64, rid uint32) bool {
 	idx := sc.idx
 	id := int(rid)

@@ -15,6 +15,8 @@ package matrix
 
 // DotUnroll4 returns the inner product of x and y with a 4-way unrolled
 // loop. Accumulation order is identical to Dot (serial, left to right).
+//
+//mmdr:hotpath
 func DotUnroll4(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("matrix: DotUnroll4 length mismatch")
@@ -37,6 +39,8 @@ func DotUnroll4(x, y []float64) float64 {
 
 // SqDist returns the squared Euclidean distance between x and y with a
 // 4-way unrolled loop (serial accumulation order).
+//
+//mmdr:hotpath
 func SqDist(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("matrix: SqDist length mismatch")
@@ -81,6 +85,8 @@ const EarlyAbandonMinLen = 16
 // disable abandoning. Vectors shorter than earlyAbandonMinLen skip the
 // bound checks entirely (same contract: the return value is then always
 // the exact squared distance).
+//
+//mmdr:hotpath
 func SqDistEarlyAbandon(x, y []float64, bound float64) float64 {
 	if len(x) != len(y) {
 		panic("matrix: SqDistEarlyAbandon length mismatch")
@@ -117,6 +123,8 @@ func SqDistEarlyAbandon(x, y []float64, bound float64) float64 {
 // so the kernel streams both the matrix and the vector — the access pattern
 // the transposed projection basis is laid out for. dst must have length
 // rows; a must have length rows*cols.
+//
+//mmdr:hotpath
 func MatVecRowMajor(a []float64, rows, cols int, x, dst []float64) {
 	if len(a) != rows*cols {
 		panic("matrix: MatVecRowMajor matrix size mismatch")
@@ -131,6 +139,8 @@ func MatVecRowMajor(a []float64, rows, cols int, x, dst []float64) {
 
 // SqNorm returns the squared Euclidean norm of x (serial accumulation
 // order, 4-way unrolled).
+//
+//mmdr:hotpath
 func SqNorm(x []float64) float64 {
 	var s float64
 	i := 0

@@ -104,6 +104,8 @@ func (s *Subspace) Project(p []float64) []float64 {
 // contiguous pass over a transposed-basis row; the fallback walks Basis
 // columns. Both accumulate in the same serial order, so results are
 // bit-identical either way.
+//
+//mmdr:hotpath
 func (s *Subspace) ProjectInto(p []float64, dst []float64) {
 	d := len(s.Centroid)
 	if s.basisT != nil {
@@ -140,6 +142,8 @@ func (s *Subspace) ProjectInto(p []float64, dst []float64) {
 // becomes one contiguous matrix-vector product over the transposed basis.
 // Accumulation order matches ProjectInto, so for the same point the
 // coordinates are bit-identical.
+//
+//mmdr:hotpath
 func (s *Subspace) ProjectDiffInto(diff, dst []float64) {
 	if s.basisT != nil {
 		matrix.MatVecRowMajor(s.basisT, s.Dr, len(diff), diff, dst)
@@ -161,6 +165,8 @@ func (s *Subspace) ProjectDiffInto(diff, dst []float64) {
 // streaming the row-major Basis. The coordinates are bit-identical to
 // ProjectInto and the residual to ResidualSq (same accumulation orders);
 // fusing removes the second full pass the separate calls would make.
+//
+//mmdr:hotpath
 func (s *Subspace) ProjectResidualInto(p []float64, dst []float64) float64 {
 	d := len(s.Centroid)
 	dr := s.Dr
@@ -192,6 +198,8 @@ func (s *Subspace) ProjectResidualInto(p []float64, dst []float64) float64 {
 
 // ResidualSq returns ProjDist_r²: the squared distance from p to the
 // subspace (energy in the eliminated dimensions).
+//
+//mmdr:hotpath
 func (s *Subspace) ResidualSq(p []float64) float64 {
 	d := len(s.Centroid)
 	var total float64
@@ -230,6 +238,8 @@ func (s *Subspace) ResidualSq(p []float64) float64 {
 // With the Cholesky kernel cached the form is a triangular matvec
 // ‖U·diff‖² at half the multiplies; the fallback evaluates the full
 // quadratic form against CovInv. Returns 0 when CovInv is nil.
+//
+//mmdr:hotpath (the nil-diff make is the cold convenience fallback; callers on the measured path pass scratch)
 func (s *Subspace) MahaSq(p []float64, diff []float64) float64 {
 	if s.CovInv == nil {
 		return 0
@@ -265,6 +275,8 @@ func (s *Subspace) MahaSq(p []float64, diff []float64) float64 {
 func (s *Subspace) Residual(p []float64) float64 { return math.Sqrt(s.ResidualSq(p)) }
 
 // MemberCoords returns a view of member k's reduced coordinates.
+//
+//mmdr:hotpath
 func (s *Subspace) MemberCoords(k int) []float64 {
 	return s.Coords[k*s.Dr : (k+1)*s.Dr]
 }
