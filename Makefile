@@ -29,19 +29,21 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # lint runs the repo's custom static-analysis suite (internal/analysis):
-# maporder, seededrand, hotalloc, poolreduce. See DESIGN.md, "Enforced
-# invariants". Also runnable as `go vet -vettool=<path>/mmdrlint ./...`.
+# maporder, seededrand, hotalloc, poolreduce, plus the dataflow analyzers
+# scratchleak, lockbal, floatcmp, persistdrift. See DESIGN.md, "Enforced
+# invariants". Also runnable as `go vet -vettool=<path>/mmdrlint ./...`;
+# a single analyzer runs via `go run ./cmd/mmdrlint -only lockbal ./...`.
 lint:
 	$(GO) run ./cmd/mmdrlint ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Default verification bundle: vet, the custom analyzer suite, the full test
-# suite, and a short fuzz smoke of the query-equivalence targets (each holds
-# EXACT equality between the kernelized tree paths and the sequential-scan
-# oracle).
-check:
+# Default verification bundle: the gofmt gate CI enforces, vet, the custom
+# analyzer suite, the full test suite, and a short fuzz smoke of the
+# query-equivalence targets (each holds EXACT equality between the
+# kernelized tree paths and the sequential-scan oracle).
+check: fmt-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/mmdrlint ./...
 	$(GO) test ./...

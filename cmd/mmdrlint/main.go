@@ -1,11 +1,16 @@
-// Command mmdrlint runs the repo's custom static-analysis suite — the four
-// analyzers in internal/analysis that mechanically enforce the determinism
-// and hot-path invariants (see DESIGN.md, "Enforced invariants").
+// Command mmdrlint runs the repo's custom static-analysis suite — the
+// analyzers in internal/analysis that mechanically enforce the
+// determinism, hot-path, locking and persistence invariants (see
+// DESIGN.md, "Enforced invariants").
 //
 // Two modes:
 //
-//	mmdrlint [packages]            standalone driver; defaults to ./...
+//	mmdrlint [-only a,b] [packages]   standalone driver; defaults to ./...
 //	go vet -vettool=$(which mmdrlint) ./...
+//
+// -only restricts the standalone run to a comma-separated subset of the
+// suite (e.g. `mmdrlint -only lockbal ./...`); //mmdr:ignore directives
+// naming the skipped analyzers stay valid.
 //
 // The second form speaks `go vet`'s unit-checker protocol (-V=full, -flags,
 // then one *.cfg per compilation unit), so mmdrlint slots into any workflow
@@ -49,26 +54,49 @@ func main() {
 		}
 	}
 
-	for _, a := range args {
-		if a == "-h" || a == "-help" || a == "--help" || a == "help" {
+	var only []string
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-h" || a == "-help" || a == "--help" || a == "help":
 			usage()
 			return
+		case a == "-only":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "mmdrlint: -only needs a comma-separated analyzer list")
+				os.Exit(1)
+			}
+			i++
+			only = append(only, strings.Split(args[i], ",")...)
+		case strings.HasPrefix(a, "-only="):
+			only = append(only, strings.Split(strings.TrimPrefix(a, "-only="), ",")...)
+		default:
+			patterns = append(patterns, a)
 		}
 	}
-	os.Exit(driverRun(args))
+	suite, unknown := analysis.Select(only)
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "mmdrlint: -only names unknown analyzer(s) %s; known: %s\n",
+			strings.Join(unknown, ", "), strings.Join(analysis.Names(), ", "))
+		os.Exit(1)
+	}
+	os.Exit(driverRun(suite, patterns))
 }
 
 func usage() {
-	fmt.Println("mmdrlint [packages] — default ./...\n\nAnalyzers:")
+	fmt.Println("mmdrlint [-only a,b] [packages] — default ./...\n\nAnalyzers:")
 	for _, a := range analysis.All() {
 		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
 	}
 	fmt.Println("\nSuppression: //mmdr:ignore <analyzer> <reason> on or above the flagged line.")
+	fmt.Println("Run one analyzer: mmdrlint -only lockbal ./...")
 }
 
 // driverRun loads the requested packages through the module-aware loader
-// and analyzes each with the full suite.
-func driverRun(patterns []string) int {
+// and analyzes each with the given analyzers (the full suite, or the
+// -only subset; Known keeps directives for the skipped analyzers valid).
+func driverRun(suite []*framework.Analyzer, patterns []string) int {
 	loader, err := load.New(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -81,7 +109,7 @@ func driverRun(patterns []string) int {
 	}
 	findings := 0
 	for _, pkg := range pkgs {
-		runner := &framework.Runner{Analyzers: analysis.All()}
+		runner := &framework.Runner{Analyzers: suite, Known: analysis.Names()}
 		diags, err := runner.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmdrlint: %s: %v\n", pkg.PkgPath, err)

@@ -116,7 +116,7 @@ func unitRun(cfgPath string) (exit int) {
 
 	findings := 0
 	if !cfg.VetxOnly {
-		runner := &framework.Runner{Analyzers: analysis.All()}
+		runner := &framework.Runner{Analyzers: analysis.All(), Known: analysis.Names()}
 		diags, err := runner.Run(fset, files, pkg, info)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmdrlint: %s: %v\n", cfg.ImportPath, err)

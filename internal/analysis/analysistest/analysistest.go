@@ -28,7 +28,7 @@ import (
 
 var (
 	payloadRE = regexp.MustCompile("`([^`]*)`")
-	wantRE    = regexp.MustCompile(`want(?::(-?\d+))?\s`)
+	wantRE    = regexp.MustCompile(`want(?::([+-]?\d+))?\s`)
 )
 
 // Run checks analyzer against each named testdata package.
@@ -104,9 +104,11 @@ func check(t *testing.T, pkg *load.Package, diags []framework.Diagnostic) {
 }
 
 // parseWants extracts the expectations from one comment. A plain `// want`
-// covers the comment's own line; `// want:-1` covers the line above it —
-// used when the flagged line is itself a directive comment, which cannot
-// carry a second comment.
+// covers the comment's own line; `// want:-1` covers the line above it and
+// `// want:+2` the second line below — used when the flagged line is
+// itself a directive comment, which cannot carry a second comment (gofmt
+// pins directives to the bottom of a doc group, so the want comment sits
+// above the directive it describes).
 func parseWants(t *testing.T, pkg *load.Package, c *ast.Comment) []*expectation {
 	t.Helper()
 	loc := wantRE.FindStringSubmatchIndex(c.Text)

@@ -1,22 +1,32 @@
-// Package analysis registers the mmdrlint analyzer suite: the four checks
-// that turn the repo's determinism and hot-path promises (see DESIGN.md,
-// "Enforced invariants") into compile-time errors.
+// Package analysis registers the mmdrlint analyzer suite: the checks that
+// turn the repo's determinism, hot-path and persistence promises (see
+// DESIGN.md, "Enforced invariants") into compile-time errors. The first
+// four are syntactic/type-based; the second four are dataflow analyzers
+// built on the internal/analysis/cfg + internal/analysis/flow layers.
 package analysis
 
 import (
+	"mmdr/internal/analysis/floatcmp"
 	"mmdr/internal/analysis/framework"
 	"mmdr/internal/analysis/hotalloc"
+	"mmdr/internal/analysis/lockbal"
 	"mmdr/internal/analysis/maporder"
+	"mmdr/internal/analysis/persistdrift"
 	"mmdr/internal/analysis/poolreduce"
+	"mmdr/internal/analysis/scratchleak"
 	"mmdr/internal/analysis/seededrand"
 )
 
 // All returns the full analyzer suite in stable order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		floatcmp.Analyzer,
 		hotalloc.Analyzer,
+		lockbal.Analyzer,
 		maporder.Analyzer,
+		persistdrift.Analyzer,
 		poolreduce.Analyzer,
+		scratchleak.Analyzer,
 		seededrand.Analyzer,
 	}
 }
@@ -30,4 +40,31 @@ func Names() []string {
 		names[i] = a.Name
 	}
 	return names
+}
+
+// Select returns the analyzers whose names appear in want, preserving
+// suite order, plus the names that matched nothing (in want order) so the
+// caller can reject typos. An empty want selects the full suite.
+func Select(want []string) ([]*framework.Analyzer, []string) {
+	if len(want) == 0 {
+		return All(), nil
+	}
+	wanted := make(map[string]bool, len(want))
+	for _, n := range want {
+		wanted[n] = true
+	}
+	var sel []*framework.Analyzer
+	for _, a := range All() {
+		if wanted[a.Name] {
+			sel = append(sel, a)
+			delete(wanted, a.Name)
+		}
+	}
+	var unknown []string
+	for _, n := range want {
+		if wanted[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	return sel, unknown
 }

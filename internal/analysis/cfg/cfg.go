@@ -1,0 +1,488 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, stdlib-only, for the dataflow analyzers in
+// internal/analysis (scratchleak, lockbal). The shape follows
+// golang.org/x/tools/go/cfg: a Graph of basic Blocks whose Nodes are the
+// statements and control expressions executed in order, connected by Succs
+// edges for every construct that branches — if/else, for (init/cond/post,
+// break/continue, labels), range, switch (tag, fallthrough, default),
+// type switch, select, goto, return, and panic.
+//
+// Three blocks are distinguished:
+//
+//   - Entry: where execution starts (the first statements of the body).
+//   - Exit: the join of every normal completion — each return statement
+//     and a fall-off-the-end both edge here.
+//   - Panic: the join of every explicit panic(...) call. Keeping panicking
+//     completion separate from Exit is what lets scratchleak demand a
+//     sync.Pool Put on every NON-panicking path without also demanding one
+//     on paths that die.
+//
+// Defer is modeled at registration: a DeferStmt appears as a node in the
+// block that executes it, and is additionally recorded in Graph.Defers.
+// The builder does not replay deferred calls before Exit — whether a defer
+// runs depends on whether its registration was reached, which is exactly
+// the per-path fact a dataflow client tracks. Clients that care (both
+// scratchleak and lockbal do) treat the registration node itself as the
+// point where the deferred call's effect is guaranteed for every later
+// exit.
+//
+// The builder is purely syntactic (no go/types): the one semantic judgment
+// it makes — that a call statement `panic(x)` terminates the block — keys
+// on the identifier name, which Go code in this repository never shadows.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a maximal straight-line sequence of nodes with
+// edges only at the end.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Entry is 0).
+	Index int
+	// Kind labels what construct created the block ("entry", "exit",
+	// "panic", "if.then", "for.head", "range.body", "switch.case", ...),
+	// for tests and -debug dumps.
+	Kind string
+	// Nodes holds the statements and control expressions of the block in
+	// execution order. Control expressions (an if condition, a range
+	// operand, a switch tag) appear as bare ast.Expr nodes in the block
+	// that evaluates them.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges, in creation order
+	// (deterministic across runs).
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry *Block
+	Exit  *Block
+	Panic *Block
+	// Blocks lists every block in creation order, Entry first. Blocks
+	// unreachable from Entry (code after return, unused labels) remain in
+	// the list with no predecessors.
+	Blocks []*Block
+	// Defers lists the defer statements of the body in source order; each
+	// also appears as a node of its registering block.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of a function body. body may be nil (a declared
+// function without a body), in which case the graph is Entry→Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	g.Panic = b.newBlock("panic")
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(g.Exit) // fall off the end
+	return g
+}
+
+// String renders the graph block-per-line for debugging and tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		succ := make([]string, len(b.Succs))
+		for i, s := range b.Succs {
+			succ[i] = fmt.Sprint(s.Index)
+		}
+		fmt.Fprintf(&sb, "%d %s [%d nodes] -> %s\n",
+			b.Index, b.Kind, len(b.Nodes), strings.Join(succ, ","))
+	}
+	return sb.String()
+}
+
+// labelInfo tracks one label: the block its statement starts (created on
+// demand for forward gotos) and, once the labeled statement is a loop,
+// switch or select, the break/continue targets it exposes.
+type labelInfo struct {
+	target       *Block // start of the labeled statement
+	breakBlock   *Block
+	contineBlock *Block
+}
+
+// builder carries the under-construction graph.
+type builder struct {
+	g   *Graph
+	cur *Block // current block; nil only transiently
+
+	// breaks / continues are target stacks for unlabeled break/continue.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]*labelInfo
+
+	// pendingLabel is set while building a LabeledStmt so the loop/switch
+	// it labels can register its break/continue targets under the label.
+	pendingLabel *labelInfo
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target and leaves the
+// builder in a fresh unreachable block (statements after a terminating
+// jump are dead code but still get blocks).
+func (b *builder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			b.jump(b.g.Panic)
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// isPanicCall reports whether call invokes the builtin panic.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+
+	then := b.newBlock("if.then")
+	b.edge(head, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	after := b.newBlock("if.done")
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(head, after)
+	}
+	b.edge(thenEnd, after)
+	b.cur = after
+}
+
+// pushLoop registers brk/cont as the targets of unlabeled break/continue
+// (and of the pending label, when the loop is labeled) and returns the
+// matching pop.
+func (b *builder) pushLoop(brk, cont *Block) func() {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if lbl := b.pendingLabel; lbl != nil {
+		lbl.breakBlock, lbl.contineBlock = brk, cont
+		b.pendingLabel = nil
+	}
+	return func() {
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if cont != nil {
+			b.continues = b.continues[:len(b.continues)-1]
+		}
+	}
+}
+
+// pushSwitch registers brk for unlabeled break inside switch/select bodies
+// (continue passes through to the enclosing loop).
+func (b *builder) pushSwitch(brk *Block) func() {
+	b.breaks = append(b.breaks, brk)
+	if lbl := b.pendingLabel; lbl != nil {
+		lbl.breakBlock = brk
+		b.pendingLabel = nil
+	}
+	return func() { b.breaks = b.breaks[:len(b.breaks)-1] }
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.done")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after) // condition false
+	}
+
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		b.edge(post, head)
+	}
+	pop := b.pushLoop(after, post)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if s.Post != nil {
+		b.edge(b.cur, post)
+		post.Nodes = append(post.Nodes, s.Post)
+	} else {
+		b.edge(b.cur, head) // back edge
+	}
+	pop()
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	b.add(s.X) // the ranged operand, evaluated once
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	// The per-iteration key/value assignment happens at the head.
+	head.Nodes = append(head.Nodes, s)
+
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, after) // range exhausted
+
+	pop := b.pushLoop(after, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head) // back edge
+	pop()
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	after := b.newBlock("switch.done")
+	pop := b.pushSwitch(after)
+
+	b.caseClauses(s.Body.List, head, after, "switch")
+	pop()
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	after := b.newBlock("typeswitch.done")
+	pop := b.pushSwitch(after)
+
+	b.caseClauses(s.Body.List, head, after, "typeswitch")
+	pop()
+	b.cur = after
+}
+
+// caseClauses wires the case bodies of a (type) switch: every clause is a
+// successor of head, each body flows to after, and fallthrough chains a
+// body into the next clause's body. Without a default clause head also
+// edges directly to after (no case matched).
+func (b *builder) caseClauses(clauses []ast.Stmt, head, after *Block, kind string) {
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		bodies[i] = b.newBlock(kind + ".case")
+		if cc.List == nil {
+			hasDefault = true
+			bodies[i].Kind = kind + ".default"
+		}
+		for _, e := range cc.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		b.edge(head, bodies[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		b.cur = bodies[i]
+		last := len(cc.Body) - 1
+		fellThrough := false
+		for j, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && j == last {
+				if i+1 < len(bodies) {
+					b.edge(b.cur, bodies[i+1])
+					fellThrough = true
+				}
+				continue
+			}
+			b.stmt(st)
+		}
+		if !fellThrough {
+			b.edge(b.cur, after)
+		}
+	}
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock("select.done")
+	pop := b.pushSwitch(after)
+
+	hasDefault := false
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		body := b.newBlock("select.case")
+		if cc.Comm == nil {
+			hasDefault = true
+			body.Kind = "select.default"
+		} else {
+			body.Nodes = append(body.Nodes, cc.Comm)
+		}
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	// A select with no cases blocks forever; one without default blocks
+	// until a case fires — either way control leaves head only through a
+	// clause, so no direct head→after edge exists. (An empty select gets
+	// none at all: after is unreachable, matching select{} semantics.)
+	_ = hasDefault
+	pop()
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.breakBlock != nil {
+				b.jump(li.breakBlock)
+				return
+			}
+		} else if n := len(b.breaks); n > 0 {
+			b.jump(b.breaks[n-1])
+			return
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.contineBlock != nil {
+				b.jump(li.contineBlock)
+				return
+			}
+		} else if n := len(b.continues); n > 0 {
+			b.jump(b.continues[n-1])
+			return
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.jump(b.labelTarget(s.Label.Name))
+			return
+		}
+	case token.FALLTHROUGH:
+		// Handled by caseClauses; one appearing elsewhere is invalid Go.
+	}
+	// Malformed branch (no target): sever the block conservatively.
+	b.cur = b.newBlock("unreachable")
+}
+
+// labelTarget returns (creating on demand, for forward gotos) the block
+// that starts the named labeled statement.
+func (b *builder) labelTarget(name string) *Block {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	if li.target == nil {
+		li.target = b.newBlock("label." + name)
+	}
+	return li.target
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	target := b.labelTarget(s.Label.Name)
+	b.edge(b.cur, target)
+	b.cur = target
+	b.pendingLabel = b.labels[s.Label.Name]
+	b.stmt(s.Stmt)
+	b.pendingLabel = nil
+}

@@ -1,0 +1,429 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as the body of a function and returns its graph.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// hasEdge reports a direct edge between the first blocks of the named
+// kinds.
+func hasEdge(g *Graph, fromKind, toKind string) bool {
+	for _, b := range g.Blocks {
+		if b.Kind != fromKind {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s.Kind == toKind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func kinds(g *Graph) map[string]int {
+	m := map[string]int{}
+	for _, b := range g.Blocks {
+		m[b.Kind]++
+	}
+	return m
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, "x := 1\n_ = x")
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry has %d nodes, want 2\n%s", len(g.Entry.Nodes), g)
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry should flow straight to exit\n%s", g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFunc(t, `if x := 1; x > 0 {
+	_ = x
+} else {
+	_ = -x
+}
+_ = 2`)
+	k := kinds(g)
+	if k["if.then"] != 1 || k["if.else"] != 1 || k["if.done"] != 1 {
+		t.Fatalf("if blocks missing: %v\n%s", k, g)
+	}
+	// Entry evaluates init+cond and branches to both arms.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d succs, want 2\n%s", len(g.Entry.Succs), g)
+	}
+	if !hasEdge(g, "if.then", "if.done") || !hasEdge(g, "if.else", "if.done") {
+		t.Fatalf("arms do not converge\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildFunc(t, "if c {\n_ = 1\n}")
+	// Head must edge both into then and around it.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d succs, want 2 (then + skip)\n%s", len(g.Entry.Succs), g)
+	}
+}
+
+func TestIfReturnInThen(t *testing.T) {
+	g := buildFunc(t, "if c {\nreturn\n}\n_ = 1")
+	// The then branch ends at Exit; the done block still runs _ = 1.
+	if !hasEdge(g, "if.then", "exit") {
+		t.Fatalf("return in then should edge to exit\n%s", g)
+	}
+	done := findKind(g, "if.done")
+	if len(done.Nodes) != 1 {
+		t.Fatalf("if.done should carry the trailing statement\n%s", g)
+	}
+}
+
+func findKind(g *Graph, kind string) *Block {
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			return b
+		}
+	}
+	return nil
+}
+
+func TestForLoop(t *testing.T) {
+	g := buildFunc(t, `for i := 0; i < 10; i++ {
+	_ = i
+}
+_ = 1`)
+	k := kinds(g)
+	if k["for.head"] != 1 || k["for.body"] != 1 || k["for.post"] != 1 || k["for.done"] != 1 {
+		t.Fatalf("for blocks missing: %v\n%s", k, g)
+	}
+	if !hasEdge(g, "for.head", "for.body") || !hasEdge(g, "for.head", "for.done") {
+		t.Fatalf("head must branch body/done\n%s", g)
+	}
+	if !hasEdge(g, "for.body", "for.post") || !hasEdge(g, "for.post", "for.head") {
+		t.Fatalf("back edge through post missing\n%s", g)
+	}
+}
+
+func TestForeverLoopUnreachableAfter(t *testing.T) {
+	g := buildFunc(t, "for {\n_ = 1\n}\n_ = 2")
+	// No condition: head has exactly one successor (the body); for.done
+	// and everything after are unreachable.
+	head := findKind(g, "for.head")
+	if len(head.Succs) != 1 {
+		t.Fatalf("conditionless for head has %d succs, want 1\n%s", len(head.Succs), g)
+	}
+	if reachable(g)[findKind(g, "for.done")] {
+		t.Fatalf("for.done should be unreachable after for{}\n%s", g)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := buildFunc(t, `for i := 0; i < 10; i++ {
+	if i == 3 {
+		continue
+	}
+	if i == 7 {
+		break
+	}
+}`)
+	// continue jumps to for.post, break to for.done.
+	if !hasEdge(g, "if.then", "for.post") {
+		t.Fatalf("continue should edge to for.post\n%s", g)
+	}
+	if !hasEdge(g, "if.then", "for.done") {
+		t.Fatalf("break should edge to for.done\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if j == 1 {
+			continue outer
+		}
+		break outer
+	}
+}`)
+	// The labeled continue must reach the OUTER post, the labeled break
+	// the OUTER done — i.e. from inside the inner body.
+	inner := findKind(g, "if.then")
+	foundPost, foundDone := false, false
+	for _, s := range inner.Succs {
+		if s.Kind == "for.post" {
+			foundPost = true
+		}
+	}
+	for _, b := range g.Blocks {
+		if b.Kind != "for.body" && b.Kind != "unreachable" && b.Kind != "if.done" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s.Kind == "for.done" {
+				foundDone = true
+			}
+		}
+	}
+	if !foundPost || !foundDone {
+		t.Fatalf("labeled break/continue edges missing (post=%v done=%v)\n%s", foundPost, foundDone, g)
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := buildFunc(t, `for _, x := range xs {
+	_ = x
+}
+_ = 1`)
+	k := kinds(g)
+	if k["range.head"] != 1 || k["range.body"] != 1 || k["range.done"] != 1 {
+		t.Fatalf("range blocks missing: %v\n%s", k, g)
+	}
+	if !hasEdge(g, "range.head", "range.body") || !hasEdge(g, "range.head", "range.done") {
+		t.Fatalf("range head must branch body/done\n%s", g)
+	}
+	if !hasEdge(g, "range.body", "range.head") {
+		t.Fatalf("range back edge missing\n%s", g)
+	}
+	// The ranged operand is evaluated before the head.
+	if len(g.Entry.Nodes) != 1 {
+		t.Fatalf("range operand should be an entry node\n%s", g)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	g := buildFunc(t, `switch x {
+case 1:
+	_ = 1
+case 2:
+	_ = 2
+	fallthrough
+case 3:
+	_ = 3
+default:
+	_ = 4
+}
+_ = 5`)
+	k := kinds(g)
+	if k["switch.case"] != 3 || k["switch.default"] != 1 {
+		t.Fatalf("switch clause blocks missing: %v\n%s", k, g)
+	}
+	// Head branches to all four clauses; with a default there is no direct
+	// head→done edge.
+	if len(g.Entry.Succs) != 4 {
+		t.Fatalf("switch head has %d succs, want 4\n%s", len(g.Entry.Succs), g)
+	}
+	// fallthrough: case-2 block edges into case-3 block.
+	caseBlocks := []*Block{}
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	fell := false
+	for _, s := range caseBlocks[1].Succs {
+		if s == caseBlocks[2] {
+			fell = true
+		}
+	}
+	if !fell {
+		t.Fatalf("fallthrough edge case2→case3 missing\n%s", g)
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := buildFunc(t, "switch x {\ncase 1:\n_ = 1\n}\n_ = 2")
+	// Without default the head must edge directly to done.
+	done := findKind(g, "switch.done")
+	viaHead := false
+	for _, p := range done.Preds {
+		if p == g.Entry {
+			viaHead = true
+		}
+	}
+	if !viaHead {
+		t.Fatalf("defaultless switch needs head→done edge\n%s", g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := buildFunc(t, `switch v := x.(type) {
+case int:
+	_ = v
+default:
+	_ = v
+}`)
+	k := kinds(g)
+	if k["typeswitch.case"] != 1 || k["typeswitch.default"] != 1 {
+		t.Fatalf("type switch blocks missing: %v\n%s", k, g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, `select {
+case <-ch:
+	_ = 1
+case ch2 <- 0:
+	_ = 2
+default:
+	_ = 3
+}
+_ = 4`)
+	k := kinds(g)
+	if k["select.case"] != 2 || k["select.default"] != 1 {
+		t.Fatalf("select blocks missing: %v\n%s", k, g)
+	}
+	// Control leaves the head only through a clause: 3 succs, no direct
+	// edge to select.done.
+	if len(g.Entry.Succs) != 3 {
+		t.Fatalf("select head has %d succs, want 3\n%s", len(g.Entry.Succs), g)
+	}
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "select.done" {
+			t.Fatalf("blocking select must not edge head→done\n%s", g)
+		}
+	}
+}
+
+func TestReturnAndDeadCode(t *testing.T) {
+	g := buildFunc(t, "return\n_ = 1")
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("return must edge to exit\n%s", g)
+	}
+	// The dead statement lives in an unreachable block.
+	r := reachable(g)
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" && r[b] {
+			t.Fatalf("unreachable block is reachable\n%s", g)
+		}
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g := buildFunc(t, `if bad {
+	panic("boom")
+}
+_ = 1`)
+	then := findKind(g, "if.then")
+	if len(then.Succs) != 1 || then.Succs[0] != g.Panic {
+		t.Fatalf("panic must edge to the panic block only\n%s", g)
+	}
+	if reachable(g)[g.Exit] != true {
+		t.Fatal("normal path must still reach exit")
+	}
+	// Panic completion stays out of Exit's preds from that branch.
+	for _, p := range g.Exit.Preds {
+		if p == then {
+			t.Fatalf("panicking block must not reach exit\n%s", g)
+		}
+	}
+}
+
+func TestDeferRecorded(t *testing.T) {
+	g := buildFunc(t, `defer f()
+if c {
+	defer g()
+}
+return`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2\n%s", len(g.Defers), g)
+	}
+	// First defer registers in entry, second inside the then block.
+	if len(g.Entry.Nodes) < 1 {
+		t.Fatalf("entry missing defer node\n%s", g)
+	}
+	if _, ok := g.Entry.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Fatalf("entry node 0 is %T, want DeferStmt\n%s", g.Entry.Nodes[0], g)
+	}
+	then := findKind(g, "if.then")
+	if len(then.Nodes) != 1 {
+		t.Fatalf("then block should hold the conditional defer\n%s", g)
+	}
+	if _, ok := then.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Fatalf("then node is %T, want DeferStmt\n%s", then.Nodes[0], g)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := buildFunc(t, `i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+_ = i`)
+	lbl := findKind(g, "label.loop")
+	if lbl == nil {
+		t.Fatalf("label block missing\n%s", g)
+	}
+	// goto creates a back edge from the then block to the label.
+	if !hasEdge(g, "if.then", "label.loop") {
+		t.Fatalf("goto edge missing\n%s", g)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("nil body should be entry→exit\n%s", g)
+	}
+}
+
+// TestDeterministicConstruction pins block creation order: two builds of
+// the same body must produce identical String() renderings (the analyzers'
+// diagnostics depend on stable iteration order).
+func TestDeterministicConstruction(t *testing.T) {
+	body := `for i := 0; i < 3; i++ {
+	switch i {
+	case 0:
+		continue
+	default:
+		if i > 1 {
+			return
+		}
+	}
+}`
+	a := buildFunc(t, body).String()
+	b := buildFunc(t, body).String()
+	if a != b {
+		t.Fatalf("nondeterministic construction:\n%s\nvs\n%s", a, b)
+	}
+}

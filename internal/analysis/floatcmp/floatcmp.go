@@ -1,0 +1,114 @@
+// Package floatcmp forbids equality comparison of floating-point values
+// in production code. The repo's correctness story is built on BIT-EXACT
+// equality being proven in exactly one place — the equivalence-lockdown
+// tests (internal/idist/equiv_test.go and the fuzz targets), which compare
+// kernelized query paths against the frozen reference and the sequential
+// oracle. A stray `==` on floats anywhere else is one of two bugs waiting
+// to happen: either the author meant a tolerance (and the comparison will
+// flicker with any reassociation), or they are quietly duplicating the
+// lockdown's job where nothing pins the two sides to the same rounding.
+//
+// Flagged:
+//
+//   - x == y, x != y where either operand is a float (or complex) type
+//   - switch statements whose tag is a float expression (each case is an
+//     equality test)
+//
+// Sanctioned without a directive:
+//
+//   - comparisons where one side is a compile-time constant equal to
+//     exactly zero: `if v == 0` gates a division or detects an unset
+//     sentinel, and zero is exactly representable — the comparison means
+//     what it says
+//   - comparisons where both sides are compile-time constants (the
+//     compiler folds them; nothing can drift at run time)
+//
+// Everything else carries a justified //mmdr:ignore floatcmp directive,
+// which is the point: every bitwise float comparison outside the lockdown
+// is visible, greppable, and argued for in the source. Test files never
+// reach this analyzer (the loader and driver exclude them), so the
+// lockdown tests themselves need no annotations.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"mmdr/internal/analysis/framework"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= and switch on floating-point operands outside the equivalence lockdown",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass.TypeOf(x.X)) && !isFloat(pass.TypeOf(x.Y)) {
+					return true
+				}
+				if bothConstant(pass, x) || zeroGuard(pass, x) {
+					return true
+				}
+				pass.Reportf(x.OpPos, "%s on float operands is bit-exact; use an explicit tolerance, or justify with //mmdr:ignore floatcmp (bitwise equality is proven only in the equivalence lockdown)", x.Op)
+			case *ast.SwitchStmt:
+				if x.Tag != nil && isFloat(pass.TypeOf(x.Tag)) {
+					pass.Reportf(x.Switch, "switch on a float tag performs bit-exact equality per case; restructure as explicit comparisons with tolerances")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is floating-point or
+// complex (complex equality compares two floats).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// bothConstant reports whether both operands fold at compile time.
+func bothConstant(pass *framework.Pass, x *ast.BinaryExpr) bool {
+	return constValue(pass, x.X) != nil && constValue(pass, x.Y) != nil
+}
+
+// zeroGuard reports whether one side is a constant exactly equal to zero
+// — the sanctioned division-guard / unset-sentinel comparison.
+func zeroGuard(pass *framework.Pass, x *ast.BinaryExpr) bool {
+	return isExactZero(constValue(pass, x.X)) || isExactZero(constValue(pass, x.Y))
+}
+
+func constValue(pass *framework.Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+// Package floats exercises floatcmp: float equality is flagged except for
+// exact-zero guards and constant folding.
+package floats
+
+import "math"
+
+// Near is the tolerance-based comparison the analyzer steers people to.
+func Near(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// VarEquality compares two runtime floats bitwise.
+func VarEquality(a, b float64) bool {
+	return a == b // want `== on float operands is bit-exact`
+}
+
+// VarInequality is the same bug through !=.
+func VarInequality(a, b float64) bool {
+	return a != b // want `!= on float operands is bit-exact`
+}
+
+// Float32Equality: smaller floats drift just as well.
+func Float32Equality(a, b float32) bool {
+	return a == b // want `== on float operands is bit-exact`
+}
+
+// ComplexEquality compares two float pairs at once.
+func ComplexEquality(a, b complex128) bool {
+	return a == b // want `== on float operands is bit-exact`
+}
+
+// NonzeroConstant: comparing against 1.0 is as fragile as any other value.
+func NonzeroConstant(x float64) bool {
+	return x == 1.0 // want `== on float operands is bit-exact`
+}
+
+// IntegerCheck is the classic is-it-integral test; exact in spirit but
+// still a bitwise comparison — suppressed with a justification.
+func IntegerCheck(x float64) bool {
+	//mmdr:ignore floatcmp integral-valued check is exact for values within 2^53
+	return x == math.Trunc(x)
+}
+
+// ZeroGuard gates a division on an exact-zero check — sanctioned.
+func ZeroGuard(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// ZeroGuardFlipped puts the constant on the left — still sanctioned.
+func ZeroGuardFlipped(x float64) bool {
+	return 0.0 != x
+}
+
+// NamedZero: a named constant that folds to exactly zero is sanctioned too.
+const zero = 0.0
+
+func NamedZero(x float64) bool {
+	return x == zero
+}
+
+// ConstFold compares two compile-time constants — the compiler decides,
+// nothing drifts at run time.
+func ConstFold() bool {
+	return 0.1+0.2 == 0.3
+}
+
+// IntComparison is not a float comparison at all.
+func IntComparison(a, b int) bool {
+	return a == b
+}
+
+// OrderingIsFine: <, <=, >, >= tolerate rounding by their nature.
+func OrderingIsFine(a, b float64) bool {
+	return a < b || a >= b*2
+}
+
+// SwitchOnFloat performs a bitwise equality per case.
+func SwitchOnFloat(x float64) int {
+	switch x { // want `switch on a float tag`
+	case 1.0:
+		return 1
+	case 2.0:
+		return 2
+	}
+	return 0
+}
+
+// SwitchOnInt is fine.
+func SwitchOnInt(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// SwitchTrueWithFloatCases: a tagless switch whose cases are comparisons
+// is flagged (or not) per case expression, not at the switch.
+func SwitchTrueWithFloatCases(x float64) int {
+	switch {
+	case x == 0: // zero guard, sanctioned
+		return 0
+	case x == 3.5: // want `== on float operands is bit-exact`
+		return 1
+	}
+	return 2
+}

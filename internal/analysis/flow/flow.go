@@ -1,0 +1,292 @@
+// Package flow is a forward dataflow engine over internal/analysis/cfg
+// graphs: bit-vector fact sets, per-node gen/kill style transfer
+// functions, and worklist iteration to a fixpoint in reverse postorder.
+//
+// Facts are small integers (0..NFacts-1) assigned by the client — one per
+// tracked variable, lock, or obligation. The engine supports both join
+// disciplines:
+//
+//   - May (union): a fact holds at a point if it holds on SOME path there.
+//     Used for "this scratch may still be checked out", "this mutex may be
+//     held".
+//   - Must (intersection): a fact holds only if it holds on EVERY path.
+//     Used for "an unlock is guaranteed to be deferred".
+//
+// Transfer functions are monotone by construction (pure gen/kill over a
+// finite lattice), so the iteration terminates; Solve nevertheless bounds
+// the number of sweeps and fails loudly if a non-monotone client transfer
+// diverges, rather than hanging the linter.
+//
+// Blocks unreachable from Entry (dead code after return, unused labels)
+// are excluded from the solution: facts generated in dead code must not
+// leak into the live solution through join points.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"math/bits"
+
+	"mmdr/internal/analysis/cfg"
+)
+
+// Set is a bit vector of dataflow facts. The zero value of a given width
+// is the empty set; sets of different widths must not be mixed.
+type Set struct {
+	words []uint64
+}
+
+// NewSet returns an empty set able to hold facts 0..n-1.
+func NewSet(n int) Set {
+	return Set{words: make([]uint64, (n+63)/64)}
+}
+
+// full returns the set holding every fact 0..n-1 (the must-analysis "top"
+// element).
+func full(n int) Set {
+	s := NewSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// Has reports whether fact i is in the set.
+func (s Set) Has(i int) bool {
+	w := i / 64
+	return w < len(s.words) && s.words[w]&(1<<(i%64)) != 0
+}
+
+// Add inserts fact i.
+func (s Set) Add(i int) { s.words[i/64] |= 1 << (i % 64) }
+
+// Remove deletes fact i.
+func (s Set) Remove(i int) {
+	w := i / 64
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (i % 64)
+	}
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union adds every fact of o to s in place.
+func (s Set) Union(o Set) {
+	for i := range o.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// Intersect keeps only facts present in both s and o, in place.
+func (s Set) Intersect(o Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &= o.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Equal reports set equality.
+func (s Set) Equal(o Set) bool {
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no fact is present.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of facts present.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Join selects the meet operator of an analysis.
+type Join int
+
+const (
+	// May joins with set union: facts that hold on some path.
+	May Join = iota
+	// Must joins with set intersection: facts that hold on every path.
+	Must
+)
+
+// Transfer rewrites the fact set across one CFG node. Implementations
+// receive a private copy of the incoming set and may mutate and return it
+// (the usual gen/kill shape: in - kill ∪ gen). It must be monotone in its
+// input for the iteration to converge.
+type Transfer func(n ast.Node, in Set) Set
+
+// Result is the fixpoint solution: fact sets at the entry and exit of
+// every reachable block.
+type Result struct {
+	graph  *cfg.Graph
+	nfacts int
+	tr     Transfer
+	in     map[*cfg.Block]Set
+	out    map[*cfg.Block]Set
+}
+
+// In returns the facts holding at the start of b. Blocks unreachable from
+// Entry report the empty set (May) — they never execute.
+func (r *Result) In(b *cfg.Block) Set {
+	if s, ok := r.in[b]; ok {
+		return s.Clone()
+	}
+	return NewSet(r.nfacts)
+}
+
+// Out returns the facts holding at the end of b.
+func (r *Result) Out(b *cfg.Block) Set {
+	if s, ok := r.out[b]; ok {
+		return s.Clone()
+	}
+	return NewSet(r.nfacts)
+}
+
+// Reachable reports whether b is reachable from the graph's entry.
+func (r *Result) Reachable(b *cfg.Block) bool {
+	_, ok := r.in[b]
+	return ok
+}
+
+// WalkNode replays the transfer function over the nodes of b from its
+// fixpoint In set, invoking visit with the fact set holding immediately
+// BEFORE each node. This is how clients localize a block-level result to
+// the exact statement they want to diagnose.
+func (r *Result) WalkNode(b *cfg.Block, visit func(n ast.Node, before Set)) {
+	s := r.In(b)
+	for _, n := range b.Nodes {
+		visit(n, s.Clone())
+		s = r.tr(n, s)
+	}
+}
+
+// maxSweeps bounds fixpoint iteration: gen/kill over NFacts bits converges
+// in at most O(blocks·facts) sweeps; anything past this limit means a
+// non-monotone transfer function.
+const maxSweeps = 10000
+
+// Forward solves the forward dataflow problem over g: Init seeds the entry
+// block, tr transfers facts across each node, join merges predecessor out
+// sets. It panics (with a diagnostic message) if the iteration fails to
+// converge — which a monotone transfer cannot cause.
+func Forward(g *cfg.Graph, nfacts int, join Join, init Set, tr Transfer) *Result {
+	order := postorder(g)
+	// Reverse postorder: forward analyses converge in few sweeps when
+	// blocks are visited before their successors.
+	rpo := make([]*cfg.Block, len(order))
+	for i, b := range order {
+		rpo[len(order)-1-i] = b
+	}
+
+	res := &Result{
+		graph:  g,
+		nfacts: nfacts,
+		tr:     tr,
+		in:     make(map[*cfg.Block]Set, len(rpo)),
+		out:    make(map[*cfg.Block]Set, len(rpo)),
+	}
+	reach := make(map[*cfg.Block]bool, len(rpo))
+	for _, b := range rpo {
+		reach[b] = true
+		// Must-analysis starts every block at top so the first real
+		// predecessor value wins the intersection; may-analysis at bottom.
+		if join == Must {
+			res.out[b] = full(nfacts)
+		} else {
+			res.out[b] = NewSet(nfacts)
+		}
+	}
+
+	transferBlock := func(b *cfg.Block, in Set) Set {
+		s := in
+		for _, n := range b.Nodes {
+			s = tr(n, s)
+		}
+		return s
+	}
+
+	for sweep := 0; ; sweep++ {
+		if sweep > maxSweeps {
+			panic(fmt.Sprintf("flow: no fixpoint after %d sweeps — non-monotone transfer function", maxSweeps))
+		}
+		changed := false
+		for _, b := range rpo {
+			var in Set
+			if b == g.Entry {
+				in = init.Clone()
+			} else {
+				first := true
+				for _, p := range b.Preds {
+					if !reach[p] {
+						continue // dead predecessors contribute nothing
+					}
+					if first {
+						in = res.out[p].Clone()
+						first = false
+					} else if join == Must {
+						in.Intersect(res.out[p])
+					} else {
+						in.Union(res.out[p])
+					}
+				}
+				if first {
+					// Reachable from entry but all preds pruned cannot
+					// happen (reachability follows edges); defensive.
+					in = NewSet(nfacts)
+				}
+			}
+			res.in[b] = in.Clone()
+			out := transferBlock(b, in)
+			if !out.Equal(res.out[b]) {
+				res.out[b] = out
+				changed = true
+			}
+		}
+		if !changed {
+			return res
+		}
+	}
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder,
+// following Succs in creation order (deterministic).
+func postorder(g *cfg.Graph) []*cfg.Block {
+	var order []*cfg.Block
+	seen := map[*cfg.Block]bool{}
+	var dfs func(*cfg.Block)
+	dfs = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		order = append(order, b)
+	}
+	dfs(g.Entry)
+	return order
+}

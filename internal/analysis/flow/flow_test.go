@@ -1,0 +1,301 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"mmdr/internal/analysis/cfg"
+)
+
+// buildFunc parses src as a function body and returns its CFG.
+func buildFunc(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// genKillCalls builds a transfer function for a one-fact problem: calling
+// gen() adds fact 0, calling kill() removes it.
+func genKillCalls(t *testing.T) Transfer {
+	t.Helper()
+	return func(n ast.Node, in Set) Set {
+		ast.Inspect(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "gen":
+					in.Add(0)
+				case "kill":
+					in.Remove(0)
+				}
+			}
+			return true
+		})
+		return in
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(130) // force multiple words
+	for _, i := range []int{0, 63, 64, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Add(%d) not visible", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	o := NewSet(130)
+	o.Add(63)
+	o.Add(100)
+	u := s.Clone()
+	u.Union(o)
+	if !u.Has(100) || !u.Has(0) {
+		t.Fatal("Union lost facts")
+	}
+	s.Intersect(o)
+	if s.Count() != 1 || !s.Has(63) {
+		t.Fatalf("Intersect wrong: count=%d", s.Count())
+	}
+	s.Remove(63)
+	if !s.Empty() {
+		t.Fatal("Remove/Empty wrong")
+	}
+}
+
+func TestStraightLineGenKill(t *testing.T) {
+	g := buildFunc(t, "gen()\nkill()")
+	res := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+	if !res.Out(g.Entry).Empty() {
+		t.Fatal("kill after gen should leave the fact dead at block exit")
+	}
+	if !res.In(g.Exit).Empty() {
+		t.Fatal("fact must not reach exit")
+	}
+}
+
+// TestMayJoin: a fact generated on one arm of an if holds at the join
+// under May but not under Must.
+func TestMayVsMustJoin(t *testing.T) {
+	body := `if c {
+	gen()
+}
+done()`
+	g := buildFunc(t, body)
+	tr := genKillCalls(t)
+
+	may := Forward(g, 1, May, NewSet(1), tr)
+	must := Forward(g, 1, Must, NewSet(1), tr)
+
+	if !may.In(g.Exit).Has(0) {
+		t.Fatal("May: fact generated on one path must reach exit")
+	}
+	if must.In(g.Exit).Has(0) {
+		t.Fatal("Must: fact generated on only one path must NOT hold at exit")
+	}
+}
+
+// TestMustBothArms: generated on both arms, the fact survives a Must join.
+func TestMustBothArms(t *testing.T) {
+	body := `if c {
+	gen()
+} else {
+	gen()
+}`
+	g := buildFunc(t, body)
+	must := Forward(g, 1, Must, NewSet(1), genKillCalls(t))
+	if !must.In(g.Exit).Has(0) {
+		t.Fatal("Must: fact generated on every path should hold at exit")
+	}
+}
+
+// TestLoopFixpoint: a fact generated inside a loop body must propagate
+// around the back edge and out of the loop under May — requiring at least
+// two sweeps to converge.
+func TestLoopFixpoint(t *testing.T) {
+	body := `for i := 0; i < n; i++ {
+	if c {
+		gen()
+	}
+}
+done()`
+	g := buildFunc(t, body)
+	res := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+	if !res.In(g.Exit).Has(0) {
+		t.Fatal("fact generated in loop body must flow around the back edge to exit")
+	}
+}
+
+// TestLoopMust: under Must, a fact generated only inside a conditionally
+// executed loop body does not hold after the loop (the zero-iteration path
+// skips it).
+func TestLoopMust(t *testing.T) {
+	body := `for i := 0; i < n; i++ {
+	gen()
+}
+done()`
+	g := buildFunc(t, body)
+	res := Forward(g, 1, Must, NewSet(1), genKillCalls(t))
+	if res.In(g.Exit).Has(0) {
+		t.Fatal("Must: zero-iteration path skips the loop body; fact cannot hold at exit")
+	}
+}
+
+// TestRangeLoopFixpoint mirrors TestLoopFixpoint over a range loop.
+func TestRangeLoopFixpoint(t *testing.T) {
+	body := `for _, x := range xs {
+	_ = x
+	gen()
+}
+done()`
+	g := buildFunc(t, body)
+	res := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+	if !res.In(g.Exit).Has(0) {
+		t.Fatal("fact from range body must reach exit under May")
+	}
+}
+
+// TestKillInLoopConverges: gen before a loop that kills — the fact must
+// not hold after the loop under Must (killed on the iterating path) but
+// holds under May (zero-iteration path).
+func TestKillInLoopConverges(t *testing.T) {
+	body := `gen()
+for i := 0; i < n; i++ {
+	kill()
+}
+done()`
+	g := buildFunc(t, body)
+	may := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+	must := Forward(g, 1, Must, NewSet(1), genKillCalls(t))
+	if !may.In(g.Exit).Has(0) {
+		t.Fatal("May: zero-iteration path keeps the fact alive")
+	}
+	if must.In(g.Exit).Has(0) {
+		t.Fatal("Must: iterating path kills the fact")
+	}
+}
+
+// TestPanicPathExcluded: a fact live only on a panicking path never
+// reaches Exit.
+func TestPanicPathExcluded(t *testing.T) {
+	body := `if c {
+	gen()
+	panic("boom")
+}
+done()`
+	g := buildFunc(t, body)
+	res := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+	if res.In(g.Exit).Has(0) {
+		t.Fatal("fact generated on the panicking path must not reach exit")
+	}
+	if !res.In(g.Panic).Has(0) {
+		t.Fatal("fact must reach the panic block")
+	}
+}
+
+// TestDeadCodeExcluded: facts generated after return (dead code) must not
+// pollute the solution.
+func TestDeadCodeExcluded(t *testing.T) {
+	body := `return
+gen()`
+	g := buildFunc(t, body)
+	res := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+	if res.In(g.Exit).Has(0) {
+		t.Fatal("dead-code gen leaked into the live solution")
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" && res.Reachable(b) {
+			t.Fatal("unreachable block marked reachable")
+		}
+	}
+}
+
+// TestWalkNode: the per-node replay localizes facts between statements of
+// one block.
+func TestWalkNode(t *testing.T) {
+	g := buildFunc(t, "gen()\nmid()\nkill()\nafter()")
+	res := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+
+	type obs struct {
+		name string
+		has  bool
+	}
+	var seen []obs
+	res.WalkNode(g.Entry, func(n ast.Node, before Set) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			call := es.X.(*ast.CallExpr)
+			seen = append(seen, obs{call.Fun.(*ast.Ident).Name, before.Has(0)})
+		}
+	})
+	want := []obs{{"gen", false}, {"mid", true}, {"kill", true}, {"after", false}}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d nodes, want %d: %+v", len(seen), len(want), seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("node %d: got %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}
+
+// TestSwitchJoin: facts generated in some switch cases only — May at the
+// join, not Must.
+func TestSwitchJoin(t *testing.T) {
+	body := `switch x {
+case 1:
+	gen()
+case 2:
+	gen()
+default:
+}
+done()`
+	g := buildFunc(t, body)
+	may := Forward(g, 1, May, NewSet(1), genKillCalls(t))
+	must := Forward(g, 1, Must, NewSet(1), genKillCalls(t))
+	if !may.In(g.Exit).Has(0) {
+		t.Fatal("May: case-generated fact should reach exit")
+	}
+	if must.In(g.Exit).Has(0) {
+		t.Fatal("Must: default path skips gen")
+	}
+}
+
+// TestMultiFact exercises independent facts through one analysis.
+func TestMultiFact(t *testing.T) {
+	// fact 0: gen/kill; fact 1: generated by mid() in this transfer.
+	tr := func(n ast.Node, in Set) Set {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					switch id.Name {
+					case "gen":
+						in.Add(0)
+					case "kill":
+						in.Remove(0)
+					case "mid":
+						in.Add(1)
+					}
+				}
+			}
+			return true
+		})
+		return in
+	}
+	g := buildFunc(t, "gen()\nmid()\nkill()")
+	res := Forward(g, 2, May, NewSet(2), tr)
+	out := res.In(g.Exit)
+	if out.Has(0) || !out.Has(1) {
+		t.Fatalf("facts at exit wrong: 0=%v 1=%v", out.Has(0), out.Has(1))
+	}
+}

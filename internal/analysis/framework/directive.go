@@ -6,25 +6,41 @@ import (
 	"strings"
 )
 
-// The repo's two source directives, written like standard Go tool
-// directives (no space after //):
+// The repo's source directives, written like standard Go tool directives
+// (no space after //):
 //
-//	//mmdr:hotpath [note]            — marks a function whose body must
-//	                                   respect the hot-path allocation budget
-//	//mmdr:ignore <analyzer> <reason> — silences one finding, with the
-//	                                   justification kept in the source
+//	//mmdr:hotpath [note]             — marks a function whose body must
+//	                                    respect the hot-path allocation budget
+//	//mmdr:ignore <analyzers> <reason> — silences one finding, with the
+//	                                    justification kept in the source;
+//	                                    <analyzers> is one name or a
+//	                                    comma-separated list (no spaces)
+//	//mmdr:persist [save=F] [load=F] [rebuild=M]
+//	                                  — marks a gob-persisted struct whose
+//	                                    fields persistdrift audits
 const (
 	ignorePrefix  = "//mmdr:ignore"
 	hotpathPrefix = "//mmdr:hotpath"
+	persistPrefix = "//mmdr:persist"
 )
 
 // IgnoreDirective is one parsed //mmdr:ignore comment.
 type IgnoreDirective struct {
-	Pos      token.Position
-	Analyzer string // first word after the directive ("" when absent)
-	Reason   string // rest of the comment ("" when absent)
+	Pos       token.Position
+	Analyzers []string // comma-separated names after the directive (empty when absent)
+	Reason    string   // rest of the comment ("" when absent)
 
 	used bool
+}
+
+// Covers reports whether the directive names the given analyzer.
+func (ig *IgnoreDirective) Covers(analyzer string) bool {
+	for _, a := range ig.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
 }
 
 // collectIgnores parses every //mmdr:ignore directive in the files,
@@ -34,17 +50,18 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) []IgnoreDirective {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				rest, ok := directiveRest(c.Text, ignorePrefix)
+				if !ok {
 					continue
-				}
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //mmdr:ignorexyz — not this directive
 				}
 				fields := strings.Fields(rest)
 				ig := IgnoreDirective{Pos: fset.Position(c.Pos())}
 				if len(fields) > 0 {
-					ig.Analyzer = fields[0]
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							ig.Analyzers = append(ig.Analyzers, name)
+						}
+					}
 				}
 				if len(fields) > 1 {
 					ig.Reason = strings.Join(fields[1:], " ")
@@ -56,16 +73,84 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) []IgnoreDirective {
 	return out
 }
 
-// IsHotPath reports whether fn carries a //mmdr:hotpath directive in its
-// doc comment.
+// directiveRest strips prefix from a comment, requiring a word boundary:
+// "//mmdr:ignorexyz" is not the ignore directive. The remainder (possibly
+// empty) is returned with ok=true on a match.
+func directiveRest(text, prefix string) (string, bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+// IsHotPath reports whether fn carries a //mmdr:hotpath directive anywhere
+// in its doc comment — including doc groups that open with prose, and
+// methods with pointer or value receivers (the directive attaches to the
+// declaration, not the receiver).
 func IsHotPath(fn *ast.FuncDecl) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if c.Text == hotpathPrefix || strings.HasPrefix(c.Text, hotpathPrefix+" ") {
+		if _, ok := directiveRest(c.Text, hotpathPrefix); ok {
 			return true
 		}
 	}
 	return false
+}
+
+// PersistDirective is one parsed //mmdr:persist comment: the contract a
+// gob-persisted struct declares for the persistdrift analyzer.
+type PersistDirective struct {
+	Pos token.Pos
+	// Save names a function/method in the package through which every
+	// field must flow when encoding ("" = fields encode directly via gob).
+	Save string
+	// Load names the function/method that must restore every field when
+	// decoding ("" = gob decodes exported fields directly).
+	Load string
+	// Rebuild names the method that re-derives unexported (gob-skipped)
+	// fields after decode, e.g. EnsureKernels.
+	Rebuild string
+	// Unknown collects unrecognized key=value options, reported by the
+	// analyzer so typos cannot silently disable a check.
+	Unknown []string
+}
+
+// PersistDirectiveOf parses the //mmdr:persist directive out of a doc
+// comment group (nil when the group carries none).
+func PersistDirectiveOf(doc *ast.CommentGroup) *PersistDirective {
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		rest, ok := directiveRest(c.Text, persistPrefix)
+		if !ok {
+			continue
+		}
+		d := &PersistDirective{Pos: c.Pos()}
+		for _, f := range strings.Fields(rest) {
+			key, val, found := strings.Cut(f, "=")
+			if !found {
+				d.Unknown = append(d.Unknown, f)
+				continue
+			}
+			switch key {
+			case "save":
+				d.Save = val
+			case "load":
+				d.Load = val
+			case "rebuild":
+				d.Rebuild = val
+			default:
+				d.Unknown = append(d.Unknown, f)
+			}
+		}
+		return d
+	}
+	return nil
 }

@@ -10,11 +10,14 @@
 // On top of the x/tools shapes, the framework implements the repo's
 // suppression directive:
 //
-//	//mmdr:ignore <analyzer> <reason>
+//	//mmdr:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// placed on the flagged line or the line directly above it. A directive
-// without a reason does not suppress anything and is itself reported, so
-// every silenced finding carries a justification in the source.
+// placed on the flagged line, the line directly above it, or — when the
+// flagged statement spans multiple lines — trailing any line of the
+// statement (a suppression on a continuation line of a wrapped call is as
+// deliberate as one on its first line). A directive without a reason does
+// not suppress anything and is itself reported, so every silenced finding
+// carries a justification in the source.
 package framework
 
 import (
@@ -23,6 +26,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer describes one static check. Run inspects a single package via
@@ -99,7 +103,60 @@ type Runner struct {
 	Known []string
 
 	ignores []IgnoreDirective
+	spans   []stmtSpan
 	diags   []Diagnostic
+}
+
+// stmtSpan is the line range of one statement (or field/spec) — for
+// compound statements only the header, up to the opening brace, so a
+// directive inside an if body never silences a finding on the condition.
+type stmtSpan struct {
+	filename   string
+	start, end int
+}
+
+// collectSpans records the line span of every statement, struct field and
+// value spec so suppression directives can match any line of a multi-line
+// statement, not just its first.
+func collectSpans(fset *token.FileSet, files []*ast.File) []stmtSpan {
+	var out []stmtSpan
+	add := func(n ast.Node, endPos token.Pos) {
+		start := fset.Position(n.Pos())
+		end := fset.Position(endPos)
+		out = append(out, stmtSpan{start.Filename, start.Line, end.Line})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BlockStmt, *ast.LabeledStmt:
+				// Wrappers: their contents carry the spans.
+			case *ast.IfStmt:
+				add(x, x.Body.Lbrace)
+			case *ast.ForStmt:
+				add(x, x.Body.Lbrace)
+			case *ast.RangeStmt:
+				add(x, x.Body.Lbrace)
+			case *ast.SwitchStmt:
+				add(x, x.Body.Lbrace)
+			case *ast.TypeSwitchStmt:
+				add(x, x.Body.Lbrace)
+			case *ast.SelectStmt:
+				add(x, x.Body.Lbrace)
+			case *ast.CaseClause:
+				add(x, x.Colon)
+			case *ast.CommClause:
+				add(x, x.Colon)
+			case ast.Stmt:
+				add(x, x.End())
+			case *ast.Field:
+				add(x, x.End())
+			case *ast.ValueSpec:
+				add(x, x.End())
+			}
+			return true
+		})
+	}
+	return out
 }
 
 // Run analyzes the package described by (fset, files, pkg, info) with every
@@ -107,6 +164,7 @@ type Runner struct {
 // surviving diagnostics sorted by position.
 func (r *Runner) Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
 	r.ignores = collectIgnores(fset, files)
+	r.spans = collectSpans(fset, files)
 	r.diags = nil
 
 	for _, a := range r.Analyzers {
@@ -142,18 +200,38 @@ func (r *Runner) Run(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 }
 
 // suppressed reports whether a justified directive for the named analyzer
-// covers the diagnostic position. Unjustified directives (no reason) never
-// suppress — they are themselves diagnosed by validateIgnores.
+// covers the diagnostic position: same line, the line directly above, or
+// any line of the enclosing statement's span (plus the line above the
+// span) when the statement wraps across lines. Unjustified directives (no
+// reason) never suppress — they are themselves diagnosed by
+// validateIgnores.
 func (r *Runner) suppressed(analyzer string, pos token.Position) bool {
+	// Innermost statement span containing the diagnostic: the narrowest
+	// span wins, so a directive inside a nested statement never bleeds
+	// outward.
+	var sp *stmtSpan
+	for i := range r.spans {
+		s := &r.spans[i]
+		if s.filename != pos.Filename || pos.Line < s.start || pos.Line > s.end {
+			continue
+		}
+		if sp == nil || s.end-s.start < sp.end-sp.start {
+			sp = s
+		}
+	}
 	for i := range r.ignores {
 		ig := &r.ignores[i]
-		if ig.Analyzer != analyzer || ig.Reason == "" {
+		if ig.Reason == "" || !ig.Covers(analyzer) {
 			continue
 		}
 		if ig.Pos.Filename != pos.Filename {
 			continue
 		}
 		if ig.Pos.Line == pos.Line || ig.Pos.Line == pos.Line-1 {
+			ig.used = true
+			return true
+		}
+		if sp != nil && ig.Pos.Line >= sp.start-1 && ig.Pos.Line <= sp.end {
 			ig.used = true
 			return true
 		}
@@ -172,24 +250,30 @@ func (r *Runner) validateIgnores() {
 		known[n] = true
 	}
 	for _, ig := range r.ignores {
-		switch {
-		case ig.Analyzer == "":
+		if len(ig.Analyzers) == 0 {
 			r.diags = append(r.diags, Diagnostic{
 				Pos:      ig.Pos,
 				Analyzer: "mmdrignore",
 				Message:  "//mmdr:ignore needs an analyzer name and a reason",
 			})
-		case !known[ig.Analyzer]:
+			continue
+		}
+		bad := false
+		for _, name := range ig.Analyzers {
+			if !known[name] {
+				bad = true
+				r.diags = append(r.diags, Diagnostic{
+					Pos:      ig.Pos,
+					Analyzer: "mmdrignore",
+					Message:  fmt.Sprintf("//mmdr:ignore names unknown analyzer %q", name),
+				})
+			}
+		}
+		if !bad && ig.Reason == "" {
 			r.diags = append(r.diags, Diagnostic{
 				Pos:      ig.Pos,
 				Analyzer: "mmdrignore",
-				Message:  fmt.Sprintf("//mmdr:ignore names unknown analyzer %q", ig.Analyzer),
-			})
-		case ig.Reason == "":
-			r.diags = append(r.diags, Diagnostic{
-				Pos:      ig.Pos,
-				Analyzer: "mmdrignore",
-				Message:  fmt.Sprintf("//mmdr:ignore %s is missing a reason — unjustified suppressions are errors", ig.Analyzer),
+				Message:  fmt.Sprintf("//mmdr:ignore %s is missing a reason — unjustified suppressions are errors", strings.Join(ig.Analyzers, ",")),
 			})
 		}
 	}

@@ -34,11 +34,35 @@ var c int
 	if len(igs) != 2 {
 		t.Fatalf("got %d directives, want 2: %+v", len(igs), igs)
 	}
-	if igs[0].Analyzer != "hotalloc" || igs[0].Reason != "cold error path" {
+	if !igs[0].Covers("hotalloc") || igs[0].Reason != "cold error path" {
 		t.Errorf("first directive parsed as %+v", igs[0])
 	}
-	if igs[1].Analyzer != "maporder" || igs[1].Reason != "" {
+	if !igs[1].Covers("maporder") || igs[1].Reason != "" {
 		t.Errorf("second directive parsed as %+v", igs[1])
+	}
+}
+
+// TestCollectIgnoresMultiAnalyzer: one directive can silence several
+// analyzers at once with a comma-separated list.
+func TestCollectIgnoresMultiAnalyzer(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//mmdr:ignore hotalloc,floatcmp sanctioned sentinel comparison in a pinned-budget path
+var a int
+`)
+	igs := collectIgnores(fset, files)
+	if len(igs) != 1 {
+		t.Fatalf("got %d directives, want 1: %+v", len(igs), igs)
+	}
+	ig := igs[0]
+	if len(ig.Analyzers) != 2 || !ig.Covers("hotalloc") || !ig.Covers("floatcmp") {
+		t.Errorf("analyzer list parsed as %+v", ig.Analyzers)
+	}
+	if ig.Covers("maporder") {
+		t.Error("Covers must be exact, not prefix/contains")
+	}
+	if ig.Reason != "sanctioned sentinel comparison in a pinned-budget path" {
+		t.Errorf("reason parsed as %q", ig.Reason)
 	}
 }
 
@@ -131,5 +155,183 @@ var d int
 	}
 	if len(diags) != 5 {
 		t.Errorf("got %d diagnostics, want 5:\n%s", len(diags), joined)
+	}
+}
+
+// TestIsHotPathReceivers: the directive attaches to the declaration, so
+// methods with pointer and value receivers — and directives buried inside
+// a doc group that opens with prose — all register.
+func TestIsHotPathReceivers(t *testing.T) {
+	_, files := parse(t, `package p
+
+type T struct{}
+
+// PtrRecv does things fast.
+//
+// More prose between the summary and the directive.
+//
+//mmdr:hotpath innermost kernel
+func (t *T) PtrRecv() {}
+
+//mmdr:hotpath
+func (t T) ValRecv() {}
+
+// ColdMethod has prose but no directive.
+func (t *T) ColdMethod() {}
+`)
+	got := map[string]bool{}
+	for _, d := range files[0].Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			got[fn.Name.Name] = IsHotPath(fn)
+		}
+	}
+	want := map[string]bool{"PtrRecv": true, "ValRecv": true, "ColdMethod": false}
+	for name, hot := range want {
+		if got[name] != hot {
+			t.Errorf("IsHotPath(%s) = %v, want %v", name, got[name], hot)
+		}
+	}
+}
+
+// fakeStmtAnalyzer flags every call to a function named "flagme",
+// reporting at the call position — used to exercise suppression matching
+// against statements.
+func fakeStmtAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "fake",
+		Doc:  "flags calls to flagme",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						p.Reportf(call.Pos(), "flagged call")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// TestSuppressionOnContinuationLine: a directive trailing ANY line of a
+// multi-line statement suppresses a finding reported at the statement's
+// first line — the span match, not just same-line/line-above.
+func TestSuppressionOnContinuationLine(t *testing.T) {
+	src := `package p
+
+func g() {
+	flagme(
+		1,
+		2, //mmdr:ignore fake argument list audited by hand
+	)
+}
+
+func h() {
+	flagme(
+		1,
+		2,
+	)
+}
+`
+	fset, files := parse(t, src)
+	r := &Runner{Analyzers: []*Analyzer{fakeStmtAnalyzer()}}
+	diags, err := r.Run(fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed one in h:\n%v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 11 {
+		t.Errorf("surviving diagnostic at line %d, want 11 (h's call)", diags[0].Pos.Line)
+	}
+}
+
+// TestSuppressionSpanDoesNotBleed: a directive inside an if BODY must not
+// silence a finding on the if condition — compound statements match only
+// their header span.
+func TestSuppressionSpanDoesNotBleed(t *testing.T) {
+	src := `package p
+
+func g() {
+	if flagme(
+		1,
+	) {
+		_ = 1 //mmdr:ignore fake directive deep in the body
+	}
+}
+`
+	fset, files := parse(t, src)
+	r := &Runner{Analyzers: []*Analyzer{fakeStmtAnalyzer()}}
+	diags, err := r.Run(fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("directive inside the if body must not suppress the condition finding: %v", diags)
+	}
+}
+
+// TestSuppressionMultiAnalyzerDirective: a two-analyzer directive
+// suppresses findings from both named analyzers at one position, and an
+// unknown name inside the list is still reported.
+func TestSuppressionMultiAnalyzerDirective(t *testing.T) {
+	src := `package p
+
+func g() {
+	flagme(1) //mmdr:ignore fake,other covered by the equivalence lockdown
+}
+
+//mmdr:ignore fake,nosuch some reason
+func h() {
+	flagme(1)
+}
+`
+	other := &Analyzer{
+		Name: "other",
+		Doc:  "also flags flagme calls",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						p.Reportf(call.Pos(), "other finding")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	fset, files := parse(t, src)
+	r := &Runner{Analyzers: []*Analyzer{fakeStmtAnalyzer(), other}}
+	diags, err := r.Run(fset, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	joined := strings.Join(got, "\n")
+	if strings.Contains(joined, "x.go:4") {
+		t.Errorf("two-analyzer directive failed to silence both findings:\n%s", joined)
+	}
+	if !strings.Contains(joined, `unknown analyzer "nosuch"`) {
+		t.Errorf("unknown analyzer inside a list must be reported:\n%s", joined)
+	}
+	// h's findings survive: the directive names an unknown analyzer, but
+	// "fake" is still a valid, justified suppression... except it sits on
+	// the function declaration, which is not the flagged statement's span.
+	if !strings.Contains(joined, "x.go:9") {
+		t.Errorf("findings in h should survive (directive not on the statement):\n%s", joined)
 	}
 }

@@ -1,0 +1,412 @@
+// Package lockbal checks mutex discipline path-sensitively, using the
+// cfg+flow layers. For every sync.Mutex / sync.RWMutex manipulated in a
+// function it verifies, over all control-flow paths:
+//
+//   - Balance: every Lock (RLock) is matched by an Unlock (RUnlock) —
+//     either executed directly on the path or registered with defer — on
+//     every path to a return. The repository idiom is Lock-then-defer in
+//     the statement pair that opens ConcurrentIndex and obs.Collector
+//     methods; this analyzer is what keeps a later early-return from
+//     silently leaking the lock.
+//   - No unlock of a mutex that cannot be locked at that point on any
+//     path (an unpaired Unlock panics at run time).
+//   - No re-Lock while the same mutex may already be held (self-deadlock;
+//     RLock while the write lock may be held is flagged too).
+//   - No pool.Run / pool.Chunks fan-out and no blocking channel operation
+//     while any lock is held: the workers (or the peer goroutine) may need
+//     the same structure, and parallel sections must never serialize on a
+//     caller's lock. Deferred unlocks keep the lock held until return, so
+//     a fan-out after `defer mu.Unlock()` is still a finding.
+//
+// Lock identity is the printed receiver expression (`c.mu`, `idx.statsMu`)
+// — syntactic, per function, which matches how mutexes are actually used:
+// a lock reached through two different expressions in one function would
+// be a finding in any review. Methods promoted from an embedded mutex
+// (`c.Lock()`) key on the embedding expression.
+//
+// Facts per lock (forward may-analysis): heldW/heldR — an exclusive/read
+// hold taken on this path and not yet directly released (defer does NOT
+// clear it: the lock stays held until return); obW/obR — the release
+// obligation, cleared by a direct unlock or a registered defer. A path
+// reaching Exit with the obligation still set is a leak; using held at
+// each node keeps the fan-out check honest after a deferred unlock.
+package lockbal
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmdr/internal/analysis/cfg"
+	"mmdr/internal/analysis/flow"
+	"mmdr/internal/analysis/framework"
+)
+
+// Analyzer is the lockbal check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockbal",
+	Doc:  "checks Lock/Unlock balance on all paths and forbids fan-out or blocking channel ops under a held mutex",
+	Run:  run,
+}
+
+// poolPath is the repository's fan-out package; Run and Chunks block until
+// every worker finishes.
+const poolPath = "mmdr/internal/pool"
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		// A function literal invoked directly by a defer statement runs in
+		// the enclosing function's lock context at return time; its mutex
+		// ops are already modeled there by deferredOps. Analyzing such a
+		// literal standalone would misreport its Unlock as unpaired.
+		deferred := map[*ast.FuncLit]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+					deferred[lit] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				if !deferred[fn] {
+					checkFunc(pass, fn.Body)
+				}
+				// checkFunc never descends into nested literals itself;
+				// keep walking so they are analyzed as their own functions.
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fact offsets within one lock's 4-fact group.
+const (
+	heldW = iota
+	heldR
+	obW
+	obR
+	factsPerLock
+)
+
+// mutexOp classifies one call as a mutex operation.
+type mutexOp struct {
+	key  string // printed receiver expression: "c.mu", "idx.statsMu"
+	name string // Lock, Unlock, RLock, RUnlock
+	pos  token.Pos
+}
+
+type checker struct {
+	pass    *framework.Pass
+	keys    map[string]int // lock key -> fact group index
+	order   []string
+	lockPos map[int]token.Pos // first Lock/RLock position per fact index
+	// nonBlocking marks comm statements of selects that have a default
+	// clause: those receives/sends never block.
+	nonBlocking map[ast.Node]bool
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	c := &checker{
+		pass:        pass,
+		keys:        map[string]int{},
+		lockPos:     map[int]token.Pos{},
+		nonBlocking: map[ast.Node]bool{},
+	}
+	walkShallow(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, cl := range sel.Body.List {
+				if comm := cl.(*ast.CommClause).Comm; comm != nil {
+					c.nonBlocking[comm] = true
+				}
+			}
+		}
+	})
+
+	// Prepass: find every mutex receiver so fact indices are stable before
+	// the dataflow runs. Nested function literals are separate functions.
+	walkShallow(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := c.mutexOp(call); op != nil {
+				if _, seen := c.keys[op.key]; !seen {
+					c.keys[op.key] = len(c.order) * factsPerLock
+					c.order = append(c.order, op.key)
+				}
+			}
+		}
+	})
+	if len(c.order) == 0 {
+		return
+	}
+
+	nfacts := len(c.order) * factsPerLock
+	g := cfg.New(body)
+	may := flow.Forward(g, nfacts, flow.May, flow.NewSet(nfacts), c.transfer)
+
+	// Leak check: a path reaches Exit with a release obligation pending.
+	exitIn := may.In(g.Exit)
+	for _, key := range c.order {
+		base := c.keys[key]
+		if exitIn.Has(base + obW) {
+			c.pass.Reportf(c.lockPos[base+obW], "%s.Lock() is not released by Unlock or defer on every return path", key)
+		}
+		if exitIn.Has(base + obR) {
+			c.pass.Reportf(c.lockPos[base+obR], "%s.RLock() is not released by RUnlock or defer on every return path", key)
+		}
+	}
+
+	// Node-level checks against the facts holding immediately before each
+	// statement.
+	for _, b := range g.Blocks {
+		if !may.Reachable(b) {
+			continue
+		}
+		may.WalkNode(b, func(n ast.Node, before flow.Set) {
+			c.checkNode(n, before)
+		})
+	}
+}
+
+// transfer is the dataflow transfer function: lock operations gen/kill the
+// held and obligation facts; a defer clears only the obligation.
+func (c *checker) transfer(n ast.Node, in flow.Set) flow.Set {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		c.deferredOps(d, func(op *mutexOp) {
+			base := c.keys[op.key]
+			switch op.name {
+			case "Unlock":
+				in.Remove(base + obW)
+			case "RUnlock":
+				in.Remove(base + obR)
+			}
+		})
+		return in
+	}
+	c.directCalls(n, func(call *ast.CallExpr) {
+		op := c.mutexOp(call)
+		if op == nil {
+			return
+		}
+		base := c.keys[op.key]
+		switch op.name {
+		case "Lock":
+			in.Add(base + heldW)
+			in.Add(base + obW)
+			if _, ok := c.lockPos[base+obW]; !ok {
+				c.lockPos[base+obW] = op.pos
+			}
+		case "Unlock":
+			in.Remove(base + heldW)
+			in.Remove(base + obW)
+		case "RLock":
+			in.Add(base + heldR)
+			in.Add(base + obR)
+			if _, ok := c.lockPos[base+obR]; !ok {
+				c.lockPos[base+obR] = op.pos
+			}
+		case "RUnlock":
+			in.Remove(base + heldR)
+			in.Remove(base + obR)
+		}
+	})
+	return in
+}
+
+// checkNode reports the node-level findings given the facts before n.
+func (c *checker) checkNode(n ast.Node, before flow.Set) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return // deferred calls run at return, not here
+	}
+	c.directCalls(n, func(call *ast.CallExpr) {
+		if op := c.mutexOp(call); op != nil {
+			base := c.keys[op.key]
+			switch op.name {
+			case "Unlock":
+				if !before.Has(base + heldW) {
+					c.pass.Reportf(op.pos, "%s.Unlock() but %s is not write-locked on any path to here", op.key, op.key)
+				}
+			case "RUnlock":
+				if !before.Has(base + heldR) {
+					c.pass.Reportf(op.pos, "%s.RUnlock() but %s is not read-locked on any path to here", op.key, op.key)
+				}
+			case "Lock":
+				if before.Has(base+heldW) || before.Has(base+heldR) {
+					c.pass.Reportf(op.pos, "%s.Lock() while %s may already be held — self-deadlock", op.key, op.key)
+				}
+			case "RLock":
+				if before.Has(base + heldW) {
+					c.pass.Reportf(op.pos, "%s.RLock() while %s may be write-locked — self-deadlock", op.key, op.key)
+				}
+			}
+			return
+		}
+		if name, ok := c.poolFanOut(call); ok {
+			if key := c.anyHeld(before); key != "" {
+				c.pass.Reportf(call.Pos(), "pool.%s fan-out while %s is held: workers serialize on (or deadlock against) the caller's lock", name, key)
+			}
+		}
+	})
+	c.blockingChanOps(n, func(pos token.Pos, what string) {
+		if key := c.anyHeld(before); key != "" {
+			c.pass.Reportf(pos, "blocking %s while %s is held", what, key)
+		}
+	})
+}
+
+// anyHeld returns the key of some lock held in the set, or "".
+func (c *checker) anyHeld(s flow.Set) string {
+	for _, key := range c.order {
+		base := c.keys[key]
+		if s.Has(base+heldW) || s.Has(base+heldR) {
+			return key
+		}
+	}
+	return ""
+}
+
+// mutexOp classifies call as a sync mutex method call on a trackable
+// receiver expression, or nil.
+func (c *checker) mutexOp(call *ast.CallExpr) *mutexOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil
+	}
+	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	return &mutexOp{key: types.ExprString(sel.X), name: name, pos: call.Pos()}
+}
+
+// deferredOps invokes f for each mutex op a defer statement registers:
+// either the deferred call itself, or — for `defer func() { ... }()` —
+// every mutex call inside the literal body (all of them run at return).
+func (c *checker) deferredOps(d *ast.DeferStmt, f func(*mutexOp)) {
+	if op := c.mutexOp(d.Call); op != nil {
+		f(op)
+		return
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := c.mutexOp(call); op != nil {
+				f(op)
+			}
+		}
+		return true
+	})
+}
+
+// poolFanOut reports whether call invokes pool.Run or pool.Chunks.
+func (c *checker) poolFanOut(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != poolPath {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Run", "Chunks":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// blockingChanOps finds channel sends, receives and channel ranges that
+// execute as part of node n. The CFG hands each select comm statement to
+// its own case block, so n is the comm itself there; comms of selects
+// with a default clause are non-blocking and skipped via c.nonBlocking.
+func (c *checker) blockingChanOps(n ast.Node, f func(token.Pos, string)) {
+	if c.nonBlocking[n] {
+		return
+	}
+	switch s := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		_ = s
+		return // runs later / elsewhere
+	case *ast.RangeStmt:
+		// The CFG places the RangeStmt node at the loop head; its operand
+		// was evaluated earlier. A range over a channel blocks per
+		// iteration.
+		if t := c.pass.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				f(s.For, "range over a channel")
+			}
+		}
+		return
+	}
+	walkShallow(n, func(m ast.Node) {
+		switch x := m.(type) {
+		case *ast.SendStmt:
+			f(x.Arrow, "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				f(x.OpPos, "channel receive")
+			}
+		}
+	})
+}
+
+// walkShallow walks the AST under n without descending into nested
+// function literals, go statements or select statements: literals run
+// when called, go bodies run elsewhere, and select comm clauses get their
+// own CFG nodes with non-blocking semantics handled separately.
+func walkShallow(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if m != nil {
+			f(m)
+		}
+		return true
+	})
+}
+
+// directCalls invokes f for every call expression executed as part of n
+// itself — skipping nested function literals (run later) and go
+// statements (run elsewhere). A RangeStmt node is the CFG's loop head:
+// its operand was evaluated in an earlier node and its body statements
+// have their own blocks, so nothing under it executes "here".
+func (c *checker) directCalls(n ast.Node, f func(*ast.CallExpr)) {
+	if _, ok := n.(*ast.RangeStmt); ok {
+		return
+	}
+	walkShallow(n, func(m ast.Node) {
+		if call, ok := m.(*ast.CallExpr); ok {
+			f(call)
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package lockbal_test
+
+import (
+	"testing"
+
+	"mmdr/internal/analysis/analysistest"
+	"mmdr/internal/analysis/lockbal"
+)
+
+func TestLockBal(t *testing.T) {
+	analysistest.Run(t, lockbal.Analyzer, "locks")
+}

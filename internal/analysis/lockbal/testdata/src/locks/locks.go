@@ -1,0 +1,251 @@
+// Package locks exercises lockbal: path-sensitive Lock/Unlock balance,
+// unlock-without-lock, self-deadlock, and fan-out / channel ops under a
+// held mutex.
+package locks
+
+import (
+	"sync"
+
+	"mmdr/internal/pool"
+)
+
+type store struct {
+	mu   sync.RWMutex
+	data []float64
+	ch   chan int
+}
+
+// DeferIdiom is the repository's standard shape — fine.
+func (s *store) DeferIdiom() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// DirectBalance unlocks on the single path — fine.
+func (s *store) DirectBalance() {
+	s.mu.Lock()
+	s.data = append(s.data, 0)
+	s.mu.Unlock()
+}
+
+// BalancedBranches unlocks on both paths — fine.
+func (s *store) BalancedBranches(cond bool) int {
+	s.mu.RLock()
+	if cond {
+		s.mu.RUnlock()
+		return 0
+	}
+	n := len(s.data)
+	s.mu.RUnlock()
+	return n
+}
+
+// EarlyReturnLeak leaks the write lock when cond is true.
+func (s *store) EarlyReturnLeak(cond bool) int {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released by Unlock or defer on every return path`
+	if cond {
+		return 0
+	}
+	n := len(s.data)
+	s.mu.Unlock()
+	return n
+}
+
+// ReadLeak never releases the read lock.
+func (s *store) ReadLeak() int {
+	s.mu.RLock() // want `s\.mu\.RLock\(\) is not released by RUnlock or defer on every return path`
+	return len(s.data)
+}
+
+// UnpairedUnlock unlocks a mutex that is not locked on any path.
+func (s *store) UnpairedUnlock() {
+	s.mu.Unlock() // want `s\.mu\.Unlock\(\) but s\.mu is not write-locked on any path to here`
+}
+
+// DoubleLock re-locks while already holding the lock. Two findings: the
+// deadlock at the second Lock, and — since the single deferred Unlock can
+// release only one acquisition — a leak reported at the first.
+func (s *store) DoubleLock() {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) is not released by Unlock or defer on every return path`
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `s\.mu\.Lock\(\) while s\.mu may already be held`
+}
+
+// ReadUnderWrite acquires the read lock while write-locked.
+func (s *store) ReadUnderWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.RLock() // want `s\.mu\.RLock\(\) while s\.mu may be write-locked`
+	defer s.mu.RUnlock()
+}
+
+// ConditionalDeferPair locks and defers inside one branch — balanced on
+// every path, no finding.
+func (s *store) ConditionalDeferPair(cond bool) int {
+	if cond {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return len(s.data)
+	}
+	return 0
+}
+
+// TwoLocksIndependent tracks each mutex separately.
+type twoLock struct {
+	a, b sync.Mutex
+}
+
+func (t *twoLock) TwoLocksIndependent() {
+	t.a.Lock()
+	defer t.a.Unlock()
+	t.b.Lock() // want `t\.b\.Lock\(\) is not released by Unlock or defer on every return path`
+}
+
+// FanOutUnderLock runs the worker pool while write-locked — workers
+// contend with (or deadlock against) the caller's lock.
+func (s *store) FanOutUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pool.Run(4, len(s.data), func(i int) { // want `pool\.Run fan-out while s\.mu is held`
+		s.data[i] = 0
+	})
+}
+
+// FanOutAfterDeferredUnlock: the defer keeps the lock held until return,
+// so the fan-out still runs under it.
+func (s *store) FanOutAfterDeferredUnlock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pool.Chunks(4, len(s.data), func(chunk, lo, hi int) { // want `pool\.Chunks fan-out while s\.mu is held`
+		_ = s.data[lo:hi]
+	})
+}
+
+// FanOutAfterUnlock releases first — fine.
+func (s *store) FanOutAfterUnlock() {
+	s.mu.Lock()
+	n := len(s.data)
+	s.mu.Unlock()
+	pool.Run(4, n, func(i int) {})
+}
+
+// SendUnderLock blocks on a channel send while holding the lock.
+func (s *store) SendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `blocking channel send while s\.mu is held`
+}
+
+// ReceiveUnderLock blocks on a receive while holding the lock.
+func (s *store) ReceiveUnderLock() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return <-s.ch // want `blocking channel receive while s\.mu is held`
+}
+
+// RangeChanUnderLock blocks per iteration.
+func (s *store) RangeChanUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `blocking range over a channel while s\.mu is held`
+		_ = v
+	}
+}
+
+// SelectWithDefaultUnderLock never blocks — fine.
+func (s *store) SelectWithDefaultUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// SelectNoDefaultUnderLock blocks until a case fires.
+func (s *store) SelectNoDefaultUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch: // want `blocking channel receive while s\.mu is held`
+		_ = v
+	}
+}
+
+// ChanOpsUnlocked: channel traffic without a lock held is not lockbal's
+// business.
+func (s *store) ChanOpsUnlocked() int {
+	s.ch <- 1
+	return <-s.ch
+}
+
+// ClosureBalanced: each function literal is analyzed on its own.
+func (s *store) ClosureBalanced() func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.data = nil
+	}
+}
+
+// ClosureLeak leaks inside the literal.
+func (s *store) ClosureLeak() func() {
+	return func() {
+		s.mu.Lock() // want `s\.mu\.Lock\(\) is not released by Unlock or defer on every return path`
+		s.data = nil
+	}
+}
+
+// DeferredLitUnlock releases through a deferred function literal — fine.
+func (s *store) DeferredLitUnlock() {
+	s.mu.Lock()
+	defer func() {
+		s.data = nil
+		s.mu.Unlock()
+	}()
+	s.data = append(s.data, 1)
+}
+
+// LoopBalance locks and unlocks per iteration — fine, including the back
+// edge.
+func (s *store) LoopBalance(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.data = append(s.data, float64(i))
+		s.mu.Unlock()
+	}
+}
+
+// Handoff intentionally transfers lock ownership to the caller; the
+// deviation is visible and justified.
+func (s *store) Handoff() {
+	//mmdr:ignore lockbal lock ownership transfers to the caller, released in Release
+	s.mu.Lock()
+	s.data = nil
+}
+
+// Release is Handoff's counterpart.
+func (s *store) Release() {
+	//mmdr:ignore lockbal releases the lock acquired by Handoff
+	s.mu.Unlock()
+}
+
+// EmbeddedMutex: promoted Lock/Unlock methods key on the embedding
+// expression.
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+func (e *embedded) Leak() {
+	e.Lock() // want `e\.Lock\(\) is not released by Unlock or defer on every return path`
+	e.n++
+}
+
+func (e *embedded) Balanced() {
+	e.Lock()
+	defer e.Unlock()
+	e.n++
+}

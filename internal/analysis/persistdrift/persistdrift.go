@@ -1,0 +1,263 @@
+// Package persistdrift audits gob-persisted model structs against the
+// contract they declare with a //mmdr:persist directive, catching the
+// cross-declaration drift that creeps in when a struct and its
+// save/load/rebuild code evolve independently:
+//
+//	//mmdr:persist [save=F] [load=F] [rebuild=M]
+//
+// placed on the struct's type declaration. The rules, per field:
+//
+//   - Unexported fields are invisible to gob. Each one must be re-derived
+//     after decode: the directive must name a rebuild= method, and the
+//     rebuild path (the named method plus everything it calls inside the
+//     package) must assign the field. This is what keeps the Subspace
+//     query-kernel caches (basisT, mahaChol) from silently arriving nil
+//     out of a Load and dropping queries onto the slow fallback forever.
+//   - Exported fields are carried by gob automatically — but when the
+//     struct is a persistence envelope written by one function and read
+//     back by another (save=/load=), a field the save path never writes is
+//     encoded as a zero, and a field the load path never reads is decoded
+//     and dropped. Both are drift: the declaration promises a round trip
+//     the code does not deliver. With save=/load= named, every exported
+//     field must be referenced in the corresponding path.
+//
+// Field references and assignments are resolved through go/types object
+// identity (selector uses, composite-literal keys, and positional
+// composite literals), then closed transitively over same-package calls,
+// so a rebuild method that delegates to helpers still counts. Misspelled
+// directive options and save/load/rebuild names that resolve to nothing
+// are findings themselves — a typo must not silently disable the audit.
+//
+// Legitimate deviations (a cache whose zero value is correct, a field
+// intentionally reset on load) carry //mmdr:ignore persistdrift with a
+// reason on the field's line.
+package persistdrift
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmdr/internal/analysis/framework"
+)
+
+// Analyzer is the persistdrift check.
+var Analyzer = &framework.Analyzer{
+	Name: "persistdrift",
+	Doc:  "checks //mmdr:persist structs: unexported fields re-derived by the rebuild path, exported fields written and read by the save/load paths",
+	Run:  run,
+}
+
+type checker struct {
+	pass  *framework.Pass
+	funcs []*ast.FuncDecl
+	// decls maps a function/method object to its declaration, for the
+	// same-package call closure.
+	decls map[types.Object]*ast.FuncDecl
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{pass: pass, decls: map[types.Object]*ast.FuncDecl{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c.funcs = append(c.funcs, fn)
+				if obj := pass.ObjectOf(fn.Name); obj != nil {
+					c.decls[obj] = fn
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				d := framework.PersistDirectiveOf(ts.Doc)
+				if d == nil && len(gd.Specs) == 1 {
+					d = framework.PersistDirectiveOf(gd.Doc)
+				}
+				if d != nil {
+					c.checkStruct(ts, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStruct(ts *ast.TypeSpec, d *framework.PersistDirective) {
+	for _, opt := range d.Unknown {
+		c.pass.Reportf(d.Pos, "//mmdr:persist on %s has unknown option %q (valid: save=, load=, rebuild=)", ts.Name.Name, opt)
+	}
+
+	obj := c.pass.ObjectOf(ts.Name)
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		c.pass.Reportf(d.Pos, "//mmdr:persist applies to struct types; %s is not a struct", ts.Name.Name)
+		return
+	}
+
+	resolve := func(kind, name string) []*ast.FuncDecl {
+		if name == "" {
+			return nil
+		}
+		var fns []*ast.FuncDecl
+		for _, fn := range c.funcs {
+			if fn.Name.Name == name {
+				fns = append(fns, fn)
+			}
+		}
+		if fns == nil {
+			c.pass.Reportf(d.Pos, "//mmdr:persist on %s names %s=%q but the package declares no such function or method", ts.Name.Name, kind, name)
+		}
+		return fns
+	}
+	saveFns := resolve("save", d.Save)
+	loadFns := resolve("load", d.Load)
+	rebuildFns := resolve("rebuild", d.Rebuild)
+
+	structType := obj.Type()
+	var saveRefs, loadRefs, rebuilt map[types.Object]bool
+	if saveFns != nil {
+		saveRefs = c.fieldFacts(c.reach(saveFns), structType, false)
+	}
+	if loadFns != nil {
+		loadRefs = c.fieldFacts(c.reach(loadFns), structType, false)
+	}
+	if rebuildFns != nil {
+		rebuilt = c.fieldFacts(c.reach(rebuildFns), structType, true)
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" {
+			continue
+		}
+		if !f.Exported() {
+			switch {
+			case d.Rebuild == "":
+				c.pass.Reportf(f.Pos(), "unexported field %s of %s is skipped by gob and the //mmdr:persist directive names no rebuild= method to re-derive it after load", f.Name(), ts.Name.Name)
+			case rebuildFns != nil && !rebuilt[f]:
+				c.pass.Reportf(f.Pos(), "unexported field %s of %s is skipped by gob but the rebuild path %s never assigns it — a loaded value arrives with it zero forever", f.Name(), ts.Name.Name, d.Rebuild)
+			}
+			continue
+		}
+		if saveFns != nil && !saveRefs[f] {
+			c.pass.Reportf(f.Pos(), "exported field %s of %s is gob-persisted but never written in the save path %s — files carry its zero value", f.Name(), ts.Name.Name, d.Save)
+		}
+		if loadFns != nil && !loadRefs[f] {
+			c.pass.Reportf(f.Pos(), "exported field %s of %s is gob-persisted but never read in the load path %s — decoded then dropped", f.Name(), ts.Name.Name, d.Load)
+		}
+	}
+}
+
+// reach returns the set of package functions reachable from roots through
+// same-package calls (the rebuild/save/load "path").
+func (c *checker) reach(roots []*ast.FuncDecl) map[*ast.FuncDecl]bool {
+	seen := map[*ast.FuncDecl]bool{}
+	var visit func(fn *ast.FuncDecl)
+	visit = func(fn *ast.FuncDecl) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch f := call.Fun.(type) {
+			case *ast.Ident:
+				id = f
+			case *ast.SelectorExpr:
+				id = f.Sel
+			default:
+				return true
+			}
+			if callee := c.decls[c.pass.ObjectOf(id)]; callee != nil {
+				visit(callee)
+			}
+			return true
+		})
+	}
+	for _, fn := range roots {
+		visit(fn)
+	}
+	return seen
+}
+
+// fieldFacts scans the bodies of fns for fields of structType. With
+// assignOnly false it records every reference (selector use, composite
+// literal key, positional literal slot); with assignOnly true only writes
+// count: assignment/inc-dec targets and composite-literal construction.
+func (c *checker) fieldFacts(fns map[*ast.FuncDecl]bool, structType types.Type, assignOnly bool) map[types.Object]bool {
+	isField := func(o types.Object) bool {
+		v, ok := o.(*types.Var)
+		return ok && v.IsField()
+	}
+	facts := map[types.Object]bool{}
+	for fn := range fns {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if !assignOnly {
+					return true
+				}
+				for _, lhs := range x.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						if o := c.pass.ObjectOf(sel.Sel); o != nil && isField(o) {
+							facts[o] = true
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if !assignOnly {
+					return true
+				}
+				if sel, ok := x.X.(*ast.SelectorExpr); ok {
+					if o := c.pass.ObjectOf(sel.Sel); o != nil && isField(o) {
+						facts[o] = true
+					}
+				}
+			case *ast.CompositeLit:
+				if !types.Identical(c.pass.TypeOf(x), structType) {
+					return true
+				}
+				st, ok := structType.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				for i, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							if o := c.pass.ObjectOf(key); o != nil {
+								facts[o] = true
+							}
+						}
+					} else if i < st.NumFields() {
+						// Positional literal: slot i is field i.
+						facts[st.Field(i)] = true
+					}
+				}
+			case *ast.Ident:
+				if assignOnly {
+					return true
+				}
+				if o := c.pass.ObjectOf(x); o != nil && isField(o) {
+					facts[o] = true
+				}
+			}
+			return true
+		})
+	}
+	return facts
+}

@@ -1,0 +1,12 @@
+package persistdrift_test
+
+import (
+	"testing"
+
+	"mmdr/internal/analysis/analysistest"
+	"mmdr/internal/analysis/persistdrift"
+)
+
+func TestPersistDrift(t *testing.T) {
+	analysistest.Run(t, persistdrift.Analyzer, "persist")
+}

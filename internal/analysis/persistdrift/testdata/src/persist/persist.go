@@ -1,0 +1,136 @@
+// Package persist exercises persistdrift: //mmdr:persist structs whose
+// unexported fields must be re-derived by the rebuild path and whose
+// exported fields must flow through the declared save/load paths.
+package persist
+
+// Kerneled is the Subspace shape: exported fields gob-encoded directly,
+// unexported caches re-derived — including through a helper the rebuild
+// method calls.
+//
+//mmdr:persist rebuild=EnsureKernels
+type Kerneled struct {
+	Centroid []float64
+	Basis    []float64
+	basisT   []float64
+	chol     []float64
+}
+
+func (k *Kerneled) EnsureKernels() {
+	if k.basisT == nil {
+		k.basisT = transpose(k.Basis)
+	}
+	k.ensureChol()
+}
+
+func (k *Kerneled) ensureChol() {
+	if k.chol == nil {
+		k.chol = factor(k.Basis)
+	}
+}
+
+func transpose(b []float64) []float64 { return append([]float64(nil), b...) }
+func factor(b []float64) []float64    { return append([]float64(nil), b...) }
+
+// Drifted declares a rebuild method that re-derives only one of its two
+// caches — the classic drift after a new cache field lands.
+//
+//mmdr:persist rebuild=Rebuild
+type Drifted struct {
+	Radius float64
+	norm   float64
+	cache  []float64 // want `unexported field cache of Drifted is skipped by gob but the rebuild path Rebuild never assigns it`
+}
+
+func (d *Drifted) Rebuild() {
+	d.norm = d.Radius * d.Radius
+}
+
+// NoRebuild has an unexported field and no rebuild= at all.
+//
+//mmdr:persist
+type NoRebuild struct {
+	K       int
+	scratch []float64 // want `unexported field scratch of NoRebuild is skipped by gob and the //mmdr:persist directive names no rebuild= method`
+}
+
+// Suppressed documents that its cache's zero value is correct — the
+// deviation is justified in place.
+//
+//mmdr:persist
+type Suppressed struct {
+	N int
+	//mmdr:ignore persistdrift zero hit-counter is correct for a freshly loaded value
+	hits int
+}
+
+// envelope is the modelFile shape: written by SaveModel, read by
+// LoadModel. Generation is written but never read back; Checksum is read
+// but never written.
+//
+//mmdr:persist save=SaveModel load=LoadModel
+type envelope struct {
+	Version    int
+	Payload    []float64
+	Generation int     // want `exported field Generation of envelope is gob-persisted but never read in the load path LoadModel`
+	Checksum   uint64  // want `exported field Checksum of envelope is gob-persisted but never written in the save path SaveModel`
+	Skew       float64 // want `exported field Skew of envelope is gob-persisted but never written in the save path SaveModel` `exported field Skew of envelope is gob-persisted but never read in the load path LoadModel`
+}
+
+func SaveModel(payload []float64, gen int) envelope {
+	return envelope{
+		Version:    1,
+		Payload:    payload,
+		Generation: gen,
+	}
+}
+
+func LoadModel(e envelope) ([]float64, error) {
+	if e.Version != 1 {
+		return nil, errBadVersion
+	}
+	if e.Checksum != sum(e.Payload) {
+		return nil, errBadSum
+	}
+	return e.Payload, nil
+}
+
+type persistError string
+
+func (p persistError) Error() string { return string(p) }
+
+const (
+	errBadVersion = persistError("bad version")
+	errBadSum     = persistError("bad checksum")
+)
+
+func sum(p []float64) uint64 { return uint64(len(p)) }
+
+// positional is saved via a positional composite literal: every slot
+// counts as written.
+//
+//mmdr:persist save=SavePositional load=LoadPositional
+type positional struct {
+	A int
+	B int
+}
+
+func SavePositional(a, b int) positional { return positional{a, b} }
+
+func LoadPositional(p positional) int { return p.A + p.B }
+
+// BadNames points its directive at functions that do not exist, and
+// carries a misspelled option — typos must not silently disable the audit.
+//
+// want:+2 `//mmdr:persist on BadNames names rebuild="Missing" but the package declares no such function or method` `unknown option "checksum=CRC"`
+//
+//mmdr:persist rebuild=Missing checksum=CRC
+type BadNames struct {
+	X int
+}
+
+// NotAStruct cannot carry field contracts.
+//
+// want:+2 `//mmdr:persist applies to struct types; NotAStruct is not a struct`
+//
+//mmdr:persist
+type NotAStruct float64

@@ -1,0 +1,12 @@
+package scratchleak_test
+
+import (
+	"testing"
+
+	"mmdr/internal/analysis/analysistest"
+	"mmdr/internal/analysis/scratchleak"
+)
+
+func TestScratchLeak(t *testing.T) {
+	analysistest.Run(t, scratchleak.Analyzer, "scratch")
+}

@@ -247,6 +247,7 @@ func (t *Tree) RangeAsc(lo, hi float64, visit func(key float64, rid uint32) bool
 // key landed inside the epsilon). The visit function returns false to stop
 // early; the return value counts leaf pages read.
 func (t *Tree) RangeBetween(lo, hi float64, excludeLo, excludeHi bool, visit func(key float64, rid uint32) bool) (leaves int) {
+	//mmdr:ignore floatcmp half-open bound semantics are deliberately bitwise: keys equal to the previous scan's edge are excluded by exact equality, replacing the ±1e-15 epsilon hack
 	if t.size == 0 || lo > hi || (lo == hi && (excludeLo || excludeHi)) {
 		return 0
 	}
@@ -261,9 +262,11 @@ func (t *Tree) RangeBetween(lo, hi float64, excludeLo, excludeHi bool, visit fun
 		for ; idx < len(n.keys); idx++ {
 			t.compare()
 			k := n.keys[idx]
+			//mmdr:ignore floatcmp exclusive-bound key match is bitwise by contract — stored keys re-enter RangeBetween unmodified, so exact equality is the correct edge test
 			if excludeLo && k == lo {
 				continue
 			}
+			//mmdr:ignore floatcmp same bitwise exclusive-bound contract for the high edge
 			if k > hi || (excludeHi && k == hi) {
 				return leaves
 			}

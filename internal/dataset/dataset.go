@@ -17,6 +17,8 @@ import (
 
 // Dataset is a flat, row-major collection of N points of dimension Dim.
 // Row i occupies Data[i*Dim : (i+1)*Dim].
+//
+//mmdr:persist
 type Dataset struct {
 	N    int
 	Dim  int

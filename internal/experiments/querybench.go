@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
@@ -154,7 +155,9 @@ func neighborsEqual(a, b []index.Neighbor) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+		// Bit-level distance comparison: this IS the parity probe, so spell
+		// the bitwise intent explicitly instead of a raw float !=.
+		if a[i].ID != b[i].ID || math.Float64bits(a[i].Dist) != math.Float64bits(b[i].Dist) {
 			return false
 		}
 	}

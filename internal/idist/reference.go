@@ -163,6 +163,7 @@ func (idx *Index) ReferenceRange(q []float64, r float64) []index.Neighbor {
 		})
 	}
 	sort.Slice(out, func(a, b int) bool {
+		//mmdr:ignore floatcmp frozen reference orders by exact (Dist, ID); ties must break identically to the kernelized path for the bitwise equivalence lockdown
 		if out[a].Dist != out[b].Dist {
 			return out[a].Dist < out[b].Dist
 		}

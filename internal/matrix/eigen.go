@@ -62,6 +62,7 @@ func SymEigen(a *Mat) (*Eigen, error) {
 				// If the off-diagonal element is negligible relative to the
 				// diagonal, zero it outright.
 				g := 100 * math.Abs(apq)
+				//mmdr:ignore floatcmp canonical Jacobi negligibility test: apq is negligible exactly when adding 100|apq| does not perturb the diagonal in float64
 				if sweep > 3 && math.Abs(app)+g == math.Abs(app) && math.Abs(aqq)+g == math.Abs(aqq) {
 					w.Set(p, q, 0)
 					w.Set(q, p, 0)

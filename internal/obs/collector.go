@@ -125,6 +125,7 @@ func attrString(attrs []SpanAttr) string {
 	}
 	parts := make([]string, len(attrs))
 	for i, a := range attrs {
+		//mmdr:ignore floatcmp formatting-only integrality probe; exact round-trip through int64 is the intended test and affects rendering, not numerics
 		if a.Value == float64(int64(a.Value)) {
 			parts[i] = a.Key + "=" + strconv.FormatInt(int64(a.Value), 10)
 		} else {

@@ -24,6 +24,12 @@ import (
 // Subspace is one locally reduced cluster: an affine subspace of the
 // original d-dimensional space spanned by Basis and anchored at Centroid,
 // together with the reduced coordinates of its member points.
+//
+// The persistdrift analyzer audits the gob contract: every unexported
+// field is skipped by gob and must be re-derived by EnsureKernels after a
+// Load, so the query-kernel caches can never silently arrive nil.
+//
+//mmdr:persist rebuild=EnsureKernels
 type Subspace struct {
 	ID       int
 	Centroid []float64   // original-space anchor (cluster centroid)
@@ -282,7 +288,11 @@ func (s *Subspace) MemberCoords(k int) []float64 {
 }
 
 // Result is the output of any dimensionality reducer: a set of reduced
-// subspaces plus the points left in the original space as outliers.
+// subspaces plus the points left in the original space as outliers. It is
+// gob-persisted whole; the directive keeps any future unexported field
+// from silently vanishing across a save/load round trip.
+//
+//mmdr:persist
 type Result struct {
 	Dim       int // original dimensionality
 	Subspaces []*Subspace

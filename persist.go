@@ -12,7 +12,12 @@ import (
 
 // modelFile is the gob-serialized form of a Model. All referenced types
 // (dataset.Dataset, reduction.Result, matrix.Mat) have exported fields, so
-// stdlib gob round-trips them without custom codecs.
+// stdlib gob round-trips them without custom codecs. The persistdrift
+// analyzer audits the envelope: every field must be written by Save and
+// read back (or validated) by Load, so the struct and the two functions
+// cannot drift apart.
+//
+//mmdr:persist save=Save load=Load
 type modelFile struct {
 	Version int
 	Method  string
@@ -59,6 +64,9 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	if mf.Data == nil || mf.Result == nil {
 		return nil, fmt.Errorf("mmdr: corrupt model file")
+	}
+	if mf.Dim != mf.Data.Dim {
+		return nil, fmt.Errorf("mmdr: corrupt model file: header dim %d != dataset dim %d", mf.Dim, mf.Data.Dim)
 	}
 	m := &Model{ds: mf.Data, result: mf.Result, method: mf.Method}
 	if err := m.Validate(); err != nil {
