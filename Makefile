@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet fmt fmt-check lint check experiments
+.PHONY: all build test race bench bench-json bench-smoke vet fmt fmt-check lint check experiments
 
 all: build test
 
@@ -54,9 +54,22 @@ check: fmt-check
 # sequential vs batched query throughput (speedups scale with cores).
 # BENCH_query.json: kernelized vs frozen-reference query path at paper
 # scale (n=100k, d=64) — ns/query, allocs/query, qps.
+# BENCH_obs.json: cost of carrying the runtime-metrics layer on the KNN
+# hot path (off vs on ns/query, budget ≤2%) plus the recorded latency
+# distributions.
 bench-json:
 	$(GO) run ./cmd/mmdrbench -scale small -bench-parallel BENCH_parallel.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-query BENCH_query.json
+	$(GO) run ./cmd/mmdrbench -scale paper -bench-obs BENCH_obs.json
+
+# bench-smoke regenerates every BENCH_*.json at small scale — seconds, not
+# minutes — so CI can verify the emitters end to end and archive the
+# reports as artifacts. Numbers from this target are smoke signals only;
+# use bench-json for quotable measurements.
+bench-smoke:
+	$(GO) run ./cmd/mmdrbench -scale small -bench-parallel BENCH_parallel.json
+	$(GO) run ./cmd/mmdrbench -scale small -bench-query BENCH_query.json
+	$(GO) run ./cmd/mmdrbench -scale small -bench-obs BENCH_obs.json
 
 experiments:
 	$(GO) run ./cmd/mmdrbench -experiment all -scale small

@@ -7,8 +7,9 @@
 //	mmdrbench -experiment fig7a [-scale small|medium|paper] [-seed N]
 //	mmdrbench -experiment all -scale medium
 //	mmdrbench -experiment fig7a -trace            # phase tree on stderr
-//	mmdrbench -experiment fig9a -metrics-json     # cost counters as JSON
-//	mmdrbench -experiment all -pprof localhost:0  # pprof + expvar server
+//	mmdrbench -experiment fig9a -metrics-json     # cost counters + latency metrics as JSON
+//	mmdrbench -experiment all -pprof localhost:0  # pprof + expvar + /metrics server
+//	mmdrbench -bench-obs BENCH_obs.json           # metrics-overhead benchmark report
 //
 // Scales trade fidelity for runtime: "paper" approaches the published
 // dataset sizes (100k-1M points) and can take a long time on one core;
@@ -27,6 +28,7 @@ import (
 
 	"mmdr/internal/experiments"
 	"mmdr/internal/iostat"
+	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
 )
 
@@ -38,8 +40,15 @@ func main() {
 // process; the expvar endpoint reads it live while experiments run.
 var procCounter iostat.AtomicCounter
 
+// procMetrics is the process-wide runtime-metrics registry: build phases and
+// query operations record into it, and both the /metrics exposition and the
+// expvar endpoint read it live.
+var procMetrics = metrics.NewRegistry()
+
 func init() {
 	obs.Publish("mmdr.costs", func() any { return procCounter.Snapshot() })
+	obs.Publish("mmdr.metrics", func() any { return procMetrics.Snapshot() })
+	procMetrics.SetCostSource(procCounter.Snapshot)
 }
 
 // run contains the CLI logic; separated from main so tests can exercise it.
@@ -61,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallel", 0, "worker goroutines for reduction builds (0 = all cores, 1 = serial)")
 		benchPar   = fs.String("bench-parallel", "", "run the parallelism benchmark and write its JSON report to this file")
 		benchQuery = fs.String("bench-query", "", "run the query-kernel benchmark and write its JSON report to this file")
+		benchObs   = fs.String("bench-obs", "", "run the observability-overhead benchmark and write its JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,18 +83,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *benchPar == "" && *benchQuery == "" {
+	if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" {
 		fs.Usage()
 		return 2
 	}
 
 	if *pprof != "" {
-		addr, err := obs.StartDebugServer(*pprof)
+		srv, err := obs.StartDebugServer(*pprof, obs.Route{Path: "/metrics", Handler: metrics.Handler(procMetrics)})
 		if err != nil {
 			fmt.Fprintf(stderr, "mmdrbench: pprof server: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "pprof/expvar listening on http://%s/debug/pprof/\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(stderr, "pprof/expvar/metrics listening on http://%s/debug/pprof/\n", srv.Addr())
 	}
 
 	cfg := experiments.Config{
@@ -94,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		NumQueries:  *queries,
 		Parallelism: *parallel,
 		Counter:     &procCounter,
+		Metrics:     procMetrics,
 	}
 	switch cfg.Scale {
 	case experiments.Small, experiments.Medium, experiments.Paper:
@@ -122,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Table().Fprint(stdout)
-		if *exp == "" && *benchQuery == "" {
+		if *exp == "" && *benchQuery == "" && *benchObs == "" {
 			return 0
 		}
 	}
@@ -134,6 +146,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		f, err := os.Create(*benchQuery)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", werr)
+			return 1
+		}
+		rep.Table().Fprint(stdout)
+		if *exp == "" && *benchObs == "" {
+			return 0
+		}
+	}
+
+	if *benchObs != "" {
+		rep, err := experiments.ObsBench(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: observability benchmark: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*benchObs)
 		if err != nil {
 			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
 			return 1
@@ -204,8 +241,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
 				return 1
 			}
-			fmt.Fprintf(stderr, "{\"experiment\":%q,\"elapsed_ms\":%d,\"costs\":%s}\n",
-				name, elapsed.Milliseconds(), b)
+			// The runtime-metrics snapshot is cumulative across the whole
+			// process (latency histograms don't subtract), unlike the
+			// per-experiment cost delta.
+			snap := procMetrics.Snapshot()
+			mb, err := json.Marshal(&snap)
+			if err != nil {
+				fmt.Fprintf(stderr, "mmdrbench: %s: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "{\"experiment\":%q,\"elapsed_ms\":%d,\"costs\":%s,\"runtime_metrics\":%s}\n",
+				name, elapsed.Milliseconds(), b, mb)
 		}
 	}
 	return 0

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -32,6 +35,75 @@ func TestRunExperimentTableAndCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "variant,") {
 		t.Fatalf("csv output:\n%s", out.String())
+	}
+}
+
+func TestRunBenchObs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench-obs", path, "-scale", "small", "-queries", "10"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "runtime metrics overhead") {
+		t.Fatalf("table output:\n%s", out.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Env struct {
+			GoVersion string `json:"go_version"`
+		} `json:"env"`
+		OffNsPerQuery float64 `json:"off_ns_per_query"`
+		Metrics       struct {
+			Ops []struct {
+				Name  string `json:"name"`
+				Count int64  `json:"count"`
+			} `json:"ops"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Env.GoVersion == "" || rep.OffNsPerQuery <= 0 {
+		t.Fatalf("report missing env or timings: %s", b)
+	}
+	var knn bool
+	for _, o := range rep.Metrics.Ops {
+		if o.Name == "knn" && o.Count > 0 {
+			knn = true
+		}
+	}
+	if !knn {
+		t.Fatalf("report snapshot missing knn op: %s", b)
+	}
+}
+
+func TestRunMetricsJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "ablation-normalized", "-scale", "small", "-metrics-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var line string
+	for _, l := range strings.Split(errOut.String(), "\n") {
+		if strings.HasPrefix(l, "{") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no JSON line on stderr:\n%s", errOut.String())
+	}
+	var payload struct {
+		Experiment     string          `json:"experiment"`
+		Costs          json.RawMessage `json:"costs"`
+		RuntimeMetrics json.RawMessage `json:"runtime_metrics"`
+	}
+	if err := json.Unmarshal([]byte(line), &payload); err != nil {
+		t.Fatalf("stderr line is not JSON: %v\n%s", err, line)
+	}
+	if payload.Experiment != "ablation-normalized" || len(payload.Costs) == 0 || len(payload.RuntimeMetrics) == 0 {
+		t.Fatalf("payload incomplete: %s", line)
 	}
 }
 

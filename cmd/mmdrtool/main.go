@@ -8,7 +8,7 @@
 //	mmdrtool reduce -in data.bin -out model.mmdr -trace [-metrics-json] [-pprof localhost:0]
 //	mmdrtool inspect -model model.mmdr
 //	mmdrtool inspect -defaults
-//	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17] [-explain]
+//	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17] [-explain] [-metrics-json]
 //	mmdrtool eval -model model.mmdr -queries 100 -k 10
 package main
 
@@ -26,8 +26,18 @@ import (
 	"mmdr/internal/core"
 	"mmdr/internal/datagen"
 	"mmdr/internal/dataset"
+	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
 )
+
+// procMetrics is the process-wide runtime-metrics registry; build phases and
+// KNN operations record into it, and the /metrics route on the debug server
+// plus the -metrics-json dumps read it.
+var procMetrics = metrics.NewRegistry()
+
+func init() {
+	obs.Publish("mmdr.metrics", func() any { return procMetrics.Snapshot() })
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -140,7 +150,7 @@ func cmdReduce(args []string) error {
 		forced = fs.Int("forcedim", 0, "force this retained dimensionality (0 = adaptive)")
 		par    = fs.Int("parallel", 0, "worker goroutines for the build (0 = all cores, 1 = serial)")
 		trace  = fs.Bool("trace", false, "print the pipeline phase tree (stderr)")
-		mjson  = fs.Bool("metrics-json", false, "print reduction cost counters as JSON (stderr)")
+		mjson  = fs.Bool("metrics-json", false, "print reduction cost counters and runtime metrics as JSON (stderr)")
 		pprof  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	)
 	fs.Parse(args)
@@ -148,11 +158,12 @@ func cmdReduce(args []string) error {
 		return fmt.Errorf("reduce: -in and -out are required")
 	}
 	if *pprof != "" {
-		addr, err := obs.StartDebugServer(*pprof)
+		srv, err := obs.StartDebugServer(*pprof, obs.Route{Path: "/metrics", Handler: metrics.Handler(procMetrics)})
 		if err != nil {
 			return fmt.Errorf("reduce: pprof server: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pprof/expvar/metrics listening on http://%s/debug/pprof/\n", srv.Addr())
 	}
 	ds, err := dataset.LoadBinary(*in)
 	if err != nil {
@@ -176,7 +187,9 @@ func cmdReduce(args []string) error {
 	}
 	var ctr mmdr.CostCounter
 	if *mjson {
-		opts = append(opts, mmdr.WithCostCounter(&ctr))
+		// The runtime-metrics registry turns the build phases into
+		// build:<phase> latency ops alongside the logical cost counters.
+		opts = append(opts, mmdr.WithCostCounter(&ctr), mmdr.WithRuntimeMetrics(procMetrics))
 	}
 	start := time.Now()
 	model, err := mmdr.ReduceDataset(ds, opts...)
@@ -200,7 +213,12 @@ func cmdReduce(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "%s\n", b)
+		snap := procMetrics.Snapshot()
+		mb, err := json.Marshal(&snap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "{\"costs\":%s,\"runtime_metrics\":%s}\n", b, mb)
 	}
 	return nil
 }
@@ -249,6 +267,7 @@ func cmdKNN(args []string) error {
 		queryStr  = fs.String("query", "", "comma-separated query vector")
 		row       = fs.Int("row", -1, "use dataset row as the query")
 		explain   = fs.Bool("explain", false, "print the structured query explain after the results")
+		mjson     = fs.Bool("metrics-json", false, "print the runtime-metrics snapshot as JSON (stderr)")
 	)
 	fs.Parse(args)
 	if *modelPath == "" {
@@ -283,6 +302,9 @@ func cmdKNN(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *mjson {
+		idx.SetRuntimeMetrics(procMetrics)
+	}
 	start := time.Now()
 	var res []mmdr.Neighbor
 	var tr *mmdr.KNNTrace
@@ -314,6 +336,14 @@ func cmdKNN(args []string) error {
 			fmt.Printf("  partition %d (%s, dim %d): dist-to-ref %.4f, %s, %d candidates, exhausted=%v\n",
 				p.ID, kind, p.Dim, p.DistToRef, scanned, p.Candidates, p.Exhausted)
 		}
+	}
+	if *mjson {
+		snap := procMetrics.Snapshot()
+		b, err := json.Marshal(&snap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", b)
 	}
 	return nil
 }

@@ -34,6 +34,14 @@ func TestGenReduceInspectKNNPipeline(t *testing.T) {
 	if err := cmdKNN([]string{"-model", model, "-row", "5", "-k", "3"}); err != nil {
 		t.Fatal(err)
 	}
+	// The -metrics-json paths attach the process registry and dump its
+	// snapshot to stderr; they must not disturb the results.
+	if err := cmdReduce([]string{"-in", data, "-out", model, "-seed", "4", "-metrics-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKNN([]string{"-model", model, "-row", "5", "-k", "3", "-metrics-json"}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestGenKinds(t *testing.T) {

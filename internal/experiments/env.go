@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// EnvInfo stamps the environment a benchmark ran in. Every BENCH_*.json
+// emitter embeds one, so numbers archived from different machines or
+// toolchains stay comparable (or visibly incomparable).
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// GitCommit is the VCS revision baked into the binary by the Go
+	// toolchain ("" when built outside a repository, e.g. go test in a
+	// module cache). A "-dirty" suffix marks uncommitted changes.
+	GitCommit string `json:"git_commit,omitempty"`
+}
+
+// CollectEnv snapshots the running environment.
+func CollectEnv() EnvInfo {
+	e := EnvInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			e.GitCommit = rev
+		}
+	}
+	return e
+}

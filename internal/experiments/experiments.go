@@ -24,6 +24,7 @@ import (
 	"mmdr/internal/idist"
 	"mmdr/internal/index"
 	"mmdr/internal/iostat"
+	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
 	"mmdr/internal/query"
 	"mmdr/internal/reduction"
@@ -60,6 +61,10 @@ type Config struct {
 	// experiment incurs — on top of the per-scheme counters the figures
 	// report (mmdrbench -metrics-json / expvar).
 	Counter iostat.Sink
+	// Metrics, when non-nil, receives per-operation latency histograms from
+	// every extended-iDistance index the experiment queries (mmdrbench
+	// -metrics-json / the /metrics route).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -266,11 +271,11 @@ func buildSchemes(c Config, ds *dataset.Dataset, forcedDim int) ([]scheme, error
 	// Per-scheme counters feed the figures; the config's counter, when set,
 	// sees the union of all schemes' work.
 	var cm, cl, cg, cs iostat.Counter
-	iMMDR, err := idist.Build(ds, mmdrRed, idist.Options{Counter: iostat.Tee(&cm, c.Counter), Tracer: c.Tracer})
+	iMMDR, err := idist.Build(ds, mmdrRed, idist.Options{Counter: iostat.Tee(&cm, c.Counter), Tracer: c.Tracer, Metrics: c.Metrics})
 	if err != nil {
 		return nil, err
 	}
-	iLDR, err := idist.Build(ds, ldrRed, idist.Options{Counter: iostat.Tee(&cl, c.Counter), Tracer: c.Tracer})
+	iLDR, err := idist.Build(ds, ldrRed, idist.Options{Counter: iostat.Tee(&cl, c.Counter), Tracer: c.Tracer, Metrics: c.Metrics})
 	if err != nil {
 		return nil, err
 	}

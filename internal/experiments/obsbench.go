@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"mmdr/internal/core"
+	"mmdr/internal/idist"
+	"mmdr/internal/metrics"
+)
+
+// ObsReport is the machine-readable output of the observability benchmark
+// (BENCH_obs.json): the measured cost of carrying the runtime metrics layer
+// on the KNN hot path, plus the per-operation latency distributions the
+// instrumented run produced. Both columns run in the same process on the
+// same index — "off" with no registry attached, "on" with one recording
+// every query.
+type ObsReport struct {
+	Env     EnvInfo `json:"env"`
+	Scale   string  `json:"scale"`
+	N       int     `json:"n"`
+	Dim     int     `json:"dim"`
+	Queries int     `json:"queries"`
+	K       int     `json:"k"`
+
+	// Overhead of the instrumented path. OverheadPct is the relative
+	// slowdown of ns/query with metrics attached; the tentpole budget is 2%.
+	OffNsPerQuery     float64 `json:"off_ns_per_query"`
+	OnNsPerQuery      float64 `json:"on_ns_per_query"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	OffAllocsPerQuery float64 `json:"off_allocs_per_query"`
+	OnAllocsPerQuery  float64 `json:"on_allocs_per_query"`
+
+	// BuildMS is the instrumented model+index build time; the build:<phase>
+	// ops inside Metrics break it down.
+	BuildMS float64 `json:"build_ms"`
+
+	// Metrics is the full registry snapshot of the instrumented run:
+	// per-operation count/mean/p50/p90/p99/max plus histogram buckets.
+	Metrics metrics.Snapshot `json:"metrics"`
+
+	// SlowCaptured counts tail-latency captures during the instrumented run
+	// (adaptive p99-based threshold, so usually small but nonzero on real
+	// distributions).
+	SlowCaptured int64 `json:"slow_captured"`
+}
+
+// ObsBench measures what observability costs: build one MMDR model and
+// extended iDistance index, run the KNN workload uninstrumented, attach a
+// registry, run it again, and report the delta plus the recorded latency
+// distributions.
+func ObsBench(c Config) (*ObsReport, error) {
+	c = c.withDefaults()
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 5, 3, 25, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := metrics.NewRegistry()
+	tracer := metrics.NewPhaseTracer(reg)
+	buildStart := time.Now()
+	red, err := core.New(core.Params{Seed: c.Seed, Tracer: tracer, Counter: c.Counter, Parallelism: c.Parallelism}).Reduce(ds)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := idist.Build(ds, red, idist.Options{Tracer: tracer})
+	if err != nil {
+		return nil, err
+	}
+	buildMS := float64(time.Since(buildStart).Microseconds()) / 1000
+
+	queries := make([][]float64, c.NumQueries)
+	for i := range queries {
+		queries[i] = ds.Point((i * 37) % ds.N)
+	}
+	rounds := 1
+	if c.NumQueries < 2000 {
+		rounds = 2000/c.NumQueries + 1
+	}
+
+	rep := &ObsReport{
+		Env:     CollectEnv(),
+		Scale:   string(c.Scale),
+		N:       n,
+		Dim:     dim,
+		Queries: c.NumQueries,
+		K:       c.K,
+		BuildMS: buildMS,
+	}
+
+	// Warm both the scratch pool and the page cache, then measure the
+	// uninstrumented path.
+	for _, q := range queries {
+		idx.KNN(q, c.K)
+	}
+	rep.OffNsPerQuery, rep.OffAllocsPerQuery =
+		measureQueries(queries, rounds, func(q []float64) { idx.KNN(q, c.K) })
+
+	// Attach and measure the instrumented path on the same index.
+	idx.SetMetrics(reg)
+	rep.OnNsPerQuery, rep.OnAllocsPerQuery =
+		measureQueries(queries, rounds, func(q []float64) { idx.KNN(q, c.K) })
+	idx.SetMetrics(nil)
+
+	if rep.OffNsPerQuery > 0 {
+		rep.OverheadPct = (rep.OnNsPerQuery - rep.OffNsPerQuery) / rep.OffNsPerQuery * 100
+	}
+	rep.Metrics = reg.Snapshot()
+	rep.SlowCaptured = reg.Slow().Total()
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ObsReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the report in the experiment-table shape for the CLI.
+func (r *ObsReport) Table() *Table {
+	t := &Table{
+		Name:   "obs",
+		Title:  fmt.Sprintf("runtime metrics overhead (n=%d, d=%d, k=%d)", r.N, r.Dim, r.K),
+		Header: []string{"metric", "off", "on", "delta"},
+	}
+	t.AddRow("KNN ns/query", f2(r.OffNsPerQuery), f2(r.OnNsPerQuery), f2(r.OverheadPct)+"%")
+	t.AddRow("KNN allocs/query", f2(r.OffAllocsPerQuery), f2(r.OnAllocsPerQuery), "")
+	for _, o := range r.Metrics.Ops {
+		if o.Name != "knn" {
+			continue
+		}
+		t.AddRow("knn p50 µs", "", f2(o.P50US), "")
+		t.AddRow("knn p99 µs", "", f2(o.P99US), "")
+		t.AddRow("knn max µs", "", f2(o.MaxUS), "")
+	}
+	t.AddRow("slow captured", "", i64(r.SlowCaptured), "")
+	return t
+}
+
+// runObsBench adapts ObsBench to the registry's Runner shape.
+func runObsBench(c Config) (*Table, error) {
+	rep, err := ObsBench(c)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}
+
+func init() { registry["obs"] = runObsBench }

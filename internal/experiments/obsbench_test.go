@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCollectEnv(t *testing.T) {
+	e := CollectEnv()
+	if e.GoVersion == "" || e.GOOS == "" || e.GOARCH == "" {
+		t.Fatalf("env not populated: %+v", e)
+	}
+	if e.GOMAXPROCS != runtime.GOMAXPROCS(0) || e.NumCPU != runtime.NumCPU() {
+		t.Errorf("cpu fields wrong: %+v", e)
+	}
+}
+
+func TestObsBenchSmall(t *testing.T) {
+	rep, err := ObsBench(Config{Scale: Small, Seed: 5, NumQueries: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OffNsPerQuery <= 0 || rep.OnNsPerQuery <= 0 {
+		t.Fatalf("timings not measured: %+v", rep)
+	}
+	if rep.OnAllocsPerQuery > rep.OffAllocsPerQuery+0.5 {
+		t.Errorf("instrumentation allocates: off=%.2f on=%.2f allocs/query",
+			rep.OffAllocsPerQuery, rep.OnAllocsPerQuery)
+	}
+	if rep.Env.GoVersion == "" {
+		t.Error("report missing env stamp")
+	}
+	var knn bool
+	for _, o := range rep.Metrics.Ops {
+		if o.Name == "knn" && o.Count > 0 && o.P99US >= o.P50US {
+			knn = true
+		}
+	}
+	if !knn {
+		t.Errorf("snapshot missing knn distribution: %+v", rep.Metrics.Ops)
+	}
+	var sawPhase bool
+	for _, o := range rep.Metrics.Ops {
+		if strings.HasPrefix(o.Name, "build:") {
+			sawPhase = true
+		}
+	}
+	if !sawPhase {
+		t.Error("snapshot missing build:<phase> ops")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.N != rep.N || len(back.Metrics.Ops) != len(rep.Metrics.Ops) {
+		t.Error("round-trip lost fields")
+	}
+
+	tbl := rep.Table()
+	if tbl.Name != "obs" || len(tbl.Rows) == 0 {
+		t.Error("Table rendering empty")
+	}
+}
+
+func TestObsRunnerRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "obs" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("obs runner not registered")
+	}
+}

@@ -19,11 +19,12 @@ import (
 // scale with available cores — on a single-core machine they hover near 1
 // (the report records GOMAXPROCS so readers can tell).
 type ParallelReport struct {
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Workers    int    `json:"workers"`
-	Scale      string `json:"scale"`
-	N          int    `json:"n"`
-	Dim        int    `json:"dim"`
+	Env        EnvInfo `json:"env"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Scale      string  `json:"scale"`
+	N          int     `json:"n"`
+	Dim        int     `json:"dim"`
 
 	SerialBuildMS   float64 `json:"serial_build_ms"`
 	ParallelBuildMS float64 `json:"parallel_build_ms"`
@@ -104,6 +105,7 @@ func ParallelBench(c Config, workers int) (*ParallelReport, error) {
 	totalQueries := float64(c.NumQueries * rounds)
 
 	rep := &ParallelReport{
+		Env:             CollectEnv(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Workers:         workers,
 		Scale:           string(c.Scale),

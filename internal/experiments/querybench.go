@@ -22,6 +22,7 @@ import (
 // baseline is kept in-tree precisely so this comparison stays honest: same
 // machine, same data, same tree.
 type QueryReport struct {
+	Env        EnvInfo `json:"env"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Scale      string  `json:"scale"`
 	N          int     `json:"n"`
@@ -96,6 +97,7 @@ func QueryBench(c Config) (*QueryReport, error) {
 	// Correctness gate before any timing: the kernel path must match the
 	// sequential-scan oracle bitwise on a sample of the workload.
 	rep := &QueryReport{
+		Env:        CollectEnv(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      string(c.Scale),
 		N:          n,

@@ -1,6 +1,8 @@
 package idist
 
 import (
+	"time"
+
 	"mmdr/internal/index"
 	"mmdr/internal/pool"
 )
@@ -28,13 +30,31 @@ import (
 //mmdr:hotpath budget pinned by alloc_test: 2 + one result slice per query
 func (idx *Index) BatchKNN(queries [][]float64, k, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
-	pool.Chunks(pool.Workers(workers), len(queries), func(_, lo, hi int) {
+	ops := idx.ops
+	start := time.Now()
+	pool.Chunks(pool.Workers(workers), len(queries), func(w, lo, hi int) {
 		sc := idx.getScratch()
 		defer idx.putScratch(sc)
+		if ops == nil {
+			for i := lo; i < hi; i++ {
+				out[i] = idx.knnInto(sc, queries[i], k, 0, nil)
+			}
+			return
+		}
+		// Each worker records into its own shard cell, so per-query
+		// instrumentation adds no cross-worker contention.
 		for i := lo; i < hi; i++ {
+			qs := time.Now()
 			out[i] = idx.knnInto(sc, queries[i], k, 0, nil)
+			elapsed := time.Since(qs)
+			if ops.knn.RecordShard(w, elapsed) {
+				idx.captureSlowKNN(queries[i], k, elapsed)
+			}
 		}
 	})
+	if ops != nil {
+		ops.batchKNN.Record(time.Since(start))
+	}
 	return out
 }
 
@@ -62,12 +82,25 @@ func (idx *Index) BatchKNNTrace(queries [][]float64, k, workers int) ([][]index.
 //mmdr:hotpath
 func (idx *Index) BatchRange(queries [][]float64, r float64, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
-	pool.Chunks(pool.Workers(workers), len(queries), func(_, lo, hi int) {
+	ops := idx.ops
+	start := time.Now()
+	pool.Chunks(pool.Workers(workers), len(queries), func(w, lo, hi int) {
 		sc := idx.getScratch()
 		defer idx.putScratch(sc)
+		if ops == nil {
+			for i := lo; i < hi; i++ {
+				out[i] = idx.rangeInto(sc, queries[i], r)
+			}
+			return
+		}
 		for i := lo; i < hi; i++ {
+			qs := time.Now()
 			out[i] = idx.rangeInto(sc, queries[i], r)
+			ops.rng.RecordShard(w, time.Since(qs))
 		}
 	})
+	if ops != nil {
+		ops.batchRange.Record(time.Since(start))
+	}
 	return out
 }

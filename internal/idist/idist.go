@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"mmdr/internal/btree"
 	"mmdr/internal/dataset"
 	"mmdr/internal/index"
 	"mmdr/internal/iostat"
 	"mmdr/internal/matrix"
+	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
 	"mmdr/internal/reduction"
 	"mmdr/internal/stats"
@@ -44,6 +46,10 @@ type Options struct {
 	Counter iostat.Sink
 	// Tracer receives a build-index span covering bulk-load (may be nil).
 	Tracer obs.Tracer
+	// Metrics, when non-nil, receives per-operation latency histograms and
+	// structural gauges (see SetMetrics). The record path is allocation-free,
+	// so attaching it does not disturb the query alloc budgets.
+	Metrics *metrics.Registry
 }
 
 // partition is one key-range section of the single-dimensional space:
@@ -79,6 +85,10 @@ type Index struct {
 	// so plain fields (lazily sized) suffice.
 	insDiff []float64
 	insProj []float64
+
+	// ops holds the attached runtime-metrics instruments; nil = detached,
+	// and every operation skips instrumentation on a single nil check.
+	ops *opSet
 }
 
 // Build constructs the index over a reduction of ds.
@@ -203,6 +213,9 @@ func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, er
 	obs.Attr(opts.Tracer, "partitions", float64(len(idx.parts)))
 	obs.Attr(opts.Tracer, "tree_height", float64(idx.tree.Height()))
 	obs.Attr(opts.Tracer, "leaf_pages", float64(idx.tree.LeafPages()))
+	if opts.Metrics != nil {
+		idx.SetMetrics(opts.Metrics)
+	}
 	return idx, nil
 }
 
@@ -230,7 +243,16 @@ type queryState struct {
 //
 //mmdr:hotpath budget pinned by alloc_test: 1 alloc (the returned slice)
 func (idx *Index) KNN(q []float64, k int) []index.Neighbor {
-	return idx.knn(q, k, 0, nil)
+	if idx.ops == nil {
+		return idx.knn(q, k, 0, nil)
+	}
+	start := time.Now()
+	out := idx.knn(q, k, 0, nil)
+	elapsed := time.Since(start)
+	if idx.ops.knn.Record(elapsed) {
+		idx.captureSlowKNN(q, k, elapsed)
+	}
+	return out
 }
 
 // KNNApprox bounds the radius enlargement to maxRounds iterations
@@ -240,7 +262,13 @@ func (idx *Index) KNN(q []float64, k int) []index.Neighbor {
 //
 //mmdr:hotpath
 func (idx *Index) KNNApprox(q []float64, k, maxRounds int) []index.Neighbor {
-	return idx.knn(q, k, maxRounds, nil)
+	if idx.ops == nil {
+		return idx.knn(q, k, maxRounds, nil)
+	}
+	start := time.Now()
+	out := idx.knn(q, k, maxRounds, nil)
+	idx.ops.approx.Record(time.Since(start))
+	return out
 }
 
 // PartitionProbe explains how the KNN search treated one partition.

@@ -3,6 +3,7 @@ package idist
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mmdr/internal/matrix"
 )
@@ -23,6 +24,21 @@ const insertBeta = 0.1
 //
 //mmdr:hotpath
 func (idx *Index) Insert(p []float64) (int, error) {
+	if idx.ops != nil {
+		start := time.Now()
+		id, err := idx.insert(p)
+		idx.ops.ins.Record(time.Since(start))
+		if err == nil {
+			idx.ops.points.Add(1)
+			idx.ops.partitions.Set(int64(len(idx.parts)))
+		}
+		return id, err
+	}
+	return idx.insert(p)
+}
+
+//mmdr:hotpath
+func (idx *Index) insert(p []float64) (int, error) {
 	if len(p) != idx.ds.Dim {
 		//mmdr:ignore hotalloc rejected-input error path, never taken on the measured insert path
 		return 0, fmt.Errorf("idist: Insert dimension %d, want %d", len(p), idx.ds.Dim)

@@ -2,6 +2,7 @@ package idist
 
 import (
 	"math"
+	"time"
 
 	"mmdr/internal/index"
 	"mmdr/internal/matrix"
@@ -17,7 +18,13 @@ import (
 func (idx *Index) Range(q []float64, r float64) []index.Neighbor {
 	sc := idx.getScratch()
 	defer idx.putScratch(sc)
-	return idx.rangeInto(sc, q, r)
+	if idx.ops == nil {
+		return idx.rangeInto(sc, q, r)
+	}
+	start := time.Now()
+	out := idx.rangeInto(sc, q, r)
+	idx.ops.rng.Record(time.Since(start))
+	return out
 }
 
 // rangeInto runs the range scan using sc's buffers. Candidates are filtered
@@ -74,6 +81,19 @@ func (idx *Index) rangeInto(sc *queryScratch, q []float64, r float64) []index.Ne
 // coordinates of other members keep their offsets. It reports whether the
 // point was present.
 func (idx *Index) Delete(id int) bool {
+	if idx.ops != nil {
+		start := time.Now()
+		ok := idx.delete(id)
+		idx.ops.del.Record(time.Since(start))
+		if ok {
+			idx.ops.points.Add(-1)
+		}
+		return ok
+	}
+	return idx.delete(id)
+}
+
+func (idx *Index) delete(id int) bool {
 	if id < 0 || id >= len(idx.partOf) || idx.partOf[id] < 0 {
 		return false
 	}

@@ -195,6 +195,18 @@ func Flush(sink Sink, c Counter) {
 	}
 }
 
+// Each visits every counter as a (snake_case name, value) pair in a fixed,
+// documented order — the iteration helper for exporters (Prometheus labels,
+// expvar maps) so they need not hand-maintain the field list.
+func (c Counter) Each(fn func(name string, v int64)) {
+	fn("page_reads", c.PageReads)
+	fn("page_writes", c.PageWrites)
+	fn("distance_ops", c.DistanceOps)
+	fn("key_compares", c.KeyCompares)
+	fn("float_ops", c.FloatOps)
+	fn("node_accesses", c.NodeAccesses)
+}
+
 // PagesForBytes returns the number of pages needed to hold n bytes.
 func PagesForBytes(n int64) int64 {
 	if n <= 0 {

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecordZeroAllocs pins the record path at zero heap allocations — the
+// contract that lets every query in idist carry instrumentation without
+// touching the index's own alloc budgets.
+func TestRecordZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	op := r.Op("knn")
+	ctr := r.Counter("queries")
+	g := r.Gauge("points")
+	d := 37 * time.Microsecond
+
+	if n := testing.AllocsPerRun(1000, func() { op.Record(d) }); n != 0 {
+		t.Errorf("Op.Record allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { op.RecordShard(3, d) }); n != 0 {
+		t.Errorf("Op.RecordShard allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { ctr.AddShard(1, 1) }); n != 0 {
+		t.Errorf("Counter.AddShard allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", n)
+	}
+}
+
+// TestRecordZeroAllocsWhenSlowArmed re-pins the budget with the tail
+// threshold armed: the threshold compare and (losing) capture claim must
+// stay allocation-free too.
+func TestRecordZeroAllocsWhenSlowArmed(t *testing.T) {
+	op := NewRegistry().Op("knn")
+	op.SetSlowPolicy(time.Nanosecond, time.Hour) // everything "slow", gap blocks captures
+	op.Record(time.Microsecond)                  // consume the one allowed capture
+	if n := testing.AllocsPerRun(1000, func() { op.Record(time.Microsecond) }); n != 0 {
+		t.Errorf("Record with armed threshold allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	op := NewRegistry().Op("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op.Record(time.Duration(i&1023) * time.Microsecond)
+	}
+}
+
+func BenchmarkRecordShardParallel(b *testing.B) {
+	op := NewRegistry().Op("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			op.RecordShard(i, time.Microsecond)
+			i++
+		}
+	})
+}

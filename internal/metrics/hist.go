@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-linear bucketing. The bucket of a nanosecond latency v is found with
+// two bit operations: the octave (position of the most significant bit) is
+// the log part, and the next subBits bits below the MSB select one of
+// subCount linear sub-buckets inside the octave. Values below subCount get
+// one bucket each (exact). The scheme is HdrHistogram's layout reduced to
+// its fixed-precision core:
+//
+//   - relative quantile error ≤ 2^-subBits = 6.25% (each bucket's width is
+//     at most 1/subCount of its lower bound),
+//   - bucketOf is branch-light integer math — no floating point, no loops,
+//     no table — so the record path stays allocation-free and O(1),
+//   - the whole int64 range maps to numBuckets buckets, so no clamping or
+//     overflow bucket is needed.
+//
+// Quantile extraction walks the cumulative counts and reports the matched
+// bucket's upper bound (clamped to the observed maximum), so reported
+// quantiles are conservative: p99 is never under-reported, and never
+// over-reported by more than the bucket width.
+const (
+	subBits  = 4
+	subCount = 1 << subBits
+
+	// Octaves above the linear region: MSB positions subBits..62 for
+	// positive int64 values, subCount buckets each.
+	numBuckets = subCount + (63-subBits)*subCount
+)
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+//
+//mmdr:hotpath called once per metric record
+func bucketOf(ns int64) int {
+	u := uint64(ns)
+	if u < subCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // MSB position, ≥ subBits
+	shift := uint(exp - subBits)
+	sub := int(u>>shift) - subCount // linear sub-bucket in [0, subCount)
+	return subCount + (exp-subBits)*subCount + sub
+}
+
+// bucketUpper returns the largest value mapping to bucket b — the "le"
+// boundary used for quantile extraction and Prometheus exposition.
+func bucketUpper(b int) int64 {
+	if b < subCount {
+		return int64(b)
+	}
+	idx := b - subCount
+	expOff := idx >> subBits
+	sub := idx & (subCount - 1)
+	shift := uint(expOff)
+	return int64(subCount+sub+1)<<shift - 1
+}
+
+// hist is the concurrent histogram: one atomic counter per bucket plus
+// atomic total/extrema. Buckets are shared (not sharded) — concurrent
+// recorders with differing latencies touch different cache lines, and the
+// per-shard count/sum in Op absorb the contention-sensitive aggregates.
+type hist struct {
+	total   atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64 // math.MaxInt64 until the first observation
+	buckets [numBuckets]atomic.Int64
+}
+
+func (h *hist) init() { h.min.Store(math.MaxInt64) }
+
+// observe records one nanosecond value and returns the new total count.
+//
+//mmdr:hotpath one bucket add, two bounded CAS races, one total add
+func (h *hist) observe(ns int64) int64 {
+	h.buckets[bucketOf(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	return h.total.Add(1)
+}
+
+// quantile returns the q-quantile (0 < q ≤ 1) in nanoseconds: the upper
+// bound of the bucket holding the rank-⌈q·total⌉ observation, clamped to
+// the observed maximum. Zero when nothing was recorded.
+func (h *hist) quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			ub := bucketUpper(i)
+			if mx := h.max.Load(); ub > mx {
+				return mx
+			}
+			return ub
+		}
+	}
+	// Rank beyond the cumulative sum (writers raced the walk): the max is
+	// the best conservative answer.
+	return h.max.Load()
+}
+
+// snapshotBuckets copies the non-zero buckets as (upper bound ns, count)
+// pairs in ascending order, for exposition and merging.
+func (h *hist) snapshotBuckets() []BucketCount {
+	var out []BucketCount
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			out = append(out, BucketCount{UpperNS: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot: Count
+// observations with values ≤ UpperNS nanoseconds (and above the previous
+// bucket's bound).
+type BucketCount struct {
+	UpperNS int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketOfMonotone checks that bucket index is monotone in the value and
+// that every value falls at or below its bucket's upper bound.
+func TestBucketOfMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1000, 12345,
+		1e6, 1e9, math.MaxInt64 / 2, math.MaxInt64} {
+		b := bucketOf(ns)
+		if b < 0 || b >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", ns, b, numBuckets)
+		}
+		if b < prev {
+			t.Fatalf("bucketOf not monotone: bucketOf(%d)=%d < previous %d", ns, b, prev)
+		}
+		prev = b
+		if up := bucketUpper(b); ns > up {
+			t.Errorf("value %d above its bucket upper bound %d (bucket %d)", ns, up, b)
+		}
+	}
+}
+
+// TestBucketUpperRelativeError verifies the design bound: the bucket upper
+// bound overestimates any value in the bucket by at most 1/2^subBits
+// (6.25%) in the log-linear region.
+func TestBucketUpperRelativeError(t *testing.T) {
+	for _, ns := range []int64{17, 100, 999, 4097, 1e6 + 7, 3e9} {
+		up := bucketUpper(bucketOf(ns))
+		relErr := float64(up-ns) / float64(ns)
+		if relErr < 0 {
+			t.Fatalf("upper bound %d below value %d", up, ns)
+		}
+		if relErr > 1.0/float64(subCount) {
+			t.Errorf("relative error %.4f for %d exceeds %.4f", relErr, ns, 1.0/float64(subCount))
+		}
+	}
+}
+
+// TestBucketBoundariesExhaustive walks every value up to a few octaves and
+// checks bucketOf/bucketUpper agree: bucketUpper(b) is the largest value
+// mapping to b.
+func TestBucketBoundariesExhaustive(t *testing.T) {
+	for ns := int64(0); ns < 4096; ns++ {
+		b := bucketOf(ns)
+		up := bucketUpper(b)
+		if ns > up {
+			t.Fatalf("value %d maps to bucket %d with upper %d", ns, b, up)
+		}
+		if bucketOf(up) != b {
+			t.Fatalf("upper bound %d of bucket %d maps to bucket %d", up, b, bucketOf(up))
+		}
+		if up < math.MaxInt64 && bucketOf(up+1) == b {
+			t.Fatalf("upper bound %d of bucket %d is not maximal", up, b)
+		}
+	}
+}
+
+// TestHistQuantile checks quantiles against an exactly-known distribution.
+func TestHistQuantile(t *testing.T) {
+	var h hist
+	h.init()
+	// 100 observations: 1..100 microseconds.
+	for i := 1; i <= 100; i++ {
+		h.observe(int64(i) * 1000)
+	}
+	if got := h.quantile(1.0); got != 100_000 {
+		t.Errorf("p100 = %d, want exactly max 100000", got)
+	}
+	// p50 must be ≥ the exact 50th value and within one bucket width of it.
+	for _, tc := range []struct {
+		q     float64
+		exact int64
+	}{{0.50, 50_000}, {0.90, 90_000}, {0.99, 99_000}} {
+		got := h.quantile(tc.q)
+		if got < tc.exact {
+			t.Errorf("q%.2f = %d below exact value %d", tc.q, got, tc.exact)
+		}
+		if relErr := float64(got-tc.exact) / float64(tc.exact); relErr > 1.0/float64(subCount) {
+			t.Errorf("q%.2f = %d, relative error %.4f vs exact %d", tc.q, got, relErr, tc.exact)
+		}
+	}
+	if got := h.quantile(0); got <= 0 || got > 1000+1000/int64(subCount) {
+		t.Errorf("q0 = %d, want near min 1000", got)
+	}
+}
+
+// TestHistEmpty checks the zero state is sane.
+func TestHistEmpty(t *testing.T) {
+	var h hist
+	h.init()
+	if got := h.quantile(0.99); got != 0 {
+		t.Errorf("quantile of empty hist = %d, want 0", got)
+	}
+	if bs := h.snapshotBuckets(); len(bs) != 0 {
+		t.Errorf("snapshotBuckets of empty hist = %v, want empty", bs)
+	}
+}

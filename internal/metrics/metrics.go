@@ -1,0 +1,377 @@
+// Package metrics is the runtime metrics layer: allocation-free-on-record
+// latency histograms with per-operation quantiles, sharded atomic counters
+// and gauges, a bounded slow-query log with an adaptive tail threshold, and
+// two exposition formats (Prometheus text and a JSON snapshot).
+//
+// Design constraints, in order:
+//
+//  1. The record path allocates nothing and takes no locks — one atomic add
+//     into a (possibly caller-sharded) counter cell, one histogram bucket
+//     add, and a couple of bounded CAS races for the extrema. The alloc
+//     test pins 0 allocs/record; //mmdr:hotpath annotations put the path
+//     under the mmdrlint allocation lint.
+//  2. Snapshots are mergeable and consistent enough for monitoring: shards
+//     are summed at read time, quantiles come from the shared buckets, and
+//     concurrent writers can at worst make a snapshot a few observations
+//     stale — never corrupt.
+//  3. Everything is stdlib-only and pull-based: the registry owns no
+//     goroutines, no timers, no channels. Exposition happens when a scraper
+//     or CLI asks.
+//
+// Operations are registered once (Registry.Op) and the returned *Op is held
+// by the caller, so the hot path never touches the registry's map or mutex.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmdr/internal/iostat"
+)
+
+// Sharding bounds. Shard selection is the caller's choice: fan-out paths
+// (batch query workers) pass their worker index so each worker owns a cell;
+// single-call paths let Record derive a cheap hint from the value's low
+// bits. Correctness never depends on the shard choice — shards are summed
+// on snapshot — only contention does.
+const (
+	numShards = 8
+	shardMask = numShards - 1
+)
+
+// shard is one padded counter cell: count and sum on their own cache line
+// so workers recording into different shards never false-share.
+type shard struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	_     [112]byte // pad to 128 bytes
+}
+
+// Slow-query policy defaults. The threshold adapts to the live distribution:
+// every refreshEvery observations the current p99 is re-read from the
+// histogram and the threshold set to p99·slowFactor, once minSamples
+// observations exist. Captures are rate-limited to one per defaultGap.
+const (
+	refreshEvery  = 256 // must be a power of two (mask test on the count)
+	minSamples    = 128
+	slowFactor    = 4
+	defaultGapNS  = int64(100 * time.Millisecond)
+	defaultSlowNS = 0 // 0 = not armed until the adaptive refresh runs
+)
+
+// Op is one named operation's latency account: sharded count/sum, a
+// log-linear histogram for quantiles, and the tail-capture policy state.
+// Obtain with Registry.Op and keep the pointer; all methods are safe for
+// concurrent use.
+type Op struct {
+	name   string
+	shards [numShards]shard
+	hist   hist
+
+	// Tail-capture state. slowNs ≤ 0 means "no capture". manual disables
+	// the adaptive refresh (tests and operators pin the threshold).
+	slowNs      atomic.Int64
+	manual      atomic.Bool
+	gapNs       atomic.Int64
+	lastCapture atomic.Int64 // unix nanos of the last accepted capture
+}
+
+func newOp(name string) *Op {
+	o := &Op{name: name}
+	o.hist.init()
+	o.gapNs.Store(defaultGapNS)
+	o.slowNs.Store(defaultSlowNS)
+	return o
+}
+
+// Name returns the operation's registered name.
+func (o *Op) Name() string { return o.name }
+
+// Record accounts one latency sample. It reports whether the sample crossed
+// the slow threshold AND won the capture rate limit — a true return is the
+// caller's cue to capture diagnostic state (e.g. re-run the query with
+// tracing into the slow-query log). The shard hint comes from the sample's
+// low bits, which spreads concurrent recorders statistically.
+//
+//mmdr:hotpath budget pinned by TestRecordZeroAllocs: 0 allocs
+func (o *Op) Record(d time.Duration) bool {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	return o.recordNs(int(ns), ns)
+}
+
+// RecordShard is Record with an explicit shard hint — fan-out paths pass
+// their worker index so every worker owns its counter cell.
+//
+//mmdr:hotpath
+func (o *Op) RecordShard(workerShard int, d time.Duration) bool {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	return o.recordNs(workerShard, ns)
+}
+
+//mmdr:hotpath shared record path: two shard adds, one histogram observe
+func (o *Op) recordNs(shardHint int, ns int64) bool {
+	s := &o.shards[shardHint&shardMask]
+	s.count.Add(1)
+	s.sum.Add(ns)
+	n := o.hist.observe(ns)
+	if n&(refreshEvery-1) == 0 && !o.manual.Load() {
+		o.refreshSlowThreshold(n)
+	}
+	th := o.slowNs.Load()
+	if th <= 0 || ns < th {
+		return false
+	}
+	return o.claimCapture()
+}
+
+// refreshSlowThreshold re-derives the tail threshold from the live p99.
+// Amortized: called once per refreshEvery observations.
+func (o *Op) refreshSlowThreshold(total int64) {
+	if total < minSamples {
+		return
+	}
+	p99 := o.hist.quantile(0.99)
+	if p99 <= 0 {
+		return
+	}
+	o.slowNs.Store(p99 * slowFactor)
+}
+
+// claimCapture enforces the capture rate limit: at most one accepted
+// capture per gap, decided by a single CAS so concurrent slow queries elect
+// exactly one winner.
+func (o *Op) claimCapture() bool {
+	now := time.Now().UnixNano()
+	last := o.lastCapture.Load()
+	if now-last < o.gapNs.Load() {
+		return false
+	}
+	return o.lastCapture.CompareAndSwap(last, now)
+}
+
+// SetSlowPolicy pins the tail-capture policy: samples at or above threshold
+// are capture candidates, at most one accepted per minGap. It disables the
+// adaptive p99-based threshold; threshold ≤ 0 disables capture entirely.
+func (o *Op) SetSlowPolicy(threshold, minGap time.Duration) {
+	o.manual.Store(true)
+	o.slowNs.Store(int64(threshold))
+	o.gapNs.Store(int64(minGap))
+}
+
+// SlowThreshold returns the current tail threshold (0 = not armed).
+func (o *Op) SlowThreshold() time.Duration { return time.Duration(o.slowNs.Load()) }
+
+// Count returns the total number of recorded samples across shards.
+func (o *Op) Count() int64 {
+	var n int64
+	for i := range o.shards {
+		n += o.shards[i].count.Load()
+	}
+	return n
+}
+
+// Quantile returns the q-quantile latency from the histogram.
+func (o *Op) Quantile(q float64) time.Duration { return time.Duration(o.hist.quantile(q)) }
+
+// counterShard is one padded add cell of a Counter.
+type counterShard struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// Counter is a monotonically increasing sharded counter. Like Op, fan-out
+// paths should use AddShard with their worker index; Add uses shard 0,
+// which is fine for serialized or low-rate paths.
+type Counter struct {
+	name   string
+	shards [numShards]counterShard
+}
+
+// Add increments the counter.
+//
+//mmdr:hotpath
+func (c *Counter) Add(n int64) { c.shards[0].v.Add(n) }
+
+// AddShard increments the counter from a specific worker shard.
+//
+//mmdr:hotpath
+func (c *Counter) AddShard(workerShard int, n int64) {
+	c.shards[workerShard&shardMask].v.Add(n)
+}
+
+// Value returns the summed total.
+func (c *Counter) Value() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].v.Load()
+	}
+	return n
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a point-in-time value (index size, partition count, worker
+// count). A single atomic word: gauges are set, not accumulated, so
+// sharding buys nothing.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the gauge value.
+//
+//mmdr:hotpath
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+//
+//mmdr:hotpath
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Registry owns the named instruments of one measured unit (a process, an
+// index, an experiment run). Registration takes a mutex; recording through
+// the returned pointers does not. The zero value is not ready — use
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	ops      map[string]*Op
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	start    time.Time
+	slow     *SlowLog
+
+	// costs, when set, lets the Prometheus exposition include the logical
+	// cost model (simulated page I/O, distance ops) alongside latencies.
+	costs func() iostat.Counter
+}
+
+// NewRegistry returns an empty registry with a bounded slow-query log.
+func NewRegistry() *Registry {
+	return &Registry{
+		ops:      make(map[string]*Op),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		start:    time.Now(),
+		slow:     NewSlowLog(DefaultSlowLogSize),
+	}
+}
+
+// Op returns the named operation, registering it on first use. Call once
+// and keep the pointer — the hot path must not re-resolve names.
+func (r *Registry) Op(name string) *Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.ops[name]
+	if !ok {
+		o = newOp(name)
+		r.ops[name] = o
+	}
+	return o
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Slow returns the registry's slow-query log.
+func (r *Registry) Slow() *SlowLog { return r.slow }
+
+// SetCostSource attaches a logical-cost snapshot function (typically
+// AtomicCounter.Snapshot) included in the Prometheus exposition.
+func (r *Registry) SetCostSource(fn func() iostat.Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.costs = fn
+}
+
+// opNames returns the registered op names sorted, holding the lock only for
+// the copy. Sorted iteration keeps snapshots and exposition deterministic.
+func (r *Registry) opNames() ([]string, map[string]*Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ops))
+	for n := range r.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ops := make(map[string]*Op, len(names))
+	for _, n := range names {
+		ops[n] = r.ops[n]
+	}
+	return names, ops
+}
+
+func (r *Registry) counterNames() ([]string, map[string]*Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cs := make(map[string]*Counter, len(names))
+	for _, n := range names {
+		cs[n] = r.counters[n]
+	}
+	return names, cs
+}
+
+func (r *Registry) gaugeNames() ([]string, map[string]*Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	gs := make(map[string]*Gauge, len(names))
+	for _, n := range names {
+		gs[n] = r.gauges[n]
+	}
+	return names, gs
+}
+
+func (r *Registry) costSnapshot() (iostat.Counter, bool) {
+	r.mu.Lock()
+	fn := r.costs
+	r.mu.Unlock()
+	if fn == nil {
+		return iostat.Counter{}, false
+	}
+	return fn(), true
+}

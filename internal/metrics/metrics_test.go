@@ -1,0 +1,284 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mmdr/internal/iostat"
+	"mmdr/internal/obs"
+)
+
+func TestOpRecordAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	op := r.Op("knn")
+	for i := 1; i <= 100; i++ {
+		op.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := op.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	s := r.Snapshot()
+	if len(s.Ops) != 1 || s.Ops[0].Name != "knn" {
+		t.Fatalf("snapshot ops = %+v, want one op named knn", s.Ops)
+	}
+	o := s.Ops[0]
+	if o.Count != 100 {
+		t.Errorf("snapshot count = %d", o.Count)
+	}
+	// sum 1..100 µs = 5050 µs = 5.05 ms
+	if o.TotalMS < 5.0 || o.TotalMS > 5.1 {
+		t.Errorf("TotalMS = %v, want ~5.05", o.TotalMS)
+	}
+	if o.MeanUS < 50 || o.MeanUS > 51 {
+		t.Errorf("MeanUS = %v, want ~50.5", o.MeanUS)
+	}
+	if o.MaxUS != 100 {
+		t.Errorf("MaxUS = %v, want 100", o.MaxUS)
+	}
+	if o.MinUS <= 0 || o.MinUS > 1.1 {
+		t.Errorf("MinUS = %v, want ~1", o.MinUS)
+	}
+	if o.P50US < 50 || o.P50US > 50*(1+1.0/subCount) {
+		t.Errorf("P50US = %v, want within bucket width of 50", o.P50US)
+	}
+	if o.P99US < 99 || o.P99US > 100 {
+		t.Errorf("P99US = %v, want in [99,100]", o.P99US)
+	}
+	if len(o.Buckets) == 0 {
+		t.Error("snapshot has no buckets")
+	}
+}
+
+// TestRecordShardMerge verifies shard placement does not change totals:
+// workers recording through distinct shards merge exactly on snapshot.
+func TestRecordShardMerge(t *testing.T) {
+	r := NewRegistry()
+	op := r.Op("batch")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				op.RecordShard(w, time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := op.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+	s := r.Snapshot()
+	if s.Ops[0].Count != workers*perWorker {
+		t.Fatalf("snapshot count = %d, want %d", s.Ops[0].Count, workers*perWorker)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries")
+	c.Add(3)
+	c.AddShard(5, 4)
+	if got := c.Value(); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	g := r.Gauge("points")
+	g.Set(100)
+	g.Add(-25)
+	if got := g.Value(); got != 75 {
+		t.Errorf("gauge = %d, want 75", got)
+	}
+	// Get-or-create returns the same instrument.
+	if r.Counter("queries") != c || r.Gauge("points") != g || r.Op("x") != r.Op("x") {
+		t.Error("registry did not return identical instruments for identical names")
+	}
+}
+
+// TestAdaptiveSlowThreshold feeds a tight distribution until the adaptive
+// refresh arms the threshold, then checks an outlier is flagged and the rate
+// limit admits only one capture per gap.
+func TestAdaptiveSlowThreshold(t *testing.T) {
+	r := NewRegistry()
+	op := r.Op("knn")
+	// refreshEvery*2 samples at ~100µs arms the threshold at p99*slowFactor.
+	for i := 0; i < refreshEvery*2; i++ {
+		if op.Record(100 * time.Microsecond) {
+			t.Fatalf("uniform sample %d flagged slow", i)
+		}
+	}
+	th := op.SlowThreshold()
+	if th <= 0 {
+		t.Fatal("adaptive threshold never armed")
+	}
+	if th < 100*time.Microsecond || th > 100*time.Microsecond*slowFactor*2 {
+		t.Errorf("threshold = %v, want around %v", th, 100*time.Microsecond*slowFactor)
+	}
+	if !op.Record(time.Second) {
+		t.Error("10000x outlier not flagged slow")
+	}
+	// Within the default 100ms gap a second outlier must lose the rate limit.
+	if op.Record(time.Second) {
+		t.Error("second outlier within rate-limit gap was accepted")
+	}
+}
+
+func TestSetSlowPolicyManual(t *testing.T) {
+	op := NewRegistry().Op("knn")
+	op.SetSlowPolicy(time.Nanosecond, 0)
+	if !op.Record(time.Microsecond) {
+		t.Error("manual 1ns threshold with no gap did not flag a 1µs sample")
+	}
+	if !op.Record(time.Microsecond) {
+		t.Error("zero gap should admit every capture")
+	}
+	// Manual policy must survive the adaptive refresh boundary.
+	for i := 0; i < refreshEvery*2; i++ {
+		op.Record(time.Microsecond)
+	}
+	if got := op.SlowThreshold(); got != time.Nanosecond {
+		t.Errorf("manual threshold overwritten by adaptive refresh: %v", got)
+	}
+	op.SetSlowPolicy(0, 0)
+	if op.Record(time.Hour) {
+		t.Error("threshold 0 must disable capture")
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(4)
+	for i := 0; i < 6; i++ {
+		l.Add(SlowQuery{Op: "knn", LatencyUS: float64(i)})
+	}
+	if l.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (bounded)", l.Len())
+	}
+	if l.Total() != 6 {
+		t.Errorf("Total = %d, want 6", l.Total())
+	}
+	qs := l.Queries()
+	// Newest first: 5,4,3,2.
+	for i, want := range []float64{5, 4, 3, 2} {
+		if qs[i].LatencyUS != want {
+			t.Errorf("Queries()[%d].LatencyUS = %v, want %v", i, qs[i].LatencyUS, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Op("knn").Record(42 * time.Microsecond)
+	r.Counter("queries").Add(1)
+	r.Gauge("points").Set(9)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != 1 || back.Ops[0].Count != 1 ||
+		len(back.Counters) != 1 || back.Counters[0].Value != 1 ||
+		len(back.Gauges) != 1 || back.Gauges[0].Value != 9 {
+		t.Errorf("round-trip mismatch: %s", data)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	op := r.Op("knn")
+	for i := 1; i <= 200; i++ {
+		op.Record(time.Duration(i) * time.Microsecond)
+	}
+	r.Counter("queries").Add(200)
+	r.Gauge("points").Set(1000)
+	r.SetCostSource(func() iostat.Counter {
+		return iostat.Counter{PageReads: 7, DistanceOps: 11}
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mmdr_op_latency_seconds histogram",
+		`mmdr_op_latency_seconds_bucket{op="knn",le="+Inf"} 200`,
+		`mmdr_op_latency_seconds_count{op="knn"} 200`,
+		`mmdr_op_latency_quantile_seconds{op="knn",quantile="0.5"}`,
+		`mmdr_op_latency_quantile_seconds{op="knn",quantile="0.99"}`,
+		`mmdr_counter_total{name="queries"} 200`,
+		`mmdr_gauge{name="points"} 1000`,
+		`mmdr_cost_total{kind="page_reads"} 7`,
+		`mmdr_cost_total{kind="distance_ops"} 11`,
+		"mmdr_slow_queries_captured_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing per op.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `mmdr_op_latency_seconds_bucket{op="knn"`) {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line[strings.LastIndex(line, " ")+1:], &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not cumulative: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+// fmtSscan isolates the single fmt use so the hot-path lint stays clean on
+// the production files.
+func fmtSscan(s string, v *int64) (int, error) {
+	var n int64
+	i := 0
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		n = n*10 + int64(s[i]-'0')
+	}
+	if i == 0 {
+		return 0, errNoDigits
+	}
+	*v = n
+	return 1, nil
+}
+
+var errNoDigits = errParse("no digits")
+
+type errParse string
+
+func (e errParse) Error() string { return string(e) }
+
+func TestPhaseTracer(t *testing.T) {
+	r := NewRegistry()
+	tr := NewPhaseTracer(r)
+	tr.Begin(obs.Phase("pca"))
+	tr.Attr("dim", 64)
+	tr.Begin(obs.Phase("split"))
+	tr.End() // split
+	tr.End() // pca
+	tr.End() // unmatched End must be a no-op
+	s := r.Snapshot()
+	var names []string
+	for _, o := range s.Ops {
+		names = append(names, o.Name)
+	}
+	if len(names) != 2 || names[0] != "build:pca" || names[1] != "build:split" {
+		t.Fatalf("phase ops = %v, want [build:pca build:split]", names)
+	}
+	for _, o := range s.Ops {
+		if o.Count != 1 {
+			t.Errorf("%s count = %d, want 1", o.Name, o.Count)
+		}
+	}
+}

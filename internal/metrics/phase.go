@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"time"
+
+	"mmdr/internal/obs"
+)
+
+// phaseTracer adapts the obs span stream into per-phase latency ops: every
+// completed span records its wall-clock duration under "build:<phase>".
+// Like every Tracer it is single-goroutine by contract, so the op cache and
+// stack need no locking; the Ops it records into are concurrency-safe, so
+// several phase tracers may feed one registry.
+type phaseTracer struct {
+	reg   *Registry
+	ops   map[obs.Phase]*Op
+	stack []phaseStart
+}
+
+type phaseStart struct {
+	op *Op
+	at time.Time
+}
+
+// NewPhaseTracer returns an obs.Tracer that records each completed pipeline
+// phase into reg as operation "build:<phase>" — the bridge that puts the
+// build pipeline's existing obs.Phase labels on the same quantile footing
+// as the query operations.
+func NewPhaseTracer(reg *Registry) obs.Tracer {
+	return &phaseTracer{reg: reg, ops: make(map[obs.Phase]*Op)}
+}
+
+// Begin implements obs.Tracer.
+func (t *phaseTracer) Begin(p obs.Phase) {
+	op, ok := t.ops[p]
+	if !ok {
+		op = t.reg.Op("build:" + string(p))
+		t.ops[p] = op
+	}
+	t.stack = append(t.stack, phaseStart{op: op, at: time.Now()})
+}
+
+// Attr implements obs.Tracer; numeric span attributes have no latency
+// meaning here and are dropped.
+func (t *phaseTracer) Attr(string, float64) {}
+
+// End implements obs.Tracer.
+func (t *phaseTracer) End() {
+	n := len(t.stack)
+	if n == 0 {
+		return
+	}
+	top := t.stack[n-1]
+	t.stack = t.stack[:n-1]
+	top.op.Record(time.Since(top.at))
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4). Latencies are exported in
+// seconds per Prometheus convention:
+//
+//	mmdr_op_latency_seconds_bucket{op="knn",le="0.000012"} 90
+//	mmdr_op_latency_seconds_bucket{op="knn",le="+Inf"}     100
+//	mmdr_op_latency_seconds_sum{op="knn"}                  0.0013
+//	mmdr_op_latency_seconds_count{op="knn"}                100
+//	mmdr_op_latency_quantile_seconds{op="knn",quantile="0.99"} 0.00003
+//	mmdr_counter_total{name="slow_captures"} 2
+//	mmdr_gauge{name="index_points"} 100000
+//	mmdr_cost_total{kind="page_reads"} 123456
+//
+// Only non-empty buckets are written (cumulative counts stay correct), so
+// the payload scales with the latency spread, not the 960-bucket layout.
+
+// WritePrometheus writes the registry's instruments in Prometheus text
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	opNames, ops := r.opNames()
+	wroteHist := false
+	for _, name := range opNames {
+		o := ops[name]
+		var count, sum int64
+		for i := range o.shards {
+			count += o.shards[i].count.Load()
+			sum += o.shards[i].sum.Load()
+		}
+		if count == 0 {
+			continue
+		}
+		if !wroteHist {
+			fmt.Fprint(bw, "# HELP mmdr_op_latency_seconds Per-operation latency distribution.\n")
+			fmt.Fprint(bw, "# TYPE mmdr_op_latency_seconds histogram\n")
+			wroteHist = true
+		}
+		var cum int64
+		for _, b := range o.hist.snapshotBuckets() {
+			cum += b.Count
+			fmt.Fprintf(bw, "mmdr_op_latency_seconds_bucket{op=%q,le=%q} %d\n",
+				name, secs(b.UpperNS), cum)
+		}
+		fmt.Fprintf(bw, "mmdr_op_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(bw, "mmdr_op_latency_seconds_sum{op=%q} %s\n", name, secs(sum))
+		fmt.Fprintf(bw, "mmdr_op_latency_seconds_count{op=%q} %d\n", name, count)
+	}
+	wroteQ := false
+	for _, name := range opNames {
+		o := ops[name]
+		if o.Count() == 0 {
+			continue
+		}
+		if !wroteQ {
+			fmt.Fprint(bw, "# HELP mmdr_op_latency_quantile_seconds Exact-bucket latency quantiles.\n")
+			fmt.Fprint(bw, "# TYPE mmdr_op_latency_quantile_seconds gauge\n")
+			wroteQ = true
+		}
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
+			fmt.Fprintf(bw, "mmdr_op_latency_quantile_seconds{op=%q,quantile=%q} %s\n",
+				name, q.label, secs(o.hist.quantile(q.v)))
+		}
+		fmt.Fprintf(bw, "mmdr_op_latency_quantile_seconds{op=%q,quantile=\"max\"} %s\n",
+			name, secs(o.hist.max.Load()))
+	}
+
+	ctrNames, ctrs := r.counterNames()
+	if len(ctrNames) > 0 {
+		fmt.Fprint(bw, "# TYPE mmdr_counter_total counter\n")
+		for _, name := range ctrNames {
+			fmt.Fprintf(bw, "mmdr_counter_total{name=%q} %d\n", name, ctrs[name].Value())
+		}
+	}
+	gNames, gs := r.gaugeNames()
+	if len(gNames) > 0 {
+		fmt.Fprint(bw, "# TYPE mmdr_gauge gauge\n")
+		for _, name := range gNames {
+			fmt.Fprintf(bw, "mmdr_gauge{name=%q} %d\n", name, gs[name].Value())
+		}
+	}
+
+	fmt.Fprint(bw, "# TYPE mmdr_slow_queries_captured_total counter\n")
+	fmt.Fprintf(bw, "mmdr_slow_queries_captured_total %d\n", r.slow.Total())
+
+	if costs, ok := r.costSnapshot(); ok {
+		fmt.Fprint(bw, "# HELP mmdr_cost_total Logical cost model totals (simulated I/O, distance ops).\n")
+		fmt.Fprint(bw, "# TYPE mmdr_cost_total counter\n")
+		costs.Each(func(kind string, v int64) {
+			fmt.Fprintf(bw, "mmdr_cost_total{kind=%q} %d\n", kind, v)
+		})
+	}
+	return bw.Flush()
+}
+
+// secs renders nanoseconds as a seconds literal with full precision.
+func secs(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// Handler serves the registry as a Prometheus scrape target — mount it at
+// /metrics on the obs debug server.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Best-effort: the scraper sees a truncated body on write error.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowLogSize bounds the slow-query ring: old captures are evicted
+// oldest-first. Sized for a live "why was that slow" console, not an
+// archive — persistent capture belongs to whatever scrapes the snapshot.
+const DefaultSlowLogSize = 64
+
+// SlowQuery is one captured tail-latency query: what ran, how slow it was
+// against what threshold, and the structured explain re-recorded for it.
+// Trace is typically an *idist.QueryTrace; it is stored as an interface so
+// this package needs no knowledge of the index's explain shape (capture
+// happens off the hot path, so the boxing is free to care about).
+type SlowQuery struct {
+	Op          string    `json:"op"`
+	At          time.Time `json:"at"`
+	LatencyUS   float64   `json:"latency_us"`
+	ThresholdUS float64   `json:"threshold_us"`
+	K           int       `json:"k,omitempty"`
+	Query       []float64 `json:"query,omitempty"`
+	Trace       any       `json:"trace,omitempty"`
+}
+
+// SlowLog is a bounded, concurrency-safe ring of captured slow queries.
+type SlowLog struct {
+	mu    sync.Mutex
+	buf   []SlowQuery
+	next  int // ring write position
+	n     int // live entries, ≤ cap(buf)
+	total atomic.Int64
+}
+
+// NewSlowLog returns a log keeping the most recent size captures
+// (size ≤ 0 selects DefaultSlowLogSize).
+func NewSlowLog(size int) *SlowLog {
+	if size <= 0 {
+		size = DefaultSlowLogSize
+	}
+	return &SlowLog{buf: make([]SlowQuery, size)}
+}
+
+// Add records one capture, evicting the oldest when full.
+func (l *SlowLog) Add(sq SlowQuery) {
+	l.total.Add(1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = sq
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+}
+
+// Queries returns the captured queries, newest first.
+func (l *SlowLog) Queries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, l.n)
+	for i := 0; i < l.n; i++ {
+		// newest is the entry just before next, going backwards
+		out[i] = l.buf[(l.next-1-i+len(l.buf))%len(l.buf)]
+	}
+	return out
+}
+
+// Len returns the number of currently retained captures.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Total returns the number of captures ever accepted (including evicted).
+func (l *SlowLog) Total() int64 { return l.total.Load() }

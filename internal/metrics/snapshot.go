@@ -1,0 +1,106 @@
+package metrics
+
+import "time"
+
+// OpSnapshot is one operation's merged, point-in-time account: shard sums
+// plus exact-bucket quantiles. Durations are microseconds as float64 —
+// readable in dashboards at both nanosecond and second magnitudes.
+type OpSnapshot struct {
+	Name       string  `json:"name"`
+	Count      int64   `json:"count"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	TotalMS    float64 `json:"total_ms"`
+	MeanUS     float64 `json:"mean_us"`
+	MinUS      float64 `json:"min_us"`
+	P50US      float64 `json:"p50_us"`
+	P90US      float64 `json:"p90_us"`
+	P99US      float64 `json:"p99_us"`
+	MaxUS      float64 `json:"max_us"`
+	// SlowThresholdUS is the current tail-capture threshold (0 = unarmed).
+	SlowThresholdUS float64 `json:"slow_threshold_us,omitempty"`
+	// Buckets are the non-empty histogram buckets (ascending upper bounds).
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// CounterSnapshot is one counter's summed value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's current value.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is a registry-wide point-in-time view, JSON-marshalable for the
+// expvar endpoint and the BENCH_*.json emitters. Instruments appear in
+// sorted name order, so two snapshots of the same registry diff cleanly.
+type Snapshot struct {
+	UptimeMS     float64           `json:"uptime_ms"`
+	Ops          []OpSnapshot      `json:"ops,omitempty"`
+	Counters     []CounterSnapshot `json:"counters,omitempty"`
+	Gauges       []GaugeSnapshot   `json:"gauges,omitempty"`
+	SlowCaptured int64             `json:"slow_captured"`
+	SlowRetained int               `json:"slow_retained"`
+}
+
+const usPerNs = 1e-3
+
+// snapshotOp merges one op's shards and extracts its quantiles.
+func snapshotOp(o *Op, uptime time.Duration) OpSnapshot {
+	var count, sum int64
+	for i := range o.shards {
+		count += o.shards[i].count.Load()
+		sum += o.shards[i].sum.Load()
+	}
+	s := OpSnapshot{
+		Name:            o.name,
+		Count:           count,
+		TotalMS:         float64(sum) / 1e6,
+		P50US:           float64(o.hist.quantile(0.50)) * usPerNs,
+		P90US:           float64(o.hist.quantile(0.90)) * usPerNs,
+		P99US:           float64(o.hist.quantile(0.99)) * usPerNs,
+		MaxUS:           float64(o.hist.max.Load()) * usPerNs,
+		SlowThresholdUS: float64(o.slowNs.Load()) * usPerNs,
+		Buckets:         o.hist.snapshotBuckets(),
+	}
+	if count > 0 {
+		s.MeanUS = float64(sum) / float64(count) * usPerNs
+		if mn := o.hist.min.Load(); mn <= o.hist.max.Load() {
+			s.MinUS = float64(mn) * usPerNs
+		}
+	}
+	if secs := uptime.Seconds(); secs > 0 {
+		s.RatePerSec = float64(count) / secs
+	}
+	return s
+}
+
+// Snapshot captures every registered instrument. Safe to call while
+// recorders are active; each value is its instrument's total at some
+// instant during the call.
+func (r *Registry) Snapshot() Snapshot {
+	uptime := time.Since(r.start)
+	out := Snapshot{
+		UptimeMS:     float64(uptime.Microseconds()) / 1000,
+		SlowCaptured: r.slow.Total(),
+		SlowRetained: r.slow.Len(),
+	}
+	opNames, ops := r.opNames()
+	for _, n := range opNames {
+		if o := ops[n]; o.Count() > 0 {
+			out.Ops = append(out.Ops, snapshotOp(o, uptime))
+		}
+	}
+	ctrNames, ctrs := r.counterNames()
+	for _, n := range ctrNames {
+		out.Counters = append(out.Counters, CounterSnapshot{Name: n, Value: ctrs[n].Value()})
+	}
+	gNames, gs := r.gaugeNames()
+	for _, n := range gNames {
+		out.Gauges = append(out.Gauges, GaugeSnapshot{Name: n, Value: gs[n].Value()})
+	}
+	return out
+}

@@ -4,22 +4,68 @@ import (
 	"expvar"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"net/http/pprof"
+	"time"
 )
+
+// Route is an extra handler mounted on the debug server. It exists so
+// higher layers can attach their own endpoints (the metrics package mounts
+// its Prometheus exposition at /metrics) without obs importing them —
+// dependencies point at obs, never out of it.
+type Route struct {
+	Path    string
+	Handler http.Handler
+}
+
+// DebugServer is a running debug HTTP server bound to its own mux — the
+// process-global http.DefaultServeMux is never touched, so tests and
+// embedding applications keep their mux clean and multiple servers can
+// coexist in one process.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
 
 // StartDebugServer serves the Go debug endpoints — /debug/pprof/* (CPU,
 // heap, goroutine profiles) and /debug/vars (expvar, including counters
-// published via Publish) — on addr (e.g. "localhost:6060"). It returns the
-// bound address, useful when addr requests an ephemeral port (":0"). The
-// server runs until the process exits; both CLIs expose it behind a -pprof
-// flag so production-sized runs can be profiled in flight.
-func StartDebugServer(addr string) (net.Addr, error) {
+// published via Publish) — plus any extra routes, on addr (e.g.
+// "localhost:6060"). Pass ":0" for an ephemeral port and read it back from
+// Addr. The caller owns the returned server and should Close it when done;
+// both CLIs expose the server behind a -pprof flag so production-sized runs
+// can be profiled in flight.
+func StartDebugServer(addr string, extra ...Route) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	go http.Serve(ln, nil) //nolint:errcheck — best-effort debug endpoint
-	return ln.Addr(), nil
+	mux := http.NewServeMux()
+	// Explicit pprof routes: the blank net/http/pprof import only registers
+	// on the default mux, which this server deliberately does not use.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	for _, r := range extra {
+		mux.Handle(r.Path, r.Handler)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck — best-effort debug endpoint
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, useful when StartDebugServer was given an
+// ephemeral port request.
+func (s *DebugServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and releases the listener. Safe to call on a nil
+// receiver so CLI shutdown paths need no started-or-not branching.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
 }
 
 // Publish registers f under name in the process's expvar registry, shown at

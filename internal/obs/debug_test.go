@@ -1,0 +1,110 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mmdr/internal/metrics"
+	"mmdr/internal/obs"
+)
+
+// get fetches url and returns the status and body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugServerDedicatedMux verifies the debug server serves pprof,
+// expvar and extra routes from its own mux — and that none of them leak
+// onto the process-global default mux.
+func TestDebugServerDedicatedMux(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Op("knn").Record(42 * time.Microsecond)
+	obs.Publish("debug_test_var", func() any { return map[string]int{"x": 7} })
+
+	srv, err := obs.StartDebugServer("127.0.0.1:0",
+		obs.Route{Path: "/metrics", Handler: metrics.Handler(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr().String()
+
+	status, body := get(t, base+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["debug_test_var"]; !ok {
+		t.Error("/debug/vars missing published var")
+	}
+
+	status, body = get(t, base+"/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d, body missing profile index", status)
+	}
+	status, _ = get(t, base+"/debug/pprof/cmdline")
+	if status != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", status)
+	}
+
+	status, body = get(t, base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if !strings.Contains(body, `mmdr_op_latency_seconds_count{op="knn"} 1`) {
+		t.Errorf("/metrics missing op histogram:\n%s", body)
+	}
+
+	// The global default mux must not have been touched: a second server
+	// with no extra routes must 404 on /metrics.
+	srv2, err := obs.StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	status, _ = get(t, "http://"+srv2.Addr().String()+"/metrics")
+	if status != http.StatusNotFound {
+		t.Errorf("bare debug server serves /metrics (status %d); routes leaked across muxes", status)
+	}
+}
+
+// TestDebugServerClose verifies Close releases the listener: the port stops
+// accepting and a nil receiver is tolerated.
+func TestDebugServerClose(t *testing.T) {
+	srv, err := obs.StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	if _, body := get(t, "http://"+addr+"/debug/vars"); body == "" {
+		t.Fatal("server not serving before Close")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	client := http.Client{Timeout: 500 * time.Millisecond}
+	if _, err := client.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Error("server still serving after Close")
+	}
+	var nilSrv *obs.DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

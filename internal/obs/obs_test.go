@@ -171,10 +171,12 @@ func TestCollectorReset(t *testing.T) {
 func TestStartDebugServer(t *testing.T) {
 	Publish("obs_test_var", func() any { return 42 })
 	Publish("obs_test_var", func() any { return 43 }) // re-publish tolerated
-	addr, err := StartDebugServer("127.0.0.1:0")
+	srv, err := StartDebugServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 	resp, err := http.Get("http://" + addr.String() + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,153 @@
+package mmdr_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mmdr"
+)
+
+// TestWithRuntimeMetrics exercises the public metrics wiring end to end:
+// build phases and index operations record into one registry, the snapshot
+// carries quantiles, and the Prometheus exposition renders them.
+func TestWithRuntimeMetrics(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 301)
+	reg := mmdr.NewRuntimeMetrics()
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(3), mmdr.WithRuntimeMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := model.Point(7)
+	for i := 0; i < 5; i++ {
+		idx.KNN(q, 10)
+	}
+	if _, err := idx.Range(q, 0.4); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	var sawBuildPhase, sawKNN, sawRange bool
+	for _, o := range s.Ops {
+		switch {
+		case strings.HasPrefix(o.Name, "build:"):
+			sawBuildPhase = true
+		case o.Name == "knn":
+			sawKNN = true
+			if o.Count != 5 {
+				t.Errorf("knn count = %d, want 5", o.Count)
+			}
+			if o.P50US <= 0 || o.P99US < o.P50US || o.MaxUS < o.P99US {
+				t.Errorf("knn quantiles not ordered: p50=%v p99=%v max=%v", o.P50US, o.P99US, o.MaxUS)
+			}
+		case o.Name == "range":
+			sawRange = true
+		}
+	}
+	if !sawBuildPhase || !sawKNN || !sawRange {
+		t.Fatalf("snapshot missing ops (build=%v knn=%v range=%v): %+v", sawBuildPhase, sawKNN, sawRange, s.Ops)
+	}
+	var gotPoints bool
+	for _, g := range s.Gauges {
+		if g.Name == "index_points" && g.Value == int64(model.N()) {
+			gotPoints = true
+		}
+	}
+	if !gotPoints {
+		t.Errorf("index_points gauge missing or wrong: %+v", s.Gauges)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`mmdr_op_latency_seconds_count{op="knn"} 5`,
+		`mmdr_op_latency_quantile_seconds{op="knn",quantile="0.99"}`,
+		`mmdr_gauge{name="index_points"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestSetRuntimeMetricsAndSlowCapture attaches a registry to an already-
+// built index, pins an artificially slow policy, and checks the slow-query
+// log carries the KNNTrace explain — the public view of tail capture.
+func TestSetRuntimeMetricsAndSlowCapture(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 301)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mmdr.NewRuntimeMetrics()
+	idx.SetRuntimeMetrics(reg)
+	reg.Op("knn").SetSlowPolicy(time.Nanosecond, 0) // every query is "slow"
+
+	q := model.Point(3)
+	idx.KNN(q, 10)
+	if got := reg.Slow().Total(); got != 1 {
+		t.Fatalf("slow captures = %d, want 1", got)
+	}
+	sq := reg.Slow().Queries()[0]
+	tr, ok := sq.Trace.(*mmdr.KNNTrace)
+	if !ok || tr == nil {
+		t.Fatalf("slow capture trace is %T, want *mmdr.KNNTrace", sq.Trace)
+	}
+	if tr.Rounds < 1 || len(tr.Partitions) == 0 {
+		t.Errorf("capture trace not populated: %+v", tr)
+	}
+
+	// Detach: no further samples.
+	idx.SetRuntimeMetrics(nil)
+	idx.KNN(q, 10)
+	if got := reg.Op("knn").Count(); got != 1 {
+		t.Errorf("detached index recorded: count = %d, want 1", got)
+	}
+}
+
+// TestConcurrentIndexRuntimeMetrics attaches mid-flight through the
+// concurrent wrapper and checks batch queries record per-query samples.
+func TestConcurrentIndexRuntimeMetrics(t *testing.T) {
+	data, dim := testData(t, 1000, 12, 2, 301)
+	model, err := mmdr.Reduce(data, dim, mmdr.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mmdr.Concurrent(idx)
+	reg := mmdr.NewRuntimeMetrics()
+	c.SetRuntimeMetrics(reg)
+
+	queries := make([]float64, 0, 8*dim)
+	for i := 0; i < 8; i++ {
+		queries = append(queries, model.Point(i)...)
+	}
+	if _, err := c.BatchKNN(queries, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Root BatchKNN fans out through single KNN calls: 8 knn samples.
+	if got := reg.Op("knn").Count(); got != 8 {
+		t.Errorf("knn count after batch = %d, want 8", got)
+	}
+	if _, err := c.Insert(model.Point(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Op("insert").Count(); got != 1 {
+		t.Errorf("insert count = %d, want 1", got)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"mmdr/internal/idist"
 	"mmdr/internal/index"
 	"mmdr/internal/iostat"
+	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
 	"mmdr/internal/query"
 	"mmdr/internal/reduction"
@@ -85,6 +86,7 @@ type config struct {
 	pageSize  int
 	counter   iostat.Sink
 	tracer    obs.Tracer
+	metrics   *metrics.Registry
 	forcedDim int
 	// parallelism is the resolved worker bound (WithParallelism); 0 means
 	// the option was never given and all cores are used.
@@ -315,6 +317,7 @@ func (m *Model) NewIndex(opts ...Option) (*Index, error) {
 		PageSize: cfg.pageSize,
 		Counter:  cfg.counter,
 		Tracer:   cfg.tracer,
+		Metrics:  cfg.metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"mmdr/internal/idist"
 	"mmdr/internal/iostat"
+	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
 )
 
@@ -81,6 +82,64 @@ func WithProgress(fn func(phase Phase, elapsed time.Duration)) Option {
 		return func(*config) {}
 	}
 	return WithTracer(obs.OnPhase(fn))
+}
+
+// RuntimeMetrics is an allocation-free runtime metrics registry: per-
+// operation latency histograms with exact-bucket p50/p90/p99/max, sharded
+// counters, gauges, and a bounded slow-query log. Attach one to a pipeline
+// with WithRuntimeMetrics (build phases + the built index) or to a live
+// index with SetRuntimeMetrics, then read it via Snapshot (JSON-marshalable)
+// or WritePrometheus (text exposition format).
+//
+// Tail-latency capture is automatic: once an operation has enough samples,
+// queries slower than p99 × 4 are re-run through the tracing path and filed
+// in the slow-query log together with their KNNTrace explain, rate-limited
+// to one capture per 100ms. Pin the policy manually with
+// Op(name).SetSlowPolicy.
+type RuntimeMetrics = metrics.Registry
+
+// RuntimeSnapshot is a point-in-time view of a RuntimeMetrics registry.
+type RuntimeSnapshot = metrics.Snapshot
+
+// SlowQuery is one captured tail-latency query, including its structured
+// explain (Trace holds a *KNNTrace for KNN captures).
+type SlowQuery = metrics.SlowQuery
+
+// NewRuntimeMetrics returns an empty runtime metrics registry.
+func NewRuntimeMetrics() *RuntimeMetrics { return metrics.NewRegistry() }
+
+// WithRuntimeMetrics attaches a runtime metrics registry to the pipeline:
+// every build phase records its duration as operation "build:<phase>", and
+// indexes built from the model record per-operation query latencies into
+// the same registry. The record path is allocation-free, so instrumented
+// queries keep their allocation budgets.
+func WithRuntimeMetrics(reg *RuntimeMetrics) Option {
+	return func(c *config) {
+		if reg == nil {
+			return
+		}
+		c.metrics = reg
+		c.tracer = obs.Multi(c.tracer, metrics.NewPhaseTracer(reg))
+		c.params.Tracer = c.tracer
+	}
+}
+
+// SetRuntimeMetrics attaches (or, with nil, detaches) a runtime metrics
+// registry on a live index. Only the extended iDistance index records; the
+// sequential-scan baseline ignores the call. Attach before serving — the
+// swap is not synchronized with in-flight queries.
+func (idx *Index) SetRuntimeMetrics(reg *RuntimeMetrics) {
+	if idx.maint != nil {
+		idx.maint.SetMetrics(reg)
+	}
+}
+
+// SetRuntimeMetrics attaches a runtime metrics registry under the write
+// lock, so it is safe to call while queries run through this wrapper.
+func (c *ConcurrentIndex) SetRuntimeMetrics(reg *RuntimeMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idx.SetRuntimeMetrics(reg)
 }
 
 // KNNTrace is the structured explain of one extended-iDistance KNN search:
