@@ -49,16 +49,18 @@ check: fmt-check
 	$(GO) test ./...
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzKNNvsSeqScan -fuzztime 10s
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzRangeVsSeqScan -fuzztime 10s
+	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzBatchKNNvsKNN -fuzztime 10s
 
-# Regenerate BENCH_parallel.json: serial vs parallel build time and
-# sequential vs batched query throughput (speedups scale with cores).
+# Regenerate BENCH_parallel.json: serial vs parallel build time, sequential
+# vs fused-batch query throughput, and the worker sweep {1,2,4,8} at paper
+# scale (n=100k, d=64).
 # BENCH_query.json: kernelized vs frozen-reference query path at paper
 # scale (n=100k, d=64) — ns/query, allocs/query, qps.
 # BENCH_obs.json: cost of carrying the runtime-metrics layer on the KNN
 # hot path (off vs on ns/query, budget ≤2%) plus the recorded latency
 # distributions.
 bench-json:
-	$(GO) run ./cmd/mmdrbench -scale small -bench-parallel BENCH_parallel.json
+	$(GO) run ./cmd/mmdrbench -scale paper -bench-parallel BENCH_parallel.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-query BENCH_query.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-obs BENCH_obs.json
 

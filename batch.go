@@ -50,10 +50,18 @@ func splitQueries(queries []float64, dim int) ([][]float64, error) {
 // KNN(query i, k) returns: batching changes throughput, never answers.
 // Cost counters attached via WithCostCounter are atomic and keep exact
 // totals across the concurrent queries.
+//
+// On the extended iDistance index the batch runs through the fused blocked
+// kernels: each partition scan serves a whole tile of queries from one pass
+// over the partition's vector block (see internal/idist). Seq-scan indexes
+// fall back to a plain parallel per-query loop.
 func (idx *Index) BatchKNN(queries []float64, k int) ([][]Neighbor, error) {
 	qs, err := splitQueries(queries, idx.model.ds.Dim)
 	if err != nil {
 		return nil, err
+	}
+	if idx.maint != nil {
+		return idx.maint.BatchKNN(qs, k, idx.parallelism), nil
 	}
 	out := make([][]Neighbor, len(qs))
 	pool.Run(idx.parallelism, len(qs), func(i int) {

@@ -68,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 
 		parallel   = fs.Int("parallel", 0, "worker goroutines for reduction builds (0 = all cores, 1 = serial)")
-		benchPar   = fs.String("bench-parallel", "", "run the parallelism benchmark and write its JSON report to this file")
+		benchPar   = fs.String("bench-parallel", "", "run the parallelism benchmark (build speedup, fused-batch throughput, worker sweep) and write its JSON report to this file")
 		benchQuery = fs.String("bench-query", "", "run the query-kernel benchmark and write its JSON report to this file")
 		benchObs   = fs.String("bench-obs", "", "run the observability-overhead benchmark and write its JSON report to this file")
 	)

@@ -8,7 +8,7 @@
 //	mmdrtool reduce -in data.bin -out model.mmdr -trace [-metrics-json] [-pprof localhost:0]
 //	mmdrtool inspect -model model.mmdr
 //	mmdrtool inspect -defaults
-//	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17] [-explain] [-metrics-json]
+//	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17] [-rows "3,17,42"] [-explain] [-metrics-json]
 //	mmdrtool eval -model model.mmdr -queries 100 -k 10
 package main
 
@@ -266,6 +266,7 @@ func cmdKNN(args []string) error {
 		k         = fs.Int("k", 10, "number of neighbors")
 		queryStr  = fs.String("query", "", "comma-separated query vector")
 		row       = fs.Int("row", -1, "use dataset row as the query")
+		rowsStr   = fs.String("rows", "", "comma-separated dataset rows: run the whole batch through the fused multi-query kernels")
 		explain   = fs.Bool("explain", false, "print the structured query explain after the results")
 		mjson     = fs.Bool("metrics-json", false, "print the runtime-metrics snapshot as JSON (stderr)")
 	)
@@ -276,6 +277,12 @@ func cmdKNN(args []string) error {
 	model, err := mmdr.LoadFile(*modelPath)
 	if err != nil {
 		return err
+	}
+	if *rowsStr != "" {
+		if *explain {
+			return fmt.Errorf("knn: -explain traces a single query; use -query or -row")
+		}
+		return batchKNN(model, *rowsStr, *k, *mjson)
 	}
 	var q []float64
 	switch {
@@ -338,6 +345,58 @@ func cmdKNN(args []string) error {
 		}
 	}
 	if *mjson {
+		snap := procMetrics.Snapshot()
+		b, err := json.Marshal(&snap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", b)
+	}
+	return nil
+}
+
+// batchKNN answers one KNN query per listed dataset row in a single
+// BatchKNN call, which routes the whole workload through the fused blocked
+// kernels (one partition scan per query tile). Answers are bit-identical to
+// running each row through `knn -row` separately.
+func batchKNN(model *mmdr.Model, rowsStr string, k int, mjson bool) error {
+	fields := strings.Split(rowsStr, ",")
+	queries := make([]float64, 0, len(fields)*model.Dim())
+	rows := make([]int, 0, len(fields))
+	for _, s := range fields {
+		r, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("knn: parsing -rows: %w", err)
+		}
+		if r < 0 || r >= model.N() {
+			return fmt.Errorf("knn: row %d out of range [0,%d)", r, model.N())
+		}
+		rows = append(rows, r)
+		queries = append(queries, model.Point(r)...)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		return err
+	}
+	if mjson {
+		idx.SetRuntimeMetrics(procMetrics)
+	}
+	start := time.Now()
+	res, err := idx.BatchKNN(queries, k)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d-NN for %d queries in %v (%v/query):\n",
+		k, len(rows), elapsed.Round(time.Microsecond),
+		(elapsed / time.Duration(len(rows))).Round(time.Microsecond))
+	for qi, r := range rows {
+		fmt.Printf("query row %d:\n", r)
+		for i, n := range res[qi] {
+			fmt.Printf("  %2d. row %-8d dist %.6f\n", i+1, n.ID, n.Dist)
+		}
+	}
+	if mjson {
 		snap := procMetrics.Snapshot()
 		b, err := json.Marshal(&snap)
 		if err != nil {

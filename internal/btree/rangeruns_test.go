@@ -1,0 +1,151 @@
+package btree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mmdr/internal/iostat"
+)
+
+// collectRuns flattens a RangeRuns scan into the visited (key, rid) pairs.
+func collectRuns(t *Tree, lo, hi float64, exLo, exHi bool) (ks []float64, rs []uint32, leaves int) {
+	leaves = t.RangeRuns(lo, hi, exLo, exHi, func(keys []float64, rids []uint32) bool {
+		ks = append(ks, keys...)
+		rs = append(rs, rids...)
+		return true
+	})
+	return ks, rs, leaves
+}
+
+// Property: RangeRuns visits exactly the entries RangeBetween visits, in the
+// same order, returns the same leaf count, and charges the counter
+// identically — on random trees (with duplicates and deletions) and random
+// bound/flag combinations. This is the contract that lets the SoA fast path
+// swap one for the other without perturbing results or the paper's logical
+// I/O accounting.
+func TestRangeRunsMatchesRangeBetween(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		var ctr iostat.Counter
+		tr := New(48+rng.Intn(3)*48, &ctr)
+		n := 1 + rng.Intn(600)
+		keys := make([]float64, n)
+		for i := range keys {
+			// Coarse grid: duplicates and exact boundary hits are common.
+			keys[i] = float64(rng.Intn(40)) / 4
+			tr.Insert(keys[i], uint32(i))
+		}
+		// Lazy deletions can leave under-full (even empty) leaves behind;
+		// the run scan must stride across them exactly like the entry scan.
+		for d := 0; d < n/4; d++ {
+			i := rng.Intn(n)
+			tr.Delete(keys[i], uint32(i))
+		}
+		for probe := 0; probe < 40; probe++ {
+			lo := float64(rng.Intn(44)-2) / 4
+			hi := lo + float64(rng.Intn(20))/4
+			exLo, exHi := rng.Intn(2) == 1, rng.Intn(2) == 1
+
+			ctr.Reset()
+			var wantK []float64
+			var wantR []uint32
+			wantLeaves := tr.RangeBetween(lo, hi, exLo, exHi, func(k float64, rid uint32) bool {
+				wantK = append(wantK, k)
+				wantR = append(wantR, rid)
+				return true
+			})
+			wantCost := ctr
+
+			ctr.Reset()
+			gotK, gotR, gotLeaves := collectRuns(tr, lo, hi, exLo, exHi)
+			gotCost := ctr
+
+			if !reflect.DeepEqual(wantK, gotK) || !reflect.DeepEqual(wantR, gotR) {
+				t.Fatalf("trial %d probe %d: RangeRuns(%v,%v,%v,%v) visited %d entries, RangeBetween %d",
+					trial, probe, lo, hi, exLo, exHi, len(gotR), len(wantR))
+			}
+			if gotLeaves != wantLeaves {
+				t.Fatalf("trial %d probe %d: leaves %d, want %d", trial, probe, gotLeaves, wantLeaves)
+			}
+			if gotCost != wantCost {
+				t.Fatalf("trial %d probe %d: cost %+v, want %+v", trial, probe, gotCost, wantCost)
+			}
+		}
+	}
+}
+
+// Runs must be non-empty, per-leaf contiguous, and an early-stopping visitor
+// ends the scan after the current run.
+func TestRangeRunsShapeAndEarlyStop(t *testing.T) {
+	tr := New(64, nil)
+	for i := 0; i < 200; i++ {
+		tr.Insert(float64(i%37), uint32(i))
+	}
+	calls := 0
+	tr.RangeRuns(3, 30, false, false, func(keys []float64, rids []uint32) bool {
+		if len(keys) == 0 || len(keys) != len(rids) {
+			t.Fatalf("run shape: %d keys, %d rids", len(keys), len(rids))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] < keys[i-1] {
+				t.Fatalf("run keys out of order: %v", keys)
+			}
+		}
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Fatalf("visitor called %d times after early stop, want 2", calls)
+	}
+}
+
+// WalkLeaves reproduces the exact global leaf order (the concatenation of
+// RangeBetween over the full key space), reports ordinals densely from 0,
+// and charges nothing.
+func TestWalkLeavesMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var ctr iostat.Counter
+	tr := New(48, &ctr)
+	entries := make([]Entry, 300)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(rng.Intn(50)), RID: uint32(i)}
+	}
+	tr.BulkLoad(entries, 0.9)
+	ctr.Reset()
+
+	var wantK []float64
+	var wantR []uint32
+	tr.RangeBetween(0, 50, false, false, func(k float64, rid uint32) bool {
+		wantK = append(wantK, k)
+		wantR = append(wantR, rid)
+		return true
+	})
+	scanCost := ctr
+
+	ctr.Reset()
+	var gotK []float64
+	var gotR []uint32
+	next := 0
+	tr.WalkLeaves(func(ord int, keys []float64, rids []uint32) bool {
+		if ord != next {
+			t.Fatalf("leaf ordinal %d, want %d", ord, next)
+		}
+		next++
+		gotK = append(gotK, keys...)
+		gotR = append(gotR, rids...)
+		return true
+	})
+	if ctr != (iostat.Counter{}) {
+		t.Fatalf("WalkLeaves charged the counter: %+v", ctr)
+	}
+	if scanCost == (iostat.Counter{}) {
+		t.Fatal("premise: the charged full scan must have counted something")
+	}
+	if !reflect.DeepEqual(wantK, gotK) || !reflect.DeepEqual(wantR, gotR) {
+		t.Fatalf("WalkLeaves order diverges from full range scan: %d vs %d entries", len(gotR), len(wantR))
+	}
+	if next != tr.LeafPages() {
+		t.Fatalf("walked %d leaves, LeafPages reports %d", next, tr.LeafPages())
+	}
+}

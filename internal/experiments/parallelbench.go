@@ -14,10 +14,13 @@ import (
 )
 
 // ParallelReport is the machine-readable output of the parallelism
-// benchmark (BENCH_parallel.json): serial vs multi-worker build time and
-// sequential-loop vs batched query throughput on the same model. Speedups
-// scale with available cores — on a single-core machine they hover near 1
-// (the report records GOMAXPROCS so readers can tell).
+// benchmark (BENCH_parallel.json): serial vs multi-worker build time,
+// sequential-loop vs fused-batch query throughput on the same model, and a
+// worker sweep of the batch engine. Build speedups scale with available
+// cores — on a single-core machine they hover near 1 — while the batch
+// speedup comes mostly from the fused kernels (one partition scan serving a
+// whole query tile), which pay off even at one core. The report records
+// GOMAXPROCS so readers can tell the two effects apart.
 type ParallelReport struct {
 	Env        EnvInfo `json:"env"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
@@ -38,7 +41,22 @@ type ParallelReport struct {
 	SeqQueriesPerS float64 `json:"sequential_queries_per_sec"`
 	BatchQPS       float64 `json:"batch_queries_per_sec"`
 	QuerySpeedup   float64 `json:"query_speedup"`
+
+	// Sweep is the worker-sweep curve: the same batch workload at each
+	// worker count, so the report separates the fused-kernel win (visible at
+	// workers=1) from goroutine scaling (the curve's slope).
+	Sweep []SweepPoint `json:"worker_sweep"`
 }
+
+// SweepPoint is one worker count of the batch-throughput sweep.
+type SweepPoint struct {
+	Workers      int     `json:"workers"`
+	BatchQPS     float64 `json:"batch_queries_per_sec"`
+	QuerySpeedup float64 `json:"query_speedup"` // vs the sequential loop
+}
+
+// sweepWorkers is the worker schedule of the batch sweep.
+var sweepWorkers = []int{1, 2, 4, 8}
 
 // ParallelBench measures the worker-pool layer end to end: one serial MMDR
 // build, one at the requested parallelism (0 = all cores), an equality
@@ -104,6 +122,24 @@ func ParallelBench(c Config, workers int) (*ParallelReport, error) {
 	batchSecs := time.Since(t0).Seconds()
 	totalQueries := float64(c.NumQueries * rounds)
 
+	sweep := make([]SweepPoint, 0, len(sweepWorkers))
+	for _, w := range sweepWorkers {
+		idx.BatchKNN(queries, c.K, w) // warm this worker count
+		t0 = time.Now()
+		for r := 0; r < rounds; r++ {
+			idx.BatchKNN(queries, c.K, w)
+		}
+		secs := time.Since(t0).Seconds()
+		pt := SweepPoint{Workers: w}
+		if secs > 0 {
+			pt.BatchQPS = totalQueries / secs
+		}
+		if secs > 0 && seqSecs > 0 {
+			pt.QuerySpeedup = seqSecs / secs
+		}
+		sweep = append(sweep, pt)
+	}
+
 	rep := &ParallelReport{
 		Env:             CollectEnv(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
@@ -116,6 +152,7 @@ func ParallelBench(c Config, workers int) (*ParallelReport, error) {
 		ModelsIdentical: reflect.DeepEqual(serialRed, parallelRed),
 		Queries:         c.NumQueries,
 		K:               c.K,
+		Sweep:           sweep,
 	}
 	if parallelMS > 0 {
 		rep.BuildSpeedup = serialMS / parallelMS
@@ -151,6 +188,9 @@ func (r *ParallelReport) Table() *Table {
 	}
 	t.AddRow("build ms", f2(r.SerialBuildMS), f2(r.ParallelBuildMS), f2(r.BuildSpeedup))
 	t.AddRow("queries/s", f2(r.SeqQueriesPerS), f2(r.BatchQPS), f2(r.QuerySpeedup))
+	for _, p := range r.Sweep {
+		t.AddRow(fmt.Sprintf("batch q/s @%dw", p.Workers), f2(r.SeqQueriesPerS), f2(p.BatchQPS), f2(p.QuerySpeedup))
+	}
 	ident := "false"
 	if r.ModelsIdentical {
 		ident = "true"

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// BENCH_parallel.json schema lockdown: the report must carry the full
+// worker-sweep curve (one point per sweep worker count, with throughput and
+// speedup populated) alongside the headline serial/batch comparison, and
+// the JSON encoding must expose it under "worker_sweep" so downstream
+// readers of the artifact can rely on the key.
+func TestParallelReportCarriesWorkerSweep(t *testing.T) {
+	rep, err := ParallelBench(Config{Scale: Small, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sweep) != len(sweepWorkers) {
+		t.Fatalf("sweep has %d points, want %d", len(rep.Sweep), len(sweepWorkers))
+	}
+	for i, pt := range rep.Sweep {
+		if pt.Workers != sweepWorkers[i] {
+			t.Fatalf("sweep point %d at workers=%d, want %d", i, pt.Workers, sweepWorkers[i])
+		}
+		if pt.BatchQPS <= 0 || pt.QuerySpeedup <= 0 {
+			t.Fatalf("sweep point %d not populated: %+v", i, pt)
+		}
+	}
+	if !rep.ModelsIdentical {
+		t.Fatal("parallel model diverged from serial")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	sweep, ok := decoded["worker_sweep"].([]any)
+	if !ok {
+		t.Fatalf("worker_sweep missing from JSON: keys %v", keysOf(decoded))
+	}
+	if len(sweep) != len(sweepWorkers) {
+		t.Fatalf("JSON sweep has %d points, want %d", len(sweep), len(sweepWorkers))
+	}
+	first, ok := sweep[0].(map[string]any)
+	if !ok {
+		t.Fatalf("sweep point shape: %T", sweep[0])
+	}
+	for _, key := range []string{"workers", "batch_queries_per_sec", "query_speedup"} {
+		if _, ok := first[key]; !ok {
+			t.Fatalf("sweep point missing %q: keys %v", key, keysOf(first))
+		}
+	}
+
+	// The sweep rows render in the CLI table too.
+	rows := rep.Table().Rows
+	if want := 3 + len(sweepWorkers); len(rows) != want {
+		t.Fatalf("table has %d rows, want %d", len(rows), want)
+	}
+}
+
+// BENCH_query.json schema lockdown for the fused batch columns.
+func TestQueryReportCarriesBatchColumns(t *testing.T) {
+	rep, err := QueryBench(Config{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchTile < 2 {
+		t.Fatalf("batch tile %d, want >= 2", rep.BatchTile)
+	}
+	if rep.BatchKNNNsPerQuery <= 0 || rep.BatchKNNQPS <= 0 || rep.BatchKNNSpeedup <= 0 {
+		t.Fatalf("batch columns not populated: ns=%v qps=%v speedup=%v",
+			rep.BatchKNNNsPerQuery, rep.BatchKNNQPS, rep.BatchKNNSpeedup)
+	}
+	if !rep.OracleBitIdentical {
+		t.Fatal("batch path diverged from oracle")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"batch_tile", "batch_knn_ns_per_query", "batch_knn_qps", "batch_knn_speedup"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("report JSON missing %q", key)
+		}
+	}
+}
+
+func keysOf(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

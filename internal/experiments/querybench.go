@@ -45,6 +45,15 @@ type QueryReport struct {
 	BaselineRangeAllocsPerQuery float64 `json:"baseline_range_allocs_per_query"`
 	KernelRangeAllocsPerQuery   float64 `json:"kernel_range_allocs_per_query"`
 
+	// Fused multi-query batch path (BatchKNN at workers=1, so the speedup is
+	// pure kernel fusion — one partition scan serving a tile of BatchTile
+	// queries — with no goroutine parallelism mixed in).
+	BatchTile            int     `json:"batch_tile"`
+	BatchKNNNsPerQuery   float64 `json:"batch_knn_ns_per_query"`
+	BatchKNNQPS          float64 `json:"batch_knn_qps"`
+	BatchKNNSpeedup      float64 `json:"batch_knn_speedup"` // vs the kernel single-query path
+	BatchKNNAllocsPerQry float64 `json:"batch_knn_allocs_per_query"`
+
 	// OracleBitIdentical records the correctness gate: kernel KNN and Range
 	// answers equal the sequential-scan oracle bit for bit on every probe.
 	OracleBitIdentical bool `json:"oracle_bit_identical"`
@@ -117,6 +126,13 @@ func QueryBench(c Config) (*QueryReport, error) {
 			rep.OracleBitIdentical = false
 		}
 	}
+	// The fused batch path is held to the same gate: batch answers must
+	// equal the solo kernel path bitwise on the probe sample.
+	for qi, res := range idx.BatchKNN(queries[:probes], c.K, 1) {
+		if !neighborsEqual(res, idx.KNN(queries[qi], c.K)) {
+			rep.OracleBitIdentical = false
+		}
+	}
 
 	// Warm both paths, then time them over identical rounds.
 	for _, q := range queries {
@@ -136,6 +152,25 @@ func QueryBench(c Config) (*QueryReport, error) {
 	rep.KernelRangeNsPerQuery, rep.KernelRangeAllocsPerQuery =
 		measureQueries(queries, rounds, func(q []float64) { idx.Range(q, radius) })
 
+	// Fused batch at workers=1: same total queries per round, one BatchKNN
+	// call each, so the comparison against the kernel single-query numbers
+	// isolates the tile-fusion win from goroutine scaling.
+	rep.BatchTile = idist.BatchTile()
+	idx.BatchKNN(queries, c.K, 1) // warm the batch scratch pool
+	{
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			idx.BatchKNN(queries, c.K, 1)
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		total := float64(len(queries) * rounds)
+		rep.BatchKNNNsPerQuery = float64(elapsed.Nanoseconds()) / total
+		rep.BatchKNNAllocsPerQry = float64(ms1.Mallocs-ms0.Mallocs) / total
+	}
+
 	if rep.KernelKNNNsPerQuery > 0 {
 		rep.KNNSpeedup = rep.BaselineKNNNsPerQuery / rep.KernelKNNNsPerQuery
 		rep.KernelKNNQPS = 1e9 / rep.KernelKNNNsPerQuery
@@ -145,6 +180,10 @@ func QueryBench(c Config) (*QueryReport, error) {
 	}
 	if rep.KernelRangeNsPerQuery > 0 {
 		rep.RangeSpeedup = rep.BaselineRangeNsPerQuery / rep.KernelRangeNsPerQuery
+	}
+	if rep.BatchKNNNsPerQuery > 0 {
+		rep.BatchKNNQPS = 1e9 / rep.BatchKNNNsPerQuery
+		rep.BatchKNNSpeedup = rep.KernelKNNNsPerQuery / rep.BatchKNNNsPerQuery
 	}
 	if !rep.OracleBitIdentical {
 		return rep, fmt.Errorf("experiments: kernel query path diverged from sequential-scan oracle")
@@ -184,6 +223,9 @@ func (r *QueryReport) Table() *Table {
 	t.AddRow("KNN allocs/query", f2(r.BaselineKNNAllocsPerQuery), f2(r.KernelKNNAllocsPerQuery), "")
 	t.AddRow("Range ns/query", f2(r.BaselineRangeNsPerQuery), f2(r.KernelRangeNsPerQuery), f2(r.RangeSpeedup)+"x")
 	t.AddRow("Range allocs/query", f2(r.BaselineRangeAllocsPerQuery), f2(r.KernelRangeAllocsPerQuery), "")
+	t.AddRow(fmt.Sprintf("Batch KNN ns/query (tile=%d)", r.BatchTile),
+		f2(r.KernelKNNNsPerQuery), f2(r.BatchKNNNsPerQuery), f2(r.BatchKNNSpeedup)+"x")
+	t.AddRow("Batch KNN allocs/query", f2(r.KernelKNNAllocsPerQuery), f2(r.BatchKNNAllocsPerQry), "")
 	ident := "false"
 	if r.OracleBitIdentical {
 		ident = "true"

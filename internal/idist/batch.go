@@ -14,15 +14,17 @@ import (
 // workers > 1 the Sink must therefore be goroutine-safe (AtomicCounter) or
 // nil; a plain Counter is only safe at workers <= 1.
 //
-// Queries are split into contiguous chunks, one worker each, and every
-// worker checks a single queryScratch out of the index pool for its whole
-// chunk — so a batch of m queries performs the per-query buffer setup once
-// per worker instead of once per query, and allocates only the result
-// slices.
+// Queries are split into contiguous chunks, one worker each. With the SoA
+// layout materialized, every worker runs the FUSED path: its chunk is cut
+// into tiles of batchTile queries and each partition scan serves a whole
+// tile from one pass over the partition's block (see fused.go) — the
+// single-core win of batching. After a dynamic Insert/Delete (layout
+// dropped) workers fall back to a per-query loop over a shared
+// queryScratch. Either way a batch allocates only the result slices.
 //
 // Results land at the same position as their query, so out[i] is exactly
-// what the corresponding single-query call would have returned: the answer
-// sets are identical to a sequential loop at every worker count.
+// what the corresponding single-query call would have returned — bit for
+// bit, at every worker count, on both paths.
 
 // BatchKNN answers len(queries) KNN queries using at most workers
 // goroutines (workers <= 0 selects runtime.NumCPU()).
@@ -31,8 +33,35 @@ import (
 func (idx *Index) BatchKNN(queries [][]float64, k, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
 	ops := idx.ops
+	fused := idx.layout != nil && k > 0
 	start := time.Now()
 	pool.Chunks(pool.Workers(workers), len(queries), func(w, lo, hi int) {
+		if fused {
+			bs := idx.getBatchScratch()
+			defer idx.putBatchScratch(bs)
+			for t := lo; t < hi; t += batchTile {
+				te := t + batchTile
+				if te > hi {
+					te = hi
+				}
+				if ops == nil {
+					idx.knnTile(bs, queries[t:te], k, out[t:te])
+					continue
+				}
+				// The fused pass interleaves the tile's queries, so per-query
+				// latency is attributed as the tile average — counts stay one
+				// record per query, in the worker's own shard cell.
+				ts := time.Now()
+				idx.knnTile(bs, queries[t:te], k, out[t:te])
+				per := time.Since(ts) / time.Duration(te-t)
+				for i := t; i < te; i++ {
+					if ops.knn.RecordShard(w, per) {
+						idx.captureSlowKNN(queries[i], k, per)
+					}
+				}
+			}
+			return
+		}
 		sc := idx.getScratch()
 		defer idx.putScratch(sc)
 		if ops == nil {
@@ -83,8 +112,30 @@ func (idx *Index) BatchKNNTrace(queries [][]float64, k, workers int) ([][]index.
 func (idx *Index) BatchRange(queries [][]float64, r float64, workers int) [][]index.Neighbor {
 	out := make([][]index.Neighbor, len(queries))
 	ops := idx.ops
+	fused := idx.layout != nil
 	start := time.Now()
 	pool.Chunks(pool.Workers(workers), len(queries), func(w, lo, hi int) {
+		if fused {
+			bs := idx.getBatchScratch()
+			defer idx.putBatchScratch(bs)
+			for t := lo; t < hi; t += batchTile {
+				te := t + batchTile
+				if te > hi {
+					te = hi
+				}
+				if ops == nil {
+					idx.rangeTile(bs, queries[t:te], r, out[t:te])
+					continue
+				}
+				ts := time.Now()
+				idx.rangeTile(bs, queries[t:te], r, out[t:te])
+				per := time.Since(ts) / time.Duration(te-t)
+				for i := t; i < te; i++ {
+					ops.rng.RecordShard(w, per)
+				}
+			}
+			return
+		}
 		sc := idx.getScratch()
 		defer idx.putScratch(sc)
 		if ops == nil {

@@ -1,0 +1,74 @@
+package idist
+
+import (
+	"sync"
+	"testing"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+)
+
+// Benchmarks racing the fused batch engine against the per-query path on
+// the same index — the single-core value of batching. Paper-dimensionality
+// data (d=64) at a size that keeps fixture construction fast; run with
+// -bench over internal/idist. BENCH_query.json carries the full paper-scale
+// (n=100k) numbers.
+
+var (
+	fbOnce    sync.Once
+	fbIdx     *Index
+	fbQueries [][]float64
+	fbErr     error
+)
+
+func fusedBenchSetup() error {
+	fbOnce.Do(func() {
+		cfg := datagen.CorrelatedConfig{N: 20000, Dim: 64, NumClusters: 5, SDim: 3, VarRatio: 25, Seed: 11}
+		ds, _, err := cfg.Generate()
+		if err != nil {
+			fbErr = err
+			return
+		}
+		datagen.Normalize(ds)
+		red, err := core.New(core.Params{Seed: 11}).Reduce(ds)
+		if err != nil {
+			fbErr = err
+			return
+		}
+		idx, err := Build(ds, red, Options{})
+		if err != nil {
+			fbErr = err
+			return
+		}
+		fbIdx = idx
+		fbQueries = make([][]float64, 64)
+		for i := range fbQueries {
+			fbQueries[i] = ds.Point((i * 197) % ds.N)
+		}
+	})
+	return fbErr
+}
+
+func BenchmarkKNNPerQuery(b *testing.B) {
+	if err := fusedBenchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range fbQueries {
+			fbIdx.KNN(q, 10)
+		}
+	}
+}
+
+func BenchmarkBatchKNNFused(b *testing.B) {
+	if err := fusedBenchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fbIdx.BatchKNN(fbQueries, 10, 1)
+	}
+}

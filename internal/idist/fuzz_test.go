@@ -129,6 +129,49 @@ func FuzzKNNvsSeqScan(f *testing.F) {
 	})
 }
 
+// FuzzBatchKNNvsKNN pits the fused multi-query batch path against the
+// per-query search it must reproduce: random batch sizes (sub-tile, exact
+// tiles, ragged tails), random k, random worker counts, queries derived by
+// striding the seed. Every result set must match the corresponding solo
+// KNN call bitwise — the fused kernel interleaves the tile's heap updates
+// with the partition scans, and this target guards the claim that the
+// interleaving never changes a query's own candidate order or arithmetic.
+func FuzzBatchKNNvsKNN(f *testing.F) {
+	if err := fuzzSetup(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(int64(1), uint8(10), uint8(1), uint8(1))
+	f.Add(int64(2), uint8(5), uint8(8), uint8(1)) // exactly one tile
+	f.Add(int64(3), uint8(5), uint8(9), uint8(2)) // tile + 1 tail
+	f.Add(int64(-4), uint8(17), uint8(21), uint8(3))
+	f.Add(int64(97), uint8(1), uint8(16), uint8(4)) // two exact tiles
+	f.Add(int64(541), uint8(33), uint8(7), uint8(1))
+	f.Add(int64(777), uint8(0), uint8(3), uint8(2)) // k clamps to 1
+	f.Fuzz(func(t *testing.T, seed int64, kraw, nqraw, wraw uint8) {
+		k := int(kraw)%50 + 1
+		nq := int(nqraw)%(3*batchTile) + 1
+		workers := int(wraw)%4 + 1
+		qs := make([][]float64, nq)
+		for i := range qs {
+			qs[i] = fuzzQuery(seed + int64(i)*7919)
+		}
+		batch := fuzzIdx.BatchKNN(qs, k, workers)
+		for qi, q := range qs {
+			want := fuzzIdx.KNN(q, k)
+			if len(batch[qi]) != len(want) {
+				t.Fatalf("nq=%d k=%d w=%d query %d: batch %d results, solo %d",
+					nq, k, workers, qi, len(batch[qi]), len(want))
+			}
+			for i := range want {
+				if batch[qi][i].ID != want[i].ID || batch[qi][i].Dist != want[i].Dist {
+					t.Fatalf("nq=%d k=%d w=%d query %d rank %d: batch (%d, %v), solo (%d, %v)",
+						nq, k, workers, qi, i, batch[qi][i].ID, batch[qi][i].Dist, want[i].ID, want[i].Dist)
+				}
+			}
+		}
+	})
+}
+
 func FuzzRangeVsSeqScan(f *testing.F) {
 	if err := fuzzSetup(); err != nil {
 		f.Fatal(err)

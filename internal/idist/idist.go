@@ -77,9 +77,19 @@ type Index struct {
 	partOf []int32
 	slotOf []int32
 
+	// layout is the SoA mirror of the tree's leaf level (see layout.go):
+	// non-nil when materialized, nil after a structural mutation. Scans
+	// dispatch on it — block runs when present, per-entry tree visits
+	// otherwise — with bitwise-identical answers either way.
+	layout *soaLayout
+
 	// scratchPool recycles queryScratch values so KNN/Range allocate only
 	// their returned neighbor slices.
 	scratchPool sync.Pool
+
+	// batchPool recycles batchScratch values (fused tile state) so batch
+	// queries allocate only their result slices.
+	batchPool sync.Pool
 
 	// Insert scratch. Insert mutates the tree and is not concurrency-safe,
 	// so plain fields (lazily sized) suffice.
@@ -210,6 +220,7 @@ func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, er
 		}
 	}
 	idx.tree.BulkLoad(entries, 0.9)
+	idx.rebuildLayout()
 	obs.Attr(opts.Tracer, "partitions", float64(len(idx.parts)))
 	obs.Attr(opts.Tracer, "tree_height", float64(idx.tree.Height()))
 	obs.Attr(opts.Tracer, "leaf_pages", float64(idx.tree.LeafPages()))
@@ -462,7 +473,15 @@ func (idx *Index) knnInto(sc *queryScratch, q []float64, k, maxRounds int, tr *Q
 func (idx *Index) scanRange(sc *queryScratch, pi int, lo, hi float64, exLo, exHi bool, tr *QueryTrace) {
 	sc.beginScan(pi)
 	sc.cand = 0
-	leaves := idx.tree.RangeBetween(lo, hi, exLo, exHi, sc.visitKNN)
+	var leaves int
+	if idx.layout != nil {
+		// SoA fast path: the tree still drives the scan (exact page/compare
+		// accounting), but candidates arrive as contiguous leaf runs and
+		// their vectors stream from the partition's row-major block.
+		leaves = idx.tree.RangeRuns(lo, hi, exLo, exHi, sc.visitRunKNN)
+	} else {
+		leaves = idx.tree.RangeBetween(lo, hi, exLo, exHi, sc.visitKNN)
+	}
 	if tr != nil {
 		tr.Candidates += sc.cand
 		tr.LeavesScanned += leaves

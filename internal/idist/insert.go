@@ -79,7 +79,10 @@ func (idx *Index) insert(p []float64) (int, error) {
 		}
 	}
 
-	// Register the point in the dataset.
+	// Register the point in the dataset. The tree entry added below makes
+	// the SoA layout stale either way, so drop it up front (queries fall
+	// back to the per-entry tree scan until RebuildLayout).
+	idx.layout = nil
 	id := idx.ds.N
 	idx.ds.Append(p)
 	idx.partOf = append(idx.partOf, -1)

@@ -1,0 +1,125 @@
+package idist
+
+// soaLayout is the structure-of-arrays mirror of the B⁺-tree's leaf level:
+// every stored entry, in global ascending leaf order, with the partition
+// vectors copied into per-partition row-major blocks ordered by that same
+// leaf position. An annulus scan over tree keys then reads one contiguous
+// block span instead of pointer-chasing a stored vector per entry — the
+// partition-contiguous clustered layout the scan-speed literature argues
+// for — and a batched scan can serve a whole query tile from one pass over
+// the span.
+//
+// The layout is a derived cache: the tree stays authoritative, and any
+// structural mutation (Insert, Delete) invalidates the layout, dropping
+// every query path back to the per-entry tree scan until RebuildLayout (or
+// a fresh Build) re-materializes it. Both paths return bitwise-identical
+// answers; the layout only changes the memory access pattern.
+type soaLayout struct {
+	// Global leaf-order arrays, parallel: entry p of the scan order has key
+	// keys[p], record rids[p], and lives in leaf leafOf[p].
+	keys   []float64
+	rids   []uint32
+	leafOf []int32
+
+	// partStart[pi] is the first global position of partition pi's entries
+	// (len nParts+1, partStart[nParts] == len(keys)). Partition key ranges
+	// are disjoint and ascending, so each partition owns one contiguous
+	// span of the global order.
+	partStart []int
+
+	// Per-partition row-major vector blocks: partition pi's entry at global
+	// position p is row p-partStart[pi] of vecs[pi], a dims[pi]-wide copy of
+	// its stored vector (reduced coordinates for subspace members, the
+	// original-space point for outliers).
+	vecs [][]float64
+	dims []int
+
+	// rowOf maps a record ID to its row within its partition's block
+	// (-1 when the record is not in the tree). Indexed like partOf/slotOf.
+	rowOf []int32
+}
+
+// RebuildLayout re-materializes the SoA scan layout from the current tree.
+// Build calls it once, so a freshly built (or persisted-and-reloaded) index
+// always has the fast path; after dynamic Inserts or Deletes the layout is
+// dropped and queries fall back to the per-entry tree scan until this is
+// called again. The rebuild walks every entry once — O(n) time and one
+// extra copy of the stored vectors — so serving systems typically batch
+// their updates and rebuild once per batch. Not safe concurrently with
+// queries (same contract as Insert/Delete; ConcurrentIndex callers hold the
+// write lock).
+func (idx *Index) RebuildLayout() { idx.rebuildLayout() }
+
+func (idx *Index) rebuildLayout() {
+	idx.layout = nil
+	nParts := len(idx.parts)
+	total := idx.tree.Len()
+	lay := &soaLayout{
+		keys:      make([]float64, 0, total),
+		rids:      make([]uint32, 0, total),
+		leafOf:    make([]int32, 0, total),
+		partStart: make([]int, nParts+1),
+		vecs:      make([][]float64, nParts),
+		dims:      make([]int, nParts),
+		rowOf:     make([]int32, len(idx.partOf)),
+	}
+	for i := range lay.rowOf {
+		lay.rowOf[i] = -1
+	}
+
+	// Pass 1: capture the global leaf order and verify the partition spans
+	// are contiguous (keys ascending + disjoint per-partition key ranges
+	// guarantee it for trees built here; bail out defensively otherwise —
+	// a nil layout just means the slower per-entry scan).
+	counts := make([]int, nParts)
+	ok := true
+	lastPart := -1
+	idx.tree.WalkLeaves(func(ord int, keys []float64, rids []uint32) bool {
+		for i, rid := range rids {
+			pi := int(idx.partOf[rid])
+			if pi < 0 || pi < lastPart || pi >= nParts {
+				ok = false
+				return false
+			}
+			lastPart = pi
+			counts[pi]++
+			lay.keys = append(lay.keys, keys[i])
+			lay.rids = append(lay.rids, rid)
+			lay.leafOf = append(lay.leafOf, int32(ord))
+		}
+		return true
+	})
+	if !ok {
+		return
+	}
+	for pi := 0; pi < nParts; pi++ {
+		lay.partStart[pi+1] = lay.partStart[pi] + counts[pi]
+		if s := idx.parts[pi].sub; s != nil {
+			lay.dims[pi] = s.Dr
+		} else {
+			lay.dims[pi] = idx.ds.Dim
+		}
+		lay.vecs[pi] = make([]float64, counts[pi]*lay.dims[pi])
+	}
+
+	// Pass 2: copy each entry's stored vector into its block row. Copies
+	// preserve bitwise values, so distances computed from the block equal
+	// distances computed from the original storage bit for bit.
+	for p, rid := range lay.rids {
+		pi := int(idx.partOf[rid])
+		row := p - lay.partStart[pi]
+		lay.rowOf[rid] = int32(row)
+		d := lay.dims[pi]
+		dst := lay.vecs[pi][row*d : (row+1)*d]
+		if s := idx.parts[pi].sub; s != nil {
+			copy(dst, s.MemberCoords(int(idx.slotOf[rid])))
+		} else {
+			copy(dst, idx.ds.Point(int(rid)))
+		}
+	}
+	idx.layout = lay
+}
+
+// HasLayout reports whether the SoA fast path is materialized (false after
+// Insert/Delete until RebuildLayout).
+func (idx *Index) HasLayout() bool { return idx.layout != nil }

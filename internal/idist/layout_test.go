@@ -1,0 +1,199 @@
+package idist
+
+import (
+	"math"
+	"runtime/debug"
+	"testing"
+
+	"mmdr/internal/index"
+)
+
+// SoA-layout lockdown. The layout is a derived cache of the tree's leaf
+// level; these tests pin down that (a) it mirrors the tree exactly, (b) the
+// fused batch kernels running over it are bitwise equivalent to the frozen
+// reference and the sequential-scan oracle, and (c) dynamic updates drop it
+// and RebuildLayout restores it without perturbing a single bit.
+
+// TestLayoutMirrorsTree checks the structural contract: global keys in
+// ascending leaf order, contiguous per-partition spans agreeing with
+// partOf, rowOf the exact inverse of the row assignment, and block rows
+// bitwise equal to the stored vectors they copy.
+func TestLayoutMirrorsTree(t *testing.T) {
+	for name, m := range equivModels(t) {
+		lay := m.idx.layout
+		if lay == nil {
+			t.Fatalf("%s: Build left no layout", name)
+		}
+		if len(lay.keys) != m.idx.tree.Len() {
+			t.Fatalf("%s: layout has %d entries, tree %d", name, len(lay.keys), m.idx.tree.Len())
+		}
+		if lay.partStart[len(m.idx.parts)] != len(lay.keys) {
+			t.Fatalf("%s: partition spans cover %d entries, want %d",
+				name, lay.partStart[len(m.idx.parts)], len(lay.keys))
+		}
+		for p := 1; p < len(lay.keys); p++ {
+			if lay.keys[p] < lay.keys[p-1] {
+				t.Fatalf("%s: layout keys out of order at %d", name, p)
+			}
+			if lay.leafOf[p] < lay.leafOf[p-1] {
+				t.Fatalf("%s: leaf ordinals out of order at %d", name, p)
+			}
+		}
+		for p, rid := range lay.rids {
+			pi := int(m.idx.partOf[rid])
+			if p < lay.partStart[pi] || p >= lay.partStart[pi+1] {
+				t.Fatalf("%s: rid %d at position %d outside partition %d's span", name, rid, p, pi)
+			}
+			row := p - lay.partStart[pi]
+			if int(lay.rowOf[rid]) != row {
+				t.Fatalf("%s: rowOf[%d]=%d, want %d", name, rid, lay.rowOf[rid], row)
+			}
+			d := lay.dims[pi]
+			got := lay.vecs[pi][row*d : (row+1)*d]
+			var want []float64
+			if s := m.idx.parts[pi].sub; s != nil {
+				want = s.MemberCoords(int(m.idx.slotOf[rid]))
+			} else {
+				want = m.idx.ds.Point(int(rid))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s: block row for rid %d differs from stored vector at dim %d", name, rid, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchKNNBitIdenticalToReferenceAndOracle extends the equivalence
+// lockdown to the fused batch path: per query, BatchKNN must match the
+// frozen pre-kernel reference AND the sequential-scan oracle bitwise,
+// across every reduction family, at several worker counts and batch sizes
+// (full tiles, ragged tails, sub-tile batches).
+func TestBatchKNNBitIdenticalToReferenceAndOracle(t *testing.T) {
+	for name, m := range equivModels(t) {
+		if m.idx.layout == nil {
+			t.Fatalf("%s: no layout, batch would not take the fused path", name)
+		}
+		qs := equivQueries(m.ds, 21, 5150) // 2 full tiles + a 5-query tail
+		for _, k := range []int{1, 5, 17} {
+			for _, workers := range []int{1, 3} {
+				batch := m.idx.BatchKNN(qs, k, workers)
+				for qi, q := range qs {
+					ref := m.idx.ReferenceKNN(q, k)
+					oracle := m.scan.KNN(q, k)
+					sameNeighbors(t, name+"/batch-ref", batch[qi], ref)
+					sameNeighbors(t, name+"/batch-oracle", batch[qi], oracle)
+				}
+			}
+		}
+		// Sub-tile batches exercise the partial-tile edge.
+		for _, nq := range []int{1, 3, batchTile} {
+			batch := m.idx.BatchKNN(qs[:nq], 5, 1)
+			for qi := 0; qi < nq; qi++ {
+				sameNeighbors(t, name+"/subtile", batch[qi], m.scan.KNN(qs[qi], 5))
+			}
+		}
+	}
+}
+
+// TestBatchRangeBitIdenticalToReferenceAndOracle is the range counterpart.
+func TestBatchRangeBitIdenticalToReferenceAndOracle(t *testing.T) {
+	for name, m := range equivModels(t) {
+		qs := equivQueries(m.ds, 13, 2718)
+		for _, r := range []float64{0, 0.05, 0.3, 1.5} {
+			batch := m.idx.BatchRange(qs, r, 2)
+			for qi, q := range qs {
+				ref := m.idx.ReferenceRange(q, r)
+				oracle := m.scan.Range(q, r)
+				sameNeighbors(t, name+"/batch-ref", batch[qi], ref)
+				sameNeighbors(t, name+"/batch-oracle", batch[qi], oracle)
+			}
+		}
+	}
+}
+
+// TestLayoutInvalidationAndRebuild pins the dynamic-update contract: Insert
+// and Delete drop the layout (queries fall back to the per-entry tree scan,
+// answers unchanged), and RebuildLayout restores the fast path with
+// bitwise-identical answers over the updated contents.
+func TestLayoutInvalidationAndRebuild(t *testing.T) {
+	ds, red := testSetup(t, 800, 12, 3, 31)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.HasLayout() {
+		t.Fatal("Build left no layout")
+	}
+	qs := equivQueries(ds, 12, 777)
+
+	if _, err := idx.Insert(ds.Point(3)); err != nil {
+		t.Fatal(err)
+	}
+	if idx.HasLayout() {
+		t.Fatal("Insert did not invalidate the layout")
+	}
+	// Fallback path: per-query and batch answers over the stale-layout
+	// index must agree with each other (both run the tree scan now).
+	fallback := make([][]index.Neighbor, len(qs))
+	for qi, q := range qs {
+		fallback[qi] = idx.KNN(q, 9)
+	}
+	batch := idx.BatchKNN(qs, 9, 2)
+	for qi := range qs {
+		sameNeighbors(t, "fallback-batch", batch[qi], fallback[qi])
+	}
+
+	idx.RebuildLayout()
+	if !idx.HasLayout() {
+		t.Fatal("RebuildLayout did not restore the layout")
+	}
+	// Fast path over the updated index: identical to the fallback answers.
+	for qi, q := range qs {
+		sameNeighbors(t, "rebuilt-solo", idx.KNN(q, 9), fallback[qi])
+	}
+	batch = idx.BatchKNN(qs, 9, 1)
+	for qi := range qs {
+		sameNeighbors(t, "rebuilt-batch", batch[qi], fallback[qi])
+	}
+
+	// Delete invalidates too, and the rebuilt layout reflects the removal.
+	if !idx.Delete(5) {
+		t.Fatal("Delete(5) found nothing")
+	}
+	if idx.HasLayout() {
+		t.Fatal("Delete did not invalidate the layout")
+	}
+	idx.RebuildLayout()
+	for _, q := range qs[:4] {
+		for _, nb := range idx.KNN(q, ds.N) {
+			if nb.ID == 5 {
+				t.Fatal("deleted point still reachable through the rebuilt layout")
+			}
+		}
+	}
+}
+
+// TestBatchRangeAllocationBudget pins the fused range path's allocation
+// budget the way alloc_test.go pins the others: at workers=1 a batch costs
+// the outer result slice, the worker closure's capture record, and one
+// exact-size result copy per non-empty query.
+func TestBatchRangeAllocationBudget(t *testing.T) {
+	idx, q := withAllocFixture(t)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = q
+	}
+	const r = 0.4
+	for _, res := range idx.BatchRange(queries, r, 1) { // warm pools, grow rangeBufs
+		if len(res) == 0 {
+			t.Fatal("fixture radius matches nothing; pick a radius with hits")
+		}
+	}
+	budget := float64(2 + len(queries))
+	if n := testing.AllocsPerRun(50, func() { idx.BatchRange(queries, r, 1) }); n != budget {
+		t.Fatalf("BatchRange(workers=1) allocated %.1f objects per batch, budget is exactly %.0f", n, budget)
+	}
+}

@@ -60,7 +60,11 @@ func (idx *Index) rangeInto(sc *queryScratch, q []float64, r float64) []index.Ne
 		}
 		base := float64(pi) * idx.c
 		sc.beginScan(pi)
-		idx.tree.RangeBetween(base+lo, base+hi, false, false, sc.visitRange)
+		if idx.layout != nil {
+			idx.tree.RangeRuns(base+lo, base+hi, false, false, sc.visitRunRange)
+		} else {
+			idx.tree.RangeBetween(base+lo, base+hi, false, false, sc.visitRange)
+		}
 	}
 	if len(sc.rangeBuf) == 0 {
 		return nil
@@ -108,6 +112,10 @@ func (idx *Index) delete(id int) bool {
 	if !idx.tree.Delete(key, uint32(id)) {
 		return false
 	}
+	// The SoA layout mirrors the tree's leaf level; a structural change
+	// invalidates it (queries fall back to the per-entry tree scan until
+	// RebuildLayout).
+	idx.layout = nil
 	idx.partOf[id] = -1
 	idx.slotOf[id] = -1
 	return true

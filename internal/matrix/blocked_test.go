@@ -1,0 +1,96 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// SqDistRowToSel must match per-pair SqDistEarlyAbandon exactly: same exact
+// squared distances for survivors (bit-identical to SqDist), same exceedance
+// certificate for abandoned pairs, same short-vector cutoff — across random
+// dimensions, tile sizes, selections, and bounds.
+func TestSqDistRowToSelMatchesPerPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(40) // straddles EarlyAbandonMinLen
+		nq := 1 + rng.Intn(12)
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		qs := make([]float64, nq*d)
+		for i := range qs {
+			qs[i] = rng.NormFloat64()
+		}
+		// Random subset of tile rows, in random order.
+		sel := make([]int32, 0, nq)
+		for j := 0; j < nq; j++ {
+			if rng.Intn(3) > 0 {
+				sel = append(sel, int32(j))
+			}
+		}
+		rng.Shuffle(len(sel), func(i, j int) { sel[i], sel[j] = sel[j], sel[i] })
+		bounds := make([]float64, len(sel))
+		for i := range bounds {
+			switch rng.Intn(3) {
+			case 0:
+				bounds[i] = math.Inf(1)
+			case 1:
+				bounds[i] = rng.Float64() * float64(d) // often abandons
+			default:
+				bounds[i] = rng.Float64() * 4 * float64(d) // rarely abandons
+			}
+		}
+		out := make([]float64, len(sel))
+		SqDistRowToSel(v, qs, d, sel, bounds, out)
+		for i, j := range sel {
+			q := qs[int(j)*d : (int(j)+1)*d]
+			want := SqDistEarlyAbandon(q, v, bounds[i])
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("trial %d sel %d (d=%d, bound=%v): got %v, want %v",
+					trial, i, d, bounds[i], out[i], want)
+			}
+			exact := SqDist(q, v)
+			if out[i] <= bounds[i] && math.Float64bits(out[i]) != math.Float64bits(exact) {
+				t.Fatalf("trial %d sel %d: survivor %v not exact (want %v)", trial, i, out[i], exact)
+			}
+			if out[i] > bounds[i] && exact <= bounds[i] {
+				t.Fatalf("trial %d sel %d: abandoned a pair within bound (exact %v <= %v)",
+					trial, i, exact, bounds[i])
+			}
+		}
+	}
+}
+
+func TestSqDistRowToSelPanicsOnShortOutputs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short bounds/out")
+		}
+	}()
+	SqDistRowToSel(make([]float64, 4), make([]float64, 8), 4, []int32{0, 1}, make([]float64, 1), make([]float64, 1))
+}
+
+func BenchmarkSqDistRowToSel8x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const d, nq = 64, 8
+	v := make([]float64, d)
+	qs := make([]float64, nq*d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for i := range qs {
+		qs[i] = rng.NormFloat64()
+	}
+	sel := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	bounds := make([]float64, nq)
+	out := make([]float64, nq)
+	for i := range bounds {
+		bounds[i] = math.Inf(1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SqDistRowToSel(v, qs, d, sel, bounds, out)
+	}
+}

@@ -118,6 +118,40 @@ func SqDistEarlyAbandon(x, y []float64, bound float64) float64 {
 	return s
 }
 
+// SqDistRowToSel is the multi-query blocked kernel: it evaluates one stored
+// row v against a selected subset of queries held in a row-major tile,
+// writing squared distances to out. qs is the flat tile (query j occupies
+// qs[j*d:(j+1)*d]); sel lists the participating tile rows; bounds[i] is the
+// early-abandon bound for sel[i], and out[i] receives its result. The point
+// of the shape is memory traffic: v — the streamed side of an annulus scan —
+// is loaded once and reused across the whole selection, so a partition scan
+// serving a query tile reads each block row once instead of once per query.
+//
+// Per pair the arithmetic is exactly SqDistEarlyAbandon(q, v, bound): same
+// single-accumulator left-to-right order, same abandon contract (a result
+// <= bound is the exact squared distance, bit-identical to SqDist; a result
+// > bound only certifies exceedance), same EarlyAbandonMinLen cutoff below
+// which bound checks are skipped. Batched answers therefore match a
+// per-query scan bit for bit.
+//
+//mmdr:hotpath inner loop of the fused batch annulus scan
+func SqDistRowToSel(v, qs []float64, d int, sel []int32, bounds, out []float64) {
+	if len(sel) > len(bounds) || len(sel) > len(out) {
+		panic("matrix: SqDistRowToSel selection longer than bounds/out")
+	}
+	if d < EarlyAbandonMinLen {
+		for i, j := range sel {
+			q := qs[int(j)*d : int(j)*d+d : int(j)*d+d]
+			out[i] = SqDist(q, v)
+		}
+		return
+	}
+	for i, j := range sel {
+		q := qs[int(j)*d : int(j)*d+d : int(j)*d+d]
+		out[i] = SqDistEarlyAbandon(q, v, bounds[i])
+	}
+}
+
 // MatVecRowMajor computes dst = A·x for a row-major rows×cols matrix stored
 // flat in a. Each output element is one contiguous dot product (DotUnroll4),
 // so the kernel streams both the matrix and the vector — the access pattern

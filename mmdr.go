@@ -380,6 +380,19 @@ func (idx *Index) Delete(id int) (bool, error) {
 	return idx.maint.Delete(id), nil
 }
 
+// RebuildLayout re-materializes the extended iDistance index's blocked
+// vector layout after dynamic Insert/Delete churn. The layout is a derived
+// cache that scans read contiguously; structural mutations drop it (queries
+// transparently fall back to per-entry tree visits, answers unchanged), and
+// rebuilding restores the fast scan and fused-batch paths. No-op on index
+// schemes without a layout (sequential scan). Answers are bit-identical
+// with or without the layout — only throughput changes.
+func (idx *Index) RebuildLayout() {
+	if idx.maint != nil {
+		idx.maint.RebuildLayout()
+	}
+}
+
 // EvaluatePrecision measures the model's mean KNN precision over a query
 // workload (flat row-major, same dimensionality as the model): for each
 // query, the fraction of the exact k nearest neighbors (in the original
