@@ -59,10 +59,13 @@ check: fmt-check
 # BENCH_obs.json: cost of carrying the runtime-metrics layer on the KNN
 # hot path (off vs on ns/query, budget ≤2%) plus the recorded latency
 # distributions.
+# BENCH_approx.json: the quantized-scan recall/QPS frontier — PQ code sizes
+# x candidate budgets against the exact fused batch and sequential scan.
 bench-json:
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-parallel BENCH_parallel.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-query BENCH_query.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-obs BENCH_obs.json
+	$(GO) run ./cmd/mmdrbench -scale paper -bench-approx BENCH_approx.json
 
 # bench-smoke regenerates every BENCH_*.json at small scale — seconds, not
 # minutes — so CI can verify the emitters end to end and archive the
@@ -72,6 +75,7 @@ bench-smoke:
 	$(GO) run ./cmd/mmdrbench -scale small -bench-parallel BENCH_parallel.json
 	$(GO) run ./cmd/mmdrbench -scale small -bench-query BENCH_query.json
 	$(GO) run ./cmd/mmdrbench -scale small -bench-obs BENCH_obs.json
+	$(GO) run ./cmd/mmdrbench -scale small -bench-approx BENCH_approx.json
 
 experiments:
 	$(GO) run ./cmd/mmdrbench -experiment all -scale small

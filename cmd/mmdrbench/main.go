@@ -10,6 +10,7 @@
 //	mmdrbench -experiment fig9a -metrics-json     # cost counters + latency metrics as JSON
 //	mmdrbench -experiment all -pprof localhost:0  # pprof + expvar + /metrics server
 //	mmdrbench -bench-obs BENCH_obs.json           # metrics-overhead benchmark report
+//	mmdrbench -bench-approx BENCH_approx.json     # quantized-scan recall/QPS frontier
 //
 // Scales trade fidelity for runtime: "paper" approaches the published
 // dataset sizes (100k-1M points) and can take a long time on one core;
@@ -67,10 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mjson   = fs.Bool("metrics-json", false, "print per-experiment cost counters as JSON (stderr)")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 
-		parallel   = fs.Int("parallel", 0, "worker goroutines for reduction builds (0 = all cores, 1 = serial)")
-		benchPar   = fs.String("bench-parallel", "", "run the parallelism benchmark (build speedup, fused-batch throughput, worker sweep) and write its JSON report to this file")
-		benchQuery = fs.String("bench-query", "", "run the query-kernel benchmark and write its JSON report to this file")
-		benchObs   = fs.String("bench-obs", "", "run the observability-overhead benchmark and write its JSON report to this file")
+		parallel    = fs.Int("parallel", 0, "worker goroutines for reduction builds (0 = all cores, 1 = serial)")
+		benchPar    = fs.String("bench-parallel", "", "run the parallelism benchmark (build speedup, fused-batch throughput, worker sweep) and write its JSON report to this file")
+		benchQuery  = fs.String("bench-query", "", "run the query-kernel benchmark and write its JSON report to this file")
+		benchObs    = fs.String("bench-obs", "", "run the observability-overhead benchmark and write its JSON report to this file")
+		benchApprox = fs.String("bench-approx", "", "run the quantized-scan recall/QPS frontier benchmark and write its JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" {
+	if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" {
 		fs.Usage()
 		return 2
 	}
@@ -134,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Table().Fprint(stdout)
-		if *exp == "" && *benchQuery == "" && *benchObs == "" {
+		if *exp == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" {
 			return 0
 		}
 	}
@@ -159,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Table().Fprint(stdout)
-		if *exp == "" && *benchObs == "" {
+		if *exp == "" && *benchObs == "" && *benchApprox == "" {
 			return 0
 		}
 	}
@@ -171,6 +173,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		f, err := os.Create(*benchObs)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", werr)
+			return 1
+		}
+		rep.Table().Fprint(stdout)
+		if *exp == "" && *benchApprox == "" {
+			return 0
+		}
+	}
+
+	if *benchApprox != "" {
+		rep, err := experiments.ApproxBench(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: approx benchmark: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*benchApprox)
 		if err != nil {
 			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
 			return 1

@@ -80,6 +80,37 @@ func TestRunBenchObs(t *testing.T) {
 	}
 }
 
+func TestRunBenchApprox(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_approx.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench-approx", path, "-scale", "small", "-queries", "10"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "quantized scan frontier") {
+		t.Fatalf("table output:\n%s", out.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Env struct {
+			GoVersion string `json:"go_version"`
+		} `json:"env"`
+		FullBudgetBitIdentical bool `json:"full_budget_bit_identical"`
+		Frontier               []struct {
+			Recall float64 `json:"recall"`
+			QPS    float64 `json:"qps"`
+		} `json:"frontier"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Env.GoVersion == "" || !rep.FullBudgetBitIdentical || len(rep.Frontier) < 9 {
+		t.Fatalf("report incomplete: %s", b)
+	}
+}
+
 func TestRunMetricsJSON(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-experiment", "ablation-normalized", "-scale", "small", "-metrics-json"}, &out, &errOut); code != 0 {

@@ -9,6 +9,7 @@
 //	mmdrtool inspect -model model.mmdr
 //	mmdrtool inspect -defaults
 //	mmdrtool knn -model model.mmdr -k 10 [-query "0.1,0.2,..."] [-row 17] [-rows "3,17,42"] [-explain] [-metrics-json]
+//	mmdrtool knn -model model.mmdr -k 10 -row 17 -quantized [-budget 200]
 //	mmdrtool eval -model model.mmdr -queries 100 -k 10
 package main
 
@@ -268,6 +269,8 @@ func cmdKNN(args []string) error {
 		row       = fs.Int("row", -1, "use dataset row as the query")
 		rowsStr   = fs.String("rows", "", "comma-separated dataset rows: run the whole batch through the fused multi-query kernels")
 		explain   = fs.Bool("explain", false, "print the structured query explain after the results")
+		quantized = fs.Bool("quantized", false, "answer through the quantized (PQ/ADC) scan path with exact re-ranking")
+		budget    = fs.Int("budget", 0, "candidate budget for -quantized (0 = 10x k); larger = higher recall, slower")
 		mjson     = fs.Bool("metrics-json", false, "print the runtime-metrics snapshot as JSON (stderr)")
 	)
 	fs.Parse(args)
@@ -278,11 +281,22 @@ func cmdKNN(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *budget <= 0 {
+		*budget = 10 * *k
+	}
+	if *quantized && !model.HasQuantizer() {
+		// Models saved before TrainQuantizer carry no codebooks; train with
+		// the defaults so the flag works on any model file.
+		fmt.Fprintln(os.Stderr, "knn: model has no trained quantizer; training one with defaults")
+		if err := model.TrainQuantizer(mmdr.QuantizeConfig{}); err != nil {
+			return err
+		}
+	}
 	if *rowsStr != "" {
 		if *explain {
 			return fmt.Errorf("knn: -explain traces a single query; use -query or -row")
 		}
-		return batchKNN(model, *rowsStr, *k, *mjson)
+		return batchKNN(model, *rowsStr, *k, *quantized, *budget, *mjson)
 	}
 	var q []float64
 	switch {
@@ -315,16 +329,29 @@ func cmdKNN(args []string) error {
 	start := time.Now()
 	var res []mmdr.Neighbor
 	var tr *mmdr.KNNTrace
-	if *explain {
+	switch {
+	case *explain:
+		if *quantized {
+			return fmt.Errorf("knn: -explain traces the exact path; drop -quantized")
+		}
 		res, tr, err = idx.KNNTrace(q, *k)
 		if err != nil {
 			return err
 		}
-	} else {
+	case *quantized:
+		res, err = idx.KNNQuantized(q, *k, *budget)
+		if err != nil {
+			return err
+		}
+	default:
 		res = idx.KNN(q, *k)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d-NN in %v:\n", *k, elapsed.Round(time.Microsecond))
+	if *quantized {
+		fmt.Printf("%d-NN (quantized, budget %d) in %v:\n", *k, *budget, elapsed.Round(time.Microsecond))
+	} else {
+		fmt.Printf("%d-NN in %v:\n", *k, elapsed.Round(time.Microsecond))
+	}
 	for i, n := range res {
 		fmt.Printf("  %2d. row %-8d dist %.6f\n", i+1, n.ID, n.Dist)
 	}
@@ -356,10 +383,11 @@ func cmdKNN(args []string) error {
 }
 
 // batchKNN answers one KNN query per listed dataset row in a single
-// BatchKNN call, which routes the whole workload through the fused blocked
-// kernels (one partition scan per query tile). Answers are bit-identical to
-// running each row through `knn -row` separately.
-func batchKNN(model *mmdr.Model, rowsStr string, k int, mjson bool) error {
+// BatchKNN (or BatchKNNQuantized) call, which routes the whole workload
+// through the fused blocked kernels (one partition scan per query tile).
+// Answers are bit-identical to running each row through `knn -row`
+// separately.
+func batchKNN(model *mmdr.Model, rowsStr string, k int, quantized bool, budget int, mjson bool) error {
 	fields := strings.Split(rowsStr, ",")
 	queries := make([]float64, 0, len(fields)*model.Dim())
 	rows := make([]int, 0, len(fields))
@@ -382,13 +410,22 @@ func batchKNN(model *mmdr.Model, rowsStr string, k int, mjson bool) error {
 		idx.SetRuntimeMetrics(procMetrics)
 	}
 	start := time.Now()
-	res, err := idx.BatchKNN(queries, k)
+	var res [][]mmdr.Neighbor
+	if quantized {
+		res, err = idx.BatchKNNQuantized(queries, k, budget)
+	} else {
+		res, err = idx.BatchKNN(queries, k)
+	}
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d-NN for %d queries in %v (%v/query):\n",
-		k, len(rows), elapsed.Round(time.Microsecond),
+	mode := ""
+	if quantized {
+		mode = fmt.Sprintf(" (quantized, budget %d)", budget)
+	}
+	fmt.Printf("%d-NN%s for %d queries in %v (%v/query):\n",
+		k, mode, len(rows), elapsed.Round(time.Microsecond),
 		(elapsed / time.Duration(len(rows))).Round(time.Microsecond))
 	for qi, r := range rows {
 		fmt.Printf("query row %d:\n", r)

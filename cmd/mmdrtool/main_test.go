@@ -42,6 +42,17 @@ func TestGenReduceInspectKNNPipeline(t *testing.T) {
 	if err := cmdKNN([]string{"-model", model, "-row", "5", "-k", "3", "-metrics-json"}); err != nil {
 		t.Fatal(err)
 	}
+	// Quantized mode: trains a default quantizer on the fly for model files
+	// saved without one, solo and through the fused batch path.
+	if err := cmdKNN([]string{"-model", model, "-row", "5", "-k", "3", "-quantized", "-budget", "60", "-metrics-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKNN([]string{"-model", model, "-rows", "5,9,13", "-k", "3", "-quantized"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKNN([]string{"-model", model, "-row", "5", "-quantized", "-explain"}); err == nil {
+		t.Fatal("expected -quantized -explain to be rejected")
+	}
 }
 
 func TestGenKinds(t *testing.T) {

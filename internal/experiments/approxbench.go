@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mmdr/internal/core"
+	"mmdr/internal/idist"
+	"mmdr/internal/index"
+	"mmdr/internal/quant"
+)
+
+// ApproxPoint is one cell of the recall/QPS frontier: a code size (bytes
+// per vector, the quantizer's block count after per-partition clamping)
+// crossed with a candidate budget, measured through the fused quantized
+// batch path at workers=1 so the numbers isolate kernel cost from goroutine
+// scaling.
+type ApproxPoint struct {
+	Blocks     int     `json:"blocks"`           // configured sub-blocks (bytes/vector before clamping)
+	CodeBytes  int     `json:"code_bytes"`       // actual worst-case bytes per coded vector
+	Budget     int     `json:"budget"`           // candidates kept for exact re-rank
+	Recall     float64 `json:"recall"`           // mean recall@k vs the exact reduced-space answer
+	NsPerQuery float64 `json:"ns_per_query"`     // fused quantized batch, workers=1
+	QPS        float64 `json:"qps"`              //
+	Speedup    float64 `json:"speedup_vs_exact"` // vs the exact fused batch path
+}
+
+// ApproxReport is the machine-readable output of the quantized-scan
+// benchmark (BENCH_approx.json): the recall-vs-QPS frontier of the
+// PQ/ADC path against the exact fused batch and the sequential scan, in
+// ann-benchmarks style — every point on the frontier answers the same
+// workload, trading recall for throughput through two knobs (code size and
+// candidate budget).
+type ApproxReport struct {
+	Env        EnvInfo `json:"env"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      string  `json:"scale"`
+	N          int     `json:"n"`
+	Dim        int     `json:"dim"`
+	Queries    int     `json:"queries"`
+	K          int     `json:"k"`
+
+	// ReducedBytesPerVector is the float64 storage of the reduced
+	// representation (8 bytes x member-weighted average retained
+	// dimensionality); code bytes divide into it for the compression ratio.
+	ReducedBytesPerVector float64 `json:"reduced_bytes_per_vector"`
+
+	ExactBatchNsPerQuery float64 `json:"exact_batch_ns_per_query"`
+	ExactBatchQPS        float64 `json:"exact_batch_qps"`
+	ExactSoloNsPerQuery  float64 `json:"exact_solo_ns_per_query"`
+	SeqScanNsPerQuery    float64 `json:"seqscan_ns_per_query"`
+	SeqScanQPS           float64 `json:"seqscan_qps"`
+
+	// FullBudgetBitIdentical gates the frontier: with budget >= N the
+	// quantized path must reproduce the exact answers bit for bit on every
+	// probe (the degenerate point of the budget knob).
+	FullBudgetBitIdentical bool `json:"full_budget_bit_identical"`
+
+	Frontier []ApproxPoint `json:"frontier"`
+}
+
+// approxBlockSweep and approxBudgetFactors define the frontier grid: code
+// sizes in bytes per vector (before per-partition clamping) and candidate
+// budgets as multiples of k. The budget factors bracket the quota schedule's
+// useful range at paper scale: f=4 is the high-throughput low-recall end,
+// f=13 lands past recall@10 ~0.95 while staying >=2x the exact batch path.
+var (
+	approxBlockSweep    = []int{2, 4, 8}
+	approxBudgetFactors = []int{4, 8, 13}
+)
+
+// ApproxBench builds one MMDR model + extended iDistance index at the
+// configured scale and sweeps the quantized scan path over code sizes and
+// candidate budgets, measuring mean recall@k against the exact reduced-space
+// answer and throughput through the fused batch kernels.
+func ApproxBench(c Config) (*ApproxReport, error) {
+	c = c.withDefaults()
+	n, dim := c.sizes()
+	ds, err := synthetic(n, dim, 5, 3, 25, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	red, err := core.New(core.Params{Seed: c.Seed, Tracer: c.Tracer, Counter: c.Counter, Parallelism: c.Parallelism}).Reduce(ds)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := idist.Build(ds, red, idist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	scan := index.NewSeqScan(ds, red, nil)
+
+	queries := make([][]float64, c.NumQueries)
+	for i := range queries {
+		queries[i] = ds.Point((i * 37) % ds.N)
+	}
+
+	rep := &ApproxReport{
+		Env:        CollectEnv(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      string(c.Scale),
+		N:          n,
+		Dim:        dim,
+		Queries:    c.NumQueries,
+		K:          c.K,
+	}
+	rep.ReducedBytesPerVector = 8 * red.Summarize().AvgDim
+
+	// Exact ground truth in the reduced space: the quantized path re-ranks
+	// with the same kernels the exact search uses, so this is the recall
+	// oracle every frontier point is scored against.
+	truth := make([][]index.Neighbor, len(queries))
+	for i, q := range queries {
+		truth[i] = idx.KNN(q, c.K)
+	}
+
+	rounds := 1
+	if c.NumQueries < 500 {
+		rounds = 500/c.NumQueries + 1
+	}
+
+	// Baselines: exact fused batch (the path the frontier must beat), exact
+	// solo, and the sequential scan.
+	idx.BatchKNN(queries, c.K, 1)
+	rep.ExactBatchNsPerQuery = timeBatch(rounds, len(queries), func() { idx.BatchKNN(queries, c.K, 1) })
+	rep.ExactSoloNsPerQuery, _ = measureQueries(queries, rounds, func(q []float64) { idx.KNN(q, c.K) })
+	seqRounds := 1
+	if c.Scale == Small {
+		seqRounds = rounds
+	}
+	rep.SeqScanNsPerQuery, _ = measureQueries(queries, seqRounds, func(q []float64) { scan.KNN(q, c.K) })
+	if rep.ExactBatchNsPerQuery > 0 {
+		rep.ExactBatchQPS = 1e9 / rep.ExactBatchNsPerQuery
+	}
+	if rep.SeqScanNsPerQuery > 0 {
+		rep.SeqScanQPS = 1e9 / rep.SeqScanNsPerQuery
+	}
+
+	rep.FullBudgetBitIdentical = true
+	for _, blocks := range approxBlockSweep {
+		set, err := quant.TrainSet(ds, red, quant.Config{Blocks: blocks, Bits: 6, Seed: c.Seed, Parallelism: c.Parallelism})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training %d-block quantizer: %w", blocks, err)
+		}
+		if err := idx.SetQuantizer(set); err != nil {
+			return nil, err
+		}
+
+		// Degenerate-budget gate, on a probe sample (full-budget scans cost a
+		// full pass per query).
+		probes := len(queries)
+		if probes > 10 {
+			probes = 10
+		}
+		for qi, q := range queries[:probes] {
+			got, err := idx.KNNQuantized(q, c.K, n)
+			if err != nil {
+				return nil, err
+			}
+			if !neighborsEqual(got, truth[qi]) {
+				rep.FullBudgetBitIdentical = false
+			}
+		}
+
+		for _, f := range approxBudgetFactors {
+			budget := f * c.K
+			batch, err := idx.BatchKNNQuantized(queries, c.K, budget, 1)
+			if err != nil {
+				return nil, err
+			}
+			pt := ApproxPoint{Blocks: blocks, CodeBytes: set.CodeBytesPerVector(), Budget: budget}
+			sum := 0.0
+			for qi := range queries {
+				sum += recallOf(batch[qi], truth[qi])
+			}
+			pt.Recall = sum / float64(len(queries))
+			pt.NsPerQuery = timeBatch(rounds, len(queries), func() { idx.BatchKNNQuantized(queries, c.K, budget, 1) })
+			if pt.NsPerQuery > 0 {
+				pt.QPS = 1e9 / pt.NsPerQuery
+				pt.Speedup = rep.ExactBatchNsPerQuery / pt.NsPerQuery
+			}
+			rep.Frontier = append(rep.Frontier, pt)
+		}
+	}
+	if !rep.FullBudgetBitIdentical {
+		return rep, fmt.Errorf("experiments: full-budget quantized search diverged from the exact path")
+	}
+	return rep, nil
+}
+
+// timeBatch times rounds invocations of fn (each answering nq queries) and
+// returns ns per query.
+func timeBatch(rounds, nq int, fn func()) float64 {
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		fn()
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(rounds*nq)
+}
+
+// recallOf returns |got ∩ want| / |want| by ID.
+func recallOf(got, want []index.Neighbor) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, w := range want {
+		for _, g := range got {
+			if g.ID == w.ID {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ApproxReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the report in the experiment-table shape for the CLI.
+func (r *ApproxReport) Table() *Table {
+	t := &Table{
+		Name:   "approx",
+		Title:  fmt.Sprintf("quantized scan frontier (n=%d, d=%d, k=%d; exact batch %.0f QPS, seqscan %.0f QPS)", r.N, r.Dim, r.K, r.ExactBatchQPS, r.SeqScanQPS),
+		Header: []string{"code bytes", "budget", "recall@k", "ns/query", "QPS", "vs exact"},
+	}
+	for _, p := range r.Frontier {
+		t.AddRow(fmt.Sprintf("%d", p.CodeBytes), fmt.Sprintf("%d", p.Budget),
+			f2(p.Recall), f2(p.NsPerQuery), f2(p.QPS), f2(p.Speedup)+"x")
+	}
+	ident := "false"
+	if r.FullBudgetBitIdentical {
+		ident = "true"
+	}
+	t.AddRow("full-budget bit-identical", ident, "", "", "", "")
+	return t
+}
+
+// runApproxBench adapts ApproxBench to the registry's Runner shape.
+func runApproxBench(c Config) (*Table, error) {
+	rep, err := ApproxBench(c)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}
+
+func init() { registry["approx"] = runApproxBench }

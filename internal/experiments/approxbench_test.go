@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestApproxBenchSmall(t *testing.T) {
+	rep, err := ApproxBench(Config{Scale: Small, Seed: 5, NumQueries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullBudgetBitIdentical {
+		t.Fatal("full-budget quantized search diverged from the exact path")
+	}
+	wantCells := len(approxBlockSweep) * len(approxBudgetFactors)
+	if len(rep.Frontier) != wantCells {
+		t.Fatalf("%d frontier cells, want %d", len(rep.Frontier), wantCells)
+	}
+	if rep.ExactBatchNsPerQuery <= 0 || rep.SeqScanNsPerQuery <= 0 {
+		t.Fatalf("baselines not measured: %+v", rep)
+	}
+	for _, p := range rep.Frontier {
+		if p.Recall < 0 || p.Recall > 1 {
+			t.Fatalf("recall %v out of range at blocks=%d budget=%d", p.Recall, p.Blocks, p.Budget)
+		}
+		if p.NsPerQuery <= 0 || p.QPS <= 0 {
+			t.Fatalf("cell not timed: %+v", p)
+		}
+		if p.CodeBytes <= 0 || p.CodeBytes > p.Blocks {
+			t.Fatalf("code bytes %d outside (0,%d] at blocks=%d", p.CodeBytes, p.Blocks, p.Blocks)
+		}
+	}
+	// Budget is the recall knob: within one code size the frontier's recall
+	// must be non-decreasing in the budget.
+	for i := 1; i < len(rep.Frontier); i++ {
+		a, b := rep.Frontier[i-1], rep.Frontier[i]
+		if a.Blocks == b.Blocks && b.Recall < a.Recall {
+			t.Fatalf("recall dropped from %.3f to %.3f as budget grew %d -> %d (blocks=%d)",
+				a.Recall, b.Recall, a.Budget, b.Budget, a.Blocks)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ApproxReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.N != rep.N || len(back.Frontier) != len(rep.Frontier) {
+		t.Error("round-trip lost fields")
+	}
+
+	tbl := rep.Table()
+	if tbl.Name != "approx" || len(tbl.Rows) != wantCells+1 {
+		t.Errorf("Table rendering wrong shape: %d rows", len(tbl.Rows))
+	}
+}
+
+func TestApproxRunnerRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "approx" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("approx runner not registered")
+	}
+}

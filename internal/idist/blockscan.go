@@ -1,0 +1,128 @@
+package idist
+
+import (
+	"mmdr/internal/index"
+	"mmdr/internal/matrix"
+)
+
+// Solo block scans over the SoA layout. The fused batch path (fused.go)
+// converts annulus edges to row intervals with binary searches over the
+// layout's key array; these helpers bring the same mechanism to the
+// single-query paths — KNN, KNNApprox, Range — which previously still
+// walked the tree cursor leaf by leaf even when the layout was
+// materialized. The per-candidate arithmetic (kernel choice, early-abandon
+// bounds, accumulation order) is identical to the tree-visit callbacks, so
+// answers are bit-identical; only the traversal changes.
+//
+// Cost accounting matches the fused kernel path: each binary-search probe
+// charges one key comparison (the descent it replaces), each evaluated row
+// one DistanceOp, and each leaf the interval spans one page read + node
+// access per scan.
+
+// rowBounds converts the key annulus [lo, hi] (edges excluded per the
+// flags) into the half-open row interval [a, b) of partition pi's key span.
+// The bound flags map exactly to the btree's lowerBound/upperBound entry
+// sets: an inclusive low edge is the first key >= lo, an exclusive low edge
+// the first key > lo, and symmetrically for the high edge.
+//
+//mmdr:hotpath
+func (idx *Index) rowBounds(keys []float64, lo, hi float64, exLo, exHi bool) (int, int) {
+	a := idx.searchKeys(keys, lo, exLo)
+	b := a + idx.searchKeys(keys[a:], hi, !exHi)
+	return a, b
+}
+
+// chargeLeafSpan counts each leaf the row interval [a, b) of partition pi
+// touches, once per scan — the physical I/O of one contiguous block pass.
+//
+//mmdr:hotpath
+func (idx *Index) chargeLeafSpan(ps, a, b int) int {
+	if a >= b {
+		return 0
+	}
+	lay := idx.layout
+	leaves := int(lay.leafOf[ps+b-1]-lay.leafOf[ps+a]) + 1
+	if idx.counter != nil {
+		idx.counter.CountPageReads(int64(leaves))
+		idx.counter.CountNodeAccesses(int64(leaves))
+	}
+	return leaves
+}
+
+// scanBlockKNN evaluates the annulus rows of partition pi against the
+// running top-k, streaming vectors from the partition's row-major block.
+// Row order is ascending global position — the order the tree cursor visits
+// the same keys — and the per-candidate arithmetic matches knnVisit, so the
+// heap evolves identically to the tree path. Returns the leaves spanned.
+//
+//mmdr:hotpath innermost solo KNN scan over the SoA layout
+func (idx *Index) scanBlockKNN(sc *queryScratch, pi int, lo, hi float64, exLo, exHi bool) int {
+	lay := idx.layout
+	ps, pe := lay.partStart[pi], lay.partStart[pi+1]
+	a, b := idx.rowBounds(lay.keys[ps:pe], lo, hi, exLo, exHi)
+	if a >= b {
+		return 0
+	}
+	d := lay.dims[pi]
+	block := lay.vecs[pi]
+	rids := lay.rids[ps:pe]
+	x := sc.x
+	top := sc.top
+	row := a * d
+	if sc.abandon {
+		for p := a; p < b; p++ {
+			v := block[row : row+d : row+d]
+			row += d
+			top.Add(int(rids[p]), matrix.SqDistEarlyAbandon(x, v, top.Kth()))
+		}
+	} else {
+		for p := a; p < b; p++ {
+			v := block[row : row+d : row+d]
+			row += d
+			top.Add(int(rids[p]), matrix.SqDist(x, v))
+		}
+	}
+	if idx.counter != nil {
+		idx.counter.CountDistanceOps(int64(b - a))
+	}
+	sc.cand += b - a
+	return idx.chargeLeafSpan(ps, a, b)
+}
+
+// scanBlockRange is scanBlockKNN's range counterpart: the squared radius
+// bounds the inner loop and filters accepted candidates into the scratch's
+// range buffer, matching rangeVisit's arithmetic.
+//
+//mmdr:hotpath innermost solo range scan over the SoA layout
+func (idx *Index) scanBlockRange(sc *queryScratch, pi int, lo, hi float64, exLo, exHi bool) int {
+	lay := idx.layout
+	ps, pe := lay.partStart[pi], lay.partStart[pi+1]
+	a, b := idx.rowBounds(lay.keys[ps:pe], lo, hi, exLo, exHi)
+	if a >= b {
+		return 0
+	}
+	d := lay.dims[pi]
+	block := lay.vecs[pi]
+	rids := lay.rids[ps:pe]
+	x := sc.x
+	r2 := sc.r2
+	row := a * d
+	for p := a; p < b; p++ {
+		v := block[row : row+d : row+d]
+		row += d
+		var dSq float64
+		if sc.abandon {
+			dSq = matrix.SqDistEarlyAbandon(x, v, r2)
+		} else {
+			dSq = matrix.SqDist(x, v)
+		}
+		if dSq <= r2 {
+			sc.rangeBuf = append(sc.rangeBuf, index.Neighbor{ID: int(rids[p]), Dist: dSq})
+		}
+	}
+	if idx.counter != nil {
+		idx.counter.CountDistanceOps(int64(b - a))
+	}
+	sc.cand += b - a
+	return idx.chargeLeafSpan(ps, a, b)
+}

@@ -88,6 +88,16 @@ type batchScratch struct {
 	out    []float64 // kernel results
 
 	rangeBufs [][]index.Neighbor // per-query Range accumulators (squared)
+
+	// Quantized-path state (sized by ensureQuant, see fusedquant.go):
+	// per-query ADC estimate reservoirs plus a per-partition tile of
+	// per-query lookup tables, built lazily per (query, partition) per
+	// tile search.
+	ests    []*quantReservoir
+	qtab    []float64
+	qtabOff []int  // len nParts+1; partition pi's table tile at qtabOff[pi]
+	qbuilt  []bool // [pi*batchTile + j]: query j's table for pi is built
+	qrows   []int  // per-query rows evaluated, against the scan quota
 }
 
 // getBatchScratch returns a pooled, correctly sized batch scratch. Pair
@@ -110,6 +120,10 @@ func (idx *Index) getBatchScratch() *batchScratch {
 		bs.bounds = make([]float64, batchTile)
 		bs.out = make([]float64, batchTile)
 		bs.rangeBufs = make([][]index.Neighbor, batchTile)
+		bs.ests = make([]*quantReservoir, batchTile)
+		for j := range bs.ests {
+			bs.ests[j] = new(quantReservoir)
+		}
 	}
 	bs.ensure()
 	return bs

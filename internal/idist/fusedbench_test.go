@@ -6,6 +6,8 @@ import (
 
 	"mmdr/internal/core"
 	"mmdr/internal/datagen"
+	"mmdr/internal/dataset"
+	"mmdr/internal/reduction"
 )
 
 // Benchmarks racing the fused batch engine against the per-query path on
@@ -17,6 +19,8 @@ import (
 var (
 	fbOnce    sync.Once
 	fbIdx     *Index
+	fbDS      *dataset.Dataset
+	fbRed     *reduction.Result
 	fbQueries [][]float64
 	fbErr     error
 )
@@ -41,6 +45,7 @@ func fusedBenchSetup() error {
 			return
 		}
 		fbIdx = idx
+		fbDS, fbRed = ds, red
 		fbQueries = make([][]float64, 64)
 		for i := range fbQueries {
 			fbQueries[i] = ds.Point((i * 197) % ds.N)

@@ -1,0 +1,397 @@
+package idist
+
+import (
+	"math"
+	"time"
+
+	"mmdr/internal/index"
+	"mmdr/internal/matrix"
+	"mmdr/internal/pool"
+)
+
+// Fused quantized batch search: the tile machinery of fused.go — lockstep
+// radius schedule, elementary-interval decomposition, one pass over each
+// partition's storage per tile — applied to the quantized scan path. Each
+// code row is loaded once per tile and evaluated against every query active
+// in its interval (m table loads per pair), feeding the per-query estimate
+// reservoirs; when a query's budget-th estimate falls inside its sphere or
+// its scan quota is spent the query finishes, and its surviving candidates
+// are re-ranked exactly.
+//
+// Equivalence with the solo quantized path follows the same argument as the
+// exact fused path: per query, rows arrive in ascending global position —
+// the solo visit order — with the same lazily built table and the same
+// bound-guarded early abandoning, so the estimate reservoirs, the candidate
+// sets and the re-ranked answers are bit-identical to a sequential
+// KNNQuantized loop at every worker count and tile shape.
+
+// ensureQuant sizes the quantized tile state (estimate reservoirs sized by
+// Reset, the ADC table tile, build flags) for the index's current
+// partitions and codebooks. Called by the quantized batch path after the
+// shared ensure().
+func (bs *batchScratch) ensureQuant() {
+	idx := bs.idx
+	nP := len(idx.parts)
+	if cap(bs.qtabOff) < nP+1 {
+		bs.qtabOff = make([]int, nP+1)
+	}
+	bs.qtabOff = bs.qtabOff[:nP+1]
+	set := idx.quant
+	off := 0
+	for pi := 0; pi < nP; pi++ {
+		bs.qtabOff[pi] = off
+		if set != nil && pi < len(set.Books) && set.Books[pi] != nil {
+			off += set.Books[pi].TableLen() * batchTile
+		}
+	}
+	bs.qtabOff[nP] = off
+	if cap(bs.qtab) < off {
+		bs.qtab = make([]float64, off)
+	}
+	bs.qtab = bs.qtab[:off]
+	need := nP * batchTile
+	if cap(bs.qbuilt) < need {
+		bs.qbuilt = make([]bool, need)
+	}
+	bs.qbuilt = bs.qbuilt[:need]
+	if bs.qrows == nil {
+		bs.qrows = make([]int, batchTile)
+	}
+}
+
+// BatchKNNQuantized answers len(queries) quantized KNN queries using at
+// most workers goroutines (workers <= 0 selects runtime.NumCPU()). Same
+// quantizer contract as KNNQuantized, including the transparent exact
+// fallback while the layout is dropped; results are bit-identical to a
+// sequential KNNQuantized loop at every worker count.
+//
+//mmdr:hotpath budget pinned by alloc_test: 2 + one result slice per query
+func (idx *Index) BatchKNNQuantized(queries [][]float64, k, budget, workers int) ([][]index.Neighbor, error) {
+	if idx.quant == nil {
+		return nil, ErrNoQuantizer
+	}
+	if k <= 0 {
+		return make([][]index.Neighbor, len(queries)), nil
+	}
+	if idx.layout == nil || idx.layout.codes == nil {
+		return idx.BatchKNN(queries, k, workers), nil
+	}
+	if budget < k {
+		budget = k
+	}
+	out := make([][]index.Neighbor, len(queries))
+	ops := idx.ops
+	start := time.Now()
+	pool.Chunks(pool.Workers(workers), len(queries), func(w, lo, hi int) {
+		bs := idx.getBatchScratch()
+		defer idx.putBatchScratch(bs)
+		bs.ensureQuant()
+		for t := lo; t < hi; t += batchTile {
+			te := t + batchTile
+			if te > hi {
+				te = hi
+			}
+			if ops == nil {
+				idx.quantTile(bs, queries[t:te], k, budget, out[t:te])
+				continue
+			}
+			ts := time.Now()
+			idx.quantTile(bs, queries[t:te], k, budget, out[t:te])
+			per := time.Since(ts) / time.Duration(te-t)
+			for i := t; i < te; i++ {
+				ops.quantKNN.RecordShard(w, per)
+			}
+		}
+	})
+	if ops != nil {
+		ops.batchQuantKNN.Record(time.Since(start))
+	}
+	return out, nil
+}
+
+// quantTile answers one tile of quantized KNN queries with fused partition
+// scans. len(queries) <= batchTile, k > 0, layout + codes materialized.
+//
+//mmdr:hotpath fused quantized tile; allocates only the per-query results
+func (idx *Index) quantTile(bs *batchScratch, queries [][]float64, k, budget int, out [][]index.Neighbor) {
+	nq := len(queries)
+	// Same reservoir clamp as the solo path: budget >= n never fills the
+	// buffer, preserving the bitwise-exact degenerate point.
+	resK := budget
+	if nRows := idx.layout.partStart[len(idx.parts)]; resK > nRows {
+		resK = nRows
+	}
+	for j := 0; j < nq; j++ {
+		bs.ests[j].Reset(resK)
+		bs.done[j] = false
+		bs.qrows[j] = 0
+	}
+	for i := range bs.qbuilt {
+		bs.qbuilt[i] = false
+	}
+	idx.primeTile(bs, queries)
+
+	quota := budget * quantScanFactor
+	if quota/quantScanFactor != budget { // overflow: quota can never bind
+		quota = int(^uint(0) >> 1)
+	}
+	step := idx.deltaR / quantDeltaDiv
+	r := step
+	for {
+		for j := 0; j < nq; j++ {
+			bs.allDone[j] = true
+		}
+		for pi := range idx.parts {
+			idx.fusedScanQuant(bs, pi, nq, r, quota)
+		}
+		// Same round-boundary stop disjunction as the solo path: exactness
+		// proof, spent scan quota, or partitions exhausted. The per-round row
+		// counts match knnQuantizedInto's exactly (identical annuli), so the
+		// quota cuts the scan at the same round — the scanned sets, and hence
+		// the answers, stay bitwise solo-identical.
+		finished := true
+		for j := 0; j < nq; j++ {
+			if bs.done[j] {
+				continue
+			}
+			if (bs.ests[j].Len() >= budget && bs.ests[j].Kth() <= r*r) || bs.qrows[j] >= quota || bs.allDone[j] {
+				bs.done[j] = true
+			} else {
+				finished = false
+			}
+		}
+		if finished {
+			break
+		}
+		if step *= quantStepRatio; step > idx.deltaR*quantStepCap {
+			step = idx.deltaR * quantStepCap
+		}
+		r += step
+	}
+
+	// Exact re-rank, per query, over its surviving candidates — the same
+	// kernels and bound discipline as the solo rerank, with the query-side
+	// vectors read from the projection tile (bitwise the solo projections).
+	lay := idx.layout
+	for j := 0; j < nq; j++ {
+		top := bs.tops[j]
+		top.Reset(k)
+		cands := bs.ests[j].Items()
+		for _, nb := range cands {
+			p := nb.ID
+			pi := 0
+			for lay.partStart[pi+1] <= p {
+				pi++
+			}
+			d := lay.dims[pi]
+			row := p - lay.partStart[pi]
+			v := lay.vecs[pi][row*d : (row+1)*d : (row+1)*d]
+			tile := bs.projBuf[bs.projOff[pi]:]
+			x := tile[j*d : (j+1)*d : (j+1)*d]
+			var dSq float64
+			if d >= matrix.EarlyAbandonMinLen {
+				dSq = matrix.SqDistEarlyAbandon(x, v, top.Kth())
+			} else {
+				dSq = matrix.SqDist(x, v)
+			}
+			top.Add(int(lay.rids[p]), dSq)
+		}
+		if idx.counter != nil && len(cands) > 0 {
+			idx.counter.CountDistanceOps(int64(len(cands)))
+		}
+		res := top.Sorted()
+		for i := range res {
+			res[i].Dist = math.Sqrt(res[i].Dist)
+		}
+		out[j] = res
+	}
+}
+
+// fusedScanQuant advances every unfinished tile query's annulus in
+// partition pi by one radius step — the identical interval bookkeeping of
+// fusedScanKNN — and evaluates the union of new row intervals in one pass
+// over the partition's code block.
+//
+//mmdr:hotpath
+func (idx *Index) fusedScanQuant(bs *batchScratch, pi, nq int, r float64, quota int) {
+	lay := idx.layout
+	p := &idx.parts[pi]
+	ps, pe := lay.partStart[pi], lay.partStart[pi+1]
+	keys := lay.keys[ps:pe]
+	base := float64(pi) * idx.c
+
+	nseg := 0
+	for j := 0; j < nq; j++ {
+		si := pi*batchTile + j
+		// The quota check mirrors the solo path's partition-boundary cut:
+		// qrows[j] holds the same cumulative count at the same partition
+		// walk position, so both paths stop the scan at the same row.
+		if bs.done[j] || bs.exhausted[si] || bs.qrows[j] >= quota {
+			continue
+		}
+		dist := bs.dist[si]
+		lo := dist - r
+		if lo < 0 {
+			lo = 0
+		}
+		hi := dist + r
+		if hi > p.maxRadius {
+			hi = p.maxRadius
+		}
+		if lo > hi {
+			if dist-r > p.maxRadius {
+				bs.allDone[j] = false
+			}
+			continue
+		}
+		if bs.scanLo[si] > bs.scanHi[si] {
+			a := idx.searchKeys(keys, base+lo, false)
+			b := a + idx.searchKeys(keys[a:], base+hi, true)
+			nseg = bs.addSeg(nseg, a, b, j)
+			bs.qrows[j] += b - a
+			bs.rowLo[si], bs.rowHi[si] = a, b
+			bs.scanLo[si], bs.scanHi[si] = lo, hi
+		} else {
+			if lo < bs.scanLo[si] {
+				a := idx.gallopDown(keys, bs.rowLo[si], base+lo, false)
+				nseg = bs.addSeg(nseg, a, bs.rowLo[si], j)
+				bs.qrows[j] += bs.rowLo[si] - a
+				bs.rowLo[si] = a
+				bs.scanLo[si] = lo
+			}
+			if hi > bs.scanHi[si] {
+				b := idx.gallopUp(keys, bs.rowHi[si], base+hi, true)
+				nseg = bs.addSeg(nseg, bs.rowHi[si], b, j)
+				bs.qrows[j] += b - bs.rowHi[si]
+				bs.rowHi[si] = b
+				bs.scanHi[si] = hi
+			}
+		}
+		if bs.scanLo[si] <= 0 && bs.scanHi[si] >= p.maxRadius {
+			bs.exhausted[si] = true
+		} else {
+			bs.allDone[j] = false
+		}
+	}
+	if nseg == 0 {
+		return
+	}
+	idx.evalSegmentsQuant(bs, pi, ps, nseg)
+}
+
+// evalSegmentsQuant streams the elementary intervals of the collected
+// segments over partition pi's code block: each code row is read once and
+// its ADC estimate added to every active query's reservoir. Partitions without a
+// code block fall back to exact per-query evaluation (the estimates are
+// then exact). Accounting matches evalSegments: one DistanceOp per
+// query-row pair, each touched leaf charged once per scan.
+//
+//mmdr:hotpath
+func (idx *Index) evalSegmentsQuant(bs *batchScratch, pi, ps, nseg int) {
+	lay := idx.layout
+	codes := lay.codes[pi]
+	d := lay.dims[pi]
+	block := lay.vecs[pi]
+	tile := bs.projBuf[bs.projOff[pi]:]
+
+	// Lazily build the ADC tables of the queries contributing segments —
+	// once per (query, partition) per tile search, like the solo path's
+	// first-scan build.
+	if codes != nil {
+		cb := idx.quant.Books[pi]
+		tl := cb.TableLen()
+		for s := 0; s < nseg; s++ {
+			j := int(bs.segQ[s])
+			bi := pi*batchTile + j
+			if !bs.qbuilt[bi] {
+				cb.ADCTableInto(tile[j*d:(j+1)*d], bs.qtab[bs.qtabOff[pi]+j*tl:bs.qtabOff[pi]+(j+1)*tl])
+				bs.qbuilt[bi] = true
+			}
+		}
+	}
+
+	nbp := 0
+	for s := 0; s < nseg; s++ {
+		nbp = insertBreakpoint(bs.bp, nbp, bs.segA[s])
+		nbp = insertBreakpoint(bs.bp, nbp, bs.segB[s])
+	}
+	distOps := int64(0)
+	pages := int64(0)
+	lastLeaf := int32(-1)
+	for bi := 0; bi+1 < nbp; bi++ {
+		e0, e1 := bs.bp[bi], bs.bp[bi+1]
+		na := 0
+		for s := 0; s < nseg; s++ {
+			if bs.segA[s] <= e0 && bs.segB[s] >= e1 {
+				bs.act[na] = bs.segQ[s]
+				na++
+			}
+		}
+		if na == 0 {
+			continue
+		}
+		if idx.counter != nil {
+			l0, l1 := lay.leafOf[ps+e0], lay.leafOf[ps+e1-1]
+			if l0 <= lastLeaf {
+				l0 = lastLeaf + 1
+			}
+			if l1 >= l0 {
+				pages += int64(l1 - l0 + 1)
+				lastLeaf = l1
+			}
+		}
+		act := bs.act[:na]
+		if codes != nil {
+			// Row-outer: one code row serves every active query — the
+			// row-sharing win of the fused pass at code granularity. Bounds
+			// are cached per query and refreshed only after an accepted Add
+			// (the reservoir bound moves only on compaction, and Add
+			// re-checks, so the reservoir evolution is unchanged).
+			cb := idx.quant.Books[pi]
+			m, kc, tl := cb.M, cb.K, cb.TableLen()
+			tab := bs.qtab[bs.qtabOff[pi]:]
+			for a := 0; a < na; a++ {
+				bs.bounds[a] = bs.ests[int(act[a])].Kth()
+			}
+			off := e0 * m
+			for p := e0; p < e1; p++ {
+				code := codes[off : off+m : off+m]
+				off += m
+				gp := ps + p
+				for a := 0; a < na; a++ {
+					j := int(act[a])
+					if s := matrix.ADCSumBound(tab[j*tl:(j+1)*tl], kc, code, bs.bounds[a]); s < bs.bounds[a] {
+						est := bs.ests[j]
+						est.Add(gp, s)
+						bs.bounds[a] = est.Kth()
+					}
+				}
+			}
+		} else {
+			// Uncoded partition (created after training): exact estimates,
+			// query-outer like evalInterval.
+			abandon := d >= matrix.EarlyAbandonMinLen
+			for a := 0; a < na; a++ {
+				j := int(act[a])
+				x := tile[j*d : (j+1)*d : (j+1)*d]
+				est := bs.ests[j]
+				row := e0 * d
+				for p := e0; p < e1; p++ {
+					v := block[row : row+d : row+d]
+					row += d
+					if abandon {
+						est.Add(ps+p, matrix.SqDistEarlyAbandon(x, v, est.Kth()))
+					} else {
+						est.Add(ps+p, matrix.SqDist(x, v))
+					}
+				}
+			}
+		}
+		distOps += int64(na) * int64(e1-e0)
+	}
+	if idx.counter != nil {
+		idx.counter.CountDistanceOps(distOps)
+		idx.counter.CountPageReads(pages)
+		idx.counter.CountNodeAccesses(pages)
+	}
+}

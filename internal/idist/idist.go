@@ -28,6 +28,7 @@ import (
 	"mmdr/internal/matrix"
 	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
+	"mmdr/internal/quant"
 	"mmdr/internal/reduction"
 	"mmdr/internal/stats"
 )
@@ -50,6 +51,12 @@ type Options struct {
 	// structural gauges (see SetMetrics). The record path is allocation-free,
 	// so attaching it does not disturb the query alloc budgets.
 	Metrics *metrics.Registry
+	// Quant, when non-nil, attaches a trained product-quantizer set: the
+	// layout rebuild additionally materializes per-partition code blocks and
+	// KNNQuantized/BatchKNNQuantized become available. The set must align
+	// with the partition order (subspaces first, outlier partition last) —
+	// quant.TrainSet over the same reduction produces exactly that.
+	Quant *quant.Set
 }
 
 // partition is one key-range section of the single-dimensional space:
@@ -82,6 +89,15 @@ type Index struct {
 	// dispatch on it — block runs when present, per-entry tree visits
 	// otherwise — with bitwise-identical answers either way.
 	layout *soaLayout
+
+	// quant is the attached product-quantizer set (nil = exact-only index).
+	// The layout rebuild derives per-partition code blocks from it; the
+	// quantized query paths require both quant and layout to be present.
+	quant *quant.Set
+
+	// quantPool recycles quantScratch values (ADC tables, estimate heaps) so
+	// quantized queries allocate only their result slices.
+	quantPool sync.Pool
 
 	// scratchPool recycles queryScratch values so KNN/Range allocate only
 	// their returned neighbor slices.
@@ -220,6 +236,12 @@ func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, er
 		}
 	}
 	idx.tree.BulkLoad(entries, 0.9)
+	if opts.Quant != nil {
+		if err := idx.validateQuant(opts.Quant); err != nil {
+			return nil, err
+		}
+		idx.quant = opts.Quant
+	}
 	idx.rebuildLayout()
 	obs.Attr(opts.Tracer, "partitions", float64(len(idx.parts)))
 	obs.Attr(opts.Tracer, "tree_height", float64(idx.tree.Height()))
@@ -232,6 +254,57 @@ func Build(ds *dataset.Dataset, red *reduction.Result, opts Options) (*Index, er
 
 // Name implements index.KNNIndex.
 func (idx *Index) Name() string { return "iDistance" }
+
+// validateQuant checks that a codebook set aligns with the index's current
+// partitions: one book per partition, in partition order, each matching its
+// partition's dimensionality.
+func (idx *Index) validateQuant(set *quant.Set) error {
+	if err := set.Validate(); err != nil {
+		return err
+	}
+	if len(set.Books) != len(idx.parts) {
+		return fmt.Errorf("idist: quantizer has %d codebooks for %d partitions", len(set.Books), len(idx.parts))
+	}
+	for pi, cb := range set.Books {
+		want := idx.ds.Dim
+		if s := idx.parts[pi].sub; s != nil {
+			want = s.Dr
+		}
+		if cb.Dim != want {
+			return fmt.Errorf("idist: codebook %d has dim %d, partition needs %d", pi, cb.Dim, want)
+		}
+	}
+	return nil
+}
+
+// SetQuantizer attaches (or, with nil, detaches) a trained product-quantizer
+// set and rebuilds the SoA layout so the per-partition code blocks are
+// materialized. Same concurrency contract as RebuildLayout: not safe
+// alongside queries (ConcurrentIndex callers hold the write lock).
+func (idx *Index) SetQuantizer(set *quant.Set) error {
+	if set == nil {
+		idx.quant = nil
+		idx.rebuildLayout()
+		return nil
+	}
+	if err := idx.validateQuant(set); err != nil {
+		return err
+	}
+	idx.quant = set
+	idx.rebuildLayout()
+	return nil
+}
+
+// Quantizer returns the attached codebook set (nil when the index is
+// exact-only).
+func (idx *Index) Quantizer() *quant.Set { return idx.quant }
+
+// HasQuantizer reports whether the quantized query paths are available:
+// a codebook set is attached and the layout (with its code blocks) is
+// materialized.
+func (idx *Index) HasQuantizer() bool {
+	return idx.quant != nil && idx.layout != nil && idx.layout.codes != nil
+}
 
 // Tree exposes the underlying B⁺-tree (diagnostics, tests).
 func (idx *Index) Tree() *btree.Tree { return idx.tree }
@@ -475,10 +548,12 @@ func (idx *Index) scanRange(sc *queryScratch, pi int, lo, hi float64, exLo, exHi
 	sc.cand = 0
 	var leaves int
 	if idx.layout != nil {
-		// SoA fast path: the tree still drives the scan (exact page/compare
-		// accounting), but candidates arrive as contiguous leaf runs and
-		// their vectors stream from the partition's row-major block.
-		leaves = idx.tree.RangeRuns(lo, hi, exLo, exHi, sc.visitRunKNN)
+		// SoA fast path: two binary searches over the partition's key span
+		// convert the annulus edges to a contiguous row interval, and the
+		// candidate vectors stream straight from the row-major block — no
+		// tree descent at all. Key compares charge the search probes, pages
+		// charge each spanned leaf once (see scanBlockKNN).
+		leaves = idx.scanBlockKNN(sc, pi, lo, hi, exLo, exHi)
 	} else {
 		leaves = idx.tree.RangeBetween(lo, hi, exLo, exHi, sc.visitKNN)
 	}

@@ -37,6 +37,16 @@ type soaLayout struct {
 	// rowOf maps a record ID to its row within its partition's block
 	// (-1 when the record is not in the tree). Indexed like partOf/slotOf.
 	rowOf []int32
+
+	// codes holds, when a quantizer is attached, partition pi's PQ codes as
+	// a contiguous row-major block parallel to vecs[pi]: row r's code is
+	// codes[pi][r*M : (r+1)*M] for the partition codebook's M sub-blocks.
+	// nil without a quantizer; codes[pi] is nil for a partition the
+	// quantizer does not cover (one created by Insert after training), which
+	// the quantized scans serve with exact distances instead. Codes follow
+	// the same derived-cache discipline as the rest of the layout: dropped
+	// on Insert/Delete, re-encoded by RebuildLayout.
+	codes [][]byte
 }
 
 // RebuildLayout re-materializes the SoA scan layout from the current tree.
@@ -115,6 +125,33 @@ func (idx *Index) rebuildLayout() {
 			copy(dst, s.MemberCoords(int(idx.slotOf[rid])))
 		} else {
 			copy(dst, idx.ds.Point(int(rid)))
+		}
+	}
+
+	// Pass 3 (quantizer attached): encode every block row into the parallel
+	// per-partition code blocks, in the same leaf order. Encoding is a
+	// deterministic function of the stored vectors and the codebooks, so a
+	// rebuild always reproduces identical codes. A partition the codebook
+	// set does not cover (created by Insert after training) keeps a nil code
+	// block and is served exactly by the quantized scans.
+	if qs := idx.quant; qs != nil {
+		lay.codes = make([][]byte, nParts)
+		for pi := 0; pi < nParts; pi++ {
+			if pi >= len(qs.Books) {
+				continue
+			}
+			cb := qs.Books[pi]
+			if cb == nil || cb.Dim != lay.dims[pi] {
+				continue
+			}
+			n := counts[pi]
+			d := lay.dims[pi]
+			block := lay.vecs[pi]
+			codes := make([]byte, n*cb.M)
+			for row := 0; row < n; row++ {
+				cb.EncodeInto(block[row*d:(row+1)*d], codes[row*cb.M:(row+1)*cb.M])
+			}
+			lay.codes[pi] = codes
 		}
 	}
 	idx.layout = lay

@@ -10,13 +10,15 @@ import (
 // metrics.Registry. Shared with the root package's exposition and the bench
 // JSON emitters, so dashboards see one stable vocabulary.
 const (
-	opKNN        = "knn"
-	opKNNApprox  = "knn_approx"
-	opRange      = "range"
-	opInsert     = "insert"
-	opDelete     = "delete"
-	opBatchKNN   = "batch_knn"
-	opBatchRange = "batch_range"
+	opKNN         = "knn"
+	opKNNApprox   = "knn_approx"
+	opKNNQuant    = "knn_quantized"
+	opRange       = "range"
+	opInsert      = "insert"
+	opDelete      = "delete"
+	opBatchKNN    = "batch_knn"
+	opBatchRange  = "batch_range"
+	opBatchKNNQnt = "batch_knn_quantized"
 
 	gaugePoints     = "index_points"
 	gaugePartitions = "index_partitions"
@@ -26,30 +28,34 @@ const (
 // touches the registry's name map. A nil *opSet (the default) keeps every
 // query on the uninstrumented fast path: one nil check, nothing else.
 type opSet struct {
-	reg        *metrics.Registry
-	knn        *metrics.Op
-	approx     *metrics.Op
-	rng        *metrics.Op
-	ins        *metrics.Op
-	del        *metrics.Op
-	batchKNN   *metrics.Op
-	batchRange *metrics.Op
-	points     *metrics.Gauge
-	partitions *metrics.Gauge
+	reg           *metrics.Registry
+	knn           *metrics.Op
+	approx        *metrics.Op
+	quantKNN      *metrics.Op
+	rng           *metrics.Op
+	ins           *metrics.Op
+	del           *metrics.Op
+	batchKNN      *metrics.Op
+	batchRange    *metrics.Op
+	batchQuantKNN *metrics.Op
+	points        *metrics.Gauge
+	partitions    *metrics.Gauge
 }
 
 func newOpSet(reg *metrics.Registry) *opSet {
 	return &opSet{
-		reg:        reg,
-		knn:        reg.Op(opKNN),
-		approx:     reg.Op(opKNNApprox),
-		rng:        reg.Op(opRange),
-		ins:        reg.Op(opInsert),
-		del:        reg.Op(opDelete),
-		batchKNN:   reg.Op(opBatchKNN),
-		batchRange: reg.Op(opBatchRange),
-		points:     reg.Gauge(gaugePoints),
-		partitions: reg.Gauge(gaugePartitions),
+		reg:           reg,
+		knn:           reg.Op(opKNN),
+		approx:        reg.Op(opKNNApprox),
+		quantKNN:      reg.Op(opKNNQuant),
+		rng:           reg.Op(opRange),
+		ins:           reg.Op(opInsert),
+		del:           reg.Op(opDelete),
+		batchKNN:      reg.Op(opBatchKNN),
+		batchRange:    reg.Op(opBatchRange),
+		batchQuantKNN: reg.Op(opBatchKNNQnt),
+		points:        reg.Gauge(gaugePoints),
+		partitions:    reg.Gauge(gaugePartitions),
 	}
 }
 

@@ -1,0 +1,61 @@
+package idist
+
+import (
+	"sync"
+	"testing"
+
+	"mmdr/internal/quant"
+)
+
+// Benchmarks for the quantized scan path against the exact fused batch on
+// the same fixture as fusedbench_test.go. BENCH_approx.json carries the
+// paper-scale (n=100k) frontier; these isolate the kernel costs at a size
+// that keeps fixture construction fast.
+
+var (
+	qbOnce sync.Once
+	qbErr  error
+)
+
+func quantBenchSetup() error {
+	if err := fusedBenchSetup(); err != nil {
+		return err
+	}
+	qbOnce.Do(func() {
+		set, err := quant.TrainSet(fbDS, fbRed, quant.Config{Blocks: 4, Bits: 6, Seed: 11})
+		if err != nil {
+			qbErr = err
+			return
+		}
+		qbErr = fbIdx.SetQuantizer(set)
+	})
+	return qbErr
+}
+
+func BenchmarkKNNQuantized(b *testing.B) {
+	if err := quantBenchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range fbQueries {
+			if _, err := fbIdx.KNNQuantized(q, 10, 128); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchKNNQuantized(b *testing.B) {
+	if err := quantBenchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fbIdx.BatchKNNQuantized(fbQueries, 10, 128, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

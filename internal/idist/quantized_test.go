@@ -1,0 +1,315 @@
+package idist
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"mmdr/internal/index"
+	"mmdr/internal/quant"
+)
+
+// Lockdowns for the quantized scan path. The contract under test:
+//
+//   1. Budget is the recall knob: recall@k against the seqscan oracle is
+//      monotone non-decreasing in the candidate budget, and budget >= n
+//      degenerates to the exact answer bitwise.
+//   2. BatchKNNQuantized is bitwise identical to solo KNNQuantized at any
+//      worker count and batch shape.
+//   3. The path allocates only what it returns (solo: 1, batch: 2+nq).
+//   4. With the layout dropped by a dynamic update the quantized entry
+//      points transparently produce exact answers, and RebuildLayout
+//      restores the coded path.
+//
+// The same file carries the KNNApprox recall lockdown (satellite): recall
+// monotone non-decreasing in maxRounds, exact when unbounded.
+
+// quantFixture builds an index with a trained quantizer attached.
+func quantFixture(t *testing.T, n int, seed int64) (*Index, *index.SeqScan) {
+	t.Helper()
+	ds, red := testSetup(t, n, 16, 3, seed)
+	set, err := quant.TrainSet(ds, red, quant.Config{Blocks: 4, Bits: 5, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds, red, Options{Quant: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.HasQuantizer() {
+		t.Fatal("quantizer attached at Build but HasQuantizer is false")
+	}
+	return idx, index.NewSeqScan(ds, red, nil)
+}
+
+func recallAt(got, want []index.Neighbor) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	ids := make(map[int]bool, len(want))
+	for _, nb := range want {
+		ids[nb.ID] = true
+	}
+	hit := 0
+	for _, nb := range got {
+		if ids[nb.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func TestKNNQuantizedRecallMonotoneInBudget(t *testing.T) {
+	const n, k = 900, 10
+	idx, scan := quantFixture(t, n, 71)
+	qs := equivQueries(idx.ds, 30, 171)
+
+	budgets := []int{k, 4 * k, 16 * k, n}
+	for _, q := range qs {
+		oracle := scan.KNN(q, k)
+		prev := -1.0
+		for _, b := range budgets {
+			got, err := idx.KNNQuantized(q, k, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := recallAt(got, oracle)
+			if r < prev {
+				t.Fatalf("recall dropped from %.3f to %.3f when budget grew to %d", prev, r, b)
+			}
+			prev = r
+		}
+		// budget >= n keeps every scanned row, so the re-rank sees the full
+		// candidate set and the answer is the exact one, bitwise.
+		got, err := idx.KNNQuantized(q, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameNeighbors(t, "budget>=n", got, oracle)
+	}
+}
+
+func TestKNNQuantizedAggregateRecall(t *testing.T) {
+	const n, k = 900, 10
+	idx, scan := quantFixture(t, n, 73)
+	qs := equivQueries(idx.ds, 40, 273)
+
+	// A modest budget over this easy clustered fixture should land a high
+	// aggregate recall — quantization error is bounded by the re-rank, so
+	// the only loss is candidates the ADC estimate misranks out of budget.
+	sum := 0.0
+	for _, q := range qs {
+		got, err := idx.KNNQuantized(q, k, 8*k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += recallAt(got, scan.KNN(q, k))
+	}
+	if avg := sum / float64(len(qs)); avg < 0.9 {
+		t.Fatalf("aggregate recall@%d = %.3f at budget %d, want >= 0.9", k, avg, 8*k)
+	}
+}
+
+func TestKNNQuantizedErrorsWithoutQuantizer(t *testing.T) {
+	ds, red := testSetup(t, 300, 12, 3, 5)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.KNNQuantized(ds.Point(0), 5, 50); err == nil {
+		t.Fatal("KNNQuantized without a quantizer should error")
+	}
+	if _, err := idx.BatchKNNQuantized([][]float64{ds.Point(0)}, 5, 50, 1); err == nil {
+		t.Fatal("BatchKNNQuantized without a quantizer should error")
+	}
+}
+
+func TestSetQuantizerValidatesAndDetaches(t *testing.T) {
+	ds, red := testSetup(t, 300, 16, 3, 7)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := quant.TrainSet(ds, red, quant.Config{Blocks: 4, Bits: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetQuantizer(set); err != nil {
+		t.Fatal(err)
+	}
+	if !idx.HasQuantizer() {
+		t.Fatal("SetQuantizer attached but HasQuantizer is false")
+	}
+	if _, err := idx.KNNQuantized(ds.Point(0), 5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SetQuantizer(nil); err != nil {
+		t.Fatal(err)
+	}
+	if idx.HasQuantizer() {
+		t.Fatal("detached quantizer still reported")
+	}
+
+	// A set whose book count disagrees with the partition layout is refused.
+	bad := &quant.Set{Blocks: set.Blocks, Bits: set.Bits, Books: set.Books[:1]}
+	if err := idx.SetQuantizer(bad); err == nil {
+		t.Fatal("mismatched book count accepted")
+	}
+}
+
+func TestBatchKNNQuantizedMatchesSoloAcrossWorkers(t *testing.T) {
+	const n, k, budget = 900, 10, 80
+	idx, _ := quantFixture(t, n, 79)
+	qs := equivQueries(idx.ds, 37, 379) // odd count: exercises a ragged final tile
+
+	want := make([][]index.Neighbor, len(qs))
+	for i, q := range qs {
+		out, err := idx.KNNQuantized(q, k, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := idx.BatchKNNQuantized(qs, k, budget, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			sameNeighbors(t, "batch/solo", got[i], want[i])
+		}
+	}
+}
+
+func TestQuantizedFallsBackExactAfterUpdate(t *testing.T) {
+	const n, k = 900, 10
+	idx, _ := quantFixture(t, n, 83)
+	q := idx.ds.Point(3)
+
+	// Drop the layout the way a dynamic workload would.
+	pt := make([]float64, idx.ds.Dim)
+	copy(pt, q)
+	id, err := idx.Insert(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.layout != nil {
+		t.Fatal("Insert should drop the derived layout")
+	}
+	got, err := idx.KNNQuantized(q, k, 5*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameNeighbors(t, "fallback", got, idx.KNN(q, k))
+
+	batch, err := idx.BatchKNNQuantized([][]float64{q}, k, 5*k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameNeighbors(t, "batch fallback", batch[0], got)
+
+	// Rebuilding restores the coded path, including codes for the new row.
+	if !idx.Delete(id) {
+		t.Fatal("Delete of the freshly inserted row failed")
+	}
+	idx.RebuildLayout()
+	if !idx.HasQuantizer() {
+		t.Fatal("rebuilt layout should carry code blocks again")
+	}
+	if _, err := idx.KNNQuantized(q, k, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildLayoutEncodesInsertedRows(t *testing.T) {
+	const n, k = 600, 5
+	idx, _ := quantFixture(t, n, 89)
+	// Insert a clone of an existing subspace member so it lands in a coded
+	// partition, then rebuild: the new row must be findable via the coded
+	// path at full budget (exact semantics).
+	src := idx.ds.Point(10)
+	pt := make([]float64, len(src))
+	copy(pt, src)
+	id, err := idx.Insert(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.RebuildLayout()
+	got, err := idx.KNNQuantized(pt, k, idx.ds.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, nb := range got {
+		if nb.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted row %d missing from full-budget quantized result %v", id, got)
+	}
+}
+
+func TestKNNQuantizedAllocatesOnlyResult(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; exact budgets only hold without -race")
+	}
+	idx, _ := quantFixture(t, 900, 17)
+	q := idx.ds.Point(5)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if _, err := idx.KNNQuantized(q, 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(100, func() { idx.KNNQuantized(q, 10, 100) })
+	if n != 1 {
+		t.Fatalf("KNNQuantized allocated %.1f objects per query, budget is exactly 1 (the result slice)", n)
+	}
+}
+
+func TestBatchKNNQuantizedWorkerAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; exact budgets only hold without -race")
+	}
+	idx, _ := quantFixture(t, 900, 17)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = idx.ds.Point(5)
+	}
+	if _, err := idx.BatchKNNQuantized(queries, 10, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	budget := float64(2 + len(queries)) // outer slice + worker closure + one result per query
+	n := testing.AllocsPerRun(50, func() { idx.BatchKNNQuantized(queries, 10, 100, 1) })
+	if n != budget {
+		t.Fatalf("BatchKNNQuantized(workers=1) allocated %.1f objects per batch, budget is exactly %.0f", n, budget)
+	}
+}
+
+// KNNApprox recall lockdown (the online-answering mode): recall against the
+// seqscan oracle is monotone non-decreasing in maxRounds, and maxRounds=0
+// (unbounded) is the exact search.
+func TestKNNApproxRecallMonotoneInRounds(t *testing.T) {
+	const k = 10
+	ds, red := testSetup(t, 900, 12, 3, 31)
+	idx, err := Build(ds, red, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := index.NewSeqScan(ds, red, nil)
+	qs := equivQueries(ds, 30, 131)
+	for _, q := range qs {
+		oracle := scan.KNN(q, k)
+		prev := -1.0
+		for _, rounds := range []int{1, 2, 4, 8, 16} {
+			r := recallAt(idx.KNNApprox(q, k, rounds), oracle)
+			if r < prev {
+				t.Fatalf("KNNApprox recall dropped from %.3f to %.3f at maxRounds=%d", prev, r, rounds)
+			}
+			prev = r
+		}
+		sameNeighbors(t, "maxRounds=0", idx.KNNApprox(q, k, 0), oracle)
+	}
+}

@@ -61,7 +61,7 @@ func (idx *Index) rangeInto(sc *queryScratch, q []float64, r float64) []index.Ne
 		base := float64(pi) * idx.c
 		sc.beginScan(pi)
 		if idx.layout != nil {
-			idx.tree.RangeRuns(base+lo, base+hi, false, false, sc.visitRunRange)
+			idx.scanBlockRange(sc, pi, base+lo, base+hi, false, false)
 		} else {
 			idx.tree.RangeBetween(base+lo, base+hi, false, false, sc.visitRange)
 		}

@@ -33,10 +33,6 @@ type queryScratch struct {
 
 	visitKNN   func(key float64, rid uint32) bool
 	visitRange func(key float64, rid uint32) bool
-
-	// Run-granular counterparts used when the SoA layout is materialized.
-	visitRunKNN   func(keys []float64, rids []uint32) bool
-	visitRunRange func(keys []float64, rids []uint32) bool
 }
 
 // getScratch returns a ready-to-use scratch sized for the index's current
@@ -47,8 +43,6 @@ func (idx *Index) getScratch() *queryScratch {
 		sc = &queryScratch{idx: idx, top: index.NewTopK(0)}
 		sc.visitKNN = sc.knnVisit
 		sc.visitRange = sc.rangeVisit
-		sc.visitRunKNN = sc.knnRunVisit
-		sc.visitRunRange = sc.rangeRunVisit
 	}
 	sc.ensure()
 	return sc
@@ -167,75 +161,5 @@ func (sc *queryScratch) rangeVisit(_ float64, rid uint32) bool {
 	if dSq <= sc.r2 {
 		sc.rangeBuf = append(sc.rangeBuf, index.Neighbor{ID: id, Dist: dSq})
 	}
-	return true
-}
-
-// knnRunVisit is knnVisit at leaf-run granularity over the SoA layout: one
-// contiguous run of tree entries arrives at once, and the candidate vectors
-// stream from the partition's row-major block instead of being fetched per
-// record ID. Entries of a run occupy consecutive block rows (runs are
-// consecutive leaf positions within one partition's span), so one row
-// lookup positions the whole run. Per-candidate arithmetic — early-abandon
-// bound, accumulation order, heap updates — is identical to knnVisit, so
-// answers match bit for bit; only the memory access pattern changes.
-//
-//mmdr:hotpath innermost run-at-a-time callback of every SoA KNN scan
-func (sc *queryScratch) knnRunVisit(_ []float64, rids []uint32) bool {
-	idx := sc.idx
-	lay := idx.layout
-	d := lay.dims[sc.pi]
-	block := lay.vecs[sc.pi]
-	row := int(lay.rowOf[rids[0]]) * d
-	x := sc.x
-	top := sc.top
-	if sc.abandon {
-		for _, rid := range rids {
-			v := block[row : row+d : row+d]
-			row += d
-			top.Add(int(rid), matrix.SqDistEarlyAbandon(x, v, top.Kth()))
-		}
-	} else {
-		for _, rid := range rids {
-			v := block[row : row+d : row+d]
-			row += d
-			top.Add(int(rid), matrix.SqDist(x, v))
-		}
-	}
-	if idx.counter != nil {
-		idx.counter.CountDistanceOps(int64(len(rids)))
-	}
-	sc.cand += len(rids)
-	return true
-}
-
-// rangeRunVisit is rangeVisit at leaf-run granularity over the SoA layout
-// (see knnRunVisit for the layout contract).
-//
-//mmdr:hotpath innermost run-at-a-time callback of every SoA range scan
-func (sc *queryScratch) rangeRunVisit(_ []float64, rids []uint32) bool {
-	idx := sc.idx
-	lay := idx.layout
-	d := lay.dims[sc.pi]
-	block := lay.vecs[sc.pi]
-	row := int(lay.rowOf[rids[0]]) * d
-	x := sc.x
-	r2 := sc.r2
-	for _, rid := range rids {
-		v := block[row : row+d : row+d]
-		row += d
-		var dSq float64
-		if sc.abandon {
-			dSq = matrix.SqDistEarlyAbandon(x, v, r2)
-		} else {
-			dSq = matrix.SqDist(x, v)
-		}
-		if dSq <= r2 {
-			sc.rangeBuf = append(sc.rangeBuf, index.Neighbor{ID: int(rid), Dist: dSq})
-		}
-	}
-	if idx.counter != nil {
-		idx.counter.CountDistanceOps(int64(len(rids)))
-	}
-	sc.cand += len(rids)
 	return true
 }

@@ -109,6 +109,13 @@ func (t *TopK) Kth() float64 {
 // Len returns how many neighbors are currently held.
 func (t *TopK) Len() int { return len(t.heap) }
 
+// Items returns a view of the accumulated neighbors in internal heap order,
+// without allocating or copying. The view is invalidated by the next Add or
+// Reset; callers that need distance order use Sorted. Heap order is a
+// deterministic function of the Add sequence, so two accumulators fed the
+// same candidates in the same order expose identical views.
+func (t *TopK) Items() []Neighbor { return t.heap }
+
 // Sorted returns the accumulated neighbors in ascending distance order. The
 // returned slice is the only allocation a reused TopK makes per query.
 func (t *TopK) Sorted() []Neighbor {

@@ -1,0 +1,63 @@
+package matrix
+
+// Asymmetric-distance (ADC) kernels for the product-quantized scan path.
+// A PQ code row is m uint8 sub-codes; the query side is a per-query lookup
+// table with one K-wide slab per sub-block, table[j*k+c] holding the exact
+// squared distance between the query's j-th sub-vector and centroid c of
+// block j. The estimated squared distance of a coded row is then m table
+// loads and m-1 adds — no multiplies, no stored floats.
+//
+// Table entries are squared distances and therefore non-negative, which is
+// what makes the partial sums of ADCSumBound monotone non-decreasing and
+// the early-abandon contract sound. Accumulation is a single accumulator in
+// strict block order, so every caller that sums the same table and code
+// gets the bit-identical estimate regardless of batching.
+
+// ADCSum returns the ADC estimate Σ_j table[j*k + code[j]] for one coded
+// row. k is the per-block slab width (the codebook's centroid count); code
+// supplies one sub-code per block.
+//
+//mmdr:hotpath innermost per-row kernel of every quantized annulus scan
+func ADCSum(table []float64, k int, code []byte) float64 {
+	var s float64
+	off := 0
+	for _, c := range code {
+		s += table[off+int(c)]
+		off += k
+	}
+	return s
+}
+
+// ADCSumBound is ADCSum with early abandoning: the scan may stop as soon as
+// the partial sum exceeds bound. Table entries are non-negative, so a
+// return value v > bound certifies the full estimate also exceeds bound; a
+// return value v <= bound is the exact full estimate, bit-identical to
+// ADCSum (abandoning only cuts block iterations short, it never reorders
+// the strict left-to-right accumulation). Pass bound = +Inf to disable
+// abandoning. Codes of at most four blocks skip the per-block branch
+// entirely: at that width an abandoned row saves fewer adds than the
+// branches cost, and the full sum is what ADCSum would return anyway.
+//
+//mmdr:hotpath innermost per-row kernel of every bounded quantized scan
+func ADCSumBound(table []float64, k int, code []byte, bound float64) float64 {
+	if len(code) == 4 {
+		s := table[int(code[0])]
+		s += table[k+int(code[1])]
+		s += table[2*k+int(code[2])]
+		s += table[3*k+int(code[3])]
+		return s
+	}
+	if len(code) <= 4 {
+		return ADCSum(table, k, code)
+	}
+	var s float64
+	off := 0
+	for _, c := range code {
+		s += table[off+int(c)]
+		if s > bound {
+			return s
+		}
+		off += k
+	}
+	return s
+}

@@ -1,0 +1,355 @@
+// Package quant implements per-partition product quantization for the
+// approximate query mode: each index partition (reduced subspace or the
+// original-space outlier set) gets its own codebook that splits the
+// partition's vector space into m contiguous sub-blocks and k-means-quantizes
+// each block to K = 2^bits centroids. A stored vector compresses to m uint8
+// sub-codes — 8·d/m times smaller than its float64 coordinates — and a query
+// evaluates a coded row asymmetrically (ADC): one lookup table of exact
+// query-to-centroid squared distances per block, then m table loads per row
+// (see matrix.ADCSum).
+//
+// Training reuses the repository's k-means machinery and inherits its
+// determinism guarantee: per-point work is index-partitioned and every
+// floating-point reduction is serial, so codebooks are bit-identical at any
+// Parallelism setting. Sub-sampling, block splitting and seed derivation are
+// all deterministic functions of the configuration, never of scheduling.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"mmdr/internal/dataset"
+	"mmdr/internal/kmeans"
+	"mmdr/internal/matrix"
+	"mmdr/internal/reduction"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultBlocks    = 8     // sub-blocks per partition (clamped to the dimension)
+	DefaultBits      = 6     // log2 centroids per block → K=64
+	DefaultMaxIters  = 25    // Lloyd iterations per block
+	DefaultSampleCap = 20000 // training rows per partition before stride sampling
+)
+
+// Config parameterizes codebook training.
+type Config struct {
+	// Blocks is m, the sub-blocks per partition. Partitions of dimension
+	// d < m use d blocks (one dimension each); 0 means DefaultBlocks. The
+	// code for one vector occupies min(Blocks, d) bytes.
+	Blocks int
+	// Bits is log2 of the centroids per block, 1..8 (codes are uint8);
+	// 0 means DefaultBits. Fewer centroids than 2^Bits are used when a
+	// partition has fewer training rows.
+	Bits int
+	// Seed drives k-means++ seeding. Per-partition and per-block seeds are
+	// derived from it deterministically.
+	Seed int64
+	// Parallelism bounds the workers inside each k-means run (the block
+	// loop itself is serial). Any setting yields bit-identical codebooks.
+	Parallelism int
+	// MaxIters bounds Lloyd iterations per block; 0 means DefaultMaxIters.
+	MaxIters int
+	// SampleCap bounds the training rows per partition; larger partitions
+	// are stride-sampled deterministically. 0 means DefaultSampleCap,
+	// negative disables sampling.
+	SampleCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Blocks <= 0 {
+		c.Blocks = DefaultBlocks
+	}
+	if c.Bits <= 0 {
+		c.Bits = DefaultBits
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = DefaultMaxIters
+	}
+	if c.SampleCap == 0 {
+		c.SampleCap = DefaultSampleCap
+	}
+	return c
+}
+
+// Codebook is the product quantizer of one partition. Block j covers the
+// contiguous dimension range [Split[j], Split[j+1]) and owns K centroids of
+// that width, stored row-major in its slab of Centroids. The unexported slab
+// offsets are skipped by gob and re-derived by EnsureKernels after a Load,
+// so a persisted codebook can never silently arrive with stale geometry.
+//
+//mmdr:persist rebuild=EnsureKernels
+type Codebook struct {
+	Dim   int   // partition dimensionality
+	M     int   // sub-blocks; one code byte per block
+	K     int   // centroids per block (≤ 256)
+	Split []int // len M+1, ascending, Split[0]=0, Split[M]=Dim
+
+	// Centroids concatenates one slab per block: block j's slab holds K
+	// row-major centroids of width Split[j+1]-Split[j].
+	Centroids []float64
+
+	off []int // derived slab offsets into Centroids, len M+1
+}
+
+// EnsureKernels (re)derives the unexported slab offsets from the exported
+// geometry. Idempotent; called by Train and after gob decoding.
+func (cb *Codebook) EnsureKernels() {
+	if cb.off != nil || cb.M <= 0 {
+		return
+	}
+	off := make([]int, cb.M+1)
+	for j := 0; j < cb.M; j++ {
+		off[j+1] = off[j] + cb.K*(cb.Split[j+1]-cb.Split[j])
+	}
+	cb.off = off
+}
+
+// Validate checks the codebook's structural invariants.
+func (cb *Codebook) Validate() error {
+	if cb.Dim <= 0 || cb.M <= 0 || cb.M > cb.Dim {
+		return fmt.Errorf("quant: codebook blocks m=%d invalid for dim %d", cb.M, cb.Dim)
+	}
+	if cb.K <= 0 || cb.K > 256 {
+		return fmt.Errorf("quant: codebook K=%d outside uint8 range", cb.K)
+	}
+	if len(cb.Split) != cb.M+1 || cb.Split[0] != 0 || cb.Split[cb.M] != cb.Dim {
+		return fmt.Errorf("quant: codebook split of len %d does not cover dim %d", len(cb.Split), cb.Dim)
+	}
+	total := 0
+	for j := 0; j < cb.M; j++ {
+		w := cb.Split[j+1] - cb.Split[j]
+		if w <= 0 {
+			return fmt.Errorf("quant: codebook block %d has width %d", j, w)
+		}
+		total += cb.K * w
+	}
+	if len(cb.Centroids) != total {
+		return fmt.Errorf("quant: codebook centroid storage %d != expected %d", len(cb.Centroids), total)
+	}
+	return nil
+}
+
+// CodeBytes returns the bytes one coded vector occupies (one per block).
+func (cb *Codebook) CodeBytes() int { return cb.M }
+
+// TableLen returns the float64 length of one ADC lookup table (M·K).
+func (cb *Codebook) TableLen() int { return cb.M * cb.K }
+
+// blockSlab returns block j's centroid slab and width.
+func (cb *Codebook) blockSlab(j int) ([]float64, int) {
+	w := cb.Split[j+1] - cb.Split[j]
+	return cb.Centroids[cb.off[j]:cb.off[j+1]], w
+}
+
+// EncodeInto quantizes v (length Dim) into code (length M): per block, the
+// index of the nearest centroid in squared Euclidean distance, lowest index
+// winning ties (strict < comparison) so encoding is deterministic.
+//
+//mmdr:hotpath per-row encoding loop of every layout rebuild
+func (cb *Codebook) EncodeInto(v []float64, code []byte) {
+	for j := 0; j < cb.M; j++ {
+		slab, w := cb.blockSlab(j)
+		sub := v[cb.Split[j]:cb.Split[j+1]]
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < cb.K; c++ {
+			d := matrix.SqDist(sub, slab[c*w:(c+1)*w])
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		code[j] = byte(best)
+	}
+}
+
+// ADCTableInto fills a per-query lookup table (length TableLen) with exact
+// squared distances: table[j*K+c] = ‖q_block_j − centroid_c‖². The ADC
+// estimate of a coded row is then matrix.ADCSum(table, K, code).
+//
+//mmdr:hotpath built once per (query, partition) on the quantized path
+func (cb *Codebook) ADCTableInto(q []float64, table []float64) {
+	k := cb.K
+	for j := 0; j < cb.M; j++ {
+		slab, w := cb.blockSlab(j)
+		sub := q[cb.Split[j]:cb.Split[j+1]]
+		row := table[j*k : (j+1)*k : (j+1)*k]
+		for c := 0; c < k; c++ {
+			row[c] = matrix.SqDist(sub, slab[c*w:(c+1)*w])
+		}
+	}
+}
+
+// splitDims partitions dim into m near-equal contiguous blocks (the first
+// dim%m blocks one wider), the deterministic split EncodeInto and
+// ADCTableInto assume.
+func splitDims(dim, m int) []int {
+	split := make([]int, m+1)
+	base, rem := dim/m, dim%m
+	for j := 0; j < m; j++ {
+		w := base
+		if j < rem {
+			w++
+		}
+		split[j+1] = split[j] + w
+	}
+	return split
+}
+
+// Train fits a codebook over n = len(data)/dim row-major rows. Rows beyond
+// the sample cap are stride-sampled (every ceil(n/cap)-th row), so the
+// training set is a deterministic function of the data order.
+func Train(data []float64, dim int, cfg Config) (*Codebook, error) {
+	cfg = cfg.withDefaults()
+	if dim <= 0 || len(data)%dim != 0 {
+		return nil, fmt.Errorf("quant: data length %d not divisible by dim %d", len(data), dim)
+	}
+	n := len(data) / dim
+	if n == 0 {
+		return nil, fmt.Errorf("quant: no training rows")
+	}
+	if cfg.Bits > 8 {
+		return nil, fmt.Errorf("quant: bits=%d exceeds uint8 codes", cfg.Bits)
+	}
+	m := cfg.Blocks
+	if m > dim {
+		m = dim
+	}
+
+	// Deterministic stride sampling: step = ceil(n/cap) keeps ≤ cap rows.
+	step := 1
+	if cfg.SampleCap > 0 && n > cfg.SampleCap {
+		step = (n + cfg.SampleCap - 1) / cfg.SampleCap
+	}
+	nTrain := (n + step - 1) / step
+
+	k := 1 << cfg.Bits
+	if k > nTrain {
+		k = nTrain
+	}
+
+	cb := &Codebook{Dim: dim, M: m, K: k, Split: splitDims(dim, m)}
+	total := 0
+	for j := 0; j < m; j++ {
+		total += k * (cb.Split[j+1] - cb.Split[j])
+	}
+	cb.Centroids = make([]float64, 0, total)
+
+	// Serial block loop; parallelism lives inside each k-means run, whose
+	// reductions are serial in point order — bit-identical at any worker
+	// count.
+	sub := make([]float64, nTrain*cb.Split[1]) // widest block is the first
+	for j := 0; j < m; j++ {
+		lo, hi := cb.Split[j], cb.Split[j+1]
+		w := hi - lo
+		flat := sub[:nTrain*w]
+		for r := 0; r < nTrain; r++ {
+			copy(flat[r*w:(r+1)*w], data[(r*step)*dim+lo:(r*step)*dim+hi])
+		}
+		ds, err := dataset.FromData(w, flat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := kmeans.Run(ds, kmeans.Options{
+			K:           k,
+			MaxIters:    cfg.MaxIters,
+			Seed:        cfg.Seed + int64(j+1)*7919,
+			Parallelism: cfg.Parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("quant: block %d: %w", j, err)
+		}
+		if res.K != k {
+			return nil, fmt.Errorf("quant: block %d trained %d centroids, want %d", j, res.K, k)
+		}
+		for _, c := range res.Centroids {
+			cb.Centroids = append(cb.Centroids, c...)
+		}
+	}
+	cb.EnsureKernels()
+	return cb, nil
+}
+
+// Set bundles one codebook per index partition, in the extended-iDistance
+// partition order: reduction subspaces first (by subspace order), then the
+// outlier partition when the reduction has outliers. Persisted whole by gob;
+// the directive keeps future unexported fields from vanishing across a
+// save/load round trip.
+//
+//mmdr:persist
+type Set struct {
+	Blocks int // configured m (before per-partition clamping)
+	Bits   int // configured log2 K
+	Books  []*Codebook
+}
+
+// EnsureKernels re-derives every codebook's unexported geometry (after gob
+// decoding). Idempotent.
+func (s *Set) EnsureKernels() {
+	for _, cb := range s.Books {
+		cb.EnsureKernels()
+	}
+}
+
+// Validate checks every codebook.
+func (s *Set) Validate() error {
+	if len(s.Books) == 0 {
+		return fmt.Errorf("quant: empty codebook set")
+	}
+	for i, cb := range s.Books {
+		if cb == nil {
+			return fmt.Errorf("quant: codebook %d is nil", i)
+		}
+		if err := cb.Validate(); err != nil {
+			return fmt.Errorf("quant: codebook %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CodeBytesPerVector returns the worst-case bytes per coded vector across
+// partitions (partitions narrower than Blocks code fewer bytes).
+func (s *Set) CodeBytesPerVector() int {
+	max := 0
+	for _, cb := range s.Books {
+		if cb.M > max {
+			max = cb.M
+		}
+	}
+	return max
+}
+
+// TrainSet trains one codebook per partition of red over ds: subspace
+// partitions train on their stored reduced coordinates, the outlier
+// partition (when present) on the outliers' original-space points. The
+// result aligns with idist's partition order.
+func TrainSet(ds *dataset.Dataset, red *reduction.Result, cfg Config) (*Set, error) {
+	cfg = cfg.withDefaults()
+	set := &Set{Blocks: cfg.Blocks, Bits: cfg.Bits}
+	for pi, sub := range red.Subspaces {
+		pcfg := cfg
+		pcfg.Seed = cfg.Seed + int64(pi+1)*1_000_003
+		cb, err := Train(sub.Coords, sub.Dr, pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("quant: subspace %d: %w", pi, err)
+		}
+		set.Books = append(set.Books, cb)
+	}
+	if len(red.Outliers) > 0 {
+		flat := make([]float64, len(red.Outliers)*ds.Dim)
+		for i, id := range red.Outliers {
+			copy(flat[i*ds.Dim:(i+1)*ds.Dim], ds.Point(id))
+		}
+		pcfg := cfg
+		pcfg.Seed = cfg.Seed + int64(len(red.Subspaces)+1)*1_000_003
+		cb, err := Train(flat, ds.Dim, pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("quant: outlier partition: %w", err)
+		}
+		set.Books = append(set.Books, cb)
+	}
+	if len(set.Books) == 0 {
+		return nil, fmt.Errorf("quant: reduction has no partitions")
+	}
+	return set, nil
+}

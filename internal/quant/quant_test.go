@@ -1,0 +1,326 @@
+package quant
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mmdr/internal/core"
+	"mmdr/internal/datagen"
+	"mmdr/internal/matrix"
+)
+
+// trainData builds n rows of clustered dim-dimensional data so k-means has
+// real structure to find.
+func trainData(n, dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n*dim)
+	for r := 0; r < n; r++ {
+		center := float64(r % 4)
+		for c := 0; c < dim; c++ {
+			data[r*dim+c] = center + 0.1*rng.NormFloat64()
+		}
+	}
+	return data
+}
+
+func TestSplitDimsCoverage(t *testing.T) {
+	for dim := 1; dim <= 20; dim++ {
+		for m := 1; m <= dim; m++ {
+			split := splitDims(dim, m)
+			if len(split) != m+1 || split[0] != 0 || split[m] != dim {
+				t.Fatalf("dim=%d m=%d: bad split %v", dim, m, split)
+			}
+			for j := 0; j < m; j++ {
+				w := split[j+1] - split[j]
+				if w < dim/m || w > dim/m+1 {
+					t.Fatalf("dim=%d m=%d: block %d width %d", dim, m, j, w)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainDeterministicAcrossParallelism(t *testing.T) {
+	data := trainData(600, 12, 3)
+	var want *Codebook
+	for _, p := range []int{1, 2, 8} {
+		cb, err := Train(data, 12, Config{Blocks: 4, Bits: 5, Seed: 42, Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if err := cb.Validate(); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if want == nil {
+			want = cb
+			continue
+		}
+		if !reflect.DeepEqual(cb.Centroids, want.Centroids) {
+			t.Fatalf("parallelism %d: centroids differ from serial training", p)
+		}
+		if !reflect.DeepEqual(cb.Split, want.Split) || cb.K != want.K {
+			t.Fatalf("parallelism %d: geometry differs", p)
+		}
+	}
+}
+
+func TestTrainClampsBlocksAndK(t *testing.T) {
+	// dim 3 < Blocks 8 → one block per dimension; 10 rows < 2^6 → K clamps.
+	data := trainData(10, 3, 5)
+	cb, err := Train(data, 3, Config{Blocks: 8, Bits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.M != 3 {
+		t.Fatalf("M=%d want 3", cb.M)
+	}
+	if cb.K != 10 {
+		t.Fatalf("K=%d want 10", cb.K)
+	}
+	if err := cb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainSampleCapDeterministic(t *testing.T) {
+	data := trainData(2000, 8, 7)
+	a, err := Train(data, 8, Config{Blocks: 4, Bits: 4, Seed: 9, SampleCap: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(data, 8, Config{Blocks: 4, Bits: 4, Seed: 9, SampleCap: 300, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Centroids, b.Centroids) {
+		t.Fatal("sampled training not deterministic across parallelism")
+	}
+}
+
+func TestEncodeNearestAndDeterministic(t *testing.T) {
+	data := trainData(400, 10, 11)
+	cb, err := Train(data, 10, Config{Blocks: 5, Bits: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := make([]byte, cb.M)
+	code2 := make([]byte, cb.M)
+	for r := 0; r < 50; r++ {
+		v := data[r*10 : (r+1)*10]
+		cb.EncodeInto(v, code)
+		cb.EncodeInto(v, code2)
+		if !bytes.Equal(code, code2) {
+			t.Fatal("encoding not deterministic")
+		}
+		// Each sub-code must actually be the nearest centroid of its block.
+		for j := 0; j < cb.M; j++ {
+			slab, w := cb.blockSlab(j)
+			sub := v[cb.Split[j]:cb.Split[j+1]]
+			got := matrix.SqDist(sub, slab[int(code[j])*w:(int(code[j])+1)*w])
+			for c := 0; c < cb.K; c++ {
+				if d := matrix.SqDist(sub, slab[c*w:(c+1)*w]); d < got {
+					t.Fatalf("row %d block %d: centroid %d at %v beats code %d at %v",
+						r, j, c, d, code[j], got)
+				}
+			}
+		}
+	}
+}
+
+func TestADCTableMatchesDirectDistances(t *testing.T) {
+	data := trainData(300, 9, 13)
+	cb, err := Train(data, 9, Config{Blocks: 3, Bits: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	q := make([]float64, 9)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	table := make([]float64, cb.TableLen())
+	cb.ADCTableInto(q, table)
+	for j := 0; j < cb.M; j++ {
+		slab, w := cb.blockSlab(j)
+		sub := q[cb.Split[j]:cb.Split[j+1]]
+		for c := 0; c < cb.K; c++ {
+			want := matrix.SqDist(sub, slab[c*w:(c+1)*w])
+			if got := table[j*cb.K+c]; got != want {
+				t.Fatalf("table[%d,%d]=%v want %v", j, c, got, want)
+			}
+			if table[j*cb.K+c] < 0 {
+				t.Fatalf("negative table entry at (%d,%d)", j, c)
+			}
+		}
+	}
+	// The ADC estimate of a coded row is the block-wise sum, bit for bit.
+	code := make([]byte, cb.M)
+	v := data[42*9 : 43*9]
+	cb.EncodeInto(v, code)
+	var want float64
+	for j, c := range code {
+		want += table[j*cb.K+int(c)]
+	}
+	if got := matrix.ADCSum(table, cb.K, code); got != want {
+		t.Fatalf("ADCSum=%v want %v", got, want)
+	}
+}
+
+func TestTrainSetOverReduction(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 900, Dim: 12, NumClusters: 3, SDim: 2, VarRatio: 20, Seed: 23}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	red, err := core.New(core.Params{Seed: 23, MaxEC: 5}).Reduce(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := TrainSet(ds, red, Config{Blocks: 4, Bits: 5, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantParts := len(red.Subspaces)
+	if len(red.Outliers) > 0 {
+		wantParts++
+	}
+	if len(set.Books) != wantParts {
+		t.Fatalf("books=%d want %d", len(set.Books), wantParts)
+	}
+	for pi, s := range red.Subspaces {
+		if set.Books[pi].Dim != s.Dr {
+			t.Fatalf("book %d dim=%d want Dr=%d", pi, set.Books[pi].Dim, s.Dr)
+		}
+	}
+	if len(red.Outliers) > 0 {
+		if got := set.Books[len(set.Books)-1].Dim; got != ds.Dim {
+			t.Fatalf("outlier book dim=%d want %d", got, ds.Dim)
+		}
+	}
+	// Deterministic across parallelism end to end.
+	set2, err := TrainSet(ds, red, Config{Blocks: 4, Bits: 5, Seed: 23, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Books {
+		if !reflect.DeepEqual(set.Books[i].Centroids, set2.Books[i].Centroids) {
+			t.Fatalf("book %d differs across parallelism", i)
+		}
+	}
+}
+
+func TestSetGobRoundTrip(t *testing.T) {
+	data := trainData(500, 10, 29)
+	cb, err := Train(data, 10, Config{Blocks: 5, Bits: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &Set{Blocks: 5, Bits: 4, Books: []*Codebook{cb}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(set); err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	// The derived slab offsets are unexported: gone after decode, restored
+	// by EnsureKernels.
+	if back.Books[0].off != nil {
+		t.Fatal("unexported offsets unexpectedly survived gob")
+	}
+	back.EnsureKernels()
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Books[0].off, cb.off) {
+		t.Fatalf("rebuilt offsets %v != original %v", back.Books[0].off, cb.off)
+	}
+	// Round-tripped codebook encodes and tabulates bit-identically.
+	code, codeBack := make([]byte, cb.M), make([]byte, cb.M)
+	table, tableBack := make([]float64, cb.TableLen()), make([]float64, cb.TableLen())
+	for r := 0; r < 20; r++ {
+		v := data[r*10 : (r+1)*10]
+		cb.EncodeInto(v, code)
+		back.Books[0].EncodeInto(v, codeBack)
+		if !bytes.Equal(code, codeBack) {
+			t.Fatalf("row %d: codes differ after round trip", r)
+		}
+		cb.ADCTableInto(v, table)
+		back.Books[0].ADCTableInto(v, tableBack)
+		if !reflect.DeepEqual(table, tableBack) {
+			t.Fatalf("row %d: tables differ after round trip", r)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 4, Config{}); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := Train(make([]float64, 10), 4, Config{}); err == nil {
+		t.Fatal("want error for ragged data")
+	}
+	if _, err := Train(make([]float64, 16), 4, Config{Bits: 9}); err == nil {
+		t.Fatal("want error for bits > 8")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	data := trainData(200, 8, 31)
+	cb, err := Train(data, 8, Config{Blocks: 4, Bits: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *cb
+	bad.Centroids = bad.Centroids[:len(bad.Centroids)-1]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for truncated centroids")
+	}
+	bad2 := *cb
+	bad2.K = 300
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("want error for K > 256")
+	}
+}
+
+// Quantization error should be meaningfully smaller than the data's own
+// spread — a sanity check that training actually fits the distribution.
+func TestQuantizationReducesError(t *testing.T) {
+	data := trainData(800, 8, 37)
+	cb, err := Train(data, 8, Config{Blocks: 4, Bits: 6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := make([]byte, cb.M)
+	var errSum, varSum float64
+	mean := make([]float64, 8)
+	for r := 0; r < 800; r++ {
+		for c := 0; c < 8; c++ {
+			mean[c] += data[r*8+c]
+		}
+	}
+	for c := range mean {
+		mean[c] /= 800
+	}
+	for r := 0; r < 800; r++ {
+		v := data[r*8 : (r+1)*8]
+		cb.EncodeInto(v, code)
+		for j := 0; j < cb.M; j++ {
+			slab, w := cb.blockSlab(j)
+			errSum += matrix.SqDist(v[cb.Split[j]:cb.Split[j+1]], slab[int(code[j])*w:(int(code[j])+1)*w])
+		}
+		varSum += matrix.SqDist(v, mean)
+	}
+	if math.IsNaN(errSum) || errSum > varSum/10 {
+		t.Fatalf("quantization error %v vs variance %v: quantizer did not fit", errSum, varSum)
+	}
+}

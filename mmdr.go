@@ -36,6 +36,7 @@ import (
 	"mmdr/internal/iostat"
 	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
+	"mmdr/internal/quant"
 	"mmdr/internal/query"
 	"mmdr/internal/reduction"
 )
@@ -186,6 +187,7 @@ type Model struct {
 	result *reduction.Result
 	cfg    config
 	method string
+	quant  *quant.Set // trained product quantizer, nil until TrainQuantizer
 }
 
 // Reduce fits a dimensionality-reduction model over n = len(data)/dim
@@ -318,6 +320,7 @@ func (m *Model) NewIndex(opts ...Option) (*Index, error) {
 		Counter:  cfg.counter,
 		Tracer:   cfg.tracer,
 		Metrics:  cfg.metrics,
+		Quant:    m.quant,
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"mmdr/internal/dataset"
+	"mmdr/internal/quant"
 	"mmdr/internal/reduction"
 )
 
@@ -24,6 +25,10 @@ type modelFile struct {
 	Dim     int
 	Data    *dataset.Dataset
 	Result  *reduction.Result
+	// Quant is the trained product quantizer, nil when the model has none.
+	// Optional fields decode as nil from older files, so the version is
+	// unchanged.
+	Quant *quant.Set
 }
 
 const modelFileVersion = 1
@@ -37,6 +42,7 @@ func (m *Model) Save(w io.Writer) error {
 		Dim:     m.ds.Dim,
 		Data:    m.ds,
 		Result:  m.result,
+		Quant:   m.quant,
 	})
 }
 
@@ -68,15 +74,22 @@ func Load(r io.Reader) (*Model, error) {
 	if mf.Dim != mf.Data.Dim {
 		return nil, fmt.Errorf("mmdr: corrupt model file: header dim %d != dataset dim %d", mf.Dim, mf.Data.Dim)
 	}
-	m := &Model{ds: mf.Data, result: mf.Result, method: mf.Method}
+	m := &Model{ds: mf.Data, result: mf.Result, method: mf.Method, quant: mf.Quant}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("mmdr: loaded model invalid: %w", err)
 	}
 	// The query kernel caches (transposed basis, Cholesky factor of CovInv)
 	// live in unexported fields gob does not carry; rebuild them so a loaded
-	// model queries on the same fast paths as a freshly built one.
+	// model queries on the same fast paths as a freshly built one. The
+	// quantizer's table offsets are the same kind of derived state.
 	for _, s := range m.result.Subspaces {
 		s.EnsureKernels()
+	}
+	if m.quant != nil {
+		m.quant.EnsureKernels()
+		if err := m.quant.Validate(); err != nil {
+			return nil, fmt.Errorf("mmdr: loaded quantizer invalid: %w", err)
+		}
 	}
 	return m, nil
 }

@@ -1,0 +1,104 @@
+package mmdr
+
+import (
+	"fmt"
+
+	"mmdr/internal/quant"
+)
+
+// QuantizeConfig configures product-quantizer training (TrainQuantizer).
+// The zero value selects the defaults.
+type QuantizeConfig struct {
+	// Blocks is the number of sub-blocks each reduced vector is split into
+	// (default 8, clamped to the vector dimensionality). One byte of code is
+	// stored per block, so Blocks is also the code size in bytes.
+	Blocks int
+	// Bits is the code width per block (default 6, max 8): each block is
+	// quantized to one of 2^Bits centroids.
+	Bits int
+}
+
+// TrainQuantizer fits a per-subspace product quantizer over the model's
+// reduced representation (and the outliers' original coordinates): each
+// partition gets its own codebook of Blocks sub-quantizers, trained with the
+// library's k-means on the partition's member vectors. The trained quantizer
+// rides along with the model — Save/Load persist it, and every index built
+// by NewIndex afterwards carries compact codes and answers KNNQuantized.
+//
+// Training is deterministic: it reuses the model's seed, and the result is
+// bit-identical at any parallelism.
+func (m *Model) TrainQuantizer(cfg QuantizeConfig) error {
+	set, err := quant.TrainSet(m.ds, m.result, quant.Config{
+		Blocks:      cfg.Blocks,
+		Bits:        cfg.Bits,
+		Seed:        m.cfg.params.Seed,
+		Parallelism: resolveParallelism(m.cfg),
+	})
+	if err != nil {
+		return fmt.Errorf("mmdr: training quantizer: %w", err)
+	}
+	m.quant = set
+	return nil
+}
+
+// HasQuantizer reports whether a trained quantizer is attached to the model.
+func (m *Model) HasQuantizer() bool { return m.quant != nil }
+
+// CodeBytesPerVector returns the per-vector size of the quantized codes in
+// bytes (0 without a trained quantizer). Compare against 8 bytes per float64
+// coordinate of the reduced representation.
+func (m *Model) CodeBytesPerVector() int {
+	if m.quant == nil {
+		return 0
+	}
+	return m.quant.CodeBytesPerVector()
+}
+
+// KNNQuantized answers a KNN query through the quantized scan path: the
+// iDistance search geometry is unchanged, but candidate rows are scored by
+// asymmetric-distance (ADC) table lookups over their compact codes, the
+// scan stops once it has evaluated a bounded multiple of `budget` rows,
+// and the best ~budget candidates are re-ranked with exact distances. The
+// budget is the recall/throughput knob — recall grows monotonically with
+// it, and budget >= N degenerates to the exact answer — while the scan
+// itself touches Blocks bytes per row instead of Dr float64s.
+//
+// Requires a model with a trained quantizer (TrainQuantizer before
+// NewIndex) and the extended iDistance index.
+func (idx *Index) KNNQuantized(q []float64, k, budget int) ([]Neighbor, error) {
+	if idx.maint == nil {
+		return nil, fmt.Errorf("mmdr: %s index does not support quantized search", idx.Name())
+	}
+	return idx.maint.KNNQuantized(q, k, budget)
+}
+
+// BatchKNNQuantized answers a workload of quantized KNN queries through the
+// fused batch kernels: flat row-major queries like BatchKNN, and the result
+// at position i is exactly what KNNQuantized(query i, k, budget) returns —
+// batching changes throughput, never answers.
+func (idx *Index) BatchKNNQuantized(queries []float64, k, budget int) ([][]Neighbor, error) {
+	if idx.maint == nil {
+		return nil, fmt.Errorf("mmdr: %s index does not support quantized search", idx.Name())
+	}
+	qs, err := splitQueries(queries, idx.model.ds.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return idx.maint.BatchKNNQuantized(qs, k, budget, idx.parallelism)
+}
+
+// KNNQuantized answers a quantized KNN query under the shared read lock.
+// Safe for concurrent use.
+func (c *ConcurrentIndex) KNNQuantized(q []float64, k, budget int) ([]Neighbor, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.KNNQuantized(q, k, budget)
+}
+
+// BatchKNNQuantized answers a workload of quantized KNN queries under the
+// shared read lock (one consistent snapshot, like BatchKNN).
+func (c *ConcurrentIndex) BatchKNNQuantized(queries []float64, k, budget int) ([][]Neighbor, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.BatchKNNQuantized(queries, k, budget)
+}

@@ -1,0 +1,218 @@
+package mmdr
+
+// Public-API and persistence lockdowns for the quantized scan path: a model
+// with a trained quantizer round-trips through Save/Load bit-identically
+// (codebooks are exported state; the table-offset cache is rebuilt, the same
+// discipline as the subspace kernel caches), and indexes built from either
+// side of the round-trip answer KNNQuantized identically.
+
+import (
+	"bytes"
+	"testing"
+
+	"mmdr/internal/datagen"
+)
+
+func quantModel(t *testing.T) *Model {
+	t.Helper()
+	cfg := datagen.CorrelatedConfig{
+		N: 900, Dim: 16, NumClusters: 3, SDim: 2, VarRatio: 20, Seed: 53,
+	}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	model, err := ReduceDataset(ds, WithSeed(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.TrainQuantizer(QuantizeConfig{Blocks: 4, Bits: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestTrainQuantizerAndQuery(t *testing.T) {
+	model := quantModel(t)
+	if !model.HasQuantizer() {
+		t.Fatal("TrainQuantizer succeeded but HasQuantizer is false")
+	}
+	// Blocks clamps to each partition's dimensionality (the fixture's
+	// subspaces retain 2 dims), so the code size is bounded by the config,
+	// not equal to it.
+	if cb := model.CodeBytesPerVector(); cb < 1 || cb > 4 {
+		t.Fatalf("CodeBytesPerVector = %d, want within [1,4]", cb)
+	}
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := model.Point(7)
+	got, err := idx.KNNQuantized(q, 10, model.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full budget keeps every scanned candidate: exact answers, bitwise.
+	want := idx.KNN(q, 10)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: quantized full-budget %v, exact %v", i, got[i], want[i])
+		}
+	}
+
+	// The seq-scan baseline has no quantized path.
+	if _, err := model.NewSeqScan().KNNQuantized(q, 10, 100); err == nil {
+		t.Fatal("seq-scan KNNQuantized should error")
+	}
+}
+
+func TestBatchKNNQuantizedPublicAPI(t *testing.T) {
+	model := quantModel(t)
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nq, k, budget = 9, 10, 80
+	queries := make([]float64, 0, nq*model.Dim())
+	for i := 0; i < nq; i++ {
+		queries = append(queries, model.Point(i*13)...)
+	}
+	batch, err := idx.BatchKNNQuantized(queries, k, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != nq {
+		t.Fatalf("%d batch results, want %d", len(batch), nq)
+	}
+	for i := 0; i < nq; i++ {
+		solo, err := idx.KNNQuantized(queries[i*model.Dim():(i+1)*model.Dim()], k, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range solo {
+			if batch[i][r] != solo[r] {
+				t.Fatalf("query %d rank %d: batch %v, solo %v", i, r, batch[i][r], solo[r])
+			}
+		}
+	}
+
+	// Concurrent wrapper: same answers under the read lock.
+	c := Concurrent(idx)
+	cb, err := c.BatchKNNQuantized(queries, k, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		for r := range batch[i] {
+			if cb[i][r] != batch[i][r] {
+				t.Fatalf("concurrent batch diverged at query %d rank %d", i, r)
+			}
+		}
+	}
+	if _, err := c.KNNQuantized(model.Point(0), k, budget); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerRoundTrip(t *testing.T) {
+	model := quantModel(t)
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasQuantizer() {
+		t.Fatal("quantizer lost across Save/Load")
+	}
+	if got, want := loaded.CodeBytesPerVector(), model.CodeBytesPerVector(); got != want {
+		t.Fatalf("CodeBytesPerVector = %d after load, want %d", got, want)
+	}
+
+	// Codebooks are bit-identical field by field.
+	for bi, orig := range model.quant.Books {
+		got := loaded.quant.Books[bi]
+		if (orig == nil) != (got == nil) {
+			t.Fatalf("book %d presence changed across load", bi)
+		}
+		if orig == nil {
+			continue
+		}
+		if got.Dim != orig.Dim || got.M != orig.M || got.K != orig.K {
+			t.Fatalf("book %d shape changed: (%d,%d,%d) vs (%d,%d,%d)",
+				bi, got.Dim, got.M, got.K, orig.Dim, orig.M, orig.K)
+		}
+		for i := range orig.Centroids {
+			if got.Centroids[i] != orig.Centroids[i] {
+				t.Fatalf("book %d centroid[%d] = %v after load, want %v",
+					bi, i, got.Centroids[i], orig.Centroids[i])
+			}
+		}
+	}
+
+	// Indexes built before and after the round-trip answer identically.
+	idx, err := model.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lidx, err := loaded.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qi := range []int{0, 101, 555} {
+		q := model.Point(qi)
+		a, err := idx.KNNQuantized(q, 10, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := lidx.KNNQuantized(q, 10, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results across load", qi, len(a), len(b))
+		}
+		for r := range a {
+			if a[r] != b[r] {
+				t.Fatalf("query %d rank %d: %v before save, %v after load", qi, r, a[r], b[r])
+			}
+		}
+	}
+}
+
+func TestLoadWithoutQuantizerStaysNil(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 400, Dim: 12, NumClusters: 2, SDim: 2, VarRatio: 20, Seed: 59}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.Normalize(ds)
+	model, err := ReduceDataset(ds, WithSeed(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.HasQuantizer() {
+		t.Fatal("model without a quantizer grew one across Save/Load")
+	}
+	idx, err := loaded.NewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.KNNQuantized(ds.Point(0), 5, 50); err == nil {
+		t.Fatal("KNNQuantized without a trained quantizer should error")
+	}
+}
