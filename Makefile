@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke vet fmt fmt-check lint check experiments
+.PHONY: all build test race bench bench-json bench-smoke vet fmt fmt-check lint gate check check-baseline experiments
 
 all: build test
 
@@ -36,8 +36,17 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/mmdrlint ./...
 
+# -run '^$' keeps the unit tests out of the benchmark run: without it every
+# package's test suite executes before its benchmarks.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# gate runs the mmdrgate compiler-contract gate in strict mode: it rebuilds
+# the hot-path packages with -m=2 and BCE debug diagnostics enabled and
+# checks every //mmdr:hotpath function against the committed contract
+# manifest (internal/analysis/gate/contracts). See DESIGN.md §11.
+gate:
+	$(GO) run ./cmd/mmdrgate -strict
 
 # Default verification bundle: the gofmt gate CI enforces, vet, the custom
 # analyzer suite, the full test suite, and a short fuzz smoke of the
@@ -46,6 +55,7 @@ bench:
 check: fmt-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/mmdrlint ./...
+	$(GO) run ./cmd/mmdrgate -strict
 	$(GO) test ./...
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzKNNvsSeqScan -fuzztime 10s
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzRangeVsSeqScan -fuzztime 10s
@@ -76,6 +86,14 @@ bench-smoke:
 	$(GO) run ./cmd/mmdrbench -scale small -bench-query BENCH_query.json
 	$(GO) run ./cmd/mmdrbench -scale small -bench-obs BENCH_obs.json
 	$(GO) run ./cmd/mmdrbench -scale small -bench-approx BENCH_approx.json
+
+# check-baseline diffs a fresh small-scale query/approx run against the
+# committed BENCH_query.json / BENCH_approx.json on the scale-portable
+# fields (correctness gates, allocs/query, speedup collapse, report shape)
+# and fails on regression. Raw nanoseconds are never compared — the
+# committed reports are paper-scale. CI runs this as a non-blocking step.
+check-baseline:
+	$(GO) run ./cmd/mmdrbench -scale small -check-baseline
 
 experiments:
 	$(GO) run ./cmd/mmdrbench -experiment all -scale small

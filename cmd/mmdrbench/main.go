@@ -11,6 +11,7 @@
 //	mmdrbench -experiment all -pprof localhost:0  # pprof + expvar + /metrics server
 //	mmdrbench -bench-obs BENCH_obs.json           # metrics-overhead benchmark report
 //	mmdrbench -bench-approx BENCH_approx.json     # quantized-scan recall/QPS frontier
+//	mmdrbench -scale small -check-baseline        # diff a fresh smoke run vs committed BENCH_*.json
 //
 // Scales trade fidelity for runtime: "paper" approaches the published
 // dataset sizes (100k-1M points) and can take a long time on one core;
@@ -73,6 +74,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchQuery  = fs.String("bench-query", "", "run the query-kernel benchmark and write its JSON report to this file")
 		benchObs    = fs.String("bench-obs", "", "run the observability-overhead benchmark and write its JSON report to this file")
 		benchApprox = fs.String("bench-approx", "", "run the quantized-scan recall/QPS frontier benchmark and write its JSON report to this file")
+
+		checkBaseline = fs.Bool("check-baseline", false, "run fresh query/approx benchmarks at the configured scale and diff the scale-portable fields against the committed BENCH_*.json (see -baseline-dir); exits 1 on regression")
+		baselineDir   = fs.String("baseline-dir", ".", "directory holding the committed BENCH_*.json baselines for -check-baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" {
+	if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" && !*checkBaseline {
 		fs.Usage()
 		return 2
 	}
@@ -114,6 +118,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "mmdrbench: unknown scale %q\n", *scale)
 		return 2
+	}
+
+	if *checkBaseline {
+		regressions, err := experiments.CheckBaseline(cfg, *baselineDir, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: baseline check: %v\n", err)
+			return 1
+		}
+		if regressions > 0 {
+			fmt.Fprintf(stderr, "mmdrbench: %d baseline regression(s)\n", regressions)
+			return 1
+		}
+		if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" {
+			return 0
+		}
 	}
 
 	if *benchPar != "" {

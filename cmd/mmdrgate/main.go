@@ -1,0 +1,80 @@
+// Command mmdrgate enforces the repo's compiler contracts: it rebuilds the
+// hot-path packages with -gcflags='-m=2 -d=ssa/check_bce/debug=1', parses
+// the escape/bounds-check/inlining diagnostics, and checks them against
+// the committed manifest in internal/analysis/gate/contracts.
+//
+// Modes:
+//
+//	mmdrgate          enforce contracts; unknown diagnostics and
+//	                  toolchain drift degrade to warnings (exit 1 on
+//	                  violations)
+//	mmdrgate -strict  additionally fail on manifest coverage gaps and
+//	                  report loose budgets (local / make gate)
+//	mmdrgate -warn    report everything, always exit 0 (CI)
+//
+// Where mmdrlint checks what the source says, mmdrgate checks what the
+// compiler decided. See DESIGN.md §11.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mmdr/internal/analysis/gate"
+)
+
+func main() {
+	var (
+		strict   = flag.Bool("strict", false, "fail on manifest coverage gaps and warn on loose budgets")
+		warn     = flag.Bool("warn", false, "report findings but always exit 0 (CI mode)")
+		verbose  = flag.Bool("v", false, "print the per-function diagnostic summary")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+		manifest = flag.String("contracts", "", "override the embedded contract manifest (path to JSON)")
+		dir      = flag.String("C", ".", "directory inside the module to gate")
+	)
+	flag.Parse()
+
+	res, err := gate.Run(gate.Options{
+		Dir:          *dir,
+		ManifestPath: *manifest,
+		Strict:       *strict,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmdrgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "mmdrgate: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		res.Print(os.Stdout, *verbose)
+	}
+
+	switch {
+	case len(res.Violations) == 0:
+		if !*jsonOut {
+			mode := "contract"
+			if *strict {
+				mode = "strict contract"
+			}
+			fmt.Printf("mmdrgate: %s clean (%d functions gated, %d warnings, %s)\n",
+				mode, len(res.Funcs), len(res.Warnings), res.GoVersion)
+		}
+	case *warn:
+		if !*jsonOut {
+			fmt.Printf("mmdrgate: %d violation(s) reported in warn mode\n", len(res.Violations))
+		}
+	default:
+		if !*jsonOut {
+			fmt.Printf("mmdrgate: %d violation(s)\n", len(res.Violations))
+		}
+		os.Exit(1)
+	}
+}

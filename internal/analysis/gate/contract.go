@@ -1,0 +1,162 @@
+package gate
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Manifest is the committed compiler contract: which packages the gate
+// rebuilds with diagnostics on, and the per-function obligations. The
+// manifest is data, not policy — the rules it can express are fixed here,
+// and every relaxation (an escape allowance, a nonzero bounds budget)
+// carries a human-readable reason in the JSON so a `git blame` of the
+// manifest reads as a decision log.
+type Manifest struct {
+	// Go pins the toolchain minor ("go1.24") the budgets were measured
+	// against. A different running minor demotes budget violations to
+	// warnings — counts legitimately drift across prove/escape-analysis
+	// changes — while the structural rules (no unexpected escapes) keep
+	// enforcing.
+	Go string `json:"go"`
+	// Packages lists every package the gate compiles and checks,
+	// module-relative ("internal/matrix").
+	Packages []PackageContract `json:"packages"`
+}
+
+// PackageContract scopes contracts to one package directory.
+type PackageContract struct {
+	Path string `json:"path"`
+	// Functions carry explicit obligations beyond the hot-path default.
+	Functions []FuncContract `json:"functions,omitempty"`
+}
+
+// FuncContract is the committed contract for one function. Every
+// //mmdr:hotpath function gets the default contract (no heap escapes
+// beyond panic-message spills) even without an entry; an entry adds
+// bounds/inline obligations or relaxes the escape rule with justified
+// allowances.
+type FuncContract struct {
+	// Name in compiler style: F, T.M, (*T).M.
+	Name string `json:"name"`
+
+	// MustInline requires the compiler to report "can inline Name".
+	MustInline bool `json:"must_inline,omitempty"`
+	// MaxInlineCost pins a ceiling on the reported inlining cost (for
+	// must-inline leaves: headroom before the 80 budget; for heavier
+	// kernels: a tripwire against the body getting drastically hairier).
+	// 0 means unconstrained.
+	MaxInlineCost int `json:"max_inline_cost,omitempty"`
+
+	// MaxBounds / MaxLoopBounds pin the total and inside-a-loop
+	// bounds-check counts. nil = unconstrained, 0 = bounds-check-free.
+	MaxBounds     *int `json:"max_bounds,omitempty"`
+	MaxLoopBounds *int `json:"max_loop_bounds,omitempty"`
+
+	// AllowEscapes permits specific escape diagnostics, matched by
+	// substring against the compiler's subject ("make([]core.Result").
+	AllowEscapes []EscapeAllowance `json:"allow_escapes,omitempty"`
+	// SkipEscapes disables the escape rule entirely (build-time helpers
+	// annotated hotpath for alloc-budget reasons only). Requires Reason.
+	SkipEscapes bool `json:"skip_escapes,omitempty"`
+
+	// Reason documents why any pinned budget or relaxation is what it is.
+	Reason string `json:"reason,omitempty"`
+}
+
+// EscapeAllowance is one permitted escape with its justification.
+type EscapeAllowance struct {
+	// Pattern is matched as a substring of the escape subject.
+	Pattern string `json:"pattern"`
+	Reason  string `json:"reason"`
+}
+
+//go:embed contracts/contracts.json
+var embeddedManifest []byte
+
+// LoadManifest reads a manifest from path, or the embedded committed one
+// when path is "".
+func LoadManifest(path string) (*Manifest, error) {
+	data := embeddedManifest
+	if path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		data = b
+	}
+	var m Manifest
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("gate manifest: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (m *Manifest) validate() error {
+	if m.Go == "" {
+		return fmt.Errorf("gate manifest: missing pinned go version")
+	}
+	seen := make(map[string]bool)
+	for _, p := range m.Packages {
+		if p.Path == "" || strings.HasPrefix(p.Path, "/") {
+			return fmt.Errorf("gate manifest: package path %q must be module-relative", p.Path)
+		}
+		if seen[p.Path] {
+			return fmt.Errorf("gate manifest: duplicate package %q", p.Path)
+		}
+		seen[p.Path] = true
+		fns := make(map[string]bool)
+		for _, f := range p.Functions {
+			if f.Name == "" {
+				return fmt.Errorf("gate manifest: %s: contract with no function name", p.Path)
+			}
+			if fns[f.Name] {
+				return fmt.Errorf("gate manifest: %s: duplicate contract for %s", p.Path, f.Name)
+			}
+			fns[f.Name] = true
+			if f.SkipEscapes && f.Reason == "" {
+				return fmt.Errorf("gate manifest: %s.%s: skip_escapes needs a reason", p.Path, f.Name)
+			}
+			if (f.MaxBounds != nil && *f.MaxBounds > 0 || f.MaxLoopBounds != nil && *f.MaxLoopBounds > 0) && f.Reason == "" {
+				return fmt.Errorf("gate manifest: %s.%s: a nonzero bounds budget needs a reason", p.Path, f.Name)
+			}
+			for _, a := range f.AllowEscapes {
+				if a.Pattern == "" || a.Reason == "" {
+					return fmt.Errorf("gate manifest: %s.%s: escape allowance needs pattern and reason", p.Path, f.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PackageDirs returns the module-relative directories the gate compiles.
+func (m *Manifest) PackageDirs() []string {
+	dirs := make([]string, len(m.Packages))
+	for i, p := range m.Packages {
+		dirs[i] = p.Path
+	}
+	return dirs
+}
+
+// Contract returns the explicit contract for pkgDir.name, or nil.
+func (m *Manifest) Contract(pkgDir, name string) *FuncContract {
+	for i := range m.Packages {
+		if m.Packages[i].Path != pkgDir {
+			continue
+		}
+		for j := range m.Packages[i].Functions {
+			if m.Packages[i].Functions[j].Name == name {
+				return &m.Packages[i].Functions[j]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package gate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEmbeddedManifest: the committed manifest must always load and
+// validate — a malformed edit should fail here, not at gate runtime.
+func TestEmbeddedManifest(t *testing.T) {
+	m, err := LoadManifest("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Go == "" || len(m.Packages) == 0 {
+		t.Fatalf("embedded manifest is empty: %+v", m)
+	}
+	if m.Contract("internal/matrix", "ADCSum") == nil {
+		t.Error("embedded manifest lost the ADCSum contract")
+	}
+	if c := m.Contract("internal/matrix", "ADCSum"); c != nil && !c.MustInline {
+		t.Error("ADCSum must stay a must-inline leaf")
+	}
+	if m.Contract("internal/matrix", "NoSuchKernel") != nil {
+		t.Error("Contract invented an entry")
+	}
+}
+
+func writeManifest(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestManifestValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		wantErr string
+	}{
+		{
+			"missing go pin",
+			`{"packages":[{"path":"internal/matrix"}]}`,
+			"missing pinned go version",
+		},
+		{
+			"duplicate package",
+			`{"go":"go1.24","packages":[{"path":"a"},{"path":"a"}]}`,
+			"duplicate package",
+		},
+		{
+			"absolute path",
+			`{"go":"go1.24","packages":[{"path":"/a"}]}`,
+			"module-relative",
+		},
+		{
+			"budget without reason",
+			`{"go":"go1.24","packages":[{"path":"a","functions":[{"name":"F","max_bounds":3}]}]}`,
+			"needs a reason",
+		},
+		{
+			"allowance without reason",
+			`{"go":"go1.24","packages":[{"path":"a","functions":[{"name":"F","allow_escapes":[{"pattern":"make("}]}]}]}`,
+			"pattern and reason",
+		},
+		{
+			"duplicate function",
+			`{"go":"go1.24","packages":[{"path":"a","functions":[{"name":"F"},{"name":"F"}]}]}`,
+			"duplicate contract",
+		},
+		{
+			"unknown field",
+			`{"go":"go1.24","packages":[{"path":"a","functions":[{"name":"F","max_escapes":1}]}]}`,
+			"unknown field",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LoadManifest(writeManifest(t, c.body))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+
+	// Zero budgets are the strongest contract and need no justification.
+	ok := `{"go":"go1.24","packages":[{"path":"a","functions":[{"name":"F","max_bounds":0,"max_loop_bounds":0}]}]}`
+	if _, err := LoadManifest(writeManifest(t, ok)); err != nil {
+		t.Fatalf("zero-budget contract rejected: %v", err)
+	}
+}
+
+func TestMinorVersion(t *testing.T) {
+	for in, want := range map[string]string{
+		"go1.24.0": "go1.24",
+		"go1.24":   "go1.24",
+		"go1.25.3": "go1.25",
+		"devel":    "devel",
+	} {
+		if got := MinorVersion(in); got != want {
+			t.Errorf("MinorVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

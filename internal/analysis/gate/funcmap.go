@@ -1,0 +1,170 @@
+package gate
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mmdr/internal/analysis/framework"
+)
+
+// FuncSpan is the position extent of one function declaration, with the
+// line intervals of every loop body inside it (for classifying whether a
+// bounds check sits inside a loop).
+type FuncSpan struct {
+	Pkg  string // package directory, module-relative, slash-separated
+	Name string // compiler-style: F, T.M, (*T).M
+	File string // module-relative, slash-separated
+	Doc  string // first line of the doc comment ("" when none)
+
+	StartLine, EndLine int
+	Hotpath            bool
+
+	loops []lineRange
+}
+
+type lineRange struct{ start, end int }
+
+// InLoop reports whether a line falls inside any loop body of the function.
+func (f *FuncSpan) InLoop(line int) bool {
+	for _, r := range f.loops {
+		if line >= r.start && line <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncMap maps compiler diagnostic positions to enclosing functions.
+type FuncMap struct {
+	// byFile: module-relative file path -> spans sorted by start line.
+	byFile map[string][]*FuncSpan
+	// Spans is every function span, in file order.
+	Spans []*FuncSpan
+}
+
+// LoadFuncs parses the non-test Go files of the given package directories
+// (module-relative, e.g. "internal/matrix") rooted at root and builds the
+// position map. Only syntax is needed — no type checking — so this stays
+// fast and dependency-free.
+func LoadFuncs(root string, pkgDirs []string) (*FuncMap, error) {
+	fm := &FuncMap{byFile: make(map[string][]*FuncSpan)}
+	fset := token.NewFileSet()
+	for _, dir := range pkgDirs {
+		entries, err := os.ReadDir(filepath.Join(root, filepath.FromSlash(dir)))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			rel := path.Join(dir, name)
+			file, err := parser.ParseFile(fset, filepath.Join(root, filepath.FromSlash(rel)), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			fm.addFile(fset, file, dir, rel)
+		}
+	}
+	for _, spans := range fm.byFile {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].StartLine < spans[j].StartLine })
+	}
+	return fm, nil
+}
+
+func (fm *FuncMap) addFile(fset *token.FileSet, file *ast.File, pkgDir, rel string) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		span := &FuncSpan{
+			Pkg:       pkgDir,
+			Name:      compilerName(fn),
+			File:      rel,
+			StartLine: fset.Position(fn.Pos()).Line,
+			EndLine:   fset.Position(fn.End()).Line,
+			Hotpath:   framework.IsHotPath(fn),
+		}
+		if fn.Doc != nil && len(fn.Doc.List) > 0 {
+			span.Doc = fn.Doc.List[0].Text
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+			default:
+				return true
+			}
+			span.loops = append(span.loops, lineRange{
+				start: fset.Position(body.Lbrace).Line,
+				end:   fset.Position(body.Rbrace).Line,
+			})
+			return true
+		})
+		fm.byFile[rel] = append(fm.byFile[rel], span)
+		fm.Spans = append(fm.Spans, span)
+	}
+}
+
+// compilerName renders a FuncDecl name the way the compiler's -m output
+// does: plain functions as F, methods as T.M or (*T).M.
+func compilerName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	star := false
+	if p, ok := t.(*ast.StarExpr); ok {
+		star = true
+		t = p.X
+	}
+	// Strip generic type parameters if present.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	base := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		base = id.Name
+	}
+	if star {
+		return "(*" + base + ")." + fn.Name.Name
+	}
+	return base + "." + fn.Name.Name
+}
+
+// Enclosing returns the innermost function span containing file:line
+// (nil when the position maps to no function — e.g. a package-level var).
+func (fm *FuncMap) Enclosing(file string, line int) *FuncSpan {
+	var best *FuncSpan
+	for _, s := range fm.byFile[file] {
+		if line < s.StartLine || line > s.EndLine {
+			continue
+		}
+		if best == nil || s.EndLine-s.StartLine < best.EndLine-best.StartLine {
+			best = s
+		}
+	}
+	return best
+}
+
+// Lookup finds the span of a named function in a package ("" pkg matches
+// any). Names use the compiler style produced by compilerName.
+func (fm *FuncMap) Lookup(pkgDir, name string) *FuncSpan {
+	for _, s := range fm.Spans {
+		if s.Name == name && (pkgDir == "" || s.Pkg == pkgDir) {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package gate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const funcmapFixture = `package fix
+
+// Plain is a plain function.
+//
+//mmdr:hotpath
+func Plain(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+type T struct{ n int }
+
+func (t T) Value() int { return t.n }
+
+func (t *T) Bump(k int) {
+	for i := 0; i < k; i++ {
+		t.n++
+	}
+}
+
+type G[E any] struct{ v E }
+
+func (g *G[E]) Get() E { return g.v }
+`
+
+func loadFixtureFuncs(t *testing.T) *FuncMap {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "pkg", "fix")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(funcmapFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A test file must be ignored even if present.
+	if err := os.WriteFile(filepath.Join(dir, "fix_test.go"), []byte("package fix\n\nfunc helper() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := LoadFuncs(root, []string{"pkg/fix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm
+}
+
+func TestCompilerNames(t *testing.T) {
+	fm := loadFixtureFuncs(t)
+	for _, name := range []string{"Plain", "T.Value", "(*T).Bump", "(*G).Get"} {
+		if fm.Lookup("pkg/fix", name) == nil {
+			t.Errorf("Lookup(%q) = nil; have %v", name, spanNames(fm))
+		}
+	}
+	if fm.Lookup("pkg/fix", "helper") != nil {
+		t.Error("test-file function leaked into the map")
+	}
+}
+
+func TestHotpathAndLoops(t *testing.T) {
+	fm := loadFixtureFuncs(t)
+	plain := fm.Lookup("pkg/fix", "Plain")
+	if !plain.Hotpath {
+		t.Error("Plain lost its //mmdr:hotpath directive")
+	}
+	if v := fm.Lookup("pkg/fix", "T.Value"); v.Hotpath {
+		t.Error("T.Value is not hot-path")
+	}
+	// The range body spans lines 8-10 of the fixture.
+	if !plain.InLoop(9) {
+		t.Error("line inside the range body not classified in-loop")
+	}
+	if plain.InLoop(7) || plain.InLoop(11) {
+		t.Error("line outside the range body classified in-loop")
+	}
+}
+
+func TestEnclosing(t *testing.T) {
+	fm := loadFixtureFuncs(t)
+	if s := fm.Enclosing("pkg/fix/fix.go", 9); s == nil || s.Name != "Plain" {
+		t.Errorf("Enclosing(line 9) = %v, want Plain", s)
+	}
+	if s := fm.Enclosing("pkg/fix/fix.go", 13); s != nil {
+		t.Errorf("Enclosing(type decl line) = %v, want nil", s)
+	}
+	if s := fm.Enclosing("pkg/fix/other.go", 9); s != nil {
+		t.Errorf("Enclosing(unknown file) = %v, want nil", s)
+	}
+}
+
+func spanNames(fm *FuncMap) []string {
+	var out []string
+	for _, s := range fm.Spans {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package gate enforces compiler contracts over the repo's hot-path
+// kernels: it rebuilds the hot packages with escape-analysis, inlining and
+// bounds-check diagnostics enabled (-gcflags='-m=2 -d=ssa/check_bce/debug=1'),
+// parses the compiler's output into a structured model, maps every
+// diagnostic to its enclosing function via go/ast position info, and checks
+// the result against a committed per-function contract manifest
+// (contracts/contracts.json).
+//
+// This is deliberately NOT an extension of mmdrlint. The mmdrlint analyzers
+// (internal/analysis) enforce source-level invariants — what the code says.
+// The gate enforces compiler decisions — what the optimizer actually did
+// with it: whether a //mmdr:hotpath function heap-allocates, whether a
+// kernel inner loop still carries bounds checks, whether a designated leaf
+// kernel stayed inlinable. Those decisions are invisible in the AST; they
+// can regress silently under an innocent-looking edit (a value captured by
+// a closure, an index shape the prove pass no longer understands, one
+// statement pushing a leaf past the inlining budget) and the only ground
+// truth is the compiler's own diagnostics.
+//
+// Contract obligations, per function:
+//
+//   - no heap escapes: no "escapes to heap"/"moved to heap" diagnostics
+//     attributed to the function, except constant-string spills on panic
+//     paths (rodata, only materialized when the panic fires) and
+//     explicitly allow-listed escapes (e.g. a batch API's per-query result
+//     slices), each allowance carrying a reason.
+//   - bounds-check budgets: "Found IsInBounds"/"Found IsSliceInBounds"
+//     counts, total and inside loops, pinned per function. Zero for the
+//     small-dimension kernels whose loop shapes were rewritten for the
+//     prove pass; small pinned budgets (with justifications) where the
+//     measured-fastest shape keeps a check the compiler cannot eliminate.
+//   - inlining: designated leaf kernels must stay inlinable ("can inline"
+//     reported); heavier kernels pin a cost ceiling instead, so a change
+//     that makes an already-uninlinable kernel drastically hairier (or
+//     trips an "unhandled op" bailout) is still caught.
+//
+// Diagnostics the parser does not recognize degrade to warnings, never
+// hard failures: compiler output is not a stable API, and the gate must
+// not break CI on a toolchain upgrade. Budget comparisons likewise demote
+// to warnings when the running toolchain's minor version differs from the
+// one the manifest was pinned against (strict mode reports the drift
+// itself). See DESIGN.md §11.
+package gate
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Result is the outcome of one gate run.
+type Result struct {
+	// GoVersion is the toolchain that produced the diagnostics (go env
+	// GOVERSION).
+	GoVersion string
+	// Drifted is true when GoVersion's minor differs from the manifest's
+	// pinned toolchain; budget violations are demoted to warnings.
+	Drifted bool
+	// Violations are contract breaches (fail the gate in strict mode).
+	Violations []Finding
+	// Warnings are advisory: unknown diagnostic lines, drift-demoted
+	// budget mismatches, uncovered hot-path packages.
+	Warnings []Finding
+	// Funcs is the per-function diagnostic summary (for -v output).
+	Funcs []FuncReport
+}
+
+// Finding is one gate finding, formatted like the mmdrlint diagnostics so
+// editors and CI logs treat both suites uniformly.
+type Finding struct {
+	File string // module-relative path ("" when not positional)
+	Line int
+	Col  int
+	Func string // enclosing function ("" when not attributable)
+	Msg  string
+}
+
+func (f Finding) String() string {
+	pos := f.File
+	if pos == "" {
+		pos = "gate"
+	} else {
+		pos = fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col)
+	}
+	if f.Func != "" {
+		return fmt.Sprintf("%s: gate: %s [func %s]", pos, f.Msg, f.Func)
+	}
+	return fmt.Sprintf("%s: gate: %s", pos, f.Msg)
+}
+
+// FuncReport summarizes the compiler's decisions for one contracted or
+// hot-path function.
+type FuncReport struct {
+	Pkg  string // package directory, module-relative
+	Name string // compiler-style name: F, T.M, (*T).M
+	File string
+	Line int
+
+	Hotpath bool
+
+	Escapes      []string // non-benign escape subjects
+	BenignSpills int      // constant-string panic spills
+	LeakParams   []string // params whose pointees may outlive the call
+
+	BoundsTotal  int // Found Is(Slice)InBounds anywhere in the function
+	BoundsInLoop int // ... at loop depth >= 1
+
+	InlineStatus string // "can", "cannot", "" (not reported)
+	InlineCost   int    // parsed cost, -1 unknown
+	InlineReason string // bailout reason for "cannot"
+}
+
+// Print renders the result in mmdrlint's one-line-per-finding style.
+func (r *Result) Print(w io.Writer, verbose bool) {
+	if verbose {
+		funcs := append([]FuncReport(nil), r.Funcs...)
+		sort.Slice(funcs, func(i, j int) bool {
+			if funcs[i].Pkg != funcs[j].Pkg {
+				return funcs[i].Pkg < funcs[j].Pkg
+			}
+			return funcs[i].Name < funcs[j].Name
+		})
+		for _, f := range funcs {
+			inline := f.InlineStatus
+			if inline == "" {
+				inline = "?"
+			}
+			fmt.Fprintf(w, "# %s.%s: escapes=%d leaks=%d bounds=%d(loop %d) inline=%s cost=%d\n",
+				f.Pkg, f.Name, len(f.Escapes), len(f.LeakParams), f.BoundsTotal, f.BoundsInLoop, inline, f.InlineCost)
+		}
+	}
+	for _, f := range r.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", f)
+	}
+	for _, f := range r.Violations {
+		fmt.Fprintln(w, f.String())
+	}
+}

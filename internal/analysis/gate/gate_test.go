@@ -1,0 +1,191 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// badkernelManifest builds a manifest (pinned to the running toolchain so
+// nothing demotes to a drift warning) that the testdata/badkernel package
+// must violate three ways: a heap escape, a nonzero bounds count against a
+// zero budget, and a must-inline function the inliner refuses.
+func badkernelManifest(t *testing.T) string {
+	t.Helper()
+	zero := 0
+	m := Manifest{
+		Go: MinorVersion(runtime.Version()),
+		Packages: []PackageContract{{
+			Path: "internal/analysis/gate/testdata/badkernel",
+			Functions: []FuncContract{
+				{Name: "Checked", MaxBounds: &zero, MaxLoopBounds: &zero},
+				{Name: "NotInlinable", MustInline: true},
+			},
+		}},
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBadKernelFailsGate is the end-to-end negative test: a kernel that
+// escapes, keeps bounds checks, and cannot inline must fail the gate. This
+// compiles real code with the real toolchain — the one thing fixtures
+// cannot prove.
+func TestBadKernelFailsGate(t *testing.T) {
+	res, err := Run(Options{Dir: ".", ManifestPath: badkernelManifest(t), Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drifted {
+		t.Fatalf("manifest pinned to runtime.Version() but drifted (%s)", res.GoVersion)
+	}
+	wants := []string{
+		"hot-path heap allocation: make([]float64, n)",
+		"bounds checks regressed",
+		"must-inline kernel is no longer inlinable",
+	}
+	for _, w := range wants {
+		if !hasFinding(res.Violations, w) {
+			t.Errorf("missing expected violation %q\ngot:\n%s", w, findingDump(res.Violations))
+		}
+	}
+	// All three violations sit in the fixture, attributed to their function.
+	for _, f := range res.Violations {
+		if f.File != "" && !strings.Contains(f.File, "badkernel") {
+			t.Errorf("violation attributed outside the fixture: %s", f)
+		}
+	}
+}
+
+// TestRepoContractStrictClean runs the real gate over the real manifest:
+// the committed contracts must hold on the committed code with the pinned
+// toolchain. This is the lockdown the whole subsystem exists for.
+func TestRepoContractStrictClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles six packages with diagnostics on; skipped in -short")
+	}
+	res, err := Run(Options{Dir: ".", Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drifted {
+		t.Skipf("toolchain %s drifted from the manifest pin; budgets demoted", res.GoVersion)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("committed contracts violated:\n%s", findingDump(res.Violations))
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("gate warnings on committed code:\n%s", findingDump(res.Warnings))
+	}
+	// The seven kernels the contracts were written around must be present.
+	for _, name := range []string{"DotUnroll4", "SqDist", "SqDistEarlyAbandon", "ADCSum", "ADCSumBound", "SqDistRowToSel", "MatVecRowMajor"} {
+		found := false
+		for _, f := range res.Funcs {
+			if f.Pkg == "internal/matrix" && f.Name == name {
+				found = true
+				if len(f.Escapes) != 0 {
+					t.Errorf("%s escapes: %v", name, f.Escapes)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("kernel %s missing from the gate report", name)
+		}
+	}
+}
+
+// TestUnknownDiagnosticsWarnNotFail: future-toolchain output the parser
+// does not recognize must surface as warnings, never violations.
+func TestUnknownDiagnosticsWarnNotFail(t *testing.T) {
+	res := &Result{GoVersion: "go1.99.0"}
+	m := &Manifest{Go: "go1.99"}
+	fm := &FuncMap{byFile: map[string][]*FuncSpan{}}
+	diags := ParseDiagnostics("internal/matrix/kernels.go:10:2: a diagnostic from the future\n")
+	evaluate(res, m, fm, diags, false)
+	if len(res.Violations) != 0 {
+		t.Errorf("unknown diagnostic produced violations: %s", findingDump(res.Violations))
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0].Msg, "unrecognized compiler diagnostic") {
+		t.Errorf("unknown diagnostic warnings = %s", findingDump(res.Warnings))
+	}
+}
+
+// TestDriftDemotesBudgets: when the running toolchain differs from the
+// manifest pin, budget violations demote to warnings so a Go upgrade can
+// never hard-fail CI before the budgets are re-measured.
+func TestDriftDemotesBudgets(t *testing.T) {
+	res, err := Run(Options{Dir: ".", ManifestPath: driftedBadManifest(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drifted {
+		t.Fatal("manifest pinned to go1.1 did not register as drifted")
+	}
+	if hasFinding(res.Violations, "bounds checks regressed") {
+		t.Errorf("drifted budget violation not demoted:\n%s", findingDump(res.Violations))
+	}
+	if !hasFinding(res.Warnings, "bounds checks regressed") {
+		t.Errorf("demoted budget violation missing from warnings:\n%s", findingDump(res.Warnings))
+	}
+	// The structural escape rule keeps enforcing under drift — but demoted
+	// findings carry the drift explanation.
+	for _, w := range res.Warnings {
+		if strings.Contains(w.Msg, "regressed") && !strings.Contains(w.Msg, "demoted") {
+			t.Errorf("demoted finding lost its explanation: %s", w)
+		}
+	}
+}
+
+func driftedBadManifest(t *testing.T) string {
+	t.Helper()
+	zero := 0
+	m := Manifest{
+		Go: "go1.1",
+		Packages: []PackageContract{{
+			Path: "internal/analysis/gate/testdata/badkernel",
+			Functions: []FuncContract{
+				{Name: "Checked", MaxBounds: &zero, MaxLoopBounds: &zero},
+			},
+		}},
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "drift.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func hasFinding(fs []Finding, substr string) bool {
+	for _, f := range fs {
+		if strings.Contains(f.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func findingDump(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f.String())
+	}
+	if b.Len() == 0 {
+		return "  (none)\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package gate
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one compiler diagnostic line.
+type Kind int
+
+const (
+	// KindUnknown is a positional line the parser does not recognize.
+	// Unknown lines degrade to warnings — compiler output is not a
+	// stable API and the gate must survive toolchain drift.
+	KindUnknown Kind = iota
+	// KindEscape: "X escapes to heap" / "moved to heap: x" — a per-call
+	// heap allocation attributed to the function.
+	KindEscape
+	// KindLeakParam: "leaking param: x" and friends — the parameter's
+	// pointee may outlive the call. Not an allocation by itself (the
+	// caller chose where x lives), so tracked separately from escapes.
+	KindLeakParam
+	// KindNoEscape: "x does not escape" — recorded for completeness.
+	KindNoEscape
+	// KindCanInline: "can inline F with cost N as: ..."
+	KindCanInline
+	// KindCannotInline: "cannot inline F: reason"
+	KindCannotInline
+	// KindInlineCall: "inlining call to F"
+	KindInlineCall
+	// KindBoundsCheck: "Found IsInBounds" / "Found IsSliceInBounds"
+	// from -d=ssa/check_bce/debug=1.
+	KindBoundsCheck
+	// KindDetail is a -m=2 elaboration line (escape flow traces,
+	// "parameter x leaks to {heap} ..." blocks). The summary line that
+	// accompanies every block carries the fact; details are kept only
+	// for -v rendering.
+	KindDetail
+)
+
+// Diag is one parsed compiler diagnostic.
+type Diag struct {
+	File string // as printed by the compiler (module-relative when built from the module root)
+	Line int
+	Col  int
+
+	Kind    Kind
+	Subject string // escaped expression, leaked param, or function name
+	Detail  string // remainder of the message (inline bailout reason, escape flow, ...)
+	Cost    int    // inlining cost when the line carries one, else -1
+	IsSlice bool   // for KindBoundsCheck: IsSliceInBounds vs IsInBounds
+	Moved   bool   // for KindEscape: "moved to heap" (a local) vs "escapes to heap"
+
+	Raw string // the full line, verbatim
+}
+
+// ConstString reports whether an escape subject is a quoted string
+// constant — the storage spill of a panic("...") message. Those live in
+// rodata and are only boxed on the (already-dead) panic path, so the
+// no-escape contract treats them as benign.
+func (d *Diag) ConstString() bool {
+	return strings.HasPrefix(d.Subject, `"`) || strings.HasPrefix(d.Subject, "`")
+}
+
+// ParseDiagnostics parses `go build -gcflags='-m=2 -d=ssa/check_bce/debug=1'`
+// stderr into structured diagnostics. Lines that carry no position
+// ("# package" headers, linker chatter) are skipped; positional lines that
+// match no known shape come back as KindUnknown so the caller can warn
+// without failing.
+func ParseDiagnostics(out string) []Diag {
+	var diags []Diag
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, ln, col, msg, ok := splitPos(line)
+		if !ok {
+			continue
+		}
+		d := Diag{File: file, Line: ln, Col: col, Cost: -1, Raw: line}
+		classify(&d, msg)
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// splitPos splits "file.go:12:34: message" (column optional in older
+// toolchains: "file.go:12: message"). Returns ok=false for lines with no
+// file:line prefix.
+func splitPos(line string) (file string, ln, col int, msg string, ok bool) {
+	// Find ": " after the positional prefix; the prefix itself contains
+	// colons, so scan the first three fields manually.
+	rest := line
+	i := strings.Index(rest, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = rest[:i+3]
+	rest = rest[i+4:]
+	j := strings.IndexByte(rest, ':')
+	if j < 0 {
+		return "", 0, 0, "", false
+	}
+	n, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	ln = n
+	rest = rest[j+1:]
+	// Optional column.
+	if k := strings.IndexByte(rest, ':'); k >= 0 {
+		if c, err := strconv.Atoi(rest[:k]); err == nil {
+			col = c
+			rest = rest[k+1:]
+		}
+	}
+	msg = strings.TrimPrefix(rest, " ")
+	return file, ln, col, msg, true
+}
+
+func classify(d *Diag, msg string) {
+	// -m=2 elaboration blocks: indented flow traces under an escape
+	// summary, and the verbose "parameter x leaks to {heap} with
+	// derefs=N:" form that always accompanies a "leaking param" summary.
+	if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+		d.Kind = KindDetail
+		d.Detail = strings.TrimSpace(msg)
+		return
+	}
+	switch {
+	case msg == "Found IsInBounds":
+		d.Kind = KindBoundsCheck
+	case msg == "Found IsSliceInBounds":
+		d.Kind = KindBoundsCheck
+		d.IsSlice = true
+	case strings.HasPrefix(msg, "can inline "):
+		d.Kind = KindCanInline
+		rest := strings.TrimPrefix(msg, "can inline ")
+		if i := strings.Index(rest, " with cost "); i >= 0 {
+			d.Subject = rest[:i]
+			costStr := rest[i+len(" with cost "):]
+			if j := strings.Index(costStr, " as:"); j >= 0 {
+				d.Detail = costStr[j+1:]
+				costStr = costStr[:j]
+			}
+			if c, err := strconv.Atoi(strings.TrimSpace(costStr)); err == nil {
+				d.Cost = c
+			}
+		} else {
+			// Older toolchains print "can inline F" with no cost.
+			d.Subject = rest
+		}
+	case strings.HasPrefix(msg, "cannot inline "):
+		d.Kind = KindCannotInline
+		rest := strings.TrimPrefix(msg, "cannot inline ")
+		if i := strings.Index(rest, ": "); i >= 0 {
+			d.Subject = rest[:i]
+			d.Detail = rest[i+2:]
+		} else {
+			d.Subject = rest
+		}
+		// "function too complex: cost 124 exceeds budget 80" → 124.
+		if i := strings.Index(d.Detail, "cost "); i >= 0 {
+			costStr := d.Detail[i+len("cost "):]
+			if j := strings.IndexByte(costStr, ' '); j >= 0 {
+				costStr = costStr[:j]
+			}
+			if c, err := strconv.Atoi(costStr); err == nil {
+				d.Cost = c
+			}
+		}
+	case strings.HasPrefix(msg, "inlining call to "):
+		d.Kind = KindInlineCall
+		d.Subject = strings.TrimPrefix(msg, "inlining call to ")
+	case strings.HasPrefix(msg, "moved to heap: "):
+		d.Kind = KindEscape
+		d.Moved = true
+		d.Subject = strings.TrimPrefix(msg, "moved to heap: ")
+	case strings.HasSuffix(msg, " escapes to heap") || strings.HasSuffix(msg, " escapes to heap:"):
+		d.Kind = KindEscape
+		d.Subject = strings.TrimSuffix(strings.TrimSuffix(msg, ":"), " escapes to heap")
+	case strings.HasPrefix(msg, "leaking param content: "):
+		d.Kind = KindLeakParam
+		d.Subject = strings.TrimPrefix(msg, "leaking param content: ")
+	case strings.HasPrefix(msg, "leaking param: "):
+		rest := strings.TrimPrefix(msg, "leaking param: ")
+		d.Subject = rest
+		if i := strings.Index(rest, " to result "); i >= 0 {
+			// Flows to a result, not the heap: not a leak the
+			// no-escape contract cares about.
+			d.Kind = KindNoEscape
+			d.Subject = rest[:i]
+			d.Detail = rest[i+1:]
+		} else {
+			d.Kind = KindLeakParam
+		}
+	case strings.HasPrefix(msg, "parameter ") && strings.Contains(msg, " leaks to "):
+		// -m=2 verbose block opener; the "leaking param" summary line
+		// carries the same fact.
+		d.Kind = KindDetail
+		d.Detail = msg
+	case strings.HasSuffix(msg, " does not escape"):
+		d.Kind = KindNoEscape
+		d.Subject = strings.TrimSuffix(msg, " does not escape")
+	case msg == "index bounds check elided",
+		strings.Contains(msg, " ignoring self-assignment in "),
+		strings.Contains(msg, " capturing by ref: "),
+		strings.Contains(msg, " capturing by value: "):
+		// -m=2 / check_bce chatter with no contract relevance.
+		d.Kind = KindDetail
+		d.Detail = msg
+	case strings.Contains(msg, "escapes to heap, but"):
+		// e.g. "x escapes to heap, but is constant-sized" style variants
+		// some toolchains emit; treat as escape with detail.
+		d.Kind = KindEscape
+		if i := strings.Index(msg, " escapes to heap"); i >= 0 {
+			d.Subject = msg[:i]
+			d.Detail = msg[i+1:]
+		}
+	default:
+		d.Kind = KindUnknown
+		d.Detail = msg
+	}
+}

@@ -1,0 +1,146 @@
+package gate
+
+import (
+	"os"
+	"testing"
+)
+
+// TestParseGoldenModern locks the parser against the go1.24-era output
+// shape: columns on every position, costs on inline decisions, -m=2 flow
+// traces indented under their summary line.
+func TestParseGoldenModern(t *testing.T) {
+	data, err := os.ReadFile("testdata/diag_go124.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := ParseDiagnostics(string(data))
+
+	byKind := make(map[Kind]int)
+	for _, d := range diags {
+		byKind[d.Kind]++
+	}
+	want := map[Kind]int{
+		KindCanInline:    1,
+		KindCannotInline: 1,
+		KindInlineCall:   1,
+		KindLeakParam:    1,
+		KindNoEscape:     2, // "code does not escape" + "leaking param: q to result"
+		KindBoundsCheck:  2,
+		KindEscape:       4, // make, moved-to-heap, const string, func literal
+		KindDetail:       3, // two flow-trace lines + "parameter idx leaks to"
+		KindUnknown:      1,
+	}
+	for k, n := range want {
+		if byKind[k] != n {
+			t.Errorf("kind %d: got %d diagnostics, want %d", k, byKind[k], n)
+		}
+	}
+	if got := len(diags); got != 16 {
+		t.Errorf("parsed %d positional diagnostics, want 16 (# headers skipped)", got)
+	}
+
+	find := func(kind Kind, subject string) *Diag {
+		for i := range diags {
+			if diags[i].Kind == kind && diags[i].Subject == subject {
+				return &diags[i]
+			}
+		}
+		t.Fatalf("no diagnostic of kind %d with subject %q", kind, subject)
+		return nil
+	}
+
+	can := find(KindCanInline, "dotSmall")
+	if can.Cost != 26 {
+		t.Errorf("can-inline cost = %d, want 26", can.Cost)
+	}
+	if can.File != "internal/matrix/kernels.go" || can.Line != 34 || can.Col != 6 {
+		t.Errorf("can-inline position = %s:%d:%d", can.File, can.Line, can.Col)
+	}
+
+	cannot := find(KindCannotInline, "DotUnroll4")
+	if cannot.Cost != 145 {
+		t.Errorf("cannot-inline parsed cost = %d, want 145", cannot.Cost)
+	}
+	if cannot.Detail == "" {
+		t.Error("cannot-inline lost its bailout reason")
+	}
+
+	esc := find(KindEscape, "make([]float64, idx.ds.Dim)")
+	if esc.Moved {
+		t.Error("a make escape is not a moved-to-heap local")
+	}
+	moved := find(KindEscape, "bestScore")
+	if !moved.Moved {
+		t.Error("moved-to-heap lost its Moved flag")
+	}
+	spill := find(KindEscape, `"idist: Insert dimension %d, want %d"`)
+	if !spill.ConstString() {
+		t.Error("a quoted panic/error message should classify as a benign const-string spill")
+	}
+	if lit := find(KindEscape, "func literal"); lit.ConstString() {
+		t.Error("a func literal is not a const-string spill")
+	}
+
+	// "leaking param: q to result ~r0" flows to a result, not the heap.
+	toResult := find(KindNoEscape, "q")
+	if toResult.Line != 430 {
+		t.Errorf("to-result leak position line = %d, want 430", toResult.Line)
+	}
+
+	for _, d := range diags {
+		if d.Kind == KindBoundsCheck && d.File == "internal/matrix/kernels.go" && !d.IsSlice {
+			t.Error("IsSliceInBounds lost its IsSlice flag")
+		}
+	}
+}
+
+// TestParseGoldenOld locks the parser against the older column-less,
+// cost-less output shape: the gate must still classify every line (with
+// Col=0 and Cost=-1) rather than degrade them all to unknowns.
+func TestParseGoldenOld(t *testing.T) {
+	data, err := os.ReadFile("testdata/diag_old.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := ParseDiagnostics(string(data))
+	if len(diags) != 5 {
+		t.Fatalf("parsed %d diagnostics, want 5", len(diags))
+	}
+	for _, d := range diags {
+		if d.Kind == KindUnknown {
+			t.Errorf("old-format line degraded to unknown: %q", d.Raw)
+		}
+		if d.Col != 0 {
+			t.Errorf("column-less line parsed col %d: %q", d.Col, d.Raw)
+		}
+	}
+	if diags[0].Kind != KindCanInline || diags[0].Subject != "DotUnroll4" || diags[0].Cost != -1 {
+		t.Errorf("cost-less can-inline parsed as %+v", diags[0])
+	}
+	if diags[4].Kind != KindCannotInline || diags[4].Cost != -1 {
+		t.Errorf("cost-less cannot-inline parsed as %+v", diags[4])
+	}
+}
+
+func TestSplitPos(t *testing.T) {
+	cases := []struct {
+		line string
+		file string
+		ln   int
+		col  int
+		msg  string
+		ok   bool
+	}{
+		{"a/b.go:12:34: hello", "a/b.go", 12, 34, "hello", true},
+		{"a/b.go:12: hello", "a/b.go", 12, 0, "hello", true},
+		{"# mmdr/internal/matrix", "", 0, 0, "", false},
+		{"go: downloading something", "", 0, 0, "", false},
+	}
+	for _, c := range cases {
+		file, ln, col, msg, ok := splitPos(c.line)
+		if ok != c.ok || file != c.file || ln != c.ln || col != c.col || ok && msg != c.msg {
+			t.Errorf("splitPos(%q) = %q %d %d %q %v, want %q %d %d %q %v",
+				c.line, file, ln, col, msg, ok, c.file, c.ln, c.col, c.msg, c.ok)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package gate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options configures one gate run.
+type Options struct {
+	// Dir is any directory inside the module (module root is discovered
+	// by walking up to go.mod). "" = current directory.
+	Dir string
+	// ManifestPath overrides the embedded committed manifest.
+	ManifestPath string
+	// Strict promotes manifest-coverage gaps (hot-path packages the
+	// manifest does not gate) from warnings to violations.
+	Strict bool
+}
+
+// Run executes the gate: compile with diagnostics, parse, map, enforce.
+func Run(opts Options) (*Result, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	tc, err := FindToolchain(dir)
+	if err != nil {
+		return nil, err
+	}
+	manifest, err := LoadManifest(opts.ManifestPath)
+	if err != nil {
+		return nil, err
+	}
+	version, err := tc.GoVersion()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{GoVersion: version, Drifted: MinorVersion(version) != manifest.Go}
+
+	out, err := tc.BuildDiagnostics(manifest.PackageDirs())
+	if err != nil {
+		return nil, err
+	}
+	diags := ParseDiagnostics(out)
+
+	fm, err := LoadFuncs(tc.Root, manifest.PackageDirs())
+	if err != nil {
+		return nil, err
+	}
+
+	evaluate(res, manifest, fm, diags, opts.Strict)
+
+	// Coverage: every package with a //mmdr:hotpath directive should be
+	// under the gate. A gap is a warning (violation in strict mode) so
+	// new hot paths cannot silently sidestep the contract.
+	hotDirs, err := tc.HotpathPackages()
+	if err != nil {
+		return nil, err
+	}
+	gated := make(map[string]bool)
+	for _, d := range manifest.PackageDirs() {
+		gated[d] = true
+	}
+	for _, d := range hotDirs {
+		if strings.Contains(d, "analysis") {
+			// The analyzer suite's own docs and testdata mention the
+			// directive; they are not hot paths.
+			continue
+		}
+		if !gated[d] {
+			f := Finding{Msg: fmt.Sprintf("package %s has //mmdr:hotpath functions but is not in the gate manifest", d)}
+			if opts.Strict {
+				res.Violations = append(res.Violations, f)
+			} else {
+				res.Warnings = append(res.Warnings, f)
+			}
+		}
+	}
+	sortFindings(res.Violations)
+	sortFindings(res.Warnings)
+	return res, nil
+}
+
+// evaluate applies the manifest to the parsed diagnostics. When the
+// toolchain minor differs from the manifest's pin, contract violations
+// demote to warnings (the counts were measured under a different
+// compiler); unknown diagnostic lines are always warnings.
+func evaluate(res *Result, m *Manifest, fm *FuncMap, diags []Diag, strict bool) {
+	type funcDiags struct {
+		span    *FuncSpan
+		escapes []Diag
+		leaks   []Diag
+		bounds  []Diag
+		inline  *Diag // the can/cannot-inline decision for this function
+	}
+	byFunc := make(map[*FuncSpan]*funcDiags)
+	get := func(s *FuncSpan) *funcDiags {
+		fd := byFunc[s]
+		if fd == nil {
+			fd = &funcDiags{span: s}
+			byFunc[s] = fd
+		}
+		return fd
+	}
+
+	unknown := 0
+	seen := make(map[string]bool) // dedup -m=2 verbose+summary double reports
+	for i := range diags {
+		d := &diags[i]
+		span := fm.Enclosing(d.File, d.Line)
+		switch d.Kind {
+		case KindUnknown:
+			unknown++
+			if unknown <= 20 {
+				res.Warnings = append(res.Warnings, Finding{
+					File: d.File, Line: d.Line, Col: d.Col,
+					Msg: fmt.Sprintf("unrecognized compiler diagnostic: %q", d.Detail),
+				})
+			}
+		case KindEscape:
+			if span == nil {
+				break
+			}
+			key := fmt.Sprintf("e|%s|%d|%d|%s", d.File, d.Line, d.Col, d.Subject)
+			if seen[key] {
+				break
+			}
+			seen[key] = true
+			get(span).escapes = append(get(span).escapes, *d)
+		case KindLeakParam:
+			if span == nil {
+				break
+			}
+			key := fmt.Sprintf("l|%s|%d|%d|%s", d.File, d.Line, d.Col, d.Subject)
+			if seen[key] {
+				break
+			}
+			seen[key] = true
+			get(span).leaks = append(get(span).leaks, *d)
+		case KindBoundsCheck:
+			if span == nil {
+				break
+			}
+			get(span).bounds = append(get(span).bounds, *d)
+		case KindCanInline, KindCannotInline:
+			// The decision is positioned at the declaration; match by
+			// name too so nested closures (F.func1) don't overwrite it.
+			if span != nil && span.Name == d.Subject {
+				get(span).inline = d
+			}
+		}
+	}
+	if unknown > 20 {
+		res.Warnings = append(res.Warnings, Finding{
+			Msg: fmt.Sprintf("%d more unrecognized compiler diagnostics suppressed", unknown-20),
+		})
+	}
+
+	// A violation demoted under toolchain drift becomes a warning.
+	drift := res.Drifted
+	violate := func(f Finding) {
+		if drift {
+			f.Msg += fmt.Sprintf(" [demoted: toolchain %s differs from manifest pin %s]", MinorVersion(res.GoVersion), m.Go)
+			res.Warnings = append(res.Warnings, f)
+		} else {
+			res.Violations = append(res.Violations, f)
+		}
+	}
+
+	// Walk every function that is hot-path or explicitly contracted.
+	for _, span := range fm.Spans {
+		contract := m.Contract(span.Pkg, span.Name)
+		if !span.Hotpath && contract == nil {
+			continue
+		}
+		fd := byFunc[span]
+		if fd == nil {
+			fd = &funcDiags{span: span}
+		}
+		report := FuncReport{
+			Pkg: span.Pkg, Name: span.Name, File: span.File, Line: span.StartLine,
+			Hotpath: span.Hotpath, InlineCost: -1,
+		}
+
+		// Escape rule: default-on for hot-path functions.
+		skipEscapes := contract != nil && contract.SkipEscapes
+		for _, d := range fd.escapes {
+			if d.ConstString() {
+				report.BenignSpills++
+				continue
+			}
+			report.Escapes = append(report.Escapes, d.Subject)
+			if skipEscapes || !span.Hotpath && contract == nil {
+				continue
+			}
+			if contract != nil && allowed(contract.AllowEscapes, d.Subject) {
+				continue
+			}
+			what := "escapes to heap"
+			if d.Moved {
+				what = "moved to heap"
+			}
+			violate(Finding{
+				File: d.File, Line: d.Line, Col: d.Col, Func: span.Name,
+				Msg: fmt.Sprintf("hot-path heap allocation: %s %s (allow it in the manifest with a reason, or fix the kernel)", d.Subject, what),
+			})
+		}
+		for _, d := range fd.leaks {
+			report.LeakParams = append(report.LeakParams, d.Subject)
+		}
+
+		// Bounds budgets.
+		for _, d := range fd.bounds {
+			report.BoundsTotal++
+			if span.InLoop(d.Line) {
+				report.BoundsInLoop++
+			}
+		}
+		if contract != nil && contract.MaxBounds != nil && report.BoundsTotal > *contract.MaxBounds {
+			violate(Finding{
+				File: span.File, Line: span.Line(), Func: span.Name,
+				Msg: fmt.Sprintf("bounds checks regressed: %d found, contract pins %d (run `go build -gcflags='%s/%s=%s' ./%s` to see them)",
+					report.BoundsTotal, *contract.MaxBounds, "mmdr", span.Pkg, diagFlags, span.Pkg),
+			})
+		}
+		if contract != nil && contract.MaxLoopBounds != nil && report.BoundsInLoop > *contract.MaxLoopBounds {
+			violate(Finding{
+				File: span.File, Line: span.Line(), Func: span.Name,
+				Msg: fmt.Sprintf("in-loop bounds checks regressed: %d found inside loops, contract pins %d", report.BoundsInLoop, *contract.MaxLoopBounds),
+			})
+		}
+
+		// Inlining.
+		if fd.inline != nil {
+			report.InlineCost = fd.inline.Cost
+			report.InlineReason = fd.inline.Detail
+			if fd.inline.Kind == KindCanInline {
+				report.InlineStatus = "can"
+			} else {
+				report.InlineStatus = "cannot"
+			}
+		}
+		if contract != nil && contract.MustInline {
+			switch report.InlineStatus {
+			case "can":
+				// Satisfied.
+			case "cannot":
+				violate(Finding{
+					File: span.File, Line: span.Line(), Func: span.Name,
+					Msg: fmt.Sprintf("must-inline kernel is no longer inlinable: %s", report.InlineReason),
+				})
+			default:
+				violate(Finding{
+					File: span.File, Line: span.Line(), Func: span.Name,
+					Msg: "must-inline kernel: compiler reported no inlining decision",
+				})
+			}
+		}
+		if contract != nil && contract.MaxInlineCost > 0 && report.InlineCost > contract.MaxInlineCost {
+			violate(Finding{
+				File: span.File, Line: span.Line(), Func: span.Name,
+				Msg: fmt.Sprintf("inlining cost regressed: %d, contract pins <= %d", report.InlineCost, contract.MaxInlineCost),
+			})
+		}
+
+		// Budget slack is a warning in strict mode: a kernel that now
+		// beats its pinned budget should get the tighter pin committed.
+		if strict && !drift && contract != nil {
+			if contract.MaxBounds != nil && report.BoundsTotal < *contract.MaxBounds {
+				res.Warnings = append(res.Warnings, Finding{
+					File: span.File, Line: span.Line(), Func: span.Name,
+					Msg: fmt.Sprintf("bounds budget is loose: %d found, contract allows %d — tighten the manifest", report.BoundsTotal, *contract.MaxBounds),
+				})
+			}
+		}
+
+		res.Funcs = append(res.Funcs, report)
+	}
+
+	// Manifest rot: contracts naming functions that no longer exist.
+	for _, p := range m.Packages {
+		for _, f := range p.Functions {
+			if fm.Lookup(p.Path, f.Name) == nil {
+				violate(Finding{
+					Msg: fmt.Sprintf("manifest contract for %s.%s matches no function — stale entry?", p.Path, f.Name),
+				})
+			}
+		}
+	}
+}
+
+// Line returns the declaration line (helper so findings can anchor at the
+// function when the violation has no better position).
+func (f *FuncSpan) Line() int { return f.StartLine }
+
+func allowed(allowances []EscapeAllowance, subject string) bool {
+	for _, a := range allowances {
+		if strings.Contains(subject, a.Pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Msg < b.Msg
+	})
+}

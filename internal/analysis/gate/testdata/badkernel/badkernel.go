@@ -1,0 +1,42 @@
+// Package badkernel is the gate's negative fixture: every function here
+// deliberately violates the compiler contract its test manifest pins, so
+// the integration test can prove mmdrgate actually fails when the compiler
+// regresses. Living under testdata/ keeps it out of ./... builds; the gate
+// compiles it by explicit package path.
+package badkernel
+
+// Escapes returns a fresh heap slice from a hot-path function — the exact
+// regression the default no-escape contract exists to catch.
+//
+//mmdr:hotpath
+func Escapes(n int) []float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	return buf
+}
+
+// Checked indexes through a data-dependent permutation, so the prove pass
+// can never eliminate the inner bounds check. Its manifest pins a zero
+// bounds budget.
+//
+//mmdr:hotpath
+func Checked(xs []int, idx []int) int {
+	s := 0
+	for _, j := range idx {
+		s += xs[j]
+	}
+	return s
+}
+
+// NotInlinable recurses, which the inliner categorically refuses; its
+// manifest marks it must-inline.
+//
+//mmdr:hotpath
+func NotInlinable(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + NotInlinable(n-1)
+}

@@ -1,0 +1,164 @@
+package gate
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// diagFlags are the compiler flags whose output the gate parses:
+// -m=2 for escape analysis + inlining decisions (with flow traces),
+// -d=ssa/check_bce/debug=1 for every bounds check the prove pass failed
+// to eliminate.
+const diagFlags = "-m=2 -d=ssa/check_bce/debug=1"
+
+// Toolchain runs the go command rooted at the module being gated.
+type Toolchain struct {
+	// Root is the module root (directory containing go.mod).
+	Root string
+	// GoCmd is the go binary to invoke ("go" by default).
+	GoCmd string
+	// Module is the module path from go.mod ("mmdr").
+	Module string
+}
+
+// FindToolchain locates the enclosing module from dir.
+func FindToolchain(dir string) (*Toolchain, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("gate: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("gate: no module directive in %s/go.mod", root)
+	}
+	return &Toolchain{Root: root, GoCmd: "go", Module: mod}, nil
+}
+
+// GoVersion reports the toolchain version ("go1.24.0").
+func (tc *Toolchain) GoVersion() (string, error) {
+	out, err := tc.run("env", "GOVERSION")
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(out), nil
+}
+
+// MinorVersion truncates "go1.24.0" to "go1.24".
+func MinorVersion(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+// BuildDiagnostics compiles the given module-relative package dirs with
+// the diagnostic flags scoped to exactly those packages (so dependency
+// compiles stay quiet) and returns the raw compiler stderr. The go build
+// cache replays compiler diagnostics on cache hits, so repeat runs are
+// cheap and still produce full output.
+func (tc *Toolchain) BuildDiagnostics(pkgDirs []string) (string, error) {
+	args := []string{"build"}
+	patterns := make([]string, 0, len(pkgDirs))
+	for _, dir := range pkgDirs {
+		importPath := tc.Module + "/" + dir
+		args = append(args, fmt.Sprintf("-gcflags=%s=%s", importPath, diagFlags))
+		patterns = append(patterns, "./"+dir)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command(tc.GoCmd, args...)
+	cmd.Dir = tc.Root
+	var stderr bytes.Buffer
+	cmd.Stdout = &stderr // go build prints diagnostics on stderr; fold both
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	out := stderr.String()
+	if err != nil {
+		// A compile failure means the diagnostics are garbage — that is
+		// an infra error, not a contract finding.
+		return out, fmt.Errorf("gate: go build failed: %w\n%s", err, out)
+	}
+	return out, nil
+}
+
+func (tc *Toolchain) run(args ...string) (string, error) {
+	cmd := exec.Command(tc.GoCmd, args...)
+	cmd.Dir = tc.Root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("gate: go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out.String(), nil
+}
+
+// HotpathPackages scans the module for non-test files containing a
+// //mmdr:hotpath directive and returns their package dirs — used to warn
+// when a hot-path package is missing from the manifest. The scan is
+// textual (no parsing): a false positive in a comment costs a warning,
+// never a failure.
+func (tc *Toolchain) HotpathPackages() ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(tc.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") && path != tc.Root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !bytes.Contains(data, []byte("//mmdr:hotpath")) {
+			return nil
+		}
+		rel, err := filepath.Rel(tc.Root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -60,6 +60,11 @@ type ApproxReport struct {
 	FullBudgetBitIdentical bool `json:"full_budget_bit_identical"`
 
 	Frontier []ApproxPoint `json:"frontier"`
+
+	// GateFixes are the before/after micro-benchmarks of the quantized-path
+	// kernel rewrites forced by the mmdrgate compiler-contract gate (see
+	// gatefix.go).
+	GateFixes []GateFixMeasurement `json:"gate_fixes,omitempty"`
 }
 
 // approxBlockSweep and approxBudgetFactors define the frontier grid: code
@@ -188,6 +193,7 @@ func ApproxBench(c Config) (*ApproxReport, error) {
 	if !rep.FullBudgetBitIdentical {
 		return rep, fmt.Errorf("experiments: full-budget quantized search diverged from the exact path")
 	}
+	rep.GateFixes = GateFixADCMeasurements()
 	return rep, nil
 }
 

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Baseline regression checker (`mmdrbench -check-baseline`): runs a fresh
+// bench-smoke (at the configured scale, normally small) and diffs it
+// against the committed BENCH_query.json / BENCH_approx.json. The committed
+// reports are paper-scale and machine-specific, so raw nanoseconds are NOT
+// compared; the checker holds the fields that are portable across scales
+// and machines, each with a stated tolerance:
+//
+//   - correctness gates (oracle_bit_identical, full_budget_bit_identical):
+//     no tolerance — a fresh run must pass them outright;
+//   - steady-state allocations per query: committed + allocSlack — the
+//     scratch pools make these near-zero at every scale, so growth is a
+//     pooling regression, not noise;
+//   - speedup ratios: a fresh speedup may be noisy, but it must stay above
+//     collapseFraction of the committed ratio (and an absolute floor) —
+//     this catches the kernel path silently degrading to the reference
+//     path, not single-digit-percent drift;
+//   - report shape: the approx frontier must cover the committed
+//     (code bytes, budget) grid and both reports must carry non-empty
+//     gate_fixes sections.
+//
+// A regression makes the process exit non-zero; CI runs the check as a
+// non-blocking report step (continue-on-error), so the signal is a red
+// annotation, not a broken build, until a human confirms it on quiet
+// hardware.
+
+const (
+	// baselineAllocSlack is the absolute allocs-per-query headroom over the
+	// committed report before the checker calls it a pooling regression.
+	baselineAllocSlack = 2.0
+	// baselineCollapseFraction: a fresh speedup below this fraction of the
+	// committed speedup is a collapse, not noise.
+	baselineCollapseFraction = 0.25
+	// baselineSpeedupFloor is the absolute floor under every checked
+	// speedup ratio: whatever the committed number was, the kernel path
+	// must not measure slower than 0.8x its reference on a fresh run.
+	baselineSpeedupFloor = 0.8
+)
+
+// CheckBaseline runs fresh query/approx benchmarks and diffs them against
+// the committed reports in dir, writing one line per check to w. It
+// returns the number of regressions (0 means the baseline holds).
+func CheckBaseline(c Config, dir string, w io.Writer) (int, error) {
+	var committedQ QueryReport
+	if err := readBenchJSON(filepath.Join(dir, "BENCH_query.json"), &committedQ); err != nil {
+		return 0, err
+	}
+	var committedA ApproxReport
+	if err := readBenchJSON(filepath.Join(dir, "BENCH_approx.json"), &committedA); err != nil {
+		return 0, err
+	}
+
+	bad, total := 0, 0
+	check := func(ok bool, format string, args ...any) {
+		total++
+		status := "ok        "
+		if !ok {
+			status = "REGRESSION"
+			bad++
+		}
+		fmt.Fprintf(w, "%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	freshQ, err := QueryBench(c)
+	if freshQ == nil && err != nil {
+		return 0, fmt.Errorf("fresh query bench: %w", err)
+	}
+	check(err == nil && freshQ.OracleBitIdentical,
+		"query: oracle bit-identical (no tolerance)")
+	check(freshQ.KernelKNNAllocsPerQuery <= committedQ.KernelKNNAllocsPerQuery+baselineAllocSlack,
+		"query: kernel KNN allocs/query %.2f <= committed %.2f + %.0f",
+		freshQ.KernelKNNAllocsPerQuery, committedQ.KernelKNNAllocsPerQuery, baselineAllocSlack)
+	check(freshQ.BatchKNNAllocsPerQry <= committedQ.BatchKNNAllocsPerQry+baselineAllocSlack,
+		"query: batch KNN allocs/query %.2f <= committed %.2f + %.0f",
+		freshQ.BatchKNNAllocsPerQry, committedQ.BatchKNNAllocsPerQry, baselineAllocSlack)
+	knnFloor := speedupFloor(committedQ.KNNSpeedup)
+	check(freshQ.KNNSpeedup >= knnFloor,
+		"query: KNN speedup %.2fx >= floor %.2fx (max(%.1f, %.0f%% of committed %.2fx))",
+		freshQ.KNNSpeedup, knnFloor, baselineSpeedupFloor, 100*baselineCollapseFraction, committedQ.KNNSpeedup)
+	rangeFloor := speedupFloor(committedQ.RangeSpeedup)
+	check(freshQ.RangeSpeedup >= rangeFloor,
+		"query: Range speedup %.2fx >= floor %.2fx",
+		freshQ.RangeSpeedup, rangeFloor)
+	check(len(freshQ.GateFixes) > 0,
+		"query: gate_fixes section present (%d rows)", len(freshQ.GateFixes))
+
+	freshA, err := ApproxBench(c)
+	if freshA == nil && err != nil {
+		return 0, fmt.Errorf("fresh approx bench: %w", err)
+	}
+	check(err == nil && freshA.FullBudgetBitIdentical,
+		"approx: full-budget quantized path bit-identical (no tolerance)")
+	grid := make(map[[2]int]bool, len(freshA.Frontier))
+	for _, p := range freshA.Frontier {
+		grid[[2]int{p.Blocks, p.Budget}] = true
+	}
+	missing := 0
+	for _, p := range committedA.Frontier {
+		if !grid[[2]int{p.Blocks, p.Budget}] {
+			missing++
+		}
+	}
+	check(missing == 0,
+		"approx: frontier covers the committed (blocks, budget) grid (%d committed points, %d missing)",
+		len(committedA.Frontier), missing)
+	check(len(freshA.GateFixes) > 0,
+		"approx: gate_fixes section present (%d rows)", len(freshA.GateFixes))
+
+	fmt.Fprintf(w, "%d check(s), %d regression(s)\n", total, bad)
+	return bad, nil
+}
+
+func speedupFloor(committed float64) float64 {
+	f := baselineCollapseFraction * committed
+	if f < baselineSpeedupFloor {
+		f = baselineSpeedupFloor
+	}
+	return f
+}
+
+func readBenchJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("committed baseline: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("committed baseline %s: %w", path, err)
+	}
+	return nil
+}

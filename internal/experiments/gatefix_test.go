@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmdr/internal/matrix"
+)
+
+// The frozen pre-gate shapes must stay bit-identical to the live kernels —
+// that equality is what makes the before/after timing a pure loop-shape
+// comparison.
+func TestPreGateShapesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range []int{1, 3, 4, 7, 8, 15, 16, 17, 33, 64} {
+		x := make([]float64, d)
+		y := make([]float64, d)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		if a, b := preGateSqDist(x, y), matrix.SqDist(x, y); a != b {
+			t.Errorf("d=%d: preGateSqDist=%v SqDist=%v", d, a, b)
+		}
+		if a, b := preGateDot(x, y), matrix.DotUnroll4(x, y); a != b {
+			t.Errorf("d=%d: preGateDot=%v DotUnroll4=%v", d, a, b)
+		}
+	}
+	for _, d := range []int{1, 4, 8, 9, 12, 15} {
+		const tile = 8
+		qs := make([]float64, tile*d)
+		for i := range qs {
+			qs[i] = rng.NormFloat64()
+		}
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		sel := []int32{0, 2, 3, 7}
+		bounds := []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)}
+		pre := make([]float64, len(sel))
+		post := make([]float64, len(sel))
+		preGateRowToSel(v, qs, d, sel, pre)
+		matrix.SqDistRowToSel(v, qs, d, sel, bounds, post)
+		for i := range sel {
+			if pre[i] != post[i] {
+				t.Errorf("d=%d sel[%d]: preGateRowToSel=%v SqDistRowToSel=%v", d, i, pre[i], post[i])
+			}
+		}
+	}
+	for _, m := range []int{1, 2, 4, 6, 9} {
+		for _, k := range []int{16, 256} {
+			table := make([]float64, k*m)
+			for i := range table {
+				table[i] = rng.Float64()
+			}
+			code := make([]byte, m)
+			rng.Read(code)
+			for i := range code {
+				code[i] = byte(int(code[i]) % k)
+			}
+			for _, bound := range []float64{0.1, math.Inf(1)} {
+				a := preGateADCSumBound(table, k, code, bound)
+				b := matrix.ADCSumBound(table, k, code, bound)
+				if a != b {
+					t.Errorf("k=%d m=%d bound=%v: pre=%v post=%v", k, m, bound, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The ADC fast path must fall back to the generic shape (and its panic
+// behavior) on a malformed short table rather than read out of bounds.
+func TestADCFastPathShortTableFallsBack(t *testing.T) {
+	table := make([]float64, 512) // k=256 claims 1024 entries; this table lies
+	code := []byte{0, 1, 2, 3}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short table with k=256 did not panic")
+		}
+	}()
+	matrix.ADCSumBound(table, 256, code, math.Inf(1))
+}
+
+func TestGateFixMeasurementsPopulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing loops; skipped in -short")
+	}
+	exact := GateFixExactMeasurements()
+	adc := GateFixADCMeasurements()
+	all := append(append([]GateFixMeasurement{}, exact...), adc...)
+	if len(all) != 2 {
+		t.Fatalf("got %d measurements, want 2", len(all))
+	}
+	for _, m := range all {
+		if m.PreNsPerOp <= 0 || m.PostNsPerOp <= 0 || m.Speedup <= 0 {
+			t.Errorf("%s (%s): unpopulated measurement %+v", m.Kernel, m.Shape, m)
+		}
+	}
+}

@@ -57,6 +57,11 @@ type QueryReport struct {
 	// OracleBitIdentical records the correctness gate: kernel KNN and Range
 	// answers equal the sequential-scan oracle bit for bit on every probe.
 	OracleBitIdentical bool `json:"oracle_bit_identical"`
+
+	// GateFixes are the before/after micro-benchmarks of the exact-path
+	// kernel rewrites forced by the mmdrgate compiler-contract gate
+	// (frozen pre-gate loop shapes vs the live kernels; see gatefix.go).
+	GateFixes []GateFixMeasurement `json:"gate_fixes,omitempty"`
 }
 
 // measureQueries times fn over the query set and reports (ns/query,
@@ -188,6 +193,7 @@ func QueryBench(c Config) (*QueryReport, error) {
 	if !rep.OracleBitIdentical {
 		return rep, fmt.Errorf("experiments: kernel query path diverged from sequential-scan oracle")
 	}
+	rep.GateFixes = GateFixExactMeasurements()
 	return rep, nil
 }
 

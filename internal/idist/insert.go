@@ -40,8 +40,7 @@ func (idx *Index) Insert(p []float64) (int, error) {
 //mmdr:hotpath
 func (idx *Index) insert(p []float64) (int, error) {
 	if len(p) != idx.ds.Dim {
-		//mmdr:ignore hotalloc rejected-input error path, never taken on the measured insert path
-		return 0, fmt.Errorf("idist: Insert dimension %d, want %d", len(p), idx.ds.Dim)
+		return 0, insertDimError(len(p), idx.ds.Dim)
 	}
 
 	if cap(idx.insDiff) < idx.ds.Dim {
@@ -128,6 +127,17 @@ func (idx *Index) insert(p []float64) (int, error) {
 	idx.tree.Insert(float64(oi)*idx.c+dist, uint32(id))
 	idx.red.Outliers = append(idx.red.Outliers, id)
 	return id, nil
+}
+
+// insertDimError builds the rejected-input error off the insert hot path.
+// fmt.Errorf boxes its arguments into interfaces, which the escape analyzer
+// charges to the enclosing function whether or not the branch is taken;
+// keeping the construction in a cold noinline helper keeps insert itself
+// heap-allocation-free under the mmdrgate contract.
+//
+//go:noinline
+func insertDimError(got, want int) error {
+	return fmt.Errorf("idist: Insert dimension %d, want %d", got, want)
 }
 
 // outlierPartition returns the index of the outlier partition, creating one

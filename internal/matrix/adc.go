@@ -41,6 +41,22 @@ func ADCSum(table []float64, k int, code []byte) float64 {
 //mmdr:hotpath innermost per-row kernel of every bounded quantized scan
 func ADCSumBound(table []float64, k int, code []byte, bound float64) float64 {
 	if len(code) == 4 {
+		if k == 256 && len(table) >= 1024 {
+			// The K=256/m=4 configuration is the paper-scale default, so
+			// it gets a dedicated shape: pinning the table to a constant
+			// 1024-wide slab makes every lookup provably in bounds (a byte
+			// sub-code cannot index past offset+255 ≤ 1023), so the four
+			// loads carry no bounds checks at all. Same loads in the same
+			// order as the generic four-block path below — bit-identical,
+			// and a malformed short table falls through to it so the panic
+			// behavior is unchanged too.
+			t := table[:1024:1024]
+			s := t[int(code[0])]
+			s += t[256+int(code[1])]
+			s += t[512+int(code[2])]
+			s += t[768+int(code[3])]
+			return s
+		}
 		s := table[int(code[0])]
 		s += table[k+int(code[1])]
 		s += table[2*k+int(code[2])]
