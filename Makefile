@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-smoke vet fmt fmt-check lint gate check check-baseline experiments
+.PHONY: all build test race racegate bench bench-json bench-smoke vet fmt fmt-check lint gate check check-baseline experiments
 
 all: build test
 
@@ -15,6 +15,17 @@ test:
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# racegate is the concurrency-verification gate (DESIGN.md §12): the
+# adversarial serving scenarios (mixed load, reload storms, overload then
+# drain, slow clients, racing Close) run under the race detector with
+# goroutine-leak and stall watchdogs wrapped around each one
+# (internal/verify). halt_on_error makes the first race fatal instead of
+# a log line scrolling past. -count=1 defeats test caching: the gate's
+# value is re-running the schedules, not replaying a cached PASS.
+racegate:
+	GORACE=halt_on_error=1 $(GO) test -race -count=1 -run 'TestRaceGate' ./internal/serve/ ./internal/verify/
+	$(GO) test -race -count=1 ./internal/verify/
 
 vet:
 	$(GO) vet ./...
@@ -49,14 +60,16 @@ gate:
 	$(GO) run ./cmd/mmdrgate -strict
 
 # Default verification bundle: the gofmt gate CI enforces, vet, the custom
-# analyzer suite, the full test suite, and a short fuzz smoke of the
-# query-equivalence targets (each holds EXACT equality between the
-# kernelized tree paths and the sequential-scan oracle).
+# analyzer suite, the full test suite, a short-mode pass of the race gate's
+# serving scenarios, and a short fuzz smoke of the query-equivalence
+# targets (each holds EXACT equality between the kernelized tree paths and
+# the sequential-scan oracle).
 check: fmt-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/mmdrlint ./...
 	$(GO) run ./cmd/mmdrgate -strict
 	$(GO) test ./...
+	GORACE=halt_on_error=1 $(GO) test -race -count=1 -short -run 'TestRaceGate' ./internal/serve/
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzKNNvsSeqScan -fuzztime 10s
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzRangeVsSeqScan -fuzztime 10s
 	$(GO) test ./internal/idist/ -run '^$$' -fuzz FuzzBatchKNNvsKNN -fuzztime 10s
@@ -71,11 +84,15 @@ check: fmt-check
 # distributions.
 # BENCH_approx.json: the quantized-scan recall/QPS frontier — PQ code sizes
 # x candidate budgets against the exact fused batch and sequential scan.
+# BENCH_serve.json: end-to-end HTTP serving latency/QPS across a shard x
+# client-concurrency sweep, gated on served answers being bitwise identical
+# to direct BatchKNN.
 bench-json:
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-parallel BENCH_parallel.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-query BENCH_query.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-obs BENCH_obs.json
 	$(GO) run ./cmd/mmdrbench -scale paper -bench-approx BENCH_approx.json
+	$(GO) run ./cmd/mmdrbench -scale paper -bench-serve BENCH_serve.json
 
 # bench-smoke regenerates every BENCH_*.json at small scale — seconds, not
 # minutes — so CI can verify the emitters end to end and archive the
@@ -86,6 +103,7 @@ bench-smoke:
 	$(GO) run ./cmd/mmdrbench -scale small -bench-query BENCH_query.json
 	$(GO) run ./cmd/mmdrbench -scale small -bench-obs BENCH_obs.json
 	$(GO) run ./cmd/mmdrbench -scale small -bench-approx BENCH_approx.json
+	$(GO) run ./cmd/mmdrbench -scale small -bench-serve BENCH_serve.json
 
 # check-baseline diffs a fresh small-scale query/approx run against the
 # committed BENCH_query.json / BENCH_approx.json on the scale-portable

@@ -11,6 +11,7 @@
 //	mmdrbench -experiment all -pprof localhost:0  # pprof + expvar + /metrics server
 //	mmdrbench -bench-obs BENCH_obs.json           # metrics-overhead benchmark report
 //	mmdrbench -bench-approx BENCH_approx.json     # quantized-scan recall/QPS frontier
+//	mmdrbench -bench-serve BENCH_serve.json       # HTTP serving latency/QPS sweep
 //	mmdrbench -scale small -check-baseline        # diff a fresh smoke run vs committed BENCH_*.json
 //
 // Scales trade fidelity for runtime: "paper" approaches the published
@@ -74,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchQuery  = fs.String("bench-query", "", "run the query-kernel benchmark and write its JSON report to this file")
 		benchObs    = fs.String("bench-obs", "", "run the observability-overhead benchmark and write its JSON report to this file")
 		benchApprox = fs.String("bench-approx", "", "run the quantized-scan recall/QPS frontier benchmark and write its JSON report to this file")
+		benchServe  = fs.String("bench-serve", "", "run the HTTP serving benchmark (shard x concurrency sweep with a bitwise correctness gate) and write its JSON report to this file")
 
 		checkBaseline = fs.Bool("check-baseline", false, "run fresh query/approx benchmarks at the configured scale and diff the scale-portable fields against the committed BENCH_*.json (see -baseline-dir); exits 1 on regression")
 		baselineDir   = fs.String("baseline-dir", ".", "directory holding the committed BENCH_*.json baselines for -check-baseline")
@@ -89,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" && !*checkBaseline {
+	if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" && *benchServe == "" && !*checkBaseline {
 		fs.Usage()
 		return 2
 	}
@@ -130,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "mmdrbench: %d baseline regression(s)\n", regressions)
 			return 1
 		}
-		if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" {
+		if *exp == "" && *benchPar == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" && *benchServe == "" {
 			return 0
 		}
 	}
@@ -155,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Table().Fprint(stdout)
-		if *exp == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" {
+		if *exp == "" && *benchQuery == "" && *benchObs == "" && *benchApprox == "" && *benchServe == "" {
 			return 0
 		}
 	}
@@ -180,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Table().Fprint(stdout)
-		if *exp == "" && *benchObs == "" && *benchApprox == "" {
+		if *exp == "" && *benchObs == "" && *benchApprox == "" && *benchServe == "" {
 			return 0
 		}
 	}
@@ -205,7 +207,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		rep.Table().Fprint(stdout)
-		if *exp == "" && *benchApprox == "" {
+		if *exp == "" && *benchApprox == "" && *benchServe == "" {
 			return 0
 		}
 	}
@@ -217,6 +219,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		f, err := os.Create(*benchApprox)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "mmdrbench: %v\n", werr)
+			return 1
+		}
+		rep.Table().Fprint(stdout)
+		if *exp == "" && *benchServe == "" {
+			return 0
+		}
+	}
+
+	if *benchServe != "" {
+		rep, err := experiments.ServeBench(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrbench: serving benchmark: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*benchServe)
 		if err != nil {
 			fmt.Fprintf(stderr, "mmdrbench: %v\n", err)
 			return 1

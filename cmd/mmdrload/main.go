@@ -1,0 +1,168 @@
+// Command mmdrload is the HTTP load generator for mmdrserve: it sweeps
+// client concurrency levels against a running server and reports
+// client-observed p50/p99 latency and QPS per level.
+//
+// Usage:
+//
+//	mmdrload -addr 127.0.0.1:8080 -k 10 -requests 2000 -concurrency 1,4,16,64
+//	mmdrload -addr 127.0.0.1:8080 -out load.json
+//
+// Query vectors are sampled uniformly from [0,1)^dim (the server's
+// /statusz reports dim), seeded for reproducibility. The in-repo
+// benchmark pipeline (mmdrbench -bench-serve) additionally verifies
+// served answers bitwise against the direct engine; mmdrload is the
+// external-process view of the same serving path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"mmdr/internal/experiments"
+	"mmdr/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// loadReport is the -out JSON shape: one row per concurrency level plus
+// the environment stamp the BENCH_*.json reports share.
+type loadReport struct {
+	Env    experiments.EnvInfo `json:"env"`
+	Addr   string              `json:"addr"`
+	Dim    int                 `json:"dim"`
+	K      int                 `json:"k"`
+	Levels []loadLevel         `json:"levels"`
+}
+
+type loadLevel struct {
+	Concurrency int `json:"concurrency"`
+	experiments.LoadResult
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmdrload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "server address (host:port)")
+		k        = fs.Int("k", 10, "KNN size per request")
+		requests = fs.Int("requests", 2000, "requests per concurrency level")
+		conc     = fs.String("concurrency", "1,4,16,64", "comma-separated client concurrency levels")
+		queries  = fs.Int("queries", 256, "distinct query vectors to cycle through")
+		seed     = fs.Int64("seed", 1, "query-vector seed")
+		out      = fs.String("out", "", "write the sweep as JSON to this file (\"-\" for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	levels, err := parseLevels(*conc)
+	if err != nil {
+		fmt.Fprintf(stderr, "mmdrload: %v\n", err)
+		return 2
+	}
+
+	base := "http://" + *addr
+	maxConc := levels[len(levels)-1]
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        maxConc + 4,
+		MaxIdleConnsPerHost: maxConc + 4,
+	}}
+	defer client.Transport.(*http.Transport).CloseIdleConnections()
+
+	st, err := fetchStatus(client, base)
+	if err != nil {
+		fmt.Fprintf(stderr, "mmdrload: %v (is mmdrserve running on %s?)\n", err, *addr)
+		return 1
+	}
+	if st.Dim <= 0 {
+		fmt.Fprintf(stderr, "mmdrload: server reports dim %d\n", st.Dim)
+		return 1
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	qs := make([][]float64, *queries)
+	for i := range qs {
+		q := make([]float64, st.Dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		qs[i] = q
+	}
+
+	rep := loadReport{Env: experiments.CollectEnv(), Addr: *addr, Dim: st.Dim, K: *k}
+	fmt.Fprintf(stdout, "%-12s %-10s %-10s %-10s %-10s %-10s\n",
+		"concurrency", "qps", "p50 µs", "p99 µs", "mean µs", "rejected")
+	for _, c := range levels {
+		res, err := experiments.HTTPLoad(client, base, qs, *k, c, *requests)
+		if err != nil {
+			fmt.Fprintf(stderr, "mmdrload: concurrency %d: %v\n", c, err)
+			return 1
+		}
+		rep.Levels = append(rep.Levels, loadLevel{Concurrency: c, LoadResult: res})
+		fmt.Fprintf(stdout, "%-12d %-10.0f %-10.1f %-10.1f %-10.1f %-10d\n",
+			c, res.QPS, res.P50US, res.P99US, res.MeanUS, res.Rejected)
+	}
+
+	if *out != "" {
+		w := stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(stderr, "mmdrload: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "mmdrload: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// parseLevels parses "1,4,16" into ascending concurrency levels.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no concurrency levels")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			return nil, fmt.Errorf("concurrency levels must be ascending")
+		}
+	}
+	return out, nil
+}
+
+// fetchStatus reads the server's /statusz.
+func fetchStatus(client *http.Client, base string) (serve.Status, error) {
+	var st serve.Status
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/statusz status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mmdr"
+	"mmdr/internal/datagen"
+	"mmdr/internal/serve"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	cfg := datagen.CorrelatedConfig{N: 500, Dim: 16, NumClusters: 3, SDim: 3,
+		VarRatio: 50, ScaleDecay: 0.75, Seed: 13}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := mmdr.ReduceDataset(datagen.Normalize(ds), mmdr.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(model, serve.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck — test teardown
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr.String()
+}
+
+func TestLoadSweep(t *testing.T) {
+	addr := startServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", addr, "-k", "3", "-requests", "200",
+		"-concurrency", "1,4", "-queries", "32", "-out", "-",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	// The table precedes the JSON; decode from the first '{'.
+	out := stdout.String()
+	idx := bytes.IndexByte([]byte(out), '{')
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var rep loadReport
+	if err := json.Unmarshal([]byte(out[idx:]), &rep); err != nil {
+		t.Fatalf("decoding report: %v\noutput:\n%s", err, out)
+	}
+	if rep.Dim != 16 || len(rep.Levels) != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	for _, lv := range rep.Levels {
+		if lv.QPS <= 0 || lv.P99US < lv.P50US || lv.Requests != 200 {
+			t.Errorf("implausible level %+v", lv)
+		}
+	}
+}
+
+func TestLoadBadArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-concurrency", "4,1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("descending levels: exit %d, want 2", code)
+	}
+	if code := run([]string{"-concurrency", "zero"}, &stdout, &stderr); code != 2 {
+		t.Errorf("non-numeric levels: exit %d, want 2", code)
+	}
+	// No server on a port nobody listens on: clean failure, not a hang.
+	if code := run([]string{"-addr", "127.0.0.1:1", "-requests", "10"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unreachable server: exit %d, want 1", code)
+	}
+}

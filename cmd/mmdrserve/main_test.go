@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mmdr"
+	"mmdr/internal/datagen"
+	"mmdr/internal/serve"
+	"mmdr/internal/verify"
+)
+
+// startServe runs the CLI in-process against a synthetic model on an
+// ephemeral port and returns the bound address plus a stop function that
+// delivers the shutdown signal and waits for a clean exit.
+func startServe(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{
+		"-synthetic", "-n", "500", "-dim", "16", "-addr", "127.0.0.1:0", "-shards", "2",
+	}, extra...)
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stdout, stderr bytes.Buffer
+	go func() { done <- run(args, &stdout, &stderr, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never became ready\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+	}
+	return addr, func() {
+		t.Helper()
+		// The CLI installed its handler via signal.Notify; raising the
+		// signal exercises the real shutdown path.
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("server never drained\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "drained") {
+			t.Errorf("missing drain message in output: %s", stdout.String())
+		}
+	}
+}
+
+func TestServeCLISyntheticLifecycle(t *testing.T) {
+	// Warm the runtime's signal-watcher goroutine (a process-lifetime
+	// singleton the first signal.Notify starts) so the leak baseline
+	// already contains it.
+	warm := make(chan os.Signal, 1)
+	signal.Notify(warm, syscall.SIGUSR1)
+	signal.Stop(warm)
+
+	checkLeaks := verify.Leak(t)
+	addr, stop := startServe(t)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Shards != 2 || st.Points != 500 || st.Dim != 16 {
+		t.Errorf("statusz %+v", st)
+	}
+
+	body, _ := json.Marshal(serve.KNNRequest{Q: make([]float64, 16), K: 3})
+	resp, err = http.Post(base+"/knn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbs serve.NeighborsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&nbs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(nbs.Neighbors) != 3 {
+		t.Errorf("knn status %d, %d neighbors", resp.StatusCode, len(nbs.Neighbors))
+	}
+
+	stop()
+	http.DefaultClient.CloseIdleConnections()
+	checkLeaks()
+}
+
+func TestServeCLIModelFile(t *testing.T) {
+	cfg := datagen.CorrelatedConfig{N: 400, Dim: 16, NumClusters: 3, SDim: 3,
+		VarRatio: 50, ScaleDecay: 0.75, Seed: 9}
+	ds, _, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := mmdr.ReduceDataset(datagen.Normalize(ds), mmdr.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.mmdr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-model", path, "-addr", "127.0.0.1:0"}, &stdout, &stderr, ready)
+	}()
+	select {
+	case addr := <-ready:
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz status %d", resp.StatusCode)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never became ready\nstderr: %s", stderr.String())
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-done; code != 0 {
+		t.Errorf("exit code %d\nstderr: %s", code, stderr.String())
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+func TestServeCLIBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr, nil); code != 1 {
+		t.Errorf("no model source: exit %d, want 1", code)
+	}
+	if code := run([]string{"-model", "x", "-synthetic"}, &stdout, &stderr, nil); code != 1 {
+		t.Errorf("conflicting sources: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestServeBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark sweep in -short mode")
+	}
+	rep, err := ServeBench(Config{Scale: Small, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CorrectnessOK {
+		t.Fatal("correctness gate did not pass")
+	}
+	if rep.CorrectnessQueries == 0 {
+		t.Fatal("correctness gate checked zero queries")
+	}
+	if len(rep.Sweep) != 12 {
+		t.Fatalf("sweep has %d points, want 12 (3 shard levels x 4 concurrency levels)", len(rep.Sweep))
+	}
+	for _, p := range rep.Sweep {
+		if p.QPS <= 0 || p.P50US <= 0 || p.P99US < p.P50US {
+			t.Errorf("implausible sweep point %+v", p)
+		}
+		if p.Rejected+p.Requests < p.Requests { // overflow guard, and shape sanity
+			t.Errorf("negative rejections in %+v", p)
+		}
+	}
+	// The report must round-trip as JSON (the BENCH_serve.json emitter).
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ServeReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != rep.N || len(back.Sweep) != len(rep.Sweep) {
+		t.Errorf("JSON round trip changed the report: %+v", back)
+	}
+}

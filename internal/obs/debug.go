@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -24,6 +25,7 @@ type Route struct {
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+	wg  sync.WaitGroup // reaps the Serve goroutine: Close returns only after it exited
 }
 
 // StartDebugServer serves the Go debug endpoints — /debug/pprof/* (CPU,
@@ -51,21 +53,31 @@ func StartDebugServer(addr string, extra ...Route) (*DebugServer, error) {
 		mux.Handle(r.Path, r.Handler)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck — best-effort debug endpoint
-	return &DebugServer{ln: ln, srv: srv}, nil
+	s := &DebugServer{ln: ln, srv: srv}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		srv.Serve(ln) //nolint:errcheck — best-effort debug endpoint, returns on Close
+	}()
+	return s, nil
 }
 
 // Addr returns the bound address, useful when StartDebugServer was given an
 // ephemeral port request.
 func (s *DebugServer) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the server and releases the listener. Safe to call on a nil
-// receiver so CLI shutdown paths need no started-or-not branching.
+// Close stops the server, releases the listener, and waits for the accept
+// goroutine to exit — after Close returns, the server has left no
+// goroutines behind (the contract internal/verify.Leak holds the tests
+// to). Safe to call on a nil receiver so CLI shutdown paths need no
+// started-or-not branching.
 func (s *DebugServer) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
 }
 
 // Publish registers f under name in the process's expvar registry, shown at

@@ -10,6 +10,7 @@ import (
 
 	"mmdr/internal/metrics"
 	"mmdr/internal/obs"
+	"mmdr/internal/verify"
 )
 
 // get fetches url and returns the status and body.
@@ -31,6 +32,11 @@ func get(t *testing.T, url string) (int, string) {
 // expvar and extra routes from its own mux — and that none of them leak
 // onto the process-global default mux.
 func TestDebugServerDedicatedMux(t *testing.T) {
+	checkLeaks := verify.Leak(t)
+	defer func() {
+		http.DefaultClient.CloseIdleConnections()
+		checkLeaks()
+	}()
 	reg := metrics.NewRegistry()
 	reg.Op("knn").Record(42 * time.Microsecond)
 	obs.Publish("debug_test_var", func() any { return map[string]int{"x": 7} })
@@ -85,9 +91,16 @@ func TestDebugServerDedicatedMux(t *testing.T) {
 	}
 }
 
-// TestDebugServerClose verifies Close releases the listener: the port stops
-// accepting and a nil receiver is tolerated.
+// TestDebugServerClose verifies Close releases the listener — the port
+// stops accepting, a nil receiver is tolerated — and reaps the accept
+// goroutine: the leak check fails if Close leaves the Serve goroutine (or
+// any handler) behind.
 func TestDebugServerClose(t *testing.T) {
+	checkLeaks := verify.Leak(t)
+	defer func() {
+		http.DefaultClient.CloseIdleConnections()
+		checkLeaks()
+	}()
 	srv, err := obs.StartDebugServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

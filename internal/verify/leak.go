@@ -1,0 +1,141 @@
+// Package verify is the repo's concurrency-verification gate: runtime
+// helpers that make concurrent subsystems falsifiable under `go test -race`.
+// Where mmdrlint and mmdrgate prove source- and compile-time properties,
+// verify checks the two failure modes only execution can show:
+//
+//   - goroutine leaks — Leak snapshots the labeled goroutine population
+//     before a scenario and fails the test if the scenario leaves extra
+//     goroutines behind after a settle period (a server Close that forgets
+//     to reap a worker, coalescer, or watchdog shows up here);
+//   - stalls — Watchdog tracks in-flight operations and fails the test
+//     with a full stack dump when any operation outlives its deadline
+//     (deadlock and livelock detection for request/response systems).
+//
+// RunScenarios combines both into the scenario runner `make racegate`
+// drives: every scenario executes under the race detector with leak and
+// stall checking wrapped around it. The package is stdlib-only and has no
+// goroutines of its own outside a running Watchdog.
+package verify
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakSettle bounds how long a leak check waits for goroutines that are
+// already on their way out (closed network connections, worker teardown)
+// before declaring them leaked. Exiting goroutines disappear within
+// microseconds; multi-second stragglers are bugs.
+const leakSettle = 2 * time.Second
+
+// GoroutineSnapshot is a point-in-time census of the process's goroutines
+// grouped by label — the "created by" site when one exists, else the
+// topmost function (main and bootstrap goroutines).
+type GoroutineSnapshot struct {
+	Counts map[string]int
+	Total  int
+}
+
+// Goroutines captures the current snapshot.
+func Goroutines() GoroutineSnapshot {
+	return parseStacks(allStacks())
+}
+
+// allStacks returns the full goroutine dump, growing the buffer until the
+// dump fits.
+func allStacks() []byte {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// parseStacks groups a runtime.Stack(all=true) dump by goroutine label.
+func parseStacks(dump []byte) GoroutineSnapshot {
+	s := GoroutineSnapshot{Counts: make(map[string]int)}
+	for _, block := range strings.Split(string(dump), "\n\n") {
+		lines := strings.Split(strings.TrimSpace(block), "\n")
+		if len(lines) == 0 || !strings.HasPrefix(lines[0], "goroutine ") {
+			continue
+		}
+		s.Counts[goroutineLabel(lines)]++
+		s.Total++
+	}
+	return s
+}
+
+// goroutineLabel derives the grouping label of one goroutine block: the
+// creating function when the runtime recorded one, else the top frame.
+func goroutineLabel(lines []string) string {
+	for _, ln := range lines {
+		if rest, ok := strings.CutPrefix(ln, "created by "); ok {
+			// "created by net/http.(*Server).Serve in goroutine 5"
+			if i := strings.Index(rest, " in goroutine"); i >= 0 {
+				rest = rest[:i]
+			}
+			return strings.TrimSpace(rest)
+		}
+	}
+	if len(lines) >= 2 {
+		// lines[1] is the top function ("main.main()"); strip the call parens.
+		top := strings.TrimSpace(lines[1])
+		if i := strings.Index(top, "("); i > 0 {
+			top = top[:i]
+		}
+		return top
+	}
+	return "unknown"
+}
+
+// leakDiff lists labels whose population grew versus the baseline, in
+// sorted label order.
+func leakDiff(base, cur GoroutineSnapshot) []string {
+	labels := make([]string, 0, len(cur.Counts))
+	for label := range cur.Counts {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	var out []string
+	for _, label := range labels {
+		if n := cur.Counts[label]; n > base.Counts[label] {
+			out = append(out, fmt.Sprintf("%s: %d -> %d", label, base.Counts[label], n))
+		}
+	}
+	return out
+}
+
+// Leak snapshots the goroutine population now and returns a check function
+// to call when the scenario's resources should all be released (typically
+// deferred, after the server under test has been Closed). The check polls
+// until every label's population is back at (or below) its baseline, and
+// fails t with the per-label diff and a full stack dump if any goroutines
+// remain after the settle deadline.
+func Leak(t testing.TB) func() {
+	t.Helper()
+	base := Goroutines()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(leakSettle)
+		var cur GoroutineSnapshot
+		for {
+			cur = Goroutines()
+			if len(leakDiff(base, cur)) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after settle; grown labels:\n  %s\nfull dump:\n%s",
+			base.Total, cur.Total, strings.Join(leakDiff(base, cur), "\n  "), allStacks())
+	}
+}

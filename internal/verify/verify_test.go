@@ -1,0 +1,151 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordTB captures failures instead of failing the real test, so the
+// helpers' failure paths are themselves testable.
+type recordTB struct {
+	testing.TB
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (r *recordTB) Helper() {}
+
+func (r *recordTB) Errorf(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgs = append(r.msgs, fmt.Sprintf(format, args...))
+}
+
+func (r *recordTB) failures() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.msgs...)
+}
+
+func TestGoroutineSnapshotSeesSpawn(t *testing.T) {
+	base := Goroutines()
+	if base.Total <= 0 {
+		t.Fatalf("snapshot total %d", base.Total)
+	}
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() { close(started); <-block }()
+	<-started
+	cur := Goroutines()
+	diff := leakDiff(base, cur)
+	if len(diff) == 0 {
+		t.Fatalf("spawned goroutine not visible in diff (before %d, after %d)", base.Total, cur.Total)
+	}
+	// The label is the creation site in this package.
+	if !strings.Contains(strings.Join(diff, "\n"), "verify") {
+		t.Errorf("diff labels missing creation site: %v", diff)
+	}
+	close(block)
+}
+
+func TestLeakCleanPass(t *testing.T) {
+	rt := &recordTB{TB: t}
+	check := Leak(rt)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check()
+	if msgs := rt.failures(); len(msgs) != 0 {
+		t.Fatalf("clean scenario reported a leak: %v", msgs)
+	}
+}
+
+func TestLeakDetectsStuckGoroutine(t *testing.T) {
+	rt := &recordTB{TB: t}
+	check := Leak(rt)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() { close(started); <-block }()
+	<-started
+	start := time.Now()
+	check()
+	if elapsed := time.Since(start); elapsed < leakSettle {
+		t.Errorf("leak check returned after %v, before the %v settle deadline", elapsed, leakSettle)
+	}
+	msgs := rt.failures()
+	if len(msgs) == 0 {
+		t.Fatal("stuck goroutine not reported")
+	}
+	if !strings.Contains(msgs[0], "goroutine leak") {
+		t.Errorf("unexpected failure message: %s", msgs[0])
+	}
+	close(block)
+}
+
+func TestWatchdogQuietOnFastOps(t *testing.T) {
+	rt := &recordTB{TB: t}
+	w := NewWatchdog(rt, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w.Wrap(fmt.Sprintf("op-%d", i), func() { time.Sleep(time.Millisecond) })
+		}(i)
+	}
+	wg.Wait()
+	// Let at least one monitor tick observe the drained state.
+	time.Sleep(20 * time.Millisecond)
+	w.Stop()
+	if w.Tripped() {
+		t.Fatalf("watchdog tripped on fast ops: %v", rt.failures())
+	}
+}
+
+func TestWatchdogTripsOnStall(t *testing.T) {
+	rt := &recordTB{TB: t}
+	w := NewWatchdog(rt, 20*time.Millisecond)
+	exit := w.Enter("stalled-op")
+	deadline := time.Now().Add(2 * time.Second)
+	for !w.Tripped() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	exit()
+	w.Stop()
+	if !w.Tripped() {
+		t.Fatal("watchdog never tripped on a stalled operation")
+	}
+	msgs := rt.failures()
+	if len(msgs) != 1 {
+		t.Fatalf("want exactly one trip report, got %d: %v", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "stalled-op") {
+		t.Errorf("trip report missing the stalled label: %s", msgs[0])
+	}
+}
+
+func TestWatchdogExitIdempotentAndStopTwice(t *testing.T) {
+	w := NewWatchdog(t, time.Second)
+	exit := w.Enter("op")
+	exit()
+	exit()
+	w.Stop()
+	w.Stop()
+}
+
+func TestRunScenariosHarness(t *testing.T) {
+	ran := false
+	RunScenarios(t, time.Second, []Scenario{{
+		Name: "noop",
+		Run: func(t *testing.T, w *Watchdog) {
+			w.Wrap("noop", func() {})
+			ran = true
+		},
+	}})
+	if !ran {
+		t.Fatal("scenario did not run")
+	}
+}

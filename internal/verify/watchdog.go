@@ -1,0 +1,176 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Watchdog fails a test when any tracked in-flight operation outlives its
+// deadline — the execution-time detector for deadlocks, livelocks, and
+// lost responses (a request whose reply channel nobody will ever write).
+// Operations register with Enter and must call the returned exit function;
+// a monitor goroutine periodically scans for overdue entries and trips at
+// most once, attaching the stuck operations and a full goroutine dump so
+// the blocked stacks are in the failure output.
+//
+// The monitor is itself a goroutine the Leak helper would flag, so Stop
+// must be called (typically deferred) before the scenario's leak check.
+type Watchdog struct {
+	t        testing.TB
+	deadline time.Duration
+
+	mu       sync.Mutex
+	inflight map[uint64]watchEntry
+	nextID   uint64
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	tripped bool // guarded by mu; the watchdog reports at most once
+}
+
+type watchEntry struct {
+	label string
+	start time.Time
+}
+
+// NewWatchdog starts a watchdog whose tracked operations must finish
+// within deadline.
+func NewWatchdog(t testing.TB, deadline time.Duration) *Watchdog {
+	w := &Watchdog{
+		t:        t,
+		deadline: deadline,
+		inflight: make(map[uint64]watchEntry),
+		stop:     make(chan struct{}),
+	}
+	w.stopped.Add(1)
+	go w.monitor()
+	return w
+}
+
+// Enter registers an in-flight operation and returns its exit function.
+// Exit is idempotent.
+func (w *Watchdog) Enter(label string) func() {
+	w.mu.Lock()
+	id := w.nextID
+	w.nextID++
+	w.inflight[id] = watchEntry{label: label, start: time.Now()}
+	w.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			w.mu.Lock()
+			delete(w.inflight, id)
+			w.mu.Unlock()
+		})
+	}
+}
+
+// Wrap runs fn as a tracked operation.
+func (w *Watchdog) Wrap(label string, fn func()) {
+	exit := w.Enter(label)
+	defer exit()
+	fn()
+}
+
+// Stop halts the monitor goroutine and waits for it to exit. The test
+// outcome is whatever the monitor already reported; operations still in
+// flight at Stop are the caller's business (a scenario that wants "all
+// drained" asserts it by having every Enter's exit run before Stop).
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	w.mu.Unlock()
+	w.stopped.Wait()
+}
+
+// monitor scans for overdue operations every deadline/8 (floored so short
+// test deadlines still poll promptly).
+func (w *Watchdog) monitor() {
+	defer w.stopped.Done()
+	tick := w.deadline / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			if w.scan() {
+				return
+			}
+		}
+	}
+}
+
+// scan trips the watchdog if any operation is overdue, reporting every
+// overdue label with its age. Returns true once tripped: one report per
+// watchdog, then the monitor retires.
+func (w *Watchdog) scan() bool {
+	now := time.Now()
+	w.mu.Lock()
+	ids := make([]uint64, 0, len(w.inflight))
+	for id := range w.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var overdue []string
+	for _, id := range ids {
+		e := w.inflight[id]
+		if age := now.Sub(e.start); age > w.deadline {
+			overdue = append(overdue, fmt.Sprintf("%s (in flight %v)", e.label, age.Round(time.Millisecond)))
+		}
+	}
+	if len(overdue) == 0 || w.tripped {
+		w.mu.Unlock()
+		return false
+	}
+	w.tripped = true
+	w.mu.Unlock()
+	w.t.Errorf("watchdog: %d operation(s) stalled past %v:\n  %s\nfull dump:\n%s",
+		len(overdue), w.deadline, strings.Join(overdue, "\n  "), allStacks())
+	return true
+}
+
+// Tripped reports whether the watchdog has fired.
+func (w *Watchdog) Tripped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tripped
+}
+
+// Scenario is one adversarial schedule the gate drives.
+type Scenario struct {
+	Name string
+	// Run receives the scenario's watchdog: wrap every request/response
+	// round trip in w.Enter/exit (or w.Wrap) so a stall anywhere fails the
+	// scenario with stacks instead of hanging the suite.
+	Run func(t *testing.T, w *Watchdog)
+}
+
+// RunScenarios executes each scenario as a subtest with the gate's
+// standard harness wrapped around it: a goroutine-leak baseline taken
+// before the scenario and checked after it, and a stall watchdog the
+// scenario threads through its operations. This is the entry point
+// `make racegate` exercises under the race detector.
+func RunScenarios(t *testing.T, deadline time.Duration, scenarios []Scenario) {
+	for _, sc := range scenarios {
+		t.Run(sc.Name, func(t *testing.T) {
+			checkLeaks := Leak(t)
+			w := NewWatchdog(t, deadline)
+			sc.Run(t, w)
+			w.Stop()
+			checkLeaks()
+		})
+	}
+}
